@@ -1,0 +1,194 @@
+//! Exact branch-and-bound for small non-preemptive instances.
+//!
+//! On one machine, only the *set* of jobs matters: its completion time is the
+//! job times plus one setup per distinct class. Branch-and-bound assigns jobs
+//! (largest first) to machines with symmetry breaking (a job may open at most
+//! one empty machine) and prunes with the average-load bound. Exact for the
+//! oracle sizes used in tests (`n <= ~14`); this is the `OPT` against which
+//! approximation ratios are certified.
+
+use bss_instance::Instance;
+
+/// Size limits for the exact solver (a guard against accidental exponential
+/// blow-ups in test code).
+#[derive(Debug, Clone, Copy)]
+pub struct ExactLimits {
+    /// Maximum number of jobs.
+    pub max_jobs: usize,
+    /// Maximum number of machines.
+    pub max_machines: usize,
+}
+
+impl Default for ExactLimits {
+    fn default() -> Self {
+        ExactLimits {
+            max_jobs: 14,
+            max_machines: 5,
+        }
+    }
+}
+
+/// Computes the exact non-preemptive optimal makespan, or `None` if the
+/// instance exceeds `limits`.
+#[must_use]
+pub fn exact_nonpreemptive(inst: &Instance, limits: ExactLimits) -> Option<u64> {
+    if inst.num_jobs() > limits.max_jobs
+        || inst.machines() > limits.max_machines
+        || inst.num_classes() > 64
+    {
+        return None;
+    }
+    let m = inst.machines().min(inst.num_jobs());
+    // Jobs sorted by descending time (helps pruning).
+    let mut jobs: Vec<(u64, usize)> = (0..inst.num_jobs())
+        .map(|j| (inst.job(j).time, inst.job(j).class))
+        .collect();
+    jobs.sort_by_key(|j| std::cmp::Reverse(j.0));
+
+    struct State<'a> {
+        inst: &'a Instance,
+        jobs: Vec<(u64, usize)>,
+        loads: Vec<u64>,
+        class_masks: Vec<u64>,
+        best: u64,
+        suffix_total: Vec<u64>,
+    }
+
+    impl State<'_> {
+        fn dfs(&mut self, idx: usize) {
+            let current_max = *self.loads.iter().max().expect("m >= 1");
+            if current_max >= self.best {
+                return;
+            }
+            if idx == self.jobs.len() {
+                self.best = current_max;
+                return;
+            }
+            // Average-load lower bound over remaining work (setups ignored —
+            // still a valid bound).
+            let total: u64 = self.loads.iter().sum::<u64>() + self.suffix_total[idx];
+            let avg = total.div_ceil(self.loads.len() as u64);
+            if avg.max(current_max) >= self.best {
+                return;
+            }
+            let (time, class) = self.jobs[idx];
+            let mut opened_empty = false;
+            for u in 0..self.loads.len() {
+                if self.loads[u] == 0 {
+                    if opened_empty {
+                        continue; // symmetry: one empty machine suffices
+                    }
+                    opened_empty = true;
+                }
+                let bit = 1u64 << class;
+                let setup = if self.class_masks[u] & bit == 0 {
+                    self.inst.setup(class)
+                } else {
+                    0
+                };
+                self.loads[u] += time + setup;
+                self.class_masks[u] |= bit;
+                let had = setup > 0;
+                self.dfs(idx + 1);
+                self.loads[u] -= time + setup;
+                if had {
+                    self.class_masks[u] &= !bit;
+                }
+                // Careful: only clear the class bit if no other job of this
+                // class remains on u. Since we fully undo in reverse DFS
+                // order and `had` tracks whether *this* placement paid the
+                // setup, the mask restore above is exact.
+            }
+        }
+    }
+
+    // Upper bound: everything on one machine.
+    let ub = inst.total_load_once();
+    let mut suffix_total = vec![0u64; jobs.len() + 1];
+    for i in (0..jobs.len()).rev() {
+        suffix_total[i] = suffix_total[i + 1] + jobs[i].0;
+    }
+    let mut st = State {
+        inst,
+        jobs,
+        loads: vec![0; m],
+        class_masks: vec![0; m],
+        best: ub + 1,
+        suffix_total,
+    };
+    st.dfs(0);
+    Some(st.best.min(ub))
+}
+
+#[cfg(test)]
+mod tests {
+    use bss_instance::{InstanceBuilder, LowerBounds, Variant};
+
+    use super::*;
+
+    #[test]
+    fn single_machine_is_total_load() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_batch(3, &[4, 5]);
+        b.add_batch(2, &[6]);
+        let inst = b.build().unwrap();
+        assert_eq!(exact_nonpreemptive(&inst, ExactLimits::default()), Some(20));
+    }
+
+    #[test]
+    fn two_machines_split_classes() {
+        // Two identical classes: one per machine.
+        let mut b = InstanceBuilder::new(2);
+        b.add_batch(2, &[5]);
+        b.add_batch(2, &[5]);
+        let inst = b.build().unwrap();
+        assert_eq!(exact_nonpreemptive(&inst, ExactLimits::default()), Some(7));
+    }
+
+    #[test]
+    fn setup_sharing_beats_splitting() {
+        // One class with two jobs; splitting pays the setup twice.
+        let mut b = InstanceBuilder::new(2);
+        b.add_batch(10, &[2, 2]);
+        let inst = b.build().unwrap();
+        // Together: 14 on one machine; split: max(12, 12) = 12.
+        assert_eq!(exact_nonpreemptive(&inst, ExactLimits::default()), Some(12));
+    }
+
+    #[test]
+    fn setup_sharing_wins_when_setups_huge() {
+        let mut b = InstanceBuilder::new(2);
+        b.add_batch(100, &[2, 2]);
+        let inst = b.build().unwrap();
+        // Split: 102 each; together: 104. Split still wins (102).
+        assert_eq!(
+            exact_nonpreemptive(&inst, ExactLimits::default()),
+            Some(102)
+        );
+    }
+
+    #[test]
+    fn respects_limits() {
+        let inst = bss_gen::uniform(100, 10, 4, 0);
+        assert_eq!(exact_nonpreemptive(&inst, ExactLimits::default()), None);
+    }
+
+    #[test]
+    fn opt_at_least_lower_bounds() {
+        for seed in 0..40 {
+            let inst = bss_gen::tiny(seed);
+            let opt = exact_nonpreemptive(&inst, ExactLimits::default()).expect("tiny");
+            let lb = LowerBounds::of(&inst);
+            assert!(
+                bss_rational::Rational::from(opt) >= lb.avg_load,
+                "seed {seed}"
+            );
+            assert!(opt >= lb.setup_plus_job, "seed {seed}");
+            assert!(opt > lb.smax, "seed {seed}");
+            assert!(
+                bss_rational::Rational::from(opt) <= lb.tmin(Variant::NonPreemptive) * 2u64,
+                "seed {seed}: 2-approx window"
+            );
+        }
+    }
+}

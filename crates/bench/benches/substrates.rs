@@ -1,0 +1,82 @@
+//! Criterion studies of the substrates, including the DESIGN.md ablations.
+//!
+//! * `wrap_ablation` — the parallel-gap fast path (one `GapRun` of `m` gaps)
+//!   vs the naive template (`m` single gaps): the fast path's output and time
+//!   are independent of `m`, the naive one is `Θ(n + m)`.
+//! * `knapsack` — continuous knapsack on rational weights.
+//! * `mcnaughton` — the classic wrap-around substrate.
+//! * `validate` — the feasibility validator (test-suite hot path).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bss_instance::Variant;
+use bss_knapsack::{continuous_knapsack, CkItem};
+use bss_rational::Rational;
+use bss_wrap::{mcnaughton, wrap, GapRun, Template, WrapSequence};
+
+fn wrap_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wrap_ablation");
+    g.sample_size(20);
+    // One giant splittable job over m identical gaps.
+    for m in [1_000usize, 10_000, 100_000] {
+        let height = Rational::from(10u64);
+        let total = Rational::from(10u64 * (m as u64) - 5);
+        let mut q = WrapSequence::new();
+        q.push_setup(0, Rational::from(2u64));
+        q.push_piece(0, 0, total - 2u64);
+        let fast = Template::new(vec![GapRun {
+            first_machine: 0,
+            count: m,
+            a: Rational::from(2u64),
+            b: Rational::from(2u64) + height,
+        }]);
+        let naive = Template::new(
+            (0..m)
+                .map(|u| GapRun::single(u, Rational::from(2u64), Rational::from(12u64)))
+                .collect(),
+        );
+        let setups = [2u64];
+        g.bench_with_input(BenchmarkId::new("fast_path", m), &m, |b, _| {
+            b.iter(|| black_box(wrap(&q, &fast, &setups, m).expect("fits")))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_single_gaps", m), &m, |b, _| {
+            b.iter(|| black_box(wrap(&q, &naive, &setups, m).expect("fits")))
+        });
+    }
+    g.finish();
+}
+
+fn knapsack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knapsack");
+    for k in [100usize, 10_000] {
+        let items: Vec<CkItem> = (0..k)
+            .map(|i| CkItem {
+                profit: (i as u64 * 7919) % 1000 + 1,
+                weight: Rational::new(((i as i128 * 104729) % 5000) + 1, 3),
+            })
+            .collect();
+        let cap = Rational::from(1000u64 * k as u64 / 4);
+        g.bench_with_input(BenchmarkId::new("continuous", k), &items, |b, items| {
+            b.iter(|| black_box(continuous_knapsack(items, cap)))
+        });
+    }
+    g.finish();
+}
+
+fn mcnaughton_bench(c: &mut Criterion) {
+    let times: Vec<u64> = (0..100_000u64).map(|i| i % 977 + 1).collect();
+    c.bench_function("mcnaughton_100k", |b| {
+        b.iter(|| black_box(mcnaughton(64, &times)))
+    });
+}
+
+fn validate_bench(c: &mut Criterion) {
+    let inst = bss_gen::uniform(50_000, 2_500, 32, 1);
+    let sol = bss_core::solve(&inst, Variant::Preemptive, bss_core::Algorithm::ThreeHalves);
+    c.bench_function("validate_preemptive_50k", |b| {
+        b.iter(|| black_box(bss_schedule::validate(&sol.schedule, &inst, Variant::Preemptive)))
+    });
+}
+
+criterion_group!(benches, wrap_ablation, knapsack, mcnaughton_bench, validate_bench);
+criterion_main!(benches);

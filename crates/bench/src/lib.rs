@@ -1,0 +1,4 @@
+//! Shared helpers for the benchmark harness (see `src/bin/` for the repro
+//! binaries and `benches/` for the Criterion studies).
+
+pub mod suites;

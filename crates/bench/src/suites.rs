@@ -1,0 +1,71 @@
+//! Instance suites shared by the Criterion benches and the repro binaries.
+
+use bss_instance::Instance;
+
+/// A named family of instances for a sweep cell.
+pub struct Suite {
+    /// Short identifier (used in table rows and file names).
+    pub name: &'static str,
+    /// The instances.
+    pub instances: Vec<Instance>,
+}
+
+/// The Table-1 evaluation suites: uniform, small-batch, single-job-batch and
+/// expensive-setup regimes, `reps` instances each.
+#[must_use]
+pub fn table1_suites(n: usize, c: usize, m: usize, reps: u64) -> Vec<Suite> {
+    vec![
+        Suite {
+            name: "uniform",
+            instances: (0..reps).map(|s| bss_gen::uniform(n, c, m, s)).collect(),
+        },
+        Suite {
+            name: "small-batches",
+            instances: (0..reps).map(|s| bss_gen::small_batches(n, m, s)).collect(),
+        },
+        Suite {
+            name: "single-job",
+            instances: (0..reps)
+                .map(|s| bss_gen::single_job_batches(n, m, s))
+                .collect(),
+        },
+        Suite {
+            name: "expensive",
+            instances: (0..reps)
+                .map(|s| bss_gen::expensive_setups(n, m, s))
+                .collect(),
+        },
+        Suite {
+            name: "zipf",
+            instances: (0..reps).map(|s| bss_gen::zipf_classes(n, c, m, s)).collect(),
+        },
+    ]
+}
+
+/// Geometric sweep of job counts for the scaling studies.
+#[must_use]
+pub fn n_sweep(from_log2: u32, to_log2: u32) -> Vec<usize> {
+    (from_log2..=to_log2).map(|k| 1usize << k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_requested_sizes() {
+        let suites = table1_suites(40, 6, 3, 4);
+        assert_eq!(suites.len(), 5);
+        for s in &suites {
+            assert_eq!(s.instances.len(), 4);
+            for inst in &s.instances {
+                assert_eq!(inst.machines(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn n_sweep_is_geometric() {
+        assert_eq!(n_sweep(4, 7), vec![16, 32, 64, 128]);
+    }
+}

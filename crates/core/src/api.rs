@@ -1,0 +1,290 @@
+//! The high-level solver API.
+
+use bss_instance::{Instance, LowerBounds, Variant};
+use bss_rational::Rational;
+use bss_schedule::{CompactSchedule, Schedule};
+
+use crate::search::epsilon_search;
+use crate::{nonpreemptive, preemptive, splittable, two_approx, Trace};
+
+/// Algorithm selector for [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The `O(n)` 2-approximation (Theorem 1).
+    TwoApprox,
+    /// The `(3/2 + ε)`-approximation via binary search (Theorem 2), with
+    /// `eps = 1/2^eps_log2`.
+    EpsilonSearch {
+        /// `ε = 2^-eps_log2`; the search performs `O(eps_log2)` probes.
+        eps_log2: u32,
+    },
+    /// The 3/2-approximation: Class Jumping for splittable (Theorem 3) and
+    /// preemptive (Theorem 6), exact integer search for non-preemptive
+    /// (Theorem 8).
+    ThreeHalves,
+    /// Runs [`Algorithm::ThreeHalves`] *and* [`Algorithm::TwoApprox`] and
+    /// keeps the schedule with the smaller makespan. Still a guaranteed
+    /// 3/2-approximation (the pool contains one), but much better on easy
+    /// instances, where the dual builders spend their full `3T/2` budget
+    /// while simple wrapping packs near the lower bound. Still `O(n + search)`.
+    Portfolio,
+}
+
+/// A solved instance.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The explicit schedule (feasible for the requested variant).
+    pub schedule: Schedule,
+    /// The compact form, when the algorithm produces one natively
+    /// (splittable algorithms).
+    pub compact: Option<CompactSchedule>,
+    /// The schedule's makespan.
+    pub makespan: Rational,
+    /// The accepted makespan guess; `makespan <= ratio_bound · accepted`.
+    pub accepted: Rational,
+    /// The proven approximation factor of this run relative to `accepted`.
+    pub ratio_bound: Rational,
+    /// A certified strict lower bound on `OPT` (from `T_min` and rejected
+    /// guesses); `makespan / certificate` upper-bounds the true ratio.
+    pub certificate: Rational,
+    /// Dual-test probes performed by the search (0 for direct algorithms).
+    pub probes: usize,
+}
+
+/// Solves `inst` under `variant` with the chosen algorithm.
+///
+/// Every returned schedule is feasible for `variant` (the test suite
+/// validates this exhaustively) and satisfies
+/// `makespan <= ratio_bound · OPT`.
+#[must_use]
+pub fn solve(inst: &Instance, variant: Variant, algo: Algorithm) -> Solution {
+    solve_traced(inst, variant, algo, &mut Trace::disabled())
+}
+
+/// [`solve`] with step tracing (used by the figure-regeneration harness).
+#[must_use]
+pub fn solve_traced(
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+    trace: &mut Trace,
+) -> Solution {
+    let bounds = LowerBounds::of(inst);
+    let t_min = bounds.tmin(variant);
+    let three_halves = Rational::new(3, 2);
+    match (variant, algo) {
+        (_, Algorithm::Portfolio) => {
+            let a = solve_traced(inst, variant, Algorithm::ThreeHalves, trace);
+            let b = solve_traced(inst, variant, Algorithm::TwoApprox, trace);
+            let (mut best, other) = if a.makespan <= b.makespan { (a, b) } else { (b, a) };
+            // The 3/2 guarantee carries over; certificates combine.
+            best.ratio_bound = three_halves;
+            best.certificate = best.certificate.max(other.certificate);
+            best.probes += other.probes;
+            best
+        }
+        (Variant::Splittable, Algorithm::TwoApprox) => {
+            let compact = two_approx::splittable_two_approx(inst);
+            let schedule = compact.expand();
+            finish(schedule, Some(compact), t_min, Rational::from(2), t_min, 0)
+        }
+        (_, Algorithm::TwoApprox) => {
+            let schedule = two_approx::greedy_two_approx(inst, trace);
+            finish(schedule, None, t_min, Rational::from(2), t_min, 0)
+        }
+        (Variant::Splittable, Algorithm::EpsilonSearch { eps_log2 }) => {
+            let eps = Rational::new(1, 1 << eps_log2.min(60));
+            let out = epsilon_search(t_min, eps, |t| splittable::dual(inst, t));
+            let schedule = out.schedule.expand();
+            let cert = out.rejected.unwrap_or(t_min).max(t_min);
+            finish(
+                schedule,
+                Some(out.schedule),
+                out.accepted,
+                three_halves * (eps + 1u64),
+                cert,
+                out.probes,
+            )
+        }
+        (Variant::Preemptive, Algorithm::EpsilonSearch { eps_log2 }) => {
+            let eps = Rational::new(1, 1 << eps_log2.min(60));
+            let out = epsilon_search(t_min, eps, |t| {
+                preemptive::dual(inst, t, preemptive::CountMode::AlphaPrime, trace)
+            });
+            let cert = out.rejected.unwrap_or(t_min).max(t_min);
+            finish(
+                out.schedule,
+                None,
+                out.accepted,
+                three_halves * (eps + 1u64),
+                cert,
+                out.probes,
+            )
+        }
+        (Variant::NonPreemptive, Algorithm::EpsilonSearch { eps_log2 }) => {
+            let eps = Rational::new(1, 1 << eps_log2.min(60));
+            let out = epsilon_search(t_min, eps, |t| {
+                // The non-preemptive dual takes integral guesses; probing at
+                // ⌊t⌋ only strengthens the test (⌊t⌋ <= t).
+                nonpreemptive::dual(inst, t.floor().max(1) as u64, trace)
+            });
+            let cert = out.rejected.unwrap_or(t_min).max(t_min);
+            finish(
+                out.schedule,
+                None,
+                out.accepted,
+                three_halves * (eps + 1u64),
+                cert,
+                out.probes,
+            )
+        }
+        (Variant::Splittable, Algorithm::ThreeHalves) => {
+            let out = splittable::class_jumping(inst);
+            let schedule = out.schedule.expand();
+            let cert = out.rejected.unwrap_or(t_min).max(t_min);
+            finish(
+                schedule,
+                Some(out.schedule),
+                out.accepted,
+                three_halves,
+                cert,
+                out.probes,
+            )
+        }
+        (Variant::Preemptive, Algorithm::ThreeHalves) => {
+            let out = preemptive::class_jumping(inst);
+            let cert = out.rejected.unwrap_or(t_min).max(t_min);
+            finish(
+                out.schedule,
+                None,
+                out.accepted,
+                three_halves,
+                cert,
+                out.probes,
+            )
+        }
+        (Variant::NonPreemptive, Algorithm::ThreeHalves) => {
+            let out = nonpreemptive::three_halves(inst);
+            let cert = out.rejected.unwrap_or(t_min).max(t_min);
+            finish(
+                out.schedule,
+                None,
+                out.accepted,
+                three_halves,
+                cert,
+                out.probes,
+            )
+        }
+    }
+}
+
+fn finish(
+    schedule: Schedule,
+    compact: Option<CompactSchedule>,
+    accepted: Rational,
+    ratio_bound: Rational,
+    certificate: Rational,
+    probes: usize,
+) -> Solution {
+    let makespan = schedule.makespan();
+    Solution {
+        schedule,
+        compact,
+        makespan,
+        accepted,
+        ratio_bound,
+        certificate,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bss_schedule::validate;
+
+    use super::*;
+
+    const ALGOS: [Algorithm; 3] = [
+        Algorithm::TwoApprox,
+        Algorithm::EpsilonSearch { eps_log2: 7 },
+        Algorithm::ThreeHalves,
+    ];
+
+    #[test]
+    fn full_matrix_validates_and_meets_bounds() {
+        for seed in 0..10 {
+            let inst = bss_gen::uniform(50, 7, 4, seed);
+            for variant in Variant::ALL {
+                for algo in ALGOS {
+                    let sol = solve(&inst, variant, algo);
+                    let v = validate(&sol.schedule, &inst, variant);
+                    assert!(v.is_empty(), "{variant} {algo:?}: {v:?}");
+                    assert!(
+                        sol.makespan <= sol.ratio_bound * sol.accepted,
+                        "{variant} {algo:?}: {} > {} * {}",
+                        sol.makespan,
+                        sol.ratio_bound,
+                        sol.accepted
+                    );
+                    assert!(sol.certificate <= sol.makespan);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variant_relaxation_order_on_makespans() {
+        // More freedom can only help: for the same 3/2 algorithm family the
+        // splittable makespan certificate is never above the non-preemptive
+        // one by more than the approximation slack. We check the weaker,
+        // always-true statement: each variant's makespan is within its own
+        // bound of its own certificate.
+        for seed in 0..10 {
+            let inst = bss_gen::uniform(40, 6, 3, seed);
+            for variant in Variant::ALL {
+                let sol = solve(&inst, variant, Algorithm::ThreeHalves);
+                let certified_ratio = sol.makespan / sol.certificate;
+                assert!(
+                    certified_ratio <= Rational::from(2u64),
+                    "{variant}: certified ratio {certified_ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_probe_budget() {
+        let inst = bss_gen::uniform(60, 8, 4, 1);
+        let coarse = solve(&inst, Variant::Splittable, Algorithm::EpsilonSearch { eps_log2: 2 });
+        let fine = solve(&inst, Variant::Splittable, Algorithm::EpsilonSearch { eps_log2: 12 });
+        assert!(coarse.probes <= fine.probes);
+        assert!(fine.probes <= 16);
+    }
+
+    #[test]
+    fn portfolio_dominates_both_members() {
+        for seed in 0..10 {
+            let inst = bss_gen::uniform(60, 8, 4, seed);
+            for variant in Variant::ALL {
+                let p = solve(&inst, variant, Algorithm::Portfolio);
+                let a = solve(&inst, variant, Algorithm::ThreeHalves);
+                let b = solve(&inst, variant, Algorithm::TwoApprox);
+                assert!(p.makespan <= a.makespan.min(b.makespan));
+                assert!(validate(&p.schedule, &inst, variant).is_empty());
+                assert_eq!(p.ratio_bound, Rational::new(3, 2));
+                assert!(p.certificate >= a.certificate.max(b.certificate));
+            }
+        }
+    }
+
+    #[test]
+    fn compact_present_only_for_splittable() {
+        let inst = bss_gen::uniform(30, 5, 3, 2);
+        assert!(solve(&inst, Variant::Splittable, Algorithm::ThreeHalves)
+            .compact
+            .is_some());
+        assert!(solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves)
+            .compact
+            .is_none());
+    }
+}

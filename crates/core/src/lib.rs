@@ -1,0 +1,35 @@
+//! Near-linear approximation algorithms for scheduling with batch setup
+//! times — the algorithms of Deppert & Jansen (SPAA 2019).
+//!
+//! For each of the three problem variants ([`bss_instance::Variant`]) this
+//! crate provides the paper's full algorithm stack:
+//!
+//! | result | algorithm | entry point |
+//! |---|---|---|
+//! | Theorem 1 | 2-approximation, `O(n)` | [`two_approx`] |
+//! | Theorem 2 | `(3/2+ε)`-approx, `O(n log 1/ε)` | [`search::epsilon_search`] over the duals |
+//! | Theorem 7 | splittable 3/2-dual, `O(n)` | [`splittable::dual`] |
+//! | Theorem 3 | splittable 3/2, `O(n + c log(c+m))` | [`splittable::class_jumping`] |
+//! | Theorems 4–5 | preemptive 3/2-dual, `O(n)` | [`preemptive::dual`] |
+//! | Theorem 6 | preemptive 3/2, `O(n log(c+m))` | [`preemptive::class_jumping`] |
+//! | Theorem 9 | non-preemptive 3/2-dual, `O(n)` | [`nonpreemptive::dual`] |
+//! | Theorem 8 | non-preemptive 3/2, `O(n log(n+Δ))` | [`nonpreemptive::three_halves`] |
+//!
+//! The one-stop entry point is [`solve`] with an [`Algorithm`] selector.
+//!
+//! All internal arithmetic is exact ([`bss_rational::Rational`]); every
+//! algorithm's output is checked against the strict validators of
+//! [`bss_schedule`] in this crate's tests.
+
+pub mod classify;
+pub mod nonpreemptive;
+pub mod preemptive;
+pub mod search;
+pub mod splittable;
+pub mod two_approx;
+
+mod api;
+mod trace;
+
+pub use api::{solve, solve_traced, Algorithm, Solution};
+pub use trace::Trace;

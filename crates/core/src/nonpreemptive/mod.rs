@@ -1,0 +1,13 @@
+//! The non-preemptive variant `P|setup=s_i|Cmax`.
+//!
+//! * [`accepts`] / [`dual`]: the 3/2-dual approximation of Theorem 9
+//!   (Algorithm 6, Appendix D) — `O(n)` per guess.
+//! * [`three_halves`]: Theorem 8 — exact integer binary search over the dual,
+//!   `O(n log(n + Δ))` total, a clean 3/2-approximation because the
+//!   non-preemptive optimum is integral.
+
+mod dual;
+mod search;
+
+pub use dual::{accepts, dual};
+pub use search::three_halves;

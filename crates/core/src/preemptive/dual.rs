@@ -1,0 +1,546 @@
+//! The general preemptive 3/2-dual approximation (Algorithm 3, Theorem 5).
+//!
+//! 1. Every `I⁰_exp` class gets its own *large machine*, its batch starting
+//!    at `T/2` (sound by Lemmas 10 and 11).
+//! 2. Big jobs of light-cheap classes (`C*_i`, `s_i + t_j > T/2`) are split
+//!    into `j(1)` (length `T/2 - s_i`) and `j(2)` (length `s_i + t_j - T/2`):
+//!    by Lemma 4, at least `j(2)` must run outside the large machines.
+//! 3. If the free time `F` outside the large machines cannot hold all of
+//!    `I*_chp` (case 3.a), a **continuous knapsack** picks the classes that
+//!    are scheduled entirely outside (profit `s_i`, weight `P(C_i) - L*_i`,
+//!    capacity `Y = F - L*`); the rest contribute only their obligatory
+//!    pieces to the *nice* residual instance and their light remainder `K`
+//!    goes to the bottom (`[0, T/2]` band) of the large machines — big `K⁺`
+//!    jobs one per machine, small `K⁻` jobs wrapped over `[T/4, T/2)` gaps
+//!    (Figure 4). Otherwise (case 3.b) a greedy split fills the nice
+//!    instance exactly and the remainder is handled the same way.
+//!
+//! The band discipline (`K` below `T/2`, cheap nice load above `T/2`) is what
+//! keeps split jobs from running in parallel with themselves.
+
+use bss_instance::{ClassId, Instance, JobId};
+use bss_knapsack::{continuous_knapsack, CkItem};
+use bss_rational::Rational;
+use bss_schedule::Schedule;
+use bss_wrap::{wrap, GapRun, Template, WrapSequence};
+
+use crate::classify::{classify, cstar, Classification};
+use crate::Trace;
+
+use super::nice::{build_nice, Batch, NiceParts};
+use super::CountMode;
+
+/// A job piece destined for the bottom band of the large machines.
+#[derive(Debug, Clone)]
+struct KPiece {
+    class: ClassId,
+    job: JobId,
+    len: Rational,
+}
+
+/// Everything needed to build the schedule once the guess is accepted.
+struct Plan {
+    cls: Classification,
+    /// Machine counts for `I⁺_exp` (aligned with `cls.iexp_plus`).
+    counts: Vec<usize>,
+    /// Cheap batches of the nice residual instance.
+    cheap_batches: Vec<Batch>,
+    /// Bottom-band pieces, grouped later into `K⁺`/`K⁻`.
+    k_pieces: Vec<KPiece>,
+    /// Class whose pieces lead the `K⁻` wrap (the knapsack split item /
+    /// greedy split class).
+    k_first_class: Option<ClassId>,
+}
+
+/// The test-plus-planning phase shared by [`accepts`] and [`dual`].
+fn prepare(inst: &Instance, t: Rational, mode: CountMode) -> Option<Plan> {
+    if t < Rational::from(inst.max_setup_plus_tmax()) {
+        return None;
+    }
+    let m = inst.machines();
+    let half = t.half();
+    let cls = classify(inst, t);
+    let l = cls.iexp_zero.len();
+
+    // Machine requirement m' (Theorem 5).
+    let counts: Vec<usize> = cls
+        .iexp_plus
+        .iter()
+        .map(|&i| mode.count(inst, t, i))
+        .collect();
+    let m_req = l + counts.iter().sum::<usize>() + cls.iexp_minus.len().div_ceil(2);
+    if m_req > m {
+        return None;
+    }
+
+    // Big jobs of light-cheap classes.
+    let istar: Vec<(ClassId, Vec<JobId>)> = cls
+        .ichp_minus
+        .iter()
+        .filter_map(|&i| {
+            let cs = cstar(inst, t, i);
+            if cs.is_empty() {
+                None
+            } else {
+                Some((i, cs))
+            }
+        })
+        .collect();
+    let istar_set: std::collections::HashSet<ClassId> =
+        istar.iter().map(|&(i, _)| i).collect();
+
+    // Free time F outside the large machines (Equation 3).
+    let mut base_load = Rational::ZERO;
+    for (&i, &a) in cls.iexp_plus.iter().zip(&counts) {
+        base_load += Rational::from(inst.setup(i) * a as u64 + inst.class_proc(i));
+    }
+    for &i in cls.iexp_minus.iter().chain(cls.ichp_plus.iter()) {
+        base_load += Rational::from(inst.setup(i) + inst.class_proc(i));
+    }
+    let f_free = t * (m - l) - base_load;
+    let istar_full: Rational = istar
+        .iter()
+        .map(|&(i, _)| Rational::from(inst.setup(i) + inst.class_proc(i)))
+        .fold(Rational::ZERO, |a, b| a + b);
+
+    // Common part of L_pmtn: P(J) + Σ_plus a_i s_i + Σ_{[c] \ I+exp} s_i.
+    let mut l_pmtn = Rational::from(inst.total_proc());
+    for (&i, &a) in cls.iexp_plus.iter().zip(&counts) {
+        l_pmtn += Rational::from(inst.setup(i) * a as u64);
+    }
+    let plus_set: std::collections::HashSet<ClassId> =
+        cls.iexp_plus.iter().copied().collect();
+    for i in 0..inst.num_classes() {
+        if !plus_set.contains(&i) {
+            l_pmtn += Rational::from(inst.setup(i));
+        }
+    }
+
+    let mut cheap_batches: Vec<Batch> = cls
+        .ichp_plus
+        .iter()
+        .map(|&i| Batch::full(inst, i))
+        .collect();
+    let mut k_pieces: Vec<KPiece> = Vec::new();
+    let mut k_first_class = None;
+
+    if f_free < istar_full {
+        // ---- Case 3.a: knapsack over I*chp. ----
+        // Obligatory outside-load L*_i = P(C*_i) - |C*_i| (T/2 - s_i).
+        let mut l_star = Rational::ZERO;
+        let mut weights: Vec<Rational> = Vec::with_capacity(istar.len());
+        for (i, cs) in &istar {
+            let s = inst.setup(*i);
+            let pc: u64 = cs.iter().map(|&j| inst.job(j).time).sum();
+            let li = Rational::from(pc) - (half - s) * cs.len();
+            l_star += li + s;
+            weights.push(Rational::from(inst.class_proc(*i)) - li);
+        }
+        let y = f_free - l_star;
+        if y.is_negative() {
+            return None; // even the obligatory pieces cannot fit outside
+        }
+        let items: Vec<CkItem> = istar
+            .iter()
+            .zip(&weights)
+            .map(|(&(i, _), &w)| CkItem {
+                profit: inst.setup(i),
+                weight: w,
+            })
+            .collect();
+        let sol = continuous_knapsack(&items, y);
+        for (idx, &(i, _)) in istar.iter().enumerate() {
+            if sol.x[idx].is_zero() {
+                l_pmtn += Rational::from(inst.setup(i)); // extra setup
+            }
+        }
+        if t * m < l_pmtn {
+            return None;
+        }
+
+        // Build the nice cheap batches and the K pieces.
+        for (idx, (i, cs)) in istar.iter().enumerate() {
+            let i = *i;
+            let s = inst.setup(i);
+            let cs_set: std::collections::HashSet<JobId> = cs.iter().copied().collect();
+            let x = sol.x[idx];
+            if x == Rational::ONE {
+                cheap_batches.push(Batch::full(inst, i));
+            } else if x.is_zero() {
+                // Only the obligatory pieces j(2) go to the nice instance.
+                let mut pieces = Vec::with_capacity(cs.len());
+                for &j in cs {
+                    let t2 = Rational::from(s + inst.job(j).time) - half;
+                    pieces.push((j, t2));
+                    k_pieces.push(KPiece {
+                        class: i,
+                        job: j,
+                        len: half - s, // t(1)_j
+                    });
+                }
+                cheap_batches.push(Batch {
+                    class: i,
+                    setup: s,
+                    pieces,
+                });
+                for &j in inst.class_jobs(i) {
+                    if !cs_set.contains(&j) {
+                        k_pieces.push(KPiece {
+                            class: i,
+                            job: j,
+                            len: Rational::from(inst.job(j).time),
+                        });
+                    }
+                }
+            } else {
+                // The split item e: pieces per Equation (6).
+                k_first_class = Some(i);
+                let mut pieces = Vec::with_capacity(inst.class_jobs(i).len());
+                for &j in inst.class_jobs(i) {
+                    let tj = Rational::from(inst.job(j).time);
+                    let t2 = if cs_set.contains(&j) {
+                        let t1 = half - s;
+                        let t2_obl = Rational::from(s) + tj - half;
+                        x * t1 + t2_obl
+                    } else {
+                        x * tj
+                    };
+                    pieces.push((j, t2));
+                    let rest = tj - t2;
+                    if rest.is_positive() {
+                        k_pieces.push(KPiece {
+                            class: i,
+                            job: j,
+                            len: rest,
+                        });
+                    }
+                }
+                cheap_batches.push(Batch {
+                    class: i,
+                    setup: s,
+                    pieces,
+                });
+            }
+        }
+        // Light-cheap classes without big jobs go entirely to the bottom.
+        for &i in &cls.ichp_minus {
+            if !istar_set.contains(&i) {
+                for &j in inst.class_jobs(i) {
+                    k_pieces.push(KPiece {
+                        class: i,
+                        job: j,
+                        len: Rational::from(inst.job(j).time),
+                    });
+                }
+            }
+        }
+    } else {
+        // ---- Case 3.b: everything I*chp fits outside; greedy split. ----
+        if t * m < l_pmtn {
+            return None;
+        }
+        for &(i, _) in &istar {
+            cheap_batches.push(Batch::full(inst, i));
+        }
+        let mut remaining = f_free - istar_full;
+        let mut split_done = false;
+        for &i in &cls.ichp_minus {
+            if istar_set.contains(&i) {
+                continue;
+            }
+            let s = inst.setup(i);
+            let need = Rational::from(s + inst.class_proc(i));
+            if !split_done && need <= remaining {
+                cheap_batches.push(Batch::full(inst, i));
+                remaining -= need;
+            } else if !split_done && remaining > Rational::from(s) {
+                // Split this class's jobs fractionally to land exactly.
+                split_done = true;
+                k_first_class = Some(i);
+                let mut budget = remaining - s;
+                let mut pieces = Vec::new();
+                for &j in inst.class_jobs(i) {
+                    let tj = Rational::from(inst.job(j).time);
+                    if budget.is_positive() {
+                        let take = tj.min(budget);
+                        pieces.push((j, take));
+                        budget -= take;
+                        if take < tj {
+                            k_pieces.push(KPiece {
+                                class: i,
+                                job: j,
+                                len: tj - take,
+                            });
+                        }
+                    } else {
+                        k_pieces.push(KPiece {
+                            class: i,
+                            job: j,
+                            len: tj,
+                        });
+                    }
+                }
+                cheap_batches.push(Batch {
+                    class: i,
+                    setup: s,
+                    pieces,
+                });
+                remaining = Rational::ZERO;
+            } else {
+                split_done = true;
+                for &j in inst.class_jobs(i) {
+                    k_pieces.push(KPiece {
+                        class: i,
+                        job: j,
+                        len: Rational::from(inst.job(j).time),
+                    });
+                }
+            }
+        }
+    }
+
+    Some(Plan {
+        cls,
+        counts,
+        cheap_batches,
+        k_pieces,
+        k_first_class,
+    })
+}
+
+/// The dual test of Theorem 5 (with `mode` selecting α′ or γ machine counts).
+#[must_use]
+pub fn accepts(inst: &Instance, t: Rational, mode: CountMode) -> bool {
+    prepare(inst, t, mode).is_some()
+}
+
+/// The general preemptive 3/2-dual: `None` = rejected (`T < OPT`),
+/// `Some(schedule)` is preemptive-feasible with makespan `<= 3T/2`.
+#[must_use]
+pub fn dual(inst: &Instance, t: Rational, mode: CountMode, trace: &mut Trace) -> Option<Schedule> {
+    let plan = prepare(inst, t, mode)?;
+    let m = inst.machines();
+    let half = t.half();
+    let quarter = half.half();
+    let l = plan.cls.iexp_zero.len();
+    let mut out = Schedule::new(m);
+
+    // Step 1: large machines — each I0exp batch starts at T/2 (Lemma 11).
+    for (u, &i) in plan.cls.iexp_zero.iter().enumerate() {
+        let s = Rational::from(inst.setup(i));
+        out.push_setup(u, half, s, i);
+        let mut at = half + s;
+        for &j in inst.class_jobs(i) {
+            let len = Rational::from(inst.job(j).time);
+            out.push_piece(u, at, len, j, i);
+            at += len;
+        }
+        debug_assert!(at <= t * Rational::new(3, 2));
+    }
+    trace.snap("step 1: large machines", &out);
+
+    // Split K into big (K+) and small (K−) pieces.
+    let mut kplus: Vec<&KPiece> = Vec::new();
+    let mut kminus: Vec<&KPiece> = Vec::new();
+    for p in &plan.k_pieces {
+        if p.len > quarter {
+            kplus.push(p);
+        } else {
+            kminus.push(p);
+        }
+    }
+    // Not enough large-machine room is excluded by Theorem 5 when the tests
+    // pass; treat it defensively as a rejection.
+    if kplus.len() > l || (l == 0 && !plan.k_pieces.is_empty()) {
+        return None;
+    }
+
+    // K+ : one piece at the bottom of each of the first l' large machines.
+    let l_prime = kplus.len();
+    for (u, p) in kplus.iter().enumerate() {
+        let s = Rational::from(inst.setup(p.class));
+        debug_assert!(s + p.len <= half, "Note 3: s + t <= T/2");
+        out.push_setup(u, Rational::ZERO, s, p.class);
+        out.push_piece(u, s, p.len, p.job, p.class);
+    }
+
+    // K− : wrapped over the remaining large machines below T/2.
+    if !kminus.is_empty() {
+        if l_prime >= l {
+            return None;
+        }
+        // Group by class, split-item class first (its setup leads the wrap).
+        kminus.sort_by_key(|p| {
+            (
+                (Some(p.class) != plan.k_first_class) as u8,
+                p.class,
+                p.job,
+            )
+        });
+        let mut q = WrapSequence::new();
+        let mut current: Option<ClassId> = None;
+        for p in kminus {
+            if current != Some(p.class) {
+                q.push_setup(p.class, Rational::from(inst.setup(p.class)));
+                current = Some(p.class);
+            }
+            q.push_piece(p.class, p.job, p.len);
+        }
+        let mut runs = vec![GapRun::single(l_prime, Rational::ZERO, half)];
+        if l - l_prime > 1 {
+            runs.push(GapRun {
+                first_machine: l_prime + 1,
+                count: l - l_prime - 1,
+                a: quarter,
+                b: half,
+            });
+        }
+        let template = Template::new(runs);
+        let placed = wrap(&q, &template, inst.setups(), m).ok()?;
+        out.absorb(placed.expand());
+    }
+    trace.snap("step 2: bottom of large machines (K)", &out);
+
+    // Step 3: the nice residual instance on machines [l, m).
+    let parts = NiceParts {
+        plus: plan
+            .cls
+            .iexp_plus
+            .iter()
+            .zip(&plan.counts)
+            .map(|(&i, &a)| (Batch::full(inst, i), a))
+            .collect(),
+        minus: plan
+            .cls
+            .iexp_minus
+            .iter()
+            .map(|&i| Batch::full(inst, i))
+            .collect(),
+        cheap: plan.cheap_batches.clone(),
+    };
+    build_nice(inst, t, mode, &parts, l, m - l, &mut out).ok()?;
+    trace.snap("step 3: nice residual instance", &out);
+
+    debug_assert!(
+        out.makespan() <= t * Rational::new(3, 2),
+        "makespan {} > 3T/2 at T={t}",
+        out.makespan()
+    );
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use bss_instance::{InstanceBuilder, Variant};
+    use bss_schedule::validate;
+
+    use super::super::nice::tmin;
+    use super::*;
+
+    fn check_at(inst: &Instance, t: Rational, mode: CountMode) -> bool {
+        match dual(inst, t, mode, &mut Trace::disabled()) {
+            None => false,
+            Some(s) => {
+                let v = validate(&s, inst, Variant::Preemptive);
+                assert!(v.is_empty(), "mode {mode:?}, T={t}: {v:?}");
+                assert!(
+                    s.makespan() <= t * Rational::new(3, 2),
+                    "mode {mode:?}, T={t}: makespan {}",
+                    s.makespan()
+                );
+                true
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_at_twice_tmin() {
+        for seed in 0..25 {
+            let inst = bss_gen::uniform(60, 8, 4, seed);
+            let t2 = tmin(&inst) * 2u64;
+            assert!(
+                check_at(&inst, t2, CountMode::AlphaPrime),
+                "2·Tmin must be accepted (seed {seed})"
+            );
+            assert!(check_at(&inst, t2, CountMode::Gamma), "gamma (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn paper_fig3_instance_with_trace() {
+        let inst = bss_gen::paper::fig3_general_preemptive();
+        let t2 = tmin(&inst) * 2u64;
+        let mut trace = Trace::enabled();
+        if let Some(s) = dual(&inst, t2, CountMode::AlphaPrime, &mut trace) {
+            assert!(validate(&s, &inst, Variant::Preemptive).is_empty());
+            assert_eq!(trace.steps().len(), 3);
+        }
+    }
+
+    /// Sweep guesses that force I0exp non-empty and the knapsack branch.
+    #[test]
+    fn knapsack_branch_instances() {
+        let inst = bss_gen::paper::fig3_general_preemptive();
+        let lo = tmin(&inst);
+        for k in 20..=40i128 {
+            let t = lo * Rational::new(k, 20);
+            check_at(&inst, t, CountMode::AlphaPrime);
+            check_at(&inst, t, CountMode::Gamma);
+        }
+    }
+
+    #[test]
+    fn expensive_heavy_instances() {
+        for seed in 0..15 {
+            let inst = bss_gen::expensive_setups(40, 5, seed);
+            let lo = tmin(&inst);
+            for k in [20i128, 26, 33, 40] {
+                let t = lo * Rational::new(k, 20);
+                check_at(&inst, t, CountMode::AlphaPrime);
+                check_at(&inst, t, CountMode::Gamma);
+            }
+        }
+    }
+
+    #[test]
+    fn single_job_batches_sweep() {
+        for seed in 0..10 {
+            let inst = bss_gen::single_job_batches(30, 4, seed);
+            let lo = tmin(&inst);
+            for k in [20i128, 30, 40] {
+                let t = lo * Rational::new(k, 20);
+                check_at(&inst, t, CountMode::AlphaPrime);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_dense_sweep_validates() {
+        for seed in 0..15 {
+            let inst = bss_gen::uniform(50, 10, 5, seed);
+            let lo = tmin(&inst);
+            for k in 20..=40i128 {
+                let t = lo * Rational::new(k, 20);
+                check_at(&inst, t, CountMode::AlphaPrime);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_below_trivial_bound() {
+        let mut b = InstanceBuilder::new(2);
+        b.add_batch(10, &[25]);
+        let inst = b.build().unwrap();
+        assert!(!accepts(&inst, Rational::from(34u64), CountMode::AlphaPrime));
+    }
+
+    #[test]
+    fn single_machine_instance() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_batch(3, &[4, 2]);
+        b.add_batch(2, &[5]);
+        let inst = b.build().unwrap();
+        // N = 16; at T = 16 the single machine holds everything.
+        assert!(check_at(&inst, Rational::from(16u64), CountMode::AlphaPrime));
+    }
+}

@@ -1,0 +1,17 @@
+//! The preemptive variant `P|pmtn,setup=s_i|Cmax` — the paper's main result.
+//!
+//! * [`nice_dual`]: Theorem 4 — 3/2-dual approximation for *nice* instances
+//!   (`I⁰_exp = ∅`).
+//! * [`dual`] / [`accepts`]: Theorem 5 / Algorithm 3 — the general 3/2-dual
+//!   with large machines and the continuous-knapsack placement decision.
+//! * [`class_jumping`]: Theorem 6 / Algorithm 4 — the full 3/2-approximation
+//!   in `O(n log(c+m)) ⊆ O(n log n)`, improving on the previous best ratio of
+//!   `2 − 1/(⌊m/2⌋+1)` (Monma & Potts 1993).
+
+mod dual;
+mod jumping;
+mod nice;
+
+pub use dual::{accepts, dual};
+pub use jumping::class_jumping;
+pub use nice::{is_nice, nice_dual, CountMode};

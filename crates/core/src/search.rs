@@ -1,0 +1,267 @@
+//! Generic search drivers over dual approximation tests.
+//!
+//! A ρ-dual approximation algorithm (Hochbaum–Shmoys) takes a guess `T` and
+//! either *rejects* it — certifying `T < OPT` — or builds a schedule of
+//! makespan at most `ρT`. The paper turns its 3/2-dual algorithms into full
+//! approximations three ways:
+//!
+//! * [`epsilon_search`]: plain binary search on `[T_min, 2·T_min]` down to a
+//!   relative gap `ε` — Theorem 2's `(3/2+ε)`-approximation in `O(n log 1/ε)`;
+//! * [`integer_search`]: for the non-preemptive variant `OPT` is integral, so
+//!   an exact integer binary search yields a true 3/2-approximation in
+//!   `⌈log(T_min)⌉` probes — Theorem 8;
+//! * Class Jumping (in the per-variant modules) replaces the geometric search
+//!   with a jump-structure search for the splittable and preemptive variants.
+
+use bss_rational::Rational;
+
+/// Outcome of a dual-approximation search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome<S> {
+    /// The accepted guess; the schedule's makespan is at most `ρ ·
+    /// accepted`.
+    pub accepted: Rational,
+    /// The schedule built at `accepted`.
+    pub schedule: S,
+    /// The largest guess the dual test rejected, if any — a certificate that
+    /// `OPT > rejected`.
+    pub rejected: Option<Rational>,
+    /// Number of dual-test probes performed (for the running-time studies).
+    pub probes: usize,
+}
+
+/// Binary search on `[t_min, 2 t_min]` until the bracket is narrower than
+/// `eps * t_min` (Theorem 2).
+///
+/// `run` is the dual algorithm: `None` = rejected (`T < OPT`), `Some` =
+/// schedule with makespan `<= ρT`. Preconditions: `t_min <= OPT` and `run(2
+/// t_min)` accepts (both hold for the paper's `T_min`, by Theorem 1).
+///
+/// The returned `accepted` satisfies `accepted < (1 + eps) · OPT`, so the
+/// schedule is a `ρ(1+ε)`-approximation.
+pub fn epsilon_search<S>(
+    t_min: Rational,
+    eps: Rational,
+    mut run: impl FnMut(Rational) -> Option<S>,
+) -> SearchOutcome<S> {
+    assert!(t_min.is_positive() && eps.is_positive());
+    let mut probes = 1;
+    if let Some(schedule) = run(t_min) {
+        // T_min <= OPT, so this is even a clean ρ-approximation.
+        return SearchOutcome {
+            accepted: t_min,
+            schedule,
+            rejected: None,
+            probes,
+        };
+    }
+    let mut lo = t_min; // rejected
+    let mut hi = t_min * 2u64; // accepted by precondition
+    probes += 1;
+    let mut best = run(hi).expect("2*T_min >= OPT must be accepted (Theorem 1)");
+    let gap = eps * t_min;
+    while hi - lo > gap {
+        let mid = (lo + hi).half();
+        probes += 1;
+        match run(mid) {
+            Some(s) => {
+                best = s;
+                hi = mid;
+            }
+            None => lo = mid,
+        }
+    }
+    SearchOutcome {
+        accepted: hi,
+        schedule: best,
+        rejected: Some(lo),
+        probes,
+    }
+}
+
+/// Exact binary search over integral makespans in `[t_lo, t_hi]` (Theorem 8).
+///
+/// Preconditions: `OPT` is an integer with `t_lo <= OPT`, and `run(t_hi)`
+/// accepts. Maintains the invariant "`lo` rejected ⇒ `OPT >= lo + 1`", so the
+/// returned `accepted` is `<= OPT` and the schedule a clean ρ-approximation.
+pub fn integer_search<S>(
+    t_lo: u64,
+    t_hi: u64,
+    mut run: impl FnMut(u64) -> Option<S>,
+) -> SearchOutcome<S> {
+    assert!(t_lo <= t_hi);
+    let mut probes = 1;
+    if let Some(schedule) = run(t_lo) {
+        return SearchOutcome {
+            accepted: Rational::from(t_lo),
+            schedule,
+            rejected: None,
+            probes,
+        };
+    }
+    let mut lo = t_lo; // rejected
+    let mut hi = t_hi;
+    probes += 1;
+    let mut best = run(hi).expect("upper bound must be accepted");
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        match run(mid) {
+            Some(s) => {
+                best = s;
+                hi = mid;
+            }
+            None => lo = mid,
+        }
+    }
+    SearchOutcome {
+        accepted: Rational::from(hi),
+        schedule: best,
+        rejected: Some(Rational::from(lo)),
+        probes,
+    }
+}
+
+/// Narrows a right interval `(lo, hi]` (`lo` rejected, `hi` accepted) over a
+/// *sorted* list of candidate guesses strictly inside `(lo, hi)`, probing
+/// with binary search. Returns the narrowed `(lo, hi)` bracket with no
+/// candidate strictly inside, plus the number of probes.
+///
+/// Used by the Class-Jumping searches, where candidates are partition
+/// boundaries or class jumps.
+pub fn refine_right_interval(
+    mut lo: Rational,
+    mut hi: Rational,
+    candidates: &[Rational],
+    mut accepts: impl FnMut(Rational) -> bool,
+) -> (Rational, Rational, usize) {
+    debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+    // Candidates strictly inside (lo, hi).
+    let begin = candidates.partition_point(|c| *c <= lo);
+    let end = candidates.partition_point(|c| *c < hi);
+    if begin >= end {
+        return (lo, hi, 0);
+    }
+    let cands = &candidates[begin..end];
+    let mut probes = 0;
+    // Find the leftmost accepted candidate, exploiting that everything left
+    // of a rejected candidate stays bracketed by `lo`.
+    let mut l = 0usize; // cands[..l] rejected region boundary
+    let mut r = cands.len(); // cands[r..] accepted region boundary
+    let mut leftmost_accept: Option<usize> = None;
+    while l < r {
+        let mid = l + (r - l) / 2;
+        probes += 1;
+        if accepts(cands[mid]) {
+            leftmost_accept = Some(mid);
+            r = mid;
+        } else {
+            l = mid + 1;
+        }
+    }
+    match leftmost_accept {
+        Some(idx) => {
+            if idx > 0 {
+                lo = cands[idx - 1];
+            }
+            hi = cands[idx];
+        }
+        None => {
+            // All candidates rejected; the bracket shrinks from the left.
+            lo = *cands.last().expect("non-empty");
+        }
+    }
+    (lo, hi, probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i128) -> Rational {
+        Rational::from_int(v)
+    }
+
+    /// A fake dual: accepts exactly T >= threshold, returns T as "schedule".
+    fn fake(threshold: Rational) -> impl FnMut(Rational) -> Option<Rational> {
+        move |t| if t >= threshold { Some(t) } else { None }
+    }
+
+    #[test]
+    fn epsilon_search_converges() {
+        // OPT = 137, T_min = 100.
+        let out = epsilon_search(r(100), Rational::new(1, 100), fake(r(137)));
+        assert!(out.accepted >= r(137));
+        assert!(out.accepted <= r(138)); // within eps * t_min = 1
+        assert!(out.rejected.unwrap() < r(137));
+        assert!(out.probes <= 12);
+    }
+
+    #[test]
+    fn epsilon_search_immediate_accept() {
+        let out = epsilon_search(r(100), Rational::new(1, 10), fake(r(50)));
+        assert_eq!(out.accepted, r(100));
+        assert_eq!(out.rejected, None);
+        assert_eq!(out.probes, 1);
+    }
+
+    #[test]
+    fn epsilon_probe_count_scales_with_log_inv_eps() {
+        let coarse = epsilon_search(r(1000), Rational::new(1, 4), fake(r(1999)));
+        let fine = epsilon_search(r(1000), Rational::new(1, 4096), fake(r(1999)));
+        assert!(coarse.probes < fine.probes);
+        assert!(fine.probes <= 16);
+    }
+
+    #[test]
+    fn integer_search_is_exact() {
+        let threshold = 137u64;
+        let out = integer_search(100, 200, |t| {
+            if t >= threshold {
+                Some(t)
+            } else {
+                None
+            }
+        });
+        assert_eq!(out.accepted, r(137));
+        assert_eq!(out.rejected, Some(r(136)));
+    }
+
+    #[test]
+    fn integer_search_immediate() {
+        let out = integer_search(100, 200, Some);
+        assert_eq!(out.accepted, r(100));
+        assert_eq!(out.rejected, None);
+    }
+
+    #[test]
+    fn refine_narrows_to_candidate_free_bracket() {
+        let threshold = r(57);
+        let cands = vec![r(20), r(40), r(60), r(80)];
+        let accepts = |t: Rational| t >= threshold;
+        let (lo, hi, _probes) = refine_right_interval(r(10), r(100), &cands, accepts);
+        // No candidate strictly inside (lo, hi); bracket still brackets 57.
+        assert_eq!((lo, hi), (r(40), r(60)));
+    }
+
+    #[test]
+    fn refine_all_rejected() {
+        let cands = vec![r(20), r(40)];
+        let (lo, hi, _) = refine_right_interval(r(10), r(100), &cands, |t| t >= r(99));
+        assert_eq!((lo, hi), (r(40), r(100)));
+    }
+
+    #[test]
+    fn refine_all_accepted() {
+        let cands = vec![r(20), r(40)];
+        let (lo, hi, _) = refine_right_interval(r(10), r(100), &cands, |t| t >= r(15));
+        assert_eq!((lo, hi), (r(10), r(20)));
+    }
+
+    #[test]
+    fn refine_ignores_outside_candidates() {
+        let cands = vec![r(5), r(10), r(50), r(100), r(120)];
+        let (lo, hi, _) = refine_right_interval(r(10), r(100), &cands, |t| t >= r(60));
+        assert_eq!((lo, hi), (r(50), r(100)));
+    }
+}

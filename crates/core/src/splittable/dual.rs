@@ -1,0 +1,292 @@
+//! The splittable 3/2-dual approximation (Theorem 7, Appendix C).
+//!
+//! Accept/reject test: with `β_i = ⌈2 P(C_i)/T⌉`,
+//! `L_split = P(J) + Σ_chp s_i + Σ_exp β_i s_i` and `m_exp = Σ_exp β_i`,
+//! reject iff `m·T < L_split` or `m < m_exp` (then `T < OPT`).
+//!
+//! Build: each expensive class is wrapped over `β_i` machines with gaps of
+//! job capacity `T/2` above its setups; the cheap classes are wrapped between
+//! `T/2` and `3T/2` over the partially-filled last machines (with `T/2`
+//! reserved for one cheap setup) and the remaining empty machines — Figure 1.
+
+use bss_instance::Instance;
+use bss_rational::Rational;
+use bss_schedule::CompactSchedule;
+use bss_wrap::{wrap, GapRun, Template, WrapSequence};
+
+use crate::classify::{beta, classify};
+use crate::Trace;
+
+/// The `O(c)` dual test of Theorem 7: `true` iff `T` is accepted.
+#[must_use]
+pub fn accepts(inst: &Instance, t: Rational) -> bool {
+    // OPT > s_max always, so any T < s_max is rejected. (T = s_max may be
+    // accepted: the build keeps every machine within 3T/2 whenever
+    // s_i <= T, which the searches' probe points guarantee.)
+    if t < Rational::from(inst.smax()) {
+        return false;
+    }
+    let cls = classify(inst, t);
+    let mut l_split = Rational::from(inst.total_proc());
+    let mut m_exp = 0usize;
+    for i in cls.iexp() {
+        let b = beta(inst, t, i);
+        m_exp += b;
+        l_split += Rational::from(inst.setup(i) * b as u64);
+    }
+    for i in cls.ichp() {
+        l_split += Rational::from(inst.setup(i));
+    }
+    m_exp <= inst.machines() && t * inst.machines() >= l_split
+}
+
+/// The 3/2-dual builder: `None` = rejected (`T < OPT`), `Some(schedule)` has
+/// makespan `<= 3T/2`. Runs in `O(n)` and emits a compact schedule with
+/// `O(n + c)` stored items.
+#[must_use]
+pub fn dual(inst: &Instance, t: Rational) -> Option<CompactSchedule> {
+    dual_traced(inst, t, &mut Trace::disabled())
+}
+
+/// [`dual`] with step snapshots (Figure 1(a) after step 1, Figure 1(b) after
+/// step 2). Tracing expands the compact schedule, so only use it for
+/// rendering.
+#[must_use]
+pub fn dual_traced(
+    inst: &Instance,
+    t: Rational,
+    trace: &mut Trace,
+) -> Option<CompactSchedule> {
+    if !accepts(inst, t) {
+        return None;
+    }
+    let m = inst.machines();
+    let half = t.half();
+    let cls = classify(inst, t);
+    let mut out = CompactSchedule::new(m);
+
+    // Step 1: expensive classes, β_i machines each, gaps of job capacity T/2
+    // above the setups.
+    let mut next_machine = 0usize;
+    // (machine, load) of each class's last machine with load < T.
+    let mut partial: Vec<(usize, Rational)> = Vec::new();
+    for i in cls.iexp() {
+        let s = Rational::from(inst.setup(i));
+        let b = beta(inst, t, i);
+        let p = Rational::from(inst.class_proc(i));
+        let mut runs = vec![GapRun::single(next_machine, Rational::ZERO, s + half)];
+        if b > 1 {
+            runs.push(GapRun {
+                first_machine: next_machine + 1,
+                count: b - 1,
+                a: s,
+                b: s + half,
+            });
+        }
+        let template = Template::new(runs);
+        let mut q = WrapSequence::new();
+        q.push_batch(
+            i,
+            s,
+            inst.class_jobs(i)
+                .iter()
+                .map(|&j| (j, Rational::from(inst.job(j).time))),
+        );
+        let part = wrap(&q, &template, inst.setups(), m)
+            .expect("Theorem 7: expensive template capacity suffices");
+        for g in part.groups() {
+            out.push_group(g.first_machine, g.count, g.config.clone());
+        }
+        // Load of the last machine: s_i + (P_i - (β_i - 1)·T/2).
+        let last_load = s + (p - half * (b - 1) as u64);
+        let last_machine = next_machine + b - 1;
+        if last_load < t {
+            partial.push((last_machine, last_load));
+        }
+        next_machine += b;
+    }
+    if trace.is_enabled() {
+        trace.snap("step 1: expensive classes", &out.expand());
+    }
+
+    // Step 2: cheap classes between T/2 and 3T/2, over the partial machines
+    // (reserving T/2 for one cheap setup) and the empty machines.
+    let cheap: Vec<usize> = cls.ichp();
+    if !cheap.is_empty() {
+        let mut runs: Vec<GapRun> = partial
+            .iter()
+            .map(|&(u, load)| GapRun::single(u, load + half, t + half))
+            .collect();
+        if next_machine < m {
+            runs.push(GapRun {
+                first_machine: next_machine,
+                count: m - next_machine,
+                a: half,
+                b: t + half,
+            });
+        }
+        if runs.is_empty() {
+            // All machines exactly full of expensive load but cheap load
+            // remains: impossible under the accept test.
+            return None;
+        }
+        let template = Template::new(runs);
+        let mut q = WrapSequence::new();
+        for i in cheap {
+            q.push_batch(
+                i,
+                Rational::from(inst.setup(i)),
+                inst.class_jobs(i)
+                    .iter()
+                    .map(|&j| (j, Rational::from(inst.job(j).time))),
+            );
+        }
+        let part = wrap(&q, &template, inst.setups(), m)
+            .expect("Theorem 7: cheap template capacity suffices");
+        for g in part.groups() {
+            out.push_group(g.first_machine, g.count, g.config.clone());
+        }
+    }
+    if trace.is_enabled() {
+        trace.snap("step 2: cheap classes wrapped", &out.expand());
+    }
+    debug_assert!(out.makespan() <= t + half);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use bss_instance::{InstanceBuilder, LowerBounds, Variant};
+    use bss_schedule::validate;
+
+    use super::*;
+
+    fn r(v: i128) -> Rational {
+        Rational::from_int(v)
+    }
+
+    fn check_at(inst: &Instance, t: Rational) -> bool {
+        match dual(inst, t) {
+            None => false,
+            Some(cs) => {
+                let s = cs.expand();
+                let v = validate(&s, inst, Variant::Splittable);
+                assert!(v.is_empty(), "T={t}: {v:?}");
+                assert!(
+                    s.makespan() <= t * Rational::new(3, 2),
+                    "T={t}: makespan {} > 3T/2",
+                    s.makespan()
+                );
+                true
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_at_twice_tmin_always() {
+        for seed in 0..20 {
+            let inst = bss_gen::uniform(50, 6, 4, seed);
+            let t2 = LowerBounds::of(&inst).tmin(Variant::Splittable) * 2u64;
+            assert!(check_at(&inst, t2), "2*Tmin must be accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_below_smax() {
+        let mut b = InstanceBuilder::new(4);
+        b.add_batch(100, &[1]);
+        b.add_batch(1, &[1]);
+        let inst = b.build().unwrap();
+        assert!(!accepts(&inst, r(99)));
+        assert!(!accepts(&inst, r(50)));
+        // T = s_max itself may be accepted (and the build is 3T/2-feasible).
+        assert!(check_at(&inst, r(100)));
+    }
+
+    #[test]
+    fn acceptance_is_monotone() {
+        for seed in 0..20 {
+            let inst = bss_gen::uniform(40, 8, 3, seed);
+            let tmin = LowerBounds::of(&inst).tmin(Variant::Splittable);
+            let mut last = false;
+            for k in 0..=20u64 {
+                // Sweep T from Tmin/2 to ~2.5 Tmin.
+                let t = tmin * Rational::new(10 + 4 * k as i128, 20);
+                let now = accepts(&inst, t);
+                assert!(!last || now, "acceptance not monotone at seed {seed}");
+                last = now;
+            }
+        }
+    }
+
+    #[test]
+    fn expensive_only_instance() {
+        let mut b = InstanceBuilder::new(6);
+        b.add_batch(60, &[50, 50, 50]); // huge expensive class
+        b.add_batch(70, &[30]);
+        let inst = b.build().unwrap();
+        let t2 = LowerBounds::of(&inst).tmin(Variant::Splittable) * 2u64;
+        assert!(check_at(&inst, t2));
+    }
+
+    #[test]
+    fn cheap_only_instance() {
+        let mut b = InstanceBuilder::new(3);
+        b.add_batch(2, &[5, 5, 5, 5]);
+        b.add_batch(3, &[7, 7]);
+        let inst = b.build().unwrap();
+        let t2 = LowerBounds::of(&inst).tmin(Variant::Splittable) * 2u64;
+        assert!(check_at(&inst, t2));
+    }
+
+    #[test]
+    fn single_machine() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_batch(5, &[3, 3]);
+        b.add_batch(2, &[4]);
+        let inst = b.build().unwrap();
+        // N = 17; at T = 17 everything fits on one machine.
+        assert!(check_at(&inst, r(17)));
+    }
+
+    #[test]
+    fn paper_figure1_instance() {
+        let inst = bss_gen::paper::fig1_splittable();
+        let lb = LowerBounds::of(&inst);
+        let t2 = lb.tmin(Variant::Splittable) * 2u64;
+        assert!(check_at(&inst, t2));
+    }
+
+    #[test]
+    fn randomized_accept_and_validate() {
+        for seed in 0..25 {
+            let inst = bss_gen::uniform(80, 10, 5, seed);
+            let tmin = LowerBounds::of(&inst).tmin(Variant::Splittable);
+            for num in [21i128, 25, 30, 40] {
+                let t = tmin * Rational::new(num, 20);
+                check_at(&inst, t); // validates whenever accepted
+            }
+        }
+        for seed in 0..10 {
+            let inst = bss_gen::expensive_setups(40, 6, seed);
+            let tmin = LowerBounds::of(&inst).tmin(Variant::Splittable);
+            check_at(&inst, tmin * 2u64);
+        }
+    }
+
+    /// Compact output must stay near-linear in n + c, not m.
+    #[test]
+    fn compact_output_size_independent_of_m() {
+        let mut b = InstanceBuilder::new(5000);
+        b.add_batch(10, &[100_000]); // one giant splittable job
+        b.add_batch(1, &[5, 5]);
+        let inst = b.build().unwrap();
+        let t2 = LowerBounds::of(&inst).tmin(Variant::Splittable) * 2u64;
+        let cs = dual(&inst, t2).expect("accepted");
+        assert!(
+            cs.stored_items() < 100,
+            "stored items {} should not scale with m",
+            cs.stored_items()
+        );
+    }
+}

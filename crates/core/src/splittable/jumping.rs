@@ -1,0 +1,304 @@
+//! Class Jumping for the splittable variant (Algorithm 1, Theorem 3).
+//!
+//! A *jump* of an expensive class `i` is a guess `T = 2P_i/z` (`z ∈ N`):
+//! below it, scheduling `C_i` needs one more machine. The search maintains a
+//! right interval `(T_fail, T_ok]` (`T_fail` rejected, `T_ok` accepted) and
+//! narrows it with binary searches until no jump of any class lies strictly
+//! inside; there the load function `L_split` is constant, so either `T_ok` or
+//! the fixed point `L_split/m` is the smallest acceptable guess — and both
+//! are `<= OPT` (Section 3.4). Total work: `O(n + c log(c+m))` — `O(n)` once
+//! for the aggregates, `O(c)` per probe, `O(log(c+m))` probes.
+
+use bss_instance::{Instance, LowerBounds, Variant};
+use bss_rational::Rational;
+use bss_schedule::CompactSchedule;
+
+use crate::classify::{beta, classify};
+use crate::search::{refine_right_interval, SearchOutcome};
+
+use super::{accepts, dual};
+
+/// Runs Class Jumping; returns the accepted guess (`<= OPT`), the compact
+/// schedule built there (makespan `<= 3/2 · accepted`) and the rejection
+/// certificate.
+#[must_use]
+pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
+    let probes = std::cell::Cell::new(0usize);
+    let mut probe = |t: Rational| {
+        probes.set(probes.get() + 1);
+        accepts(inst, t)
+    };
+
+    let t_min = LowerBounds::of(inst).tmin(Variant::Splittable);
+    if probe(t_min) {
+        let schedule = dual(inst, t_min).expect("probe accepted");
+        return SearchOutcome {
+            accepted: t_min,
+            schedule,
+            rejected: None,
+            probes: probes.get(),
+        };
+    }
+    let mut lo = t_min; // rejected
+    let mut hi = t_min * 2u64; // accepted (Theorem 1: OPT <= 2 T_min)
+    debug_assert!(probe(hi));
+
+    // Step 4: pin the expensive/cheap partition — no boundary 2·s̃_i strictly
+    // inside (lo, hi).
+    let mut boundaries: Vec<Rational> = inst
+        .setups()
+        .iter()
+        .map(|&s| Rational::from(2 * s))
+        .collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    let (l2, h2, p) = refine_right_interval(lo, hi, &boundaries, &mut probe);
+    lo = l2;
+    hi = h2;
+    probes.set(probes.get() + p);
+
+    // The partition is now constant on the open interval; evaluate it at the
+    // midpoint.
+    let mid = (lo + hi).half();
+    let iexp = classify(inst, mid).iexp();
+
+    let chosen = if iexp.is_empty() {
+        // No expensive classes: L_split is constant on the interval.
+        let l_const = Rational::from(inst.total_load_once());
+        finishing_move(inst, lo, hi, 0, l_const, &mut probe)
+    } else {
+        // Step 5: fastest jumping class f (largest P_f).
+        let f = *iexp
+            .iter()
+            .max_by_key(|&&i| inst.class_proc(i))
+            .expect("non-empty");
+        let pf2 = Rational::from(2 * inst.class_proc(f));
+
+        // Step 6: narrow to a single jump gap of f. Jumps of f inside
+        // (lo, hi) are 2P_f/z for z in (2P_f/hi, 2P_f/lo).
+        let z_lo = (pf2 / hi).floor() + 1; // smallest z with 2P_f/z < hi
+        let z_hi = {
+            let c = pf2 / lo;
+            if c.is_integer() {
+                c.floor() - 1
+            } else {
+                c.floor()
+            }
+        }; // largest z with 2P_f/z > lo
+        if z_lo <= z_hi {
+            let jumps: Vec<Rational> = if z_hi - z_lo <= 64 {
+                // Few jumps: enumerate directly.
+                (z_lo..=z_hi).rev().map(|z| pf2 / z).collect()
+            } else {
+                // Many jumps: binary search over z (monotone acceptance in T).
+                let mut a = z_lo; // T_{z_lo} largest
+                let mut b = z_hi;
+                // Find largest z whose jump is accepted.
+                let mut best: Option<i128> = None;
+                while a <= b {
+                    let zm = a + (b - a) / 2;
+                    if probe(pf2 / zm) {
+                        best = Some(zm);
+                        a = zm + 1;
+                    } else {
+                        b = zm - 1;
+                    }
+                }
+                match best {
+                    Some(z) => {
+                        hi = pf2 / z;
+                        if z < z_hi {
+                            lo = pf2 / (z + 1);
+                        }
+                    }
+                    None => lo = pf2 / z_lo,
+                }
+                Vec::new()
+            };
+            if !jumps.is_empty() {
+                let (l3, h3, p) = refine_right_interval(lo, hi, &jumps, &mut probe);
+                lo = l3;
+                hi = h3;
+                probes.set(probes.get() + p);
+            }
+        }
+
+        // Step 7+8: inside one f-gap each class jumps at most once (Lemma 3).
+        let mut other_jumps: Vec<Rational> = Vec::with_capacity(iexp.len());
+        for &i in &iexp {
+            let z = beta(inst, hi, i); // β_i at the right end
+            let cand = Rational::from(2 * inst.class_proc(i)) / z as u64;
+            if lo < cand && cand < hi {
+                other_jumps.push(cand);
+            }
+        }
+        other_jumps.sort();
+        other_jumps.dedup();
+        let (l4, h4, p) = refine_right_interval(lo, hi, &other_jumps, &mut probe);
+        lo = l4;
+        hi = h4;
+        probes.set(probes.get() + p);
+
+        // Step 9: the load is constant on the open interval (lo, hi).
+        let m2 = (lo + hi).half();
+        let cls = classify(inst, m2);
+        let mut m_exp = 0usize;
+        let mut l_open = Rational::from(inst.total_proc());
+        for i in cls.iexp() {
+            let b = beta(inst, m2, i);
+            m_exp += b;
+            l_open += Rational::from(inst.setup(i) * b as u64);
+        }
+        for i in cls.ichp() {
+            l_open += Rational::from(inst.setup(i));
+        }
+        finishing_move(inst, lo, hi, m_exp, l_open, &mut probe)
+    };
+
+    let schedule = dual(inst, chosen).expect("chosen guess must be accepted");
+    SearchOutcome {
+        accepted: chosen,
+        schedule,
+        rejected: Some(lo),
+        probes: probes.get(),
+    }
+}
+
+/// The final case analysis of Algorithm 1, step 9: on a jump-free right
+/// interval with open-interval machine demand `m_exp` and load `l_open`,
+/// return the smallest certified-acceptable guess.
+fn finishing_move(
+    inst: &Instance,
+    lo: Rational,
+    hi: Rational,
+    m_exp: usize,
+    l_open: Rational,
+    probe: &mut impl FnMut(Rational) -> bool,
+) -> Rational {
+    if inst.machines() < m_exp {
+        // The whole open interval is machine-infeasible: OPT >= hi.
+        return hi;
+    }
+    let t_new = l_open / inst.machines();
+    if t_new >= hi {
+        // Everything below hi is load-infeasible: OPT >= hi.
+        return hi;
+    }
+    if t_new > lo && probe(t_new) {
+        t_new
+    } else {
+        // Defensive: fall back to the known-accepted right end.
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bss_instance::{InstanceBuilder, Variant};
+    use bss_schedule::validate;
+
+    use super::*;
+
+    fn check(inst: &Instance) -> (Rational, Rational) {
+        let out = class_jumping(inst);
+        let s = out.schedule.expand();
+        let v = validate(&s, inst, Variant::Splittable);
+        assert!(v.is_empty(), "{v:?}");
+        let makespan = s.makespan();
+        assert!(
+            makespan <= out.accepted * Rational::new(3, 2),
+            "makespan {makespan} > 3/2 * {}",
+            out.accepted
+        );
+        // The accepted guess is never below the instance lower bound…
+        let tmin = LowerBounds::of(inst).tmin(Variant::Splittable);
+        assert!(out.accepted >= tmin);
+        // …and never above the certified window.
+        assert!(out.accepted <= tmin * 2u64);
+        if let Some(rej) = out.rejected {
+            assert!(rej < out.accepted);
+        }
+        (out.accepted, makespan)
+    }
+
+    #[test]
+    fn paper_figure1_instance() {
+        let inst = bss_gen::paper::fig1_splittable();
+        check(&inst);
+    }
+
+    #[test]
+    fn uniform_suite() {
+        for seed in 0..30 {
+            let inst = bss_gen::uniform(60, 8, 4, seed);
+            check(&inst);
+        }
+    }
+
+    #[test]
+    fn expensive_suite() {
+        for seed in 0..15 {
+            let inst = bss_gen::expensive_setups(40, 5, seed);
+            check(&inst);
+        }
+    }
+
+    #[test]
+    fn single_job_batches() {
+        for seed in 0..10 {
+            let inst = bss_gen::single_job_batches(30, 4, seed);
+            check(&inst);
+        }
+    }
+
+    #[test]
+    fn small_batches_suite() {
+        for seed in 0..10 {
+            let inst = bss_gen::small_batches(50, 4, seed);
+            check(&inst);
+        }
+    }
+
+    #[test]
+    fn many_machines() {
+        for seed in 0..10 {
+            let inst = bss_gen::uniform(40, 6, 64, seed);
+            check(&inst);
+        }
+    }
+
+    #[test]
+    fn one_class_one_machine() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_batch(3, &[4]);
+        let inst = b.build().unwrap();
+        let (accepted, makespan) = check(&inst);
+        // OPT = setup + job = 7 = T_min; the guess is exact, the schedule is
+        // within the 3/2 guarantee (the dual reserves the [0, T/2) band).
+        assert_eq!(accepted, Rational::from(7u64));
+        assert!(makespan <= Rational::new(21, 2));
+    }
+
+    /// Cross-check: class jumping must never be worse than the ε-search on
+    /// the same dual, and its accepted guess must be ≤ every accepted guess
+    /// the ε-search finds.
+    #[test]
+    fn agrees_with_epsilon_search() {
+        use crate::search::epsilon_search;
+        for seed in 0..15 {
+            let inst = bss_gen::uniform(50, 7, 4, seed);
+            let tmin = LowerBounds::of(&inst).tmin(Variant::Splittable);
+            let eps = epsilon_search(tmin, Rational::new(1, 1 << 12), |t| dual(&inst, t));
+            let jump = class_jumping(&inst);
+            // Jumping's accepted value is exact-optimal for the dual, the
+            // ε-search's is within (1+ε); allow the ε slack.
+            let slack = Rational::new(4097, 4096);
+            assert!(
+                jump.accepted <= eps.accepted * slack,
+                "seed {seed}: jumping {} vs eps {}",
+                jump.accepted,
+                eps.accepted
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! The splittable variant `P|split,setup=s_i|Cmax`.
+//!
+//! * [`dual`]: the 3/2-dual approximation of Theorem 7 (Appendix C) — `O(n)`
+//!   per guess, compact output.
+//! * [`accepts`]: the `O(c)` accept/reject test of the same theorem, used by
+//!   the searches.
+//! * [`class_jumping`]: Algorithm 1 / Theorem 3 — the full 3/2-approximation
+//!   in `O(n + c log(c+m))`.
+
+mod dual;
+mod jumping;
+
+pub use dual::{accepts, dual, dual_traced};
+pub use jumping::class_jumping;

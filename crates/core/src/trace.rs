@@ -1,0 +1,74 @@
+//! Step-by-step instrumentation of the dual algorithms.
+//!
+//! The paper's figures show the schedule *after individual algorithm steps*
+//! (e.g. Figure 1(a) = splittable step 1, Figures 10–13 = non-preemptive
+//! steps 1–4). Builders accept a [`Trace`] and snapshot the partial schedule
+//! at each step boundary; a disabled trace is a no-op so the hot path pays a
+//! branch, not a clone.
+
+use bss_schedule::Schedule;
+
+/// Collects named schedule snapshots.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    steps: Vec<(String, Schedule)>,
+}
+
+impl Trace {
+    /// A trace that records snapshots.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            steps: Vec::new(),
+        }
+    }
+
+    /// A no-op trace (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// `true` if snapshots are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a snapshot (clones only when enabled).
+    pub fn snap(&mut self, label: impl Into<String>, schedule: &Schedule) {
+        if self.enabled {
+            self.steps.push((label.into(), schedule.clone()));
+        }
+    }
+
+    /// The recorded `(label, snapshot)` pairs.
+    #[must_use]
+    pub fn steps(&self) -> &[(String, Schedule)] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.snap("step", &Schedule::new(1));
+        assert!(t.steps().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.snap("a", &Schedule::new(1));
+        t.snap("b", &Schedule::new(2));
+        let labels: Vec<&str> = t.steps().iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Seeded workload generators.
+//!
+//! Provides the instance families used throughout the test suite and the
+//! benchmark harness, mirroring the regimes the literature distinguishes:
+//!
+//! * [`uniform`] — setups and jobs from uniform ranges, classes of random size;
+//! * [`small_batches`] — many light classes (`s_i + P(C_i)` well below `OPT`),
+//!   the regime of Monma–Potts and Chen;
+//! * [`single_job_batches`] — `|C_i| = 1`, the regime of Schuurman–Woeginger;
+//! * [`expensive_setups`] — few classes with setups dominating processing
+//!   time, exercising the `I_exp` machinery;
+//! * [`zipf_classes`] — heavy-tailed class sizes;
+//! * [`wide_delta`] — processing times spanning many orders of magnitude
+//!   (stress for the `O(n log(n + Δ))` non-preemptive search);
+//! * [`paper`] — handcrafted instances shaped like the paper's figures.
+//!
+//! All generators are deterministic in their seed.
+
+pub mod paper;
+
+use bss_instance::{Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the general-purpose generator [`generate`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Number of classes (must be `<= jobs`).
+    pub classes: usize,
+    /// Number of machines.
+    pub machines: usize,
+    /// Inclusive range of setup times.
+    pub setup_range: (u64, u64),
+    /// Inclusive range of job processing times.
+    pub job_range: (u64, u64),
+    /// How job counts are distributed over classes.
+    pub class_sizes: ClassSizes,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Distribution of jobs over classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClassSizes {
+    /// Every class receives `n/c` jobs (± 1).
+    Equal,
+    /// Each job picks a class uniformly at random.
+    Uniform,
+    /// Each job picks class `k` with probability `∝ (k+1)^-alpha`.
+    Zipf(f64),
+}
+
+/// Generates an instance according to `cfg`.
+///
+/// Every class is guaranteed at least one job (the first `c` jobs are dealt
+/// round-robin), so the result always satisfies the model invariants.
+///
+/// # Panics
+/// Panics if `cfg.classes == 0`, `cfg.classes > cfg.jobs`, or a range is
+/// empty/zero-based.
+#[must_use]
+pub fn generate(cfg: &GenConfig) -> Instance {
+    assert!(cfg.classes > 0 && cfg.classes <= cfg.jobs, "need 1 <= c <= n");
+    assert!(cfg.setup_range.0 >= 1 && cfg.setup_range.0 <= cfg.setup_range.1);
+    assert!(cfg.job_range.0 >= 1 && cfg.job_range.0 <= cfg.job_range.1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = InstanceBuilder::new(cfg.machines);
+    for _ in 0..cfg.classes {
+        b.add_class(rng.gen_range(cfg.setup_range.0..=cfg.setup_range.1));
+    }
+    // Zipf weights, if requested.
+    let zipf_cdf: Option<Vec<f64>> = match cfg.class_sizes {
+        ClassSizes::Zipf(alpha) => {
+            let mut acc = 0.0;
+            let mut cdf = Vec::with_capacity(cfg.classes);
+            for k in 0..cfg.classes {
+                acc += 1.0 / ((k + 1) as f64).powf(alpha);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for v in &mut cdf {
+                *v /= total;
+            }
+            Some(cdf)
+        }
+        _ => None,
+    };
+    for j in 0..cfg.jobs {
+        let class = if j < cfg.classes {
+            j // guarantee non-empty classes
+        } else {
+            match cfg.class_sizes {
+                ClassSizes::Equal => j % cfg.classes,
+                ClassSizes::Uniform => rng.gen_range(0..cfg.classes),
+                ClassSizes::Zipf(_) => {
+                    let u: f64 = rng.gen();
+                    let cdf = zipf_cdf.as_ref().expect("zipf cdf");
+                    cdf.partition_point(|&p| p < u).min(cfg.classes - 1)
+                }
+            }
+        };
+        b.add_job(class, rng.gen_range(cfg.job_range.0..=cfg.job_range.1));
+    }
+    b.build().expect("generator produces valid instances")
+}
+
+/// Uniform workload: the default random suite.
+#[must_use]
+pub fn uniform(jobs: usize, classes: usize, machines: usize, seed: u64) -> Instance {
+    generate(&GenConfig {
+        jobs,
+        classes,
+        machines,
+        setup_range: (1, 50),
+        job_range: (1, 100),
+        class_sizes: ClassSizes::Uniform,
+        seed,
+    })
+}
+
+/// Many light classes: small setups, small batches relative to `OPT`.
+#[must_use]
+pub fn small_batches(jobs: usize, machines: usize, seed: u64) -> Instance {
+    let classes = (jobs / 3).max(machines.max(2)).min(jobs);
+    generate(&GenConfig {
+        jobs,
+        classes,
+        machines,
+        setup_range: (1, 8),
+        job_range: (1, 20),
+        class_sizes: ClassSizes::Equal,
+        seed,
+    })
+}
+
+/// `|C_i| = 1`: one job per class (the Schuurman–Woeginger regime).
+#[must_use]
+pub fn single_job_batches(jobs: usize, machines: usize, seed: u64) -> Instance {
+    generate(&GenConfig {
+        jobs,
+        classes: jobs,
+        machines,
+        setup_range: (1, 50),
+        job_range: (1, 100),
+        class_sizes: ClassSizes::Equal,
+        seed,
+    })
+}
+
+/// Few classes whose setups dominate: exercises expensive-class handling.
+#[must_use]
+pub fn expensive_setups(jobs: usize, machines: usize, seed: u64) -> Instance {
+    let classes = machines.clamp(2, jobs);
+    generate(&GenConfig {
+        jobs,
+        classes,
+        machines,
+        setup_range: (500, 1000),
+        job_range: (1, 20),
+        class_sizes: ClassSizes::Uniform,
+        seed,
+    })
+}
+
+/// Heavy-tailed class sizes.
+#[must_use]
+pub fn zipf_classes(jobs: usize, classes: usize, machines: usize, seed: u64) -> Instance {
+    generate(&GenConfig {
+        jobs,
+        classes,
+        machines,
+        setup_range: (1, 50),
+        job_range: (1, 100),
+        class_sizes: ClassSizes::Zipf(1.5),
+        seed,
+    })
+}
+
+/// Job times spanning `[1, delta]` log-uniformly: stress for the integer
+/// binary search of Theorem 8.
+#[must_use]
+pub fn wide_delta(jobs: usize, classes: usize, machines: usize, delta: u64, seed: u64) -> Instance {
+    assert!(delta >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(machines);
+    let classes = classes.min(jobs).max(1);
+    for _ in 0..classes {
+        let exp = rng.gen_range(0.0..(delta as f64).ln());
+        b.add_class((exp.exp() as u64).clamp(1, delta));
+    }
+    for j in 0..jobs {
+        let class = if j < classes { j } else { rng.gen_range(0..classes) };
+        let exp = rng.gen_range(0.0..(delta as f64).ln());
+        b.add_job(class, (exp.exp() as u64).clamp(1, delta));
+    }
+    b.build().expect("generator produces valid instances")
+}
+
+/// Setup-dominated, machine-contended workload: every class's setup exceeds
+/// its own processing load, so classes are *expensive* near `T_min = N/m`
+/// whenever `c` is at most a small multiple of `m`. In that regime the dual
+/// tests genuinely reject near `T_min` and the Class-Jumping structure
+/// matters; with `c >> m` no class is expensive at `N/m` and every search
+/// accepts immediately (an instructive structural fact in itself — see
+/// EXPERIMENTS.md).
+#[must_use]
+pub fn contended(jobs: usize, classes: usize, machines: usize, seed: u64) -> Instance {
+    let classes = classes.min(jobs).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(machines);
+    let mut class_of = Vec::with_capacity(jobs);
+    let mut loads = vec![0u64; classes];
+    for j in 0..jobs {
+        let class = j % classes;
+        let t = rng.gen_range(50..=150u64);
+        class_of.push((class, t));
+        loads[class] += t;
+    }
+    for &load in &loads {
+        // Setup comparable to the class's own processing load: keeps
+        // s_max <= N/m while making classes expensive (s_i > T/2) with
+        // beta_i >= 2 at T = N/m whenever c is in [m/2, m).
+        let lo = load.max(1);
+        b.add_class(rng.gen_range(lo..=lo + lo / 4));
+    }
+    for (class, t) in class_of {
+        b.add_job(class, t);
+    }
+    b.build().expect("generator produces valid instances")
+}
+
+/// Tiny random instances for exact-oracle comparisons (n <= 10, m <= 4).
+#[must_use]
+pub fn tiny(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let machines = rng.gen_range(1..=4);
+    let classes = rng.gen_range(1..=4usize);
+    let jobs = rng.gen_range(classes..=9);
+    generate(&GenConfig {
+        jobs,
+        classes,
+        machines,
+        setup_range: (1, 12),
+        job_range: (1, 15),
+        class_sizes: ClassSizes::Uniform,
+        seed: rng.gen(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = uniform(100, 10, 4, 42);
+        let b = uniform(100, 10, 4, 42);
+        let c = uniform(100, 10, 4, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_counts() {
+        let inst = uniform(250, 17, 6, 1);
+        assert_eq!(inst.num_jobs(), 250);
+        assert_eq!(inst.num_classes(), 17);
+        assert_eq!(inst.machines(), 6);
+    }
+
+    #[test]
+    fn single_job_batches_have_one_job_each() {
+        let inst = single_job_batches(40, 5, 7);
+        assert_eq!(inst.num_classes(), 40);
+        for i in 0..40 {
+            assert_eq!(inst.class_jobs(i).len(), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let inst = zipf_classes(2000, 20, 4, 3);
+        let first = inst.class_jobs(0).len();
+        let last = inst.class_jobs(19).len();
+        assert!(first > 3 * last.max(1), "zipf head {first} vs tail {last}");
+    }
+
+    #[test]
+    fn wide_delta_spans_magnitudes() {
+        let inst = wide_delta(500, 20, 4, 1 << 30, 11);
+        assert!(inst.tmax() > 1 << 10);
+        assert!(inst.jobs().iter().any(|j| j.time < 100));
+    }
+
+    #[test]
+    fn expensive_setups_are_expensive() {
+        let inst = expensive_setups(60, 4, 5);
+        assert!(inst.smax() >= 500);
+    }
+
+    #[test]
+    fn tiny_instances_valid_and_small() {
+        for seed in 0..50 {
+            let inst = tiny(seed);
+            assert!(inst.num_jobs() <= 9);
+            assert!(inst.machines() <= 4);
+        }
+    }
+
+    #[test]
+    fn equal_sizes_are_balanced() {
+        let inst = generate(&GenConfig {
+            jobs: 100,
+            classes: 10,
+            machines: 2,
+            setup_range: (1, 2),
+            job_range: (1, 2),
+            class_sizes: ClassSizes::Equal,
+            seed: 0,
+        });
+        for i in 0..10 {
+            assert_eq!(inst.class_jobs(i).len(), 10);
+        }
+    }
+}

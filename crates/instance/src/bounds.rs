@@ -1,0 +1,114 @@
+//! Instance-only lower bounds on the optimal makespan.
+//!
+//! The paper anchors all of its searches on a value `T_min` computable in
+//! `O(n)` from the input alone, with `OPT ∈ [T_min, 2·T_min]` certified by the
+//! 2-approximations of Theorem 1:
+//!
+//! * every variant: `OPT >= N/m` (average load) and `OPT > s_max`;
+//! * non-preemptive and preemptive (Notes 1 and 2):
+//!   `OPT >= max_i (s_i + t^(i)_max)`, because a job's class must be set up
+//!   before the job can finish and the job never runs in parallel with itself.
+
+use bss_rational::Rational;
+
+use crate::{Instance, Variant};
+
+/// The instance-only lower bounds used to seed binary searches and to certify
+/// empirical approximation ratios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerBounds {
+    /// `N/m`: total load (with one setup per class) averaged over machines.
+    pub avg_load: Rational,
+    /// `s_max`; the optimum is *strictly* larger.
+    pub smax: u64,
+    /// `max_i (s_i + t^(i)_max)`; valid for non-preemptive and preemptive only.
+    pub setup_plus_job: u64,
+}
+
+impl LowerBounds {
+    /// Computes all bounds for `instance`.
+    #[must_use]
+    pub fn of(instance: &Instance) -> Self {
+        LowerBounds {
+            avg_load: Rational::from(instance.total_load_once()) / instance.machines(),
+            smax: instance.smax(),
+            setup_plus_job: instance.max_setup_plus_tmax(),
+        }
+    }
+
+    /// `T_min` for the given variant: the strongest instance-only lower bound.
+    ///
+    /// * splittable: `max(N/m, s_max)` (the paper's `T^(1)_min`),
+    /// * non-preemptive / preemptive: `max(N/m, max_i(s_i + t^(i)_max))`.
+    #[must_use]
+    pub fn tmin(&self, variant: Variant) -> Rational {
+        match variant {
+            Variant::Splittable => self.avg_load.max(Rational::from(self.smax)),
+            Variant::NonPreemptive | Variant::Preemptive => {
+                self.avg_load.max(Rational::from(self.setup_plus_job))
+            }
+        }
+    }
+
+    /// The search window `[T_min, 2·T_min]` that contains `OPT` (Theorem 1).
+    #[must_use]
+    pub fn opt_window(&self, variant: Variant) -> (Rational, Rational) {
+        let lo = self.tmin(variant);
+        (lo, lo * 2u64)
+    }
+}
+
+/// Convenience: `T_min` of `instance` for `variant`.
+#[must_use]
+pub fn tmin(instance: &Instance, variant: Variant) -> Rational {
+    LowerBounds::of(instance).tmin(variant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstanceBuilder;
+
+    fn inst() -> Instance {
+        // m=2; class 0: s=6, jobs {4,5}; class 1: s=1, jobs {2,2}.
+        // N = 6+1+4+5+2+2 = 20, N/m = 10, smax = 6, max(s_i + tmax_i) = 11.
+        let mut b = InstanceBuilder::new(2);
+        b.add_batch(6, &[4, 5]);
+        b.add_batch(1, &[2, 2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bounds_values() {
+        let lb = LowerBounds::of(&inst());
+        assert_eq!(lb.avg_load, Rational::from(10u64));
+        assert_eq!(lb.smax, 6);
+        assert_eq!(lb.setup_plus_job, 11);
+    }
+
+    #[test]
+    fn tmin_per_variant() {
+        let lb = LowerBounds::of(&inst());
+        assert_eq!(lb.tmin(Variant::Splittable), Rational::from(10u64));
+        assert_eq!(lb.tmin(Variant::Preemptive), Rational::from(11u64));
+        assert_eq!(lb.tmin(Variant::NonPreemptive), Rational::from(11u64));
+    }
+
+    #[test]
+    fn window_is_factor_two() {
+        let lb = LowerBounds::of(&inst());
+        let (lo, hi) = lb.opt_window(Variant::Preemptive);
+        assert_eq!(hi, lo * 2u64);
+    }
+
+    #[test]
+    fn avg_load_dominates_when_many_machines_worth_of_load() {
+        // One class, huge jobs: N/m should dominate.
+        let mut b = InstanceBuilder::new(2);
+        b.add_batch(1, &[100, 100]);
+        let lb = LowerBounds::of(&b.build().unwrap());
+        // N = 201, N/m = 100.5, setup_plus_job = 101.
+        assert_eq!(lb.tmin(Variant::Splittable), Rational::new(201, 2));
+        assert_eq!(lb.tmin(Variant::Preemptive), Rational::from(101u64));
+    }
+}

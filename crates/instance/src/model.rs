@@ -1,0 +1,439 @@
+//! The [`Instance`] type, its builder and validation.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a job; jobs are numbered `0..n` in insertion order.
+pub type JobId = usize;
+/// Index of a class; classes are numbered `0..c` in insertion order.
+pub type ClassId = usize;
+
+/// Upper bound on `N = Σ s_i + Σ t_j` enforced at construction.
+///
+/// Keeping the total load below `2^60` guarantees that every product the
+/// algorithms form (loads times machine counts, cross-multiplied rational
+/// comparisons) stays well inside `i128`.
+pub const MAX_TOTAL_LOAD: u64 = 1 << 60;
+
+/// A single job: its class and its integral processing time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// The class this job belongs to.
+    pub class: ClassId,
+    /// Processing time `t_j >= 1`.
+    pub time: u64,
+}
+
+/// An immutable, validated instance of the batch-setup scheduling problem.
+///
+/// Construction via [`InstanceBuilder`] validates the paper's model
+/// assumptions (`m >= 1`, `c >= 1`, non-empty classes, `s_i, t_j >= 1`) and
+/// precomputes the per-class aggregates (`P(C_i)`, `t^(i)_max`) that all
+/// algorithms need, so that the dual-approximation *tests* run in `O(c)` time
+/// as required by the Class-Jumping searches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    machines: usize,
+    setups: Vec<u64>,
+    jobs: Vec<Job>,
+    // Derived data (reconstructed on deserialization via `Instance::restore`).
+    #[serde(skip)]
+    class_jobs: Vec<Vec<JobId>>,
+    #[serde(skip)]
+    class_proc: Vec<u64>,
+    #[serde(skip)]
+    class_tmax: Vec<u64>,
+    #[serde(skip)]
+    total_proc: u64,
+}
+
+/// Errors detected while building an [`Instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// `m == 0`.
+    NoMachines,
+    /// `c == 0`.
+    NoClasses,
+    /// A class without jobs (the paper requires a partition into non-empty classes).
+    EmptyClass(ClassId),
+    /// A job referencing an undeclared class.
+    UnknownClass { job: JobId, class: ClassId },
+    /// A zero setup time (`s_i ∈ N`, so `s_i >= 1`).
+    ZeroSetup(ClassId),
+    /// A zero processing time (`t_j ∈ N`, so `t_j >= 1`).
+    ZeroJobTime(JobId),
+    /// `N = Σ s_i + Σ t_j` exceeds [`MAX_TOTAL_LOAD`].
+    TotalLoadTooLarge,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::NoMachines => write!(f, "instance must have at least one machine"),
+            InstanceError::NoClasses => write!(f, "instance must have at least one class"),
+            InstanceError::EmptyClass(c) => write!(f, "class {c} has no jobs"),
+            InstanceError::UnknownClass { job, class } => {
+                write!(f, "job {job} references unknown class {class}")
+            }
+            InstanceError::ZeroSetup(c) => write!(f, "class {c} has zero setup time"),
+            InstanceError::ZeroJobTime(j) => write!(f, "job {j} has zero processing time"),
+            InstanceError::TotalLoadTooLarge => {
+                write!(f, "total load N exceeds 2^60; rescale the instance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// Incremental builder for [`Instance`].
+///
+/// ```
+/// use bss_instance::InstanceBuilder;
+///
+/// let mut b = InstanceBuilder::new(3);
+/// let red = b.add_class(10);
+/// let blue = b.add_class(4);
+/// b.add_job(red, 7);
+/// b.add_job(red, 2);
+/// b.add_job(blue, 5);
+/// let instance = b.build().unwrap();
+/// assert_eq!(instance.num_jobs(), 3);
+/// assert_eq!(instance.class_proc(red), 9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InstanceBuilder {
+    machines: usize,
+    setups: Vec<u64>,
+    jobs: Vec<Job>,
+}
+
+impl InstanceBuilder {
+    /// Starts an instance on `machines` identical machines.
+    #[must_use]
+    pub fn new(machines: usize) -> Self {
+        InstanceBuilder {
+            machines,
+            setups: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Declares a new class with setup time `setup`, returning its id.
+    pub fn add_class(&mut self, setup: u64) -> ClassId {
+        self.setups.push(setup);
+        self.setups.len() - 1
+    }
+
+    /// Adds a job of `class` with processing time `time`, returning its id.
+    pub fn add_job(&mut self, class: ClassId, time: u64) -> JobId {
+        self.jobs.push(Job { class, time });
+        self.jobs.len() - 1
+    }
+
+    /// Adds a class together with all its jobs; convenient for tests.
+    pub fn add_batch(&mut self, setup: u64, times: &[u64]) -> ClassId {
+        let class = self.add_class(setup);
+        for &t in times {
+            self.add_job(class, t);
+        }
+        class
+    }
+
+    /// Number of jobs added so far.
+    #[must_use]
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Validates and finalizes the instance.
+    pub fn build(self) -> Result<Instance, InstanceError> {
+        Instance::from_parts(self.machines, self.setups, self.jobs)
+    }
+}
+
+impl Instance {
+    /// Builds an instance from raw parts, validating the model assumptions.
+    pub fn from_parts(
+        machines: usize,
+        setups: Vec<u64>,
+        jobs: Vec<Job>,
+    ) -> Result<Self, InstanceError> {
+        if machines == 0 {
+            return Err(InstanceError::NoMachines);
+        }
+        if setups.is_empty() {
+            return Err(InstanceError::NoClasses);
+        }
+        for (i, &s) in setups.iter().enumerate() {
+            if s == 0 {
+                return Err(InstanceError::ZeroSetup(i));
+            }
+        }
+        let c = setups.len();
+        let mut class_jobs: Vec<Vec<JobId>> = vec![Vec::new(); c];
+        let mut class_proc = vec![0u64; c];
+        let mut class_tmax = vec![0u64; c];
+        let mut total: u128 = setups.iter().map(|&s| s as u128).sum();
+        let mut total_proc: u64 = 0;
+        for (j, job) in jobs.iter().enumerate() {
+            if job.class >= c {
+                return Err(InstanceError::UnknownClass {
+                    job: j,
+                    class: job.class,
+                });
+            }
+            if job.time == 0 {
+                return Err(InstanceError::ZeroJobTime(j));
+            }
+            class_jobs[job.class].push(j);
+            class_proc[job.class] += job.time;
+            class_tmax[job.class] = class_tmax[job.class].max(job.time);
+            total += job.time as u128;
+            total_proc += job.time;
+        }
+        if total > MAX_TOTAL_LOAD as u128 {
+            return Err(InstanceError::TotalLoadTooLarge);
+        }
+        for (i, js) in class_jobs.iter().enumerate() {
+            if js.is_empty() {
+                return Err(InstanceError::EmptyClass(i));
+            }
+        }
+        Ok(Instance {
+            machines,
+            setups,
+            jobs,
+            class_jobs,
+            class_proc,
+            class_tmax,
+            total_proc,
+        })
+    }
+
+    /// Rebuilds the derived aggregates; used after deserialization.
+    pub fn restore(self) -> Result<Self, InstanceError> {
+        Instance::from_parts(self.machines, self.setups, self.jobs)
+    }
+
+    /// Number of machines `m`.
+    #[must_use]
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Number of jobs `n`.
+    #[must_use]
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of classes `c`.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.setups.len()
+    }
+
+    /// Setup time `s_i`.
+    #[must_use]
+    pub fn setup(&self, class: ClassId) -> u64 {
+        self.setups[class]
+    }
+
+    /// All setup times, indexed by class.
+    #[must_use]
+    pub fn setups(&self) -> &[u64] {
+        &self.setups
+    }
+
+    /// The job with id `job`.
+    #[must_use]
+    pub fn job(&self, job: JobId) -> Job {
+        self.jobs[job]
+    }
+
+    /// All jobs, indexed by job id.
+    #[must_use]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Job ids of class `class`.
+    #[must_use]
+    pub fn class_jobs(&self, class: ClassId) -> &[JobId] {
+        &self.class_jobs[class]
+    }
+
+    /// Total processing time `P(C_i)` of class `class`.
+    #[must_use]
+    pub fn class_proc(&self, class: ClassId) -> u64 {
+        self.class_proc[class]
+    }
+
+    /// Largest job time `t^(i)_max` of class `class`.
+    #[must_use]
+    pub fn class_tmax(&self, class: ClassId) -> u64 {
+        self.class_tmax[class]
+    }
+
+    /// Total processing time `P(J)` over all jobs.
+    #[must_use]
+    pub fn total_proc(&self) -> u64 {
+        self.total_proc
+    }
+
+    /// `N = Σ_i s_i + Σ_j t_j`, the load of the trivial one-machine schedule.
+    ///
+    /// `OPT <= N` for every variant.
+    #[must_use]
+    pub fn total_load_once(&self) -> u64 {
+        self.setups.iter().sum::<u64>() + self.total_proc
+    }
+
+    /// Largest setup time `s_max`. `OPT > s_max` for every variant.
+    #[must_use]
+    pub fn smax(&self) -> u64 {
+        *self.setups.iter().max().expect("c >= 1")
+    }
+
+    /// Largest job time `t_max`.
+    #[must_use]
+    pub fn tmax(&self) -> u64 {
+        self.class_tmax.iter().copied().max().expect("c >= 1")
+    }
+
+    /// `Δ = max(s_max, t_max)`, the largest number of the input (Theorem 8).
+    #[must_use]
+    pub fn delta(&self) -> u64 {
+        self.smax().max(self.tmax())
+    }
+
+    /// `max_i (s_i + t^(i)_max)` — a lower bound on `OPT` for the
+    /// non-preemptive and preemptive variants (Notes 1 and 2).
+    #[must_use]
+    pub fn max_setup_plus_tmax(&self) -> u64 {
+        (0..self.num_classes())
+            .map(|i| self.setups[i] + self.class_tmax[i])
+            .max()
+            .expect("c >= 1")
+    }
+
+    /// The instance with all setup and processing times multiplied by
+    /// `factor`. The problems are scale-free, so optima (and our algorithms'
+    /// outputs) scale along — a property the test suite checks.
+    pub fn scaled(&self, factor: u64) -> Result<Instance, InstanceError> {
+        assert!(factor >= 1, "scale factor must be positive");
+        Instance::from_parts(
+            self.machines,
+            self.setups.iter().map(|&s| s * factor).collect(),
+            self.jobs
+                .iter()
+                .map(|j| Job {
+                    class: j.class,
+                    time: j.time * factor,
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> InstanceBuilder {
+        let mut b = InstanceBuilder::new(2);
+        b.add_batch(3, &[4, 5]);
+        b.add_batch(1, &[2]);
+        b
+    }
+
+    #[test]
+    fn builder_and_aggregates() {
+        let inst = simple().build().unwrap();
+        assert_eq!(inst.machines(), 2);
+        assert_eq!(inst.num_classes(), 2);
+        assert_eq!(inst.num_jobs(), 3);
+        assert_eq!(inst.setup(0), 3);
+        assert_eq!(inst.class_proc(0), 9);
+        assert_eq!(inst.class_proc(1), 2);
+        assert_eq!(inst.class_tmax(0), 5);
+        assert_eq!(inst.total_proc(), 11);
+        assert_eq!(inst.total_load_once(), 15);
+        assert_eq!(inst.smax(), 3);
+        assert_eq!(inst.tmax(), 5);
+        assert_eq!(inst.delta(), 5);
+        assert_eq!(inst.max_setup_plus_tmax(), 8);
+        assert_eq!(inst.class_jobs(0), &[0, 1]);
+        assert_eq!(inst.class_jobs(1), &[2]);
+    }
+
+    #[test]
+    fn scaled_multiplies_all_times() {
+        let inst = simple().build().unwrap();
+        let scaled = inst.scaled(3).unwrap();
+        assert_eq!(scaled.setup(0), 9);
+        assert_eq!(scaled.job(0).time, 12);
+        assert_eq!(scaled.total_load_once(), 3 * inst.total_load_once());
+        assert_eq!(scaled.machines(), inst.machines());
+    }
+
+    #[test]
+    fn rejects_no_machines() {
+        let mut b = InstanceBuilder::new(0);
+        b.add_batch(1, &[1]);
+        assert_eq!(b.build().unwrap_err(), InstanceError::NoMachines);
+    }
+
+    #[test]
+    fn rejects_no_classes() {
+        let b = InstanceBuilder::new(1);
+        assert_eq!(b.build().unwrap_err(), InstanceError::NoClasses);
+    }
+
+    #[test]
+    fn rejects_empty_class() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_class(1);
+        b.add_batch(1, &[1]);
+        assert_eq!(b.build().unwrap_err(), InstanceError::EmptyClass(0));
+    }
+
+    #[test]
+    fn rejects_zero_setup() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_batch(0, &[1]);
+        assert_eq!(b.build().unwrap_err(), InstanceError::ZeroSetup(0));
+    }
+
+    #[test]
+    fn rejects_zero_job_time() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_batch(1, &[0]);
+        assert_eq!(b.build().unwrap_err(), InstanceError::ZeroJobTime(0));
+    }
+
+    #[test]
+    fn rejects_unknown_class() {
+        let jobs = vec![Job { class: 5, time: 1 }];
+        let err = Instance::from_parts(1, vec![1], jobs).unwrap_err();
+        assert_eq!(err, InstanceError::UnknownClass { job: 0, class: 5 });
+    }
+
+    #[test]
+    fn rejects_huge_total_load() {
+        let jobs = vec![
+            Job {
+                class: 0,
+                time: u64::MAX / 2,
+            },
+            Job {
+                class: 0,
+                time: u64::MAX / 2,
+            },
+        ];
+        let err = Instance::from_parts(1, vec![1], jobs).unwrap_err();
+        assert_eq!(err, InstanceError::TotalLoadTooLarge);
+    }
+}

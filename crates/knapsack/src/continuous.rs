@@ -1,0 +1,197 @@
+//! Exact continuous (fractional) knapsack with split item.
+
+use bss_rational::Rational;
+
+/// An item of the continuous knapsack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkItem {
+    /// Profit `p_i` (a setup time in the scheduling application).
+    pub profit: u64,
+    /// Weight `w_i >= 0`.
+    pub weight: Rational,
+}
+
+/// An optimal solution of the continuous knapsack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkSolution {
+    /// `x_i ∈ [0, 1]` per item; at most one entry is fractional.
+    pub x: Vec<Rational>,
+    /// Index of the split item (`0 < x_e < 1`), if any.
+    pub split: Option<usize>,
+    /// Total profit `Σ p_i x_i`.
+    pub value: Rational,
+    /// Total weight `Σ w_i x_i` (`= min(capacity, Σ w_i)` unless capacity < 0).
+    pub used: Rational,
+}
+
+impl CkSolution {
+    /// Indices with `x_i == 1`.
+    #[must_use]
+    pub fn selected(&self) -> Vec<usize> {
+        self.x
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| **x == Rational::ONE)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices with `x_i == 0` (the paper's "unselected" classes that pay an
+    /// extra setup).
+    #[must_use]
+    pub fn zero_set(&self) -> Vec<usize> {
+        self.x
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| x.is_zero())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Solves the continuous knapsack exactly by the greedy ratio rule.
+///
+/// Items are taken in order of decreasing `p_i / w_i` (zero-weight items
+/// first — they are free profit); the first item that does not fit becomes the
+/// split item. Runs in `O(k log k)` for `k` items. A non-positive capacity
+/// yields the all-zero solution.
+#[must_use]
+pub fn continuous_knapsack(items: &[CkItem], capacity: Rational) -> CkSolution {
+    let mut x = vec![Rational::ZERO; items.len()];
+    if !capacity.is_positive() || items.is_empty() {
+        return CkSolution {
+            x,
+            split: None,
+            value: Rational::ZERO,
+            used: Rational::ZERO,
+        };
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Decreasing p/w; zero-weight first. Compare p_a/w_a > p_b/w_b via
+    // cross-multiplication (weights are non-negative rationals).
+    order.sort_by(|&a, &b| {
+        let (ia, ib) = (&items[a], &items[b]);
+        let lhs = Rational::from(ia.profit) * ib.weight;
+        let rhs = Rational::from(ib.profit) * ia.weight;
+        rhs.cmp(&lhs).then(a.cmp(&b))
+    });
+    let mut remaining = capacity;
+    let mut value = Rational::ZERO;
+    let mut split = None;
+    for &i in &order {
+        let item = &items[i];
+        if item.weight <= remaining {
+            x[i] = Rational::ONE;
+            remaining -= item.weight;
+            value += Rational::from(item.profit);
+        } else {
+            // remaining < weight, so weight > 0.
+            if remaining.is_positive() {
+                let frac = remaining / item.weight;
+                x[i] = frac;
+                value += Rational::from(item.profit) * frac;
+                split = Some(i);
+            }
+            break;
+        }
+    }
+    CkSolution {
+        x,
+        split,
+        value,
+        used: capacity.min(
+            items
+                .iter()
+                .map(|i| i.weight)
+                .fold(Rational::ZERO, |a, b| a + b),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i128) -> Rational {
+        Rational::from_int(v)
+    }
+
+    fn item(profit: u64, weight: i128) -> CkItem {
+        CkItem {
+            profit,
+            weight: r(weight),
+        }
+    }
+
+    #[test]
+    fn takes_best_ratio_first() {
+        // ratios: 10/2=5, 9/3=3, 4/4=1
+        let items = [item(10, 2), item(9, 3), item(4, 4)];
+        let sol = continuous_knapsack(&items, r(5));
+        assert_eq!(sol.x[0], Rational::ONE);
+        assert_eq!(sol.x[1], Rational::ONE);
+        assert_eq!(sol.x[2], Rational::ZERO);
+        assert_eq!(sol.value, r(19));
+        assert_eq!(sol.split, None);
+    }
+
+    #[test]
+    fn split_item_fraction() {
+        let items = [item(10, 2), item(9, 3)];
+        let sol = continuous_knapsack(&items, r(4));
+        assert_eq!(sol.x[0], Rational::ONE);
+        assert_eq!(sol.x[1], Rational::new(2, 3));
+        assert_eq!(sol.split, Some(1));
+        assert_eq!(sol.value, r(10) + r(6));
+        assert_eq!(sol.zero_set(), Vec::<usize>::new());
+        assert_eq!(sol.selected(), vec![0]);
+    }
+
+    #[test]
+    fn zero_weight_items_always_selected() {
+        let items = [item(5, 0), item(1, 10)];
+        let sol = continuous_knapsack(&items, r(1));
+        assert_eq!(sol.x[0], Rational::ONE);
+        assert_eq!(sol.x[1], Rational::new(1, 10));
+    }
+
+    #[test]
+    fn non_positive_capacity() {
+        let items = [item(5, 1)];
+        let sol = continuous_knapsack(&items, r(0));
+        assert_eq!(sol.x, vec![Rational::ZERO]);
+        assert_eq!(sol.value, r(0));
+        let sol = continuous_knapsack(&items, r(-3));
+        assert_eq!(sol.value, r(0));
+    }
+
+    #[test]
+    fn capacity_exceeding_total_weight_selects_all() {
+        let items = [item(3, 2), item(4, 5)];
+        let sol = continuous_knapsack(&items, r(100));
+        assert!(sol.x.iter().all(|x| *x == Rational::ONE));
+        assert_eq!(sol.value, r(7));
+        assert_eq!(sol.used, r(7));
+        assert_eq!(sol.split, None);
+    }
+
+    #[test]
+    fn weight_conservation() {
+        let items = [item(7, 4), item(3, 3), item(9, 5)];
+        let cap = r(6);
+        let sol = continuous_knapsack(&items, cap);
+        let used: Rational = items
+            .iter()
+            .zip(&sol.x)
+            .map(|(i, x)| i.weight * *x)
+            .fold(Rational::ZERO, |a, b| a + b);
+        assert_eq!(used, cap);
+    }
+
+    #[test]
+    fn empty_items() {
+        let sol = continuous_knapsack(&[], r(5));
+        assert!(sol.x.is_empty());
+        assert_eq!(sol.value, r(0));
+    }
+}

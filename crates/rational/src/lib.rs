@@ -1,0 +1,70 @@
+//! Exact rational arithmetic for scheduling times.
+//!
+//! Every makespan guess, job-piece length and start time produced by the
+//! algorithms of Deppert & Jansen (SPAA 2019) is a rational number: the
+//! Class-Jumping searches probe values such as `2*P_f / (beta_f + k)`, the
+//! continuous knapsack splits one item at a rational fraction, and Batch
+//! Wrapping splits jobs at rational gap borders. Floating point would make the
+//! accept/reject decisions of the dual approximation tests unreliable, so this
+//! crate provides a small, exact, always-reduced rational type over `i128`.
+//!
+//! The companion instance model bounds all inputs so that `N = sum(s) + sum(t)
+//! <= 2^60`; with reduced representations every product formed by the
+//! algorithms stays far below `i128::MAX`, and all arithmetic here is checked:
+//! an overflow panics instead of silently wrapping.
+
+mod rational;
+
+pub use rational::{ParseRationalError, Rational};
+
+/// Greatest common divisor of two non-negative `i128` values (binary GCD).
+///
+/// `gcd(0, x) == x` and `gcd(0, 0) == 0`.
+#[must_use]
+pub fn gcd(mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(a >= 0 && b >= 0, "gcd expects non-negative inputs");
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+#[cfg(test)]
+mod gcd_tests {
+    use super::gcd;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 13), 1);
+        assert_eq!(gcd(1 << 40, 1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn gcd_divides_both() {
+        for a in 1..60i128 {
+            for b in 1..60i128 {
+                let g = gcd(a, b);
+                assert_eq!(a % g, 0);
+                assert_eq!(b % g, 0);
+            }
+        }
+    }
+}

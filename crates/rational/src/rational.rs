@@ -1,0 +1,545 @@
+//! The [`Rational`] number type.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use core::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gcd;
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(|num|, den) == 1`.
+///
+/// All arithmetic is checked: overflow of the underlying `i128` representation
+/// panics. The scheduling instance model keeps all inputs below `2^60`, which
+/// leaves ample headroom for the products formed by the algorithms.
+///
+/// ```
+/// use bss_rational::Rational;
+///
+/// let half = Rational::new(1, 2);
+/// let third = Rational::new(1, 3);
+/// assert_eq!(half + third, Rational::new(5, 6));
+/// assert!(half > third);
+/// assert_eq!((half * Rational::from(4)).to_string(), "2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// The value `0`.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The value `1`.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a reduced rational from a numerator and a non-zero denominator.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational denominator must be non-zero");
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num.unsigned_abs() as i128, den);
+        if g <= 1 {
+            Rational { num, den }
+        } else {
+            Rational {
+                num: num / g,
+                den: den / g,
+            }
+        }
+    }
+
+    /// Creates an integral rational.
+    #[must_use]
+    pub const fn from_int(v: i128) -> Self {
+        Rational { num: v, den: 1 }
+    }
+
+    /// The numerator of the reduced representation.
+    #[must_use]
+    pub const fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The (positive) denominator of the reduced representation.
+    #[must_use]
+    pub const fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is zero.
+    #[must_use]
+    pub const fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[must_use]
+    pub const fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[must_use]
+    pub const fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` iff the value is an integer.
+    #[must_use]
+    pub const fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Largest integer `<= self`.
+    #[must_use]
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            (self.num - (self.den - 1)) / self.den
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    #[must_use]
+    pub fn ceil(&self) -> i128 {
+        if self.num > 0 {
+            (self.num + (self.den - 1)) / self.den
+        } else {
+            self.num / self.den
+        }
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "cannot invert zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// `self / 2` — the half-threshold `T/2` shows up throughout the paper.
+    #[must_use]
+    pub fn half(&self) -> Self {
+        Rational::new(self.num, self.den.checked_mul(2).expect("Rational overflow"))
+    }
+
+    /// Smaller of two values.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two values.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Lossy conversion for rendering and statistics; never used in the
+    /// algorithms' accept/reject decisions.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked_add(self, rhs: Self) -> Option<Self> {
+        // a/b + c/d = (a*(lcm/b) + c*(lcm/d)) / lcm, computed via the gcd of
+        // the denominators to keep intermediates small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Rational::new(num, den))
+    }
+
+    fn checked_mul_r(self, rhs: Self) -> Option<Self> {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num.unsigned_abs() as i128, rhs.den);
+        let g2 = gcd(rhs.num.unsigned_abs() as i128, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rational::new(num, den))
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(v: i128) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(v: u64) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(v: u32) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+impl From<usize> for Rational {
+    fn from(v: usize) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
+        let lhs = self.num.checked_mul(other.den).expect("Rational overflow");
+        let rhs = other.num.checked_mul(self.den).expect("Rational overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Self) -> Self {
+        self.checked_add(rhs).expect("Rational overflow in add")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Self) -> Self {
+        self.checked_add(-rhs).expect("Rational overflow in sub")
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Self) -> Self {
+        self.checked_mul_r(rhs).expect("Rational overflow in mul")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Self) -> Self {
+        assert!(rhs.num != 0, "Rational division by zero");
+        self.checked_mul_r(rhs.recip())
+            .expect("Rational overflow in div")
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Self {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+macro_rules! scalar_ops {
+    ($($t:ty),*) => {$(
+        impl Add<$t> for Rational {
+            type Output = Rational;
+            fn add(self, rhs: $t) -> Rational { self + Rational::from(rhs) }
+        }
+        impl Sub<$t> for Rational {
+            type Output = Rational;
+            fn sub(self, rhs: $t) -> Rational { self - Rational::from(rhs) }
+        }
+        impl Mul<$t> for Rational {
+            type Output = Rational;
+            fn mul(self, rhs: $t) -> Rational { self * Rational::from(rhs) }
+        }
+        impl Div<$t> for Rational {
+            type Output = Rational;
+            fn div(self, rhs: $t) -> Rational { self / Rational::from(rhs) }
+        }
+        impl AddAssign<$t> for Rational {
+            fn add_assign(&mut self, rhs: $t) { *self = *self + rhs; }
+        }
+        impl SubAssign<$t> for Rational {
+            fn sub_assign(&mut self, rhs: $t) { *self = *self - rhs; }
+        }
+    )*};
+}
+
+scalar_ops!(i128, i32, u64, u32, usize);
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned by [`Rational::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"a"` or `"a/b"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseRationalError(s.to_owned());
+        match s.split_once('/') {
+            None => s.trim().parse::<i128>().map(Rational::from_int).map_err(|_| bad()),
+            Some((n, d)) => {
+                let num = n.trim().parse::<i128>().map_err(|_| bad())?;
+                let den = d.trim().parse::<i128>().map_err(|_| bad())?;
+                if den == 0 {
+                    return Err(bad());
+                }
+                Ok(Rational::new(num, den))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduction_and_sign_normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -5), Rational::ZERO);
+        assert_eq!(Rational::new(6, 3).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn ordering() {
+        let vals = [
+            Rational::new(-3, 2),
+            Rational::new(-1, 3),
+            Rational::ZERO,
+            Rational::new(1, 3),
+            Rational::new(1, 2),
+            Rational::ONE,
+            Rational::new(7, 2),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::from_int(5).floor(), 5);
+        assert_eq!(Rational::from_int(5).ceil(), 5);
+        assert_eq!(Rational::ZERO.floor(), 0);
+        assert_eq!(Rational::ZERO.ceil(), 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Rational::new(3, 4);
+        let b = Rational::new(5, 6);
+        assert_eq!(a + b, Rational::new(19, 12));
+        assert_eq!(a - b, Rational::new(-1, 12));
+        assert_eq!(a * b, Rational::new(5, 8));
+        assert_eq!(a / b, Rational::new(9, 10));
+        assert_eq!(-a, Rational::new(-3, 4));
+        assert_eq!(a.half(), Rational::new(3, 8));
+        assert_eq!(a.recip(), Rational::new(4, 3));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Rational::new(1, 2);
+        assert_eq!(a + 1u64, Rational::new(3, 2));
+        assert_eq!(a * 4u64, Rational::from_int(2));
+        assert_eq!(a / 2u64, Rational::new(1, 4));
+        assert_eq!(a - 1u64, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "5", "-5", "1/2", "-7/3"] {
+            let r: Rational = s.parse().unwrap();
+            assert_eq!(r.to_string(), s);
+        }
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("x".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    fn arb_rational() -> impl Strategy<Value = Rational> {
+        (-1_000_000i128..1_000_000, 1i128..1_000).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_sub_add_inverse(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(a - b + b, a);
+        }
+
+        #[test]
+        fn prop_div_mul_inverse(a in arb_rational(), b in arb_rational()) {
+            prop_assume!(!b.is_zero());
+            prop_assert_eq!(a / b * b, a);
+        }
+
+        #[test]
+        fn prop_always_reduced(a in arb_rational()) {
+            let g = crate::gcd(a.numer().unsigned_abs() as i128, a.denom());
+            prop_assert!(g <= 1 || a.numer() == 0);
+            prop_assert!(a.denom() > 0);
+        }
+
+        #[test]
+        fn prop_floor_ceil_bracket(a in arb_rational()) {
+            let f = Rational::from_int(a.floor());
+            let c = Rational::from_int(a.ceil());
+            prop_assert!(f <= a && a <= c);
+            prop_assert!(c - f <= Rational::ONE);
+            if a.is_integer() {
+                prop_assert_eq!(f, c);
+            }
+        }
+
+        #[test]
+        fn prop_ordering_matches_f64(a in arb_rational(), b in arb_rational()) {
+            // The f64 projection of moderate rationals preserves strict order.
+            if (a.to_f64() - b.to_f64()).abs() > 1e-6 {
+                prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+            }
+        }
+
+        #[test]
+        fn prop_parse_roundtrip(a in arb_rational()) {
+            let s = a.to_string();
+            prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Reporting substrate: ASCII Gantt rendering (figure regeneration), table
+//! and CSV writers, summary statistics, scaling fits, timing helpers and a
+//! crossbeam-based parallel sweep harness for the benchmark binaries.
+
+mod gantt;
+mod stats;
+mod sweep;
+mod table;
+mod timing;
+
+pub use gantt::{render_gantt, GanttOptions};
+pub use stats::{fit_loglog, Summary};
+pub use sweep::parallel_map;
+pub use table::Table;
+pub use timing::{time, time_best_of};

@@ -1,0 +1,128 @@
+//! Summary statistics and log-log scaling fits for the running-time studies.
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `xs`; returns zeros for an empty sample.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                median: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            median,
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Least-squares slope of `log y` against `log x` — the empirical scaling
+/// exponent (1.0 ≈ linear, 2.0 ≈ quadratic). Returns `None` for fewer than
+/// two distinct positive points.
+#[must_use]
+pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| **x > 0.0 && **y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!(s.stddev > 1.0 && s.stddev < 1.4);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn loglog_fits_powers() {
+        let xs: Vec<f64> = (1..=10).map(|k| (k * k) as f64).collect();
+        // y = 3 x^1.0
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x).collect();
+        let slope = fit_loglog(&xs, &ys).unwrap();
+        assert!((slope - 1.0).abs() < 1e-9);
+        // y = x^2
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let slope = fit_loglog(&xs, &ys).unwrap();
+        assert!((slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_degenerate() {
+        assert_eq!(fit_loglog(&[1.0], &[1.0]), None);
+        assert_eq!(fit_loglog(&[2.0, 2.0], &[3.0, 5.0]), None);
+        assert_eq!(fit_loglog(&[0.0, 1.0], &[1.0, 1.0]), None);
+    }
+}

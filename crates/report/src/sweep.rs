@@ -1,0 +1,98 @@
+//! Parallel sweep harness for the benchmark binaries.
+//!
+//! The repro binaries evaluate many `(instance, algorithm)` cells; the cells
+//! are independent, so they fan out over crossbeam scoped threads (the
+//! guide-recommended pattern for fork-join workloads without a global pool).
+//! Results come back in input order.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Applies `f` to every item on `threads` worker threads (defaults to the
+/// available parallelism), preserving input order.
+///
+/// `f` must be `Sync` because workers share it; items are consumed from a
+/// shared queue, so uneven cell costs balance automatically.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        })
+        .clamp(1, n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        tx.send(pair).expect("open channel");
+    }
+    drop(tx);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok((idx, item)) = rx.recv() {
+                    *slots[idx].lock() = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("workers do not panic");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), Some(4), |x: i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let out = parallel_map(vec![1, 2, 3], Some(1), |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), None, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        let out = parallel_map((0..32).collect(), Some(8), |x: u64| {
+            // Simulate uneven cell costs.
+            let mut acc = 0u64;
+            for k in 0..(x * 1000) {
+                acc = acc.wrapping_add(k);
+            }
+            (x, acc)
+        });
+        assert_eq!(out.len(), 32);
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x as usize, i);
+        }
+    }
+}

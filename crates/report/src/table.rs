@@ -1,0 +1,144 @@
+//! Aligned-text / markdown / CSV table writer for the repro binaries.
+
+/// A simple row-oriented table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().map(S::to_string).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff there are no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns (for terminals and text files).
+    #[must_use]
+    pub fn to_aligned(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (k, cell) in row.iter().enumerate().take(cols) {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting; callers keep cells comma-free).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(&["algo", "ratio", "time"]);
+        t.row(&["jumping", "1.12", "3.4ms"]);
+        t.row(&["eps", "1.13", "5.1ms"]);
+        t
+    }
+
+    #[test]
+    fn aligned_contains_all_cells() {
+        let text = sample().to_aligned();
+        for needle in ["algo", "ratio", "jumping", "5.1ms"] {
+            assert!(text.contains(needle), "{needle}");
+        }
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("| algo | ratio | time |"));
+        assert_eq!(md.lines().count(), 4);
+        assert!(md.lines().nth(1).unwrap().contains("---"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "algo,ratio,time");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only"]);
+        assert_eq!(t.to_csv().lines().nth(1).unwrap(), "only,");
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Wall-clock timing helpers for the repro binaries (Criterion handles the
+//! statistically rigorous benches; these feed the human-readable tables).
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once, returning its result and the elapsed wall time.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Runs `f` `k >= 1` times, returning the last result and the *best* wall
+/// time (a robust point estimate for short deterministic computations).
+pub fn time_best_of<R>(k: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    assert!(k >= 1);
+    let (mut result, mut best) = time(&mut f);
+    for _ in 1..k {
+        let (r, d) = time(&mut f);
+        result = r;
+        if d < best {
+            best = d;
+        }
+    }
+    (result, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_result() {
+        let (x, d) = time(|| 21 * 2);
+        assert_eq!(x, 42);
+        assert!(d < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn best_of_is_min() {
+        let mut calls = 0;
+        let (_, d) = time_best_of(5, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 5);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn best_of_zero_panics() {
+        let _ = time_best_of(0, || ());
+    }
+}

@@ -1,0 +1,298 @@
+//! Configuration-based schedules with multiplicities.
+//!
+//! The splittable algorithms of the paper run in time *sublinear in `m`*
+//! (`O(n + c log(c+m))`), which is impossible if the output writes every
+//! machine explicitly. Following the paper's remark that "a schedule may
+//! consist of machine configurations with associated multiplicities", a
+//! [`CompactSchedule`] is a list of configuration groups; a group places one
+//! configuration on `count` consecutive machines starting at `first_machine`.
+//! Several groups may target the same machine (e.g. the splittable 3/2-dual
+//! first fills a class's last machine, then *tops it up* with cheap load in a
+//! second pass); feasibility of the combined timeline is checked after
+//! [`CompactSchedule::expand`].
+
+use bss_instance::JobId;
+use bss_rational::Rational;
+use serde::{Deserialize, Serialize};
+
+use crate::{ItemKind, Placement, Schedule};
+
+/// One item inside a machine configuration (machine-relative, no machine id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigItem {
+    /// Start time on the machine.
+    pub start: Rational,
+    /// Duration.
+    pub len: Rational,
+    /// Setup or job piece.
+    pub kind: ItemKind,
+}
+
+/// A machine configuration: (part of) the timeline of one machine.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Items on this machine (in placement order).
+    pub items: Vec<ConfigItem>,
+}
+
+impl MachineConfig {
+    /// Total busy time of the configuration.
+    #[must_use]
+    pub fn load(&self) -> Rational {
+        self.items
+            .iter()
+            .map(|i| i.len)
+            .fold(Rational::ZERO, |a, b| a + b)
+    }
+
+    /// Largest end time of the configuration (0 if empty).
+    #[must_use]
+    pub fn end(&self) -> Rational {
+        self.items
+            .iter()
+            .map(|i| i.start + i.len)
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
+}
+
+/// A configuration group: `config` repeated on machines
+/// `first_machine .. first_machine + count`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigGroup {
+    /// First machine of the group.
+    pub first_machine: usize,
+    /// Number of consecutive machines.
+    pub count: usize,
+    /// The shared configuration.
+    pub config: MachineConfig,
+}
+
+/// A schedule stored as configuration groups with multiplicities.
+///
+/// A job piece appearing in a configuration of multiplicity `k` denotes `k`
+/// *distinct* pieces of that job, one per machine — meaningful only for the
+/// splittable variant, where job pieces may run in parallel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactSchedule {
+    machines: usize,
+    groups: Vec<ConfigGroup>,
+}
+
+impl CompactSchedule {
+    /// An empty compact schedule on `machines` machines.
+    #[must_use]
+    pub fn new(machines: usize) -> Self {
+        CompactSchedule {
+            machines,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Number of machines of the instance.
+    #[must_use]
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Appends a configuration group (ignored if `count == 0` or the config is
+    /// empty).
+    pub fn push_group(&mut self, first_machine: usize, count: usize, config: MachineConfig) {
+        if count > 0 && !config.items.is_empty() {
+            self.groups.push(ConfigGroup {
+                first_machine,
+                count,
+                config,
+            });
+        }
+    }
+
+    /// The configuration groups.
+    #[must_use]
+    pub fn groups(&self) -> &[ConfigGroup] {
+        &self.groups
+    }
+
+    /// Total number of `(item, machine)` incidences; `expand` cost is
+    /// proportional to this plus `m`.
+    #[must_use]
+    pub fn total_items(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.config.items.len() * g.count)
+            .sum()
+    }
+
+    /// Compact size: number of stored items over all groups (what the
+    /// near-linear algorithms actually write).
+    #[must_use]
+    pub fn stored_items(&self) -> usize {
+        self.groups.iter().map(|g| g.config.items.len()).sum()
+    }
+
+    /// Makespan over all groups.
+    #[must_use]
+    pub fn makespan(&self) -> Rational {
+        self.groups
+            .iter()
+            .map(|g| g.config.end())
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
+
+    /// Total processing time assigned to job `job`, counting multiplicities.
+    #[must_use]
+    pub fn job_assigned(&self, job: JobId) -> Rational {
+        let mut total = Rational::ZERO;
+        for g in &self.groups {
+            for item in &g.config.items {
+                if let ItemKind::Piece { job: j, .. } = item.kind {
+                    if j == job {
+                        total += item.len * g.count;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Materializes the explicit schedule. Runs in `O(total_items + m)`.
+    ///
+    /// # Panics
+    /// Panics if a group extends past the last machine.
+    #[must_use]
+    pub fn expand(&self) -> Schedule {
+        let mut schedule = Schedule::new(self.machines);
+        for g in &self.groups {
+            assert!(
+                g.first_machine + g.count <= self.machines,
+                "group [{}, {}) exceeds machine count {}",
+                g.first_machine,
+                g.first_machine + g.count,
+                self.machines
+            );
+            for k in 0..g.count {
+                for item in &g.config.items {
+                    schedule.push(Placement::new(
+                        g.first_machine + k,
+                        item.start,
+                        item.len,
+                        item.kind,
+                    ));
+                }
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn piece(job: JobId, start: i128, len: i128) -> ConfigItem {
+        ConfigItem {
+            start: Rational::from_int(start),
+            len: Rational::from_int(len),
+            kind: ItemKind::Piece { job, class: 0 },
+        }
+    }
+
+    fn setup(class: usize, start: i128, len: i128) -> ConfigItem {
+        ConfigItem {
+            start: Rational::from_int(start),
+            len: Rational::from_int(len),
+            kind: ItemKind::Setup(class),
+        }
+    }
+
+    #[test]
+    fn expand_respects_explicit_machines() {
+        let mut cs = CompactSchedule::new(5);
+        cs.push_group(
+            1,
+            2,
+            MachineConfig {
+                items: vec![setup(0, 0, 1), piece(0, 1, 3)],
+            },
+        );
+        cs.push_group(
+            4,
+            1,
+            MachineConfig {
+                items: vec![setup(1, 0, 2)],
+            },
+        );
+        let s = cs.expand();
+        assert_eq!(s.machine_load(0), Rational::ZERO);
+        assert_eq!(s.machine_load(1), Rational::from(4u64));
+        assert_eq!(s.machine_load(2), Rational::from(4u64));
+        assert_eq!(s.machine_load(3), Rational::ZERO);
+        assert_eq!(s.machine_load(4), Rational::from(2u64));
+        assert_eq!(cs.makespan(), s.makespan());
+        assert_eq!(cs.total_items(), 5);
+        assert_eq!(cs.stored_items(), 3);
+    }
+
+    #[test]
+    fn groups_may_share_a_machine() {
+        let mut cs = CompactSchedule::new(1);
+        cs.push_group(
+            0,
+            1,
+            MachineConfig {
+                items: vec![setup(0, 0, 1)],
+            },
+        );
+        cs.push_group(
+            0,
+            1,
+            MachineConfig {
+                items: vec![piece(0, 1, 2)],
+            },
+        );
+        let s = cs.expand();
+        assert_eq!(s.machine_load(0), Rational::from(3u64));
+    }
+
+    #[test]
+    fn job_assigned_counts_multiplicity() {
+        let mut cs = CompactSchedule::new(4);
+        cs.push_group(
+            0,
+            3,
+            MachineConfig {
+                items: vec![piece(7, 0, 3)],
+            },
+        );
+        assert_eq!(cs.job_assigned(7), Rational::from(9u64));
+        assert_eq!(cs.job_assigned(8), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine count")]
+    fn expand_panics_when_group_out_of_range() {
+        let mut cs = CompactSchedule::new(1);
+        cs.push_group(
+            1,
+            1,
+            MachineConfig {
+                items: vec![setup(0, 0, 1)],
+            },
+        );
+        let _ = cs.expand();
+    }
+
+    #[test]
+    fn empty_groups_ignored() {
+        let mut cs = CompactSchedule::new(2);
+        cs.push_group(0, 0, MachineConfig::default());
+        cs.push_group(
+            0,
+            1,
+            MachineConfig::default(), // empty config
+        );
+        assert!(cs.groups().is_empty());
+        assert_eq!(cs.makespan(), Rational::ZERO);
+    }
+}

@@ -1,0 +1,90 @@
+//! Placements: the atoms of a schedule.
+
+use bss_instance::{ClassId, JobId};
+use bss_rational::Rational;
+use serde::{Deserialize, Serialize};
+
+/// What occupies a stretch of machine time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ItemKind {
+    /// A (never preempted) setup of the given class.
+    Setup(ClassId),
+    /// A piece of a job. `class` is redundant with the instance's job table
+    /// but keeps placements self-describing for renderers.
+    Piece {
+        /// The job this piece belongs to.
+        job: JobId,
+        /// The job's class.
+        class: ClassId,
+    },
+}
+
+impl ItemKind {
+    /// The class this item belongs to.
+    #[must_use]
+    pub fn class(&self) -> ClassId {
+        match *self {
+            ItemKind::Setup(c) => c,
+            ItemKind::Piece { class, .. } => class,
+        }
+    }
+
+    /// `true` iff this is a setup.
+    #[must_use]
+    pub fn is_setup(&self) -> bool {
+        matches!(self, ItemKind::Setup(_))
+    }
+}
+
+/// A contiguous block of time on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Machine index in `0..m`.
+    pub machine: usize,
+    /// Start time (`>= 0`).
+    pub start: Rational,
+    /// Duration (`> 0`).
+    pub len: Rational,
+    /// The occupant.
+    pub kind: ItemKind,
+}
+
+impl Placement {
+    /// Creates a placement.
+    #[must_use]
+    pub fn new(machine: usize, start: Rational, len: Rational, kind: ItemKind) -> Self {
+        Placement {
+            machine,
+            start,
+            len,
+            kind,
+        }
+    }
+
+    /// End time `start + len`.
+    #[must_use]
+    pub fn end(&self) -> Rational {
+        self.start + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_accessors() {
+        let s = ItemKind::Setup(3);
+        let p = ItemKind::Piece { job: 7, class: 3 };
+        assert!(s.is_setup());
+        assert!(!p.is_setup());
+        assert_eq!(s.class(), 3);
+        assert_eq!(p.class(), 3);
+    }
+
+    #[test]
+    fn placement_end() {
+        let p = Placement::new(0, Rational::new(1, 2), Rational::new(3, 2), ItemKind::Setup(0));
+        assert_eq!(p.end(), Rational::from(2u64));
+    }
+}

@@ -1,0 +1,30 @@
+//! Schedule representations and feasibility validators.
+//!
+//! A schedule assigns *placements* — setups and job pieces with exact rational
+//! start times and lengths — to machines. Two representations are provided:
+//!
+//! * [`Schedule`]: one explicit placement list; the universal format consumed
+//!   by validators, renderers and tests.
+//! * [`CompactSchedule`]: machine *configurations with multiplicities*, the
+//!   paper's "weaker definition of schedules" for the splittable variant. The
+//!   `O(n + c log(c+m))` bound of Theorem 3 is only attainable because a
+//!   schedule may repeat one configuration on many machines without writing
+//!   them all out; [`CompactSchedule::expand`] materializes the explicit form
+//!   (at `O(n + m)` cost) for validation and rendering.
+//!
+//! [`validate`] checks full feasibility against an [`bss_instance::Instance`] under each of
+//! the three variants: machine exclusivity, setup coverage on every class
+//! switch, un-preempted setups, exact load conservation per job, and the
+//! variant-specific job rules (contiguity / no self-parallelism).
+
+mod compact;
+mod stats;
+mod item;
+mod schedule;
+mod validate;
+
+pub use compact::{CompactSchedule, ConfigGroup, ConfigItem, MachineConfig};
+pub use item::{ItemKind, Placement};
+pub use schedule::Schedule;
+pub use stats::ScheduleStats;
+pub use validate::{validate, Violation};

@@ -1,0 +1,147 @@
+//! Schedule statistics: utilization, setup overhead, preemption counts.
+//!
+//! Used by the reports and examples to characterize algorithm output beyond
+//! the makespan (e.g. the paper's algorithms deliberately trade setup
+//! duplication for balance; these numbers make that visible).
+
+use bss_instance::Instance;
+use bss_rational::Rational;
+
+use crate::{ItemKind, Schedule};
+
+/// Aggregate statistics of a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// The makespan.
+    pub makespan: Rational,
+    /// Total setup time over all machines.
+    pub setup_time: Rational,
+    /// Total job processing time placed.
+    pub processing_time: Rational,
+    /// Total idle time below the makespan (`m · makespan − busy`).
+    pub idle_time: Rational,
+    /// Number of setup placements.
+    pub num_setups: usize,
+    /// Number of job pieces in excess of the job count — 0 means no job is
+    /// split at all.
+    pub extra_pieces: usize,
+    /// Machines with at least one placement.
+    pub machines_used: usize,
+}
+
+impl ScheduleStats {
+    /// Computes statistics for `schedule` under `instance`.
+    #[must_use]
+    pub fn of(schedule: &Schedule, instance: &Instance) -> Self {
+        let mut setup_time = Rational::ZERO;
+        let mut processing_time = Rational::ZERO;
+        let mut num_setups = 0usize;
+        let mut pieces = 0usize;
+        let mut used = vec![false; instance.machines()];
+        for p in schedule.placements() {
+            if p.machine < used.len() {
+                used[p.machine] = true;
+            }
+            match p.kind {
+                ItemKind::Setup(_) => {
+                    num_setups += 1;
+                    setup_time += p.len;
+                }
+                ItemKind::Piece { .. } => {
+                    pieces += 1;
+                    processing_time += p.len;
+                }
+            }
+        }
+        let makespan = schedule.makespan();
+        let busy = setup_time + processing_time;
+        ScheduleStats {
+            makespan,
+            setup_time,
+            processing_time,
+            idle_time: makespan * instance.machines() - busy,
+            num_setups,
+            extra_pieces: pieces.saturating_sub(instance.num_jobs()),
+            machines_used: used.iter().filter(|&&u| u).count(),
+        }
+    }
+
+    /// Fraction of busy time spent on setups, as `f64` for reporting.
+    #[must_use]
+    pub fn setup_fraction(&self) -> f64 {
+        let busy = self.setup_time + self.processing_time;
+        if busy.is_zero() {
+            0.0
+        } else {
+            (self.setup_time / busy).to_f64()
+        }
+    }
+
+    /// Average machine utilization below the makespan, as `f64`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let total = self.makespan * (self.machines_used.max(1));
+        if total.is_zero() {
+            0.0
+        } else {
+            ((self.setup_time + self.processing_time) / total).to_f64().min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bss_instance::InstanceBuilder;
+
+    use super::*;
+
+    fn r(v: i128) -> Rational {
+        Rational::from_int(v)
+    }
+
+    fn sample() -> (Instance, Schedule) {
+        let mut b = InstanceBuilder::new(2);
+        b.add_batch(2, &[4, 6]);
+        let inst = b.build().unwrap();
+        let mut s = Schedule::new(2);
+        s.push_setup(0, r(0), r(2), 0);
+        s.push_piece(0, r(2), r(4), 0, 0);
+        s.push_setup(1, r(0), r(2), 0);
+        s.push_piece(1, r(2), r(3), 1, 0);
+        s.push_piece(1, r(5), r(3), 1, 0); // split job 1
+        (inst, s)
+    }
+
+    #[test]
+    fn counts_and_times() {
+        let (inst, s) = sample();
+        let st = ScheduleStats::of(&s, &inst);
+        assert_eq!(st.makespan, r(8));
+        assert_eq!(st.setup_time, r(4));
+        assert_eq!(st.processing_time, r(10));
+        assert_eq!(st.num_setups, 2);
+        assert_eq!(st.extra_pieces, 1);
+        assert_eq!(st.machines_used, 2);
+        assert_eq!(st.idle_time, r(16) - r(14));
+    }
+
+    #[test]
+    fn fractions() {
+        let (inst, s) = sample();
+        let st = ScheduleStats::of(&s, &inst);
+        assert!((st.setup_fraction() - 4.0 / 14.0).abs() < 1e-12);
+        assert!(st.utilization() > 0.8 && st.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_batch(1, &[1]);
+        let inst = b.build().unwrap();
+        let st = ScheduleStats::of(&Schedule::new(1), &inst);
+        assert_eq!(st.makespan, Rational::ZERO);
+        assert_eq!(st.setup_fraction(), 0.0);
+        assert_eq!(st.utilization(), 0.0);
+        assert_eq!(st.machines_used, 0);
+    }
+}

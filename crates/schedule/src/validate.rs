@@ -1,0 +1,420 @@
+//! Feasibility validation of explicit schedules.
+//!
+//! The checks implement the paper's model requirements verbatim:
+//!
+//! 1. every placement lies on a real machine, starts at time `>= 0`;
+//! 2. machines are single-threaded: no two placements on one machine overlap;
+//! 3. a setup `s_i` (of full length `s_i`) separates load of class `i` from
+//!    anything a machine did before — walking each machine's timeline, every
+//!    job piece must be preceded by a setup of its class with no
+//!    different-class item in between (idle time is allowed: a machine stays
+//!    configured while idle);
+//! 4. every job is fully scheduled: its pieces sum to exactly `t_j`;
+//! 5. variant rules: non-preemptive jobs are a single piece; preemptive jobs
+//!    never overlap themselves across machines; splittable jobs are free.
+//!
+//! Setups are un-preempted by construction (a placement is contiguous), and
+//! check 2 ensures nothing intersects them.
+
+use bss_instance::{Instance, Variant};
+use bss_rational::Rational;
+
+use crate::{ItemKind, Schedule};
+
+/// A feasibility violation, with enough context to debug the offending
+/// algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Placement on machine `>= m`.
+    MachineOutOfRange { machine: usize },
+    /// Placement starting before time 0.
+    NegativeStart { machine: usize },
+    /// Two placements on one machine intersect.
+    Overlap {
+        machine: usize,
+        at: Rational,
+    },
+    /// A job piece not covered by a setup of its class.
+    MissingSetup {
+        machine: usize,
+        job: usize,
+        class: usize,
+    },
+    /// A setup placement whose length differs from `s_i`.
+    WrongSetupLength {
+        machine: usize,
+        class: usize,
+        len: Rational,
+    },
+    /// A job piece referencing the wrong class.
+    WrongPieceClass { job: usize, class: usize },
+    /// Job's scheduled time differs from `t_j`.
+    WrongJobTotal {
+        job: usize,
+        scheduled: Rational,
+    },
+    /// Non-preemptive job split into several pieces.
+    JobSplit { job: usize, pieces: usize },
+    /// Preemptive job running on two machines at once.
+    JobParallel {
+        job: usize,
+        at: Rational,
+    },
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Violation::MachineOutOfRange { machine } => {
+                write!(f, "placement on non-existent machine {machine}")
+            }
+            Violation::NegativeStart { machine } => {
+                write!(f, "placement on machine {machine} starts before time 0")
+            }
+            Violation::Overlap { machine, at } => {
+                write!(f, "overlapping placements on machine {machine} at {at}")
+            }
+            Violation::MissingSetup { machine, job, class } => write!(
+                f,
+                "job {job} (class {class}) on machine {machine} runs without its setup"
+            ),
+            Violation::WrongSetupLength { machine, class, len } => write!(
+                f,
+                "setup of class {class} on machine {machine} has length {len}"
+            ),
+            Violation::WrongPieceClass { job, class } => {
+                write!(f, "piece of job {job} labeled with wrong class {class}")
+            }
+            Violation::WrongJobTotal { job, scheduled } => {
+                write!(f, "job {job} scheduled for {scheduled} time units")
+            }
+            Violation::JobSplit { job, pieces } => write!(
+                f,
+                "non-preemptive job {job} split into {pieces} pieces"
+            ),
+            Violation::JobParallel { job, at } => {
+                write!(f, "preemptive job {job} runs in parallel with itself at {at}")
+            }
+        }
+    }
+}
+
+/// Checks full feasibility of `schedule` for `instance` under `variant`.
+///
+/// Returns all violations found (empty = feasible).
+#[must_use]
+pub fn validate(schedule: &Schedule, instance: &Instance, variant: Variant) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let m = instance.machines();
+
+    // 1. Range checks + bucket placements per machine and per job.
+    let mut per_machine: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut per_job: Vec<Vec<usize>> = vec![Vec::new(); instance.num_jobs()];
+    for (idx, p) in schedule.placements().iter().enumerate() {
+        if p.machine >= m {
+            violations.push(Violation::MachineOutOfRange { machine: p.machine });
+            continue;
+        }
+        if p.start.is_negative() {
+            violations.push(Violation::NegativeStart { machine: p.machine });
+        }
+        per_machine[p.machine].push(idx);
+        match p.kind {
+            ItemKind::Setup(class) => {
+                if p.len != Rational::from(instance.setup(class)) {
+                    violations.push(Violation::WrongSetupLength {
+                        machine: p.machine,
+                        class,
+                        len: p.len,
+                    });
+                }
+            }
+            ItemKind::Piece { job, class } => {
+                if instance.job(job).class != class {
+                    violations.push(Violation::WrongPieceClass { job, class });
+                }
+                per_job[job].push(idx);
+            }
+        }
+    }
+
+    // 2 + 3. Per machine: overlap and setup coverage.
+    let placements = schedule.placements();
+    for (machine, idxs) in per_machine.iter_mut().enumerate() {
+        idxs.sort_by(|&a, &b| placements[a].start.cmp(&placements[b].start));
+        let mut prev_end = Rational::ZERO;
+        let mut first = true;
+        let mut configured: Option<usize> = None;
+        for &idx in idxs.iter() {
+            let p = &placements[idx];
+            if !first && p.start < prev_end {
+                violations.push(Violation::Overlap {
+                    machine,
+                    at: p.start,
+                });
+            }
+            prev_end = prev_end.max(p.end());
+            first = false;
+            match p.kind {
+                ItemKind::Setup(class) => configured = Some(class),
+                ItemKind::Piece { job, class } => {
+                    if configured != Some(class) {
+                        violations.push(Violation::MissingSetup {
+                            machine,
+                            job,
+                            class,
+                        });
+                        // Avoid cascading reports for the same run.
+                        configured = Some(class);
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Load conservation per job.
+    for (job, idxs) in per_job.iter().enumerate() {
+        let scheduled = idxs
+            .iter()
+            .map(|&i| placements[i].len)
+            .fold(Rational::ZERO, |a, b| a + b);
+        if scheduled != Rational::from(instance.job(job).time) {
+            violations.push(Violation::WrongJobTotal { job, scheduled });
+        }
+    }
+
+    // 5. Variant rules.
+    match variant {
+        Variant::NonPreemptive => {
+            for (job, idxs) in per_job.iter().enumerate() {
+                if idxs.len() > 1 {
+                    violations.push(Violation::JobSplit {
+                        job,
+                        pieces: idxs.len(),
+                    });
+                }
+            }
+        }
+        Variant::Preemptive => {
+            for (job, idxs) in per_job.iter().enumerate() {
+                let mut intervals: Vec<(Rational, Rational)> = idxs
+                    .iter()
+                    .map(|&i| (placements[i].start, placements[i].end()))
+                    .collect();
+                intervals.sort();
+                for w in intervals.windows(2) {
+                    if w[1].0 < w[0].1 {
+                        violations.push(Violation::JobParallel { job, at: w[1].0 });
+                        break;
+                    }
+                }
+            }
+        }
+        Variant::Splittable => {}
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use bss_instance::InstanceBuilder;
+
+    use super::*;
+
+    /// m=2; class 0: s=2, jobs {3,4}; class 1: s=1, job {2}.
+    fn instance() -> Instance {
+        let mut b = InstanceBuilder::new(2);
+        b.add_batch(2, &[3, 4]);
+        b.add_batch(1, &[2]);
+        b.build().unwrap()
+    }
+
+    fn r(v: i128) -> Rational {
+        Rational::from_int(v)
+    }
+
+    /// A feasible non-preemptive schedule for `instance()`.
+    fn good() -> Schedule {
+        let mut s = Schedule::new(2);
+        s.push_setup(0, r(0), r(2), 0);
+        s.push_piece(0, r(2), r(3), 0, 0);
+        s.push_piece(0, r(5), r(4), 1, 0);
+        s.push_setup(1, r(0), r(1), 1);
+        s.push_piece(1, r(1), r(2), 2, 1);
+        s
+    }
+
+    #[test]
+    fn accepts_feasible_schedule() {
+        for v in Variant::ALL {
+            assert!(validate(&good(), &instance(), v).is_empty(), "{v}");
+        }
+    }
+
+    #[test]
+    fn detects_machine_out_of_range() {
+        let mut s = good();
+        s.push_setup(5, r(0), r(2), 0);
+        assert!(validate(&s, &instance(), Variant::Splittable)
+            .iter()
+            .any(|v| matches!(v, Violation::MachineOutOfRange { machine: 5 })));
+    }
+
+    #[test]
+    fn detects_negative_start() {
+        let mut s = good();
+        s.push_piece(1, r(-1), r(1), 2, 1);
+        let vs = validate(&s, &instance(), Variant::Splittable);
+        assert!(vs.iter().any(|v| matches!(v, Violation::NegativeStart { .. })));
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let mut s = good();
+        // Intersects the class-0 setup on machine 0.
+        s.push_piece(0, r(1), r(1), 2, 1);
+        let vs = validate(&s, &instance(), Variant::Splittable);
+        assert!(vs.iter().any(|v| matches!(v, Violation::Overlap { machine: 0, .. })));
+    }
+
+    #[test]
+    fn detects_missing_setup() {
+        let mut s = Schedule::new(2);
+        s.push_piece(0, r(0), r(3), 0, 0); // no setup at all
+        s.push_setup(0, r(3), r(2), 0);
+        s.push_piece(0, r(5), r(4), 1, 0);
+        s.push_setup(1, r(0), r(1), 1);
+        s.push_piece(1, r(1), r(2), 2, 1);
+        let vs = validate(&s, &instance(), Variant::Splittable);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::MissingSetup { job: 0, .. })));
+    }
+
+    #[test]
+    fn detects_stale_configuration_after_switch() {
+        // class 0 setup, class 1 job (with its setup), then a class 0 job
+        // again WITHOUT a fresh class 0 setup: must be flagged.
+        let mut b = InstanceBuilder::new(1);
+        b.add_batch(1, &[1, 1]);
+        b.add_batch(1, &[1]);
+        let inst = b.build().unwrap();
+        let mut s = Schedule::new(1);
+        s.push_setup(0, r(0), r(1), 0);
+        s.push_piece(0, r(1), r(1), 0, 0);
+        s.push_setup(0, r(2), r(1), 1);
+        s.push_piece(0, r(3), r(1), 2, 1);
+        s.push_piece(0, r(4), r(1), 1, 0); // stale class-0 configuration
+        let vs = validate(&s, &inst, Variant::Splittable);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::MissingSetup { job: 1, .. })));
+    }
+
+    #[test]
+    fn idle_time_does_not_reset_configuration() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_batch(1, &[1, 1]);
+        let inst = b.build().unwrap();
+        let mut s = Schedule::new(1);
+        s.push_setup(0, r(0), r(1), 0);
+        s.push_piece(0, r(1), r(1), 0, 0);
+        // Idle gap [2, 10), then another class-0 job without a new setup: OK.
+        s.push_piece(0, r(10), r(1), 1, 0);
+        assert!(validate(&s, &inst, Variant::Splittable).is_empty());
+    }
+
+    #[test]
+    fn detects_wrong_setup_length() {
+        let mut s = good();
+        s.push_setup(1, r(4), r(5), 1); // s_1 = 1, not 5
+        let vs = validate(&s, &instance(), Variant::Splittable);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::WrongSetupLength { class: 1, .. })));
+    }
+
+    #[test]
+    fn detects_incomplete_job() {
+        let mut s = good();
+        // Shorten job 1's piece.
+        let placements = s.placements_mut();
+        let idx = placements
+            .iter()
+            .position(|p| matches!(p.kind, ItemKind::Piece { job: 1, .. }))
+            .unwrap();
+        placements[idx].len = r(2);
+        let vs = validate(&s, &instance(), Variant::Splittable);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::WrongJobTotal { job: 1, .. })));
+    }
+
+    #[test]
+    fn detects_wrong_piece_class() {
+        let mut s = good();
+        let placements = s.placements_mut();
+        let idx = placements
+            .iter()
+            .position(|p| matches!(p.kind, ItemKind::Piece { job: 2, .. }))
+            .unwrap();
+        placements[idx].kind = ItemKind::Piece { job: 2, class: 0 };
+        let vs = validate(&s, &instance(), Variant::Splittable);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::WrongPieceClass { job: 2, class: 0 })));
+    }
+
+    /// A preemptive-feasible split of job 1 across both machines.
+    fn split_schedule(second_start: Rational) -> Schedule {
+        let mut s = Schedule::new(2);
+        s.push_setup(0, r(0), r(2), 0);
+        s.push_piece(0, r(2), r(3), 0, 0);
+        s.push_piece(0, r(5), r(2), 1, 0); // job 1 first half: [5, 7)
+        s.push_setup(1, r(0), r(1), 1);
+        s.push_piece(1, r(1), r(2), 2, 1);
+        s.push_setup(1, r(3), r(2), 0);
+        s.push_piece(1, second_start, r(2), 1, 0); // job 1 second half
+        s
+    }
+
+    #[test]
+    fn preemptive_split_ok_when_sequential() {
+        let s = split_schedule(r(7)); // [7, 9) after [5, 7)
+        assert!(validate(&s, &instance(), Variant::Preemptive).is_empty());
+        assert!(validate(&s, &instance(), Variant::Splittable).is_empty());
+        // But the non-preemptive validator must reject the split.
+        assert!(validate(&s, &instance(), Variant::NonPreemptive)
+            .iter()
+            .any(|v| matches!(v, Violation::JobSplit { job: 1, pieces: 2 })));
+    }
+
+    #[test]
+    fn preemptive_rejects_self_parallelism() {
+        let s = split_schedule(r(6)); // [6, 8) overlaps [5, 7)
+        assert!(validate(&s, &instance(), Variant::Preemptive)
+            .iter()
+            .any(|v| matches!(v, Violation::JobParallel { job: 1, .. })));
+        // Splittable allows it.
+        assert!(validate(&s, &instance(), Variant::Splittable).is_empty());
+    }
+
+    #[test]
+    fn missing_job_detected() {
+        let mut s = good();
+        s.placements_mut()
+            .retain(|p| !matches!(p.kind, ItemKind::Piece { job: 2, .. }));
+        let vs = validate(&s, &instance(), Variant::Splittable);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::WrongJobTotal { job: 2, .. })));
+    }
+
+    #[test]
+    fn touching_placements_do_not_overlap() {
+        // Back-to-back placements sharing an endpoint are fine.
+        let vs = validate(&good(), &instance(), Variant::Splittable);
+        assert!(vs.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! McNaughton's wrap-around rule for `P|pmtn|Cmax` (McNaughton 1959).
+//!
+//! The classic substrate that Batch Wrapping generalizes: `n` jobs without
+//! setup times are scheduled preemptively on `m` machines with optimal
+//! makespan `T* = max(t_max, (Σ t_j)/m)` by pouring the jobs into the
+//! rectangle `m × T*` row by row and splitting at the border.
+
+use bss_rational::Rational;
+
+/// One scheduled piece of McNaughton's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McPiece {
+    /// Job index into the input slice.
+    pub job: usize,
+    /// Machine index.
+    pub machine: usize,
+    /// Start time.
+    pub start: Rational,
+    /// Duration.
+    pub len: Rational,
+}
+
+/// The output of [`mcnaughton`]: the optimal makespan and the pieces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McNaughtonSchedule {
+    /// `max(t_max, ⌈Σt/m⌉-as-rational)` — the optimal preemptive makespan.
+    pub makespan: Rational,
+    /// All job pieces (at most `n + m - 1`).
+    pub pieces: Vec<McPiece>,
+}
+
+/// Schedules `times` on `machines` machines by the wrap-around rule.
+///
+/// Runs in `O(n)` and produces at most `m - 1` preemptions. Jobs never
+/// overlap themselves because every job fits within one column height `T*`.
+///
+/// # Panics
+/// Panics if `machines == 0`.
+#[must_use]
+pub fn mcnaughton(machines: usize, times: &[u64]) -> McNaughtonSchedule {
+    assert!(machines > 0, "need at least one machine");
+    let total: u128 = times.iter().map(|&t| t as u128).sum();
+    let avg = Rational::new(total as i128, machines as i128);
+    let tmax = Rational::from(times.iter().copied().max().unwrap_or(0));
+    let t_star = avg.max(tmax);
+    let mut pieces = Vec::with_capacity(times.len() + machines);
+    if t_star.is_zero() {
+        return McNaughtonSchedule {
+            makespan: t_star,
+            pieces,
+        };
+    }
+    let mut machine = 0usize;
+    let mut t = Rational::ZERO;
+    for (job, &time) in times.iter().enumerate() {
+        let mut remaining = Rational::from(time);
+        while remaining.is_positive() {
+            let avail = t_star - t;
+            if remaining <= avail {
+                pieces.push(McPiece {
+                    job,
+                    machine,
+                    start: t,
+                    len: remaining,
+                });
+                t += remaining;
+                remaining = Rational::ZERO;
+            } else {
+                if avail.is_positive() {
+                    pieces.push(McPiece {
+                        job,
+                        machine,
+                        start: t,
+                        len: avail,
+                    });
+                    remaining -= avail;
+                }
+                machine += 1;
+                t = Rational::ZERO;
+                debug_assert!(machine < machines, "capacity argument guarantees fit");
+            }
+        }
+    }
+    McNaughtonSchedule {
+        makespan: t_star,
+        pieces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_invariants(machines: usize, times: &[u64], s: &McNaughtonSchedule) {
+        // Load conservation.
+        for (job, &t) in times.iter().enumerate() {
+            let placed: Rational = s
+                .pieces
+                .iter()
+                .filter(|p| p.job == job)
+                .map(|p| p.len)
+                .fold(Rational::ZERO, |a, b| a + b);
+            assert_eq!(placed, Rational::from(t), "job {job}");
+        }
+        // Machine exclusivity.
+        for u in 0..machines {
+            let mut row: Vec<_> = s.pieces.iter().filter(|p| p.machine == u).collect();
+            row.sort_by_key(|p| p.start);
+            for w in row.windows(2) {
+                assert!(w[1].start >= w[0].start + w[0].len);
+            }
+        }
+        // No self-parallelism.
+        for job in 0..times.len() {
+            let mut ivs: Vec<_> = s
+                .pieces
+                .iter()
+                .filter(|p| p.job == job)
+                .map(|p| (p.start, p.start + p.len))
+                .collect();
+            ivs.sort();
+            for w in ivs.windows(2) {
+                assert!(w[1].0 >= w[0].1, "job {job} self-parallel");
+            }
+        }
+        // Makespan respected and optimal.
+        for p in &s.pieces {
+            assert!(p.start + p.len <= s.makespan);
+        }
+        let total: u128 = times.iter().map(|&t| t as u128).sum();
+        let lb = Rational::new(total as i128, machines as i128)
+            .max(Rational::from(times.iter().copied().max().unwrap_or(0)));
+        assert_eq!(s.makespan, lb);
+    }
+
+    #[test]
+    fn simple_even_split() {
+        let s = mcnaughton(2, &[3, 3, 3, 3]);
+        assert_eq!(s.makespan, Rational::from(6u64));
+        check_invariants(2, &[3, 3, 3, 3], &s);
+    }
+
+    #[test]
+    fn tmax_dominates() {
+        let s = mcnaughton(3, &[10, 1, 1]);
+        assert_eq!(s.makespan, Rational::from(10u64));
+        check_invariants(3, &[10, 1, 1], &s);
+    }
+
+    #[test]
+    fn fractional_average() {
+        let s = mcnaughton(2, &[3, 3, 3]);
+        assert_eq!(s.makespan, Rational::new(9, 2));
+        check_invariants(2, &[3, 3, 3], &s);
+    }
+
+    #[test]
+    fn preemption_count_bounded() {
+        let s = mcnaughton(4, &[5; 13]);
+        // At most m-1 splits → at most n + m - 1 pieces.
+        assert!(s.pieces.len() < 13 + 4);
+        check_invariants(4, &[5; 13], &s);
+    }
+
+    #[test]
+    fn empty_jobs() {
+        let s = mcnaughton(3, &[]);
+        assert!(s.pieces.is_empty());
+        assert_eq!(s.makespan, Rational::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_invariants(machines in 1usize..8, times in proptest::collection::vec(1u64..50, 0..40)) {
+            let s = mcnaughton(machines, &times);
+            check_invariants(machines, &times, &s);
+        }
+    }
+}

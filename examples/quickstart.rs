@@ -1,0 +1,61 @@
+//! Quickstart: build an instance, solve all three variants, inspect the
+//! guarantees, and render the preemptive schedule.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use batch_setup_scheduling::prelude::*;
+use batch_setup_scheduling::report::{render_gantt, GanttOptions};
+
+fn main() {
+    // Four machines; three job classes with setup times 12, 5 and 2.
+    let mut builder = InstanceBuilder::new(4);
+    let stamping = builder.add_class(12);
+    let welding = builder.add_class(5);
+    let polish = builder.add_class(2);
+    for t in [9, 7, 7, 4, 3] {
+        builder.add_job(stamping, t);
+    }
+    for t in [6, 6, 5, 5, 4, 3] {
+        builder.add_job(welding, t);
+    }
+    for t in [4, 4, 2, 2, 2] {
+        builder.add_job(polish, t);
+    }
+    let instance = builder.build().expect("valid instance");
+
+    println!(
+        "instance: n = {}, c = {}, m = {}, N = {}",
+        instance.num_jobs(),
+        instance.num_classes(),
+        instance.machines(),
+        instance.total_load_once()
+    );
+    let bounds = LowerBounds::of(&instance);
+    for variant in Variant::ALL {
+        println!("  T_min({variant}) = {}", bounds.tmin(variant));
+    }
+    println!();
+
+    for variant in Variant::ALL {
+        let solution = solve(&instance, variant, Algorithm::ThreeHalves);
+        let violations = validate(&solution.schedule, &instance, variant);
+        assert!(violations.is_empty(), "{violations:?}");
+        println!(
+            "{variant:<15} makespan = {:<8} accepted T = {:<8} certified ratio <= {:.4}",
+            solution.makespan.to_string(),
+            solution.accepted.to_string(),
+            (solution.makespan / solution.certificate).to_f64(),
+        );
+    }
+
+    println!("\npreemptive 3/2 schedule:");
+    let solution = solve(&instance, Variant::Preemptive, Algorithm::ThreeHalves);
+    let opts = GanttOptions {
+        reference_t: Some(solution.accepted),
+        width: 80,
+        ..GanttOptions::default()
+    };
+    print!("{}", render_gantt(&solution.schedule, &instance, &opts));
+}

@@ -1,0 +1,68 @@
+//! Preemptive scenario: a video transcode cluster — and the paper's headline
+//! improvement over Monma & Potts (1993).
+//!
+//! Transcoding a video may be checkpointed and resumed on another worker
+//! (preemption) but a single video cannot be transcoded on two workers at
+//! once; switching a worker to a different codec family loads a new toolchain
+//! (the batch setup). This is `P|pmtn,setup=s_i|Cmax`, the variant where the
+//! best prior ratio was `2 − 1/(⌊m/2⌋+1)` — approaching 2 as the cluster
+//! grows — and where the paper achieves 3/2 in `O(n log n)`.
+//!
+//! The example sweeps cluster sizes and compares our 3/2 Class Jumping with
+//! the Monma–Potts-style wrap-around baseline, normalizing by the instance
+//! lower bound `T_min <= OPT`.
+//!
+//! ```sh
+//! cargo run --release --example transcode_cluster
+//! ```
+
+use batch_setup_scheduling::baselines::monma_potts;
+use batch_setup_scheduling::prelude::*;
+use batch_setup_scheduling::report::Table;
+
+fn main() {
+    let mut table = Table::new(&[
+        "workers (m)",
+        "videos (n)",
+        "ours (portfolio): makespan/T_min",
+        "Monma-Potts: makespan/T_min",
+        "MP / ours",
+        "MP worst-case bound",
+    ]);
+    for m in [2usize, 4, 8, 16, 32] {
+        // Codec families with realistic toolchain-load vs transcode times.
+        let instance = batch_setup_scheduling::gen::generate(&batch_setup_scheduling::gen::GenConfig {
+            jobs: 60 * m,
+            classes: 8,
+            machines: m,
+            setup_range: (30, 120),  // toolchain load, seconds
+            job_range: (20, 600),    // per-video transcode, seconds
+            class_sizes: batch_setup_scheduling::gen::ClassSizes::Zipf(1.2),
+            seed: 42 + m as u64,
+        });
+        let lb = LowerBounds::of(&instance).tmin(Variant::Preemptive);
+
+        let ours = solve(&instance, Variant::Preemptive, Algorithm::Portfolio);
+        assert!(validate(&ours.schedule, &instance, Variant::Preemptive).is_empty());
+        let mp = monma_potts(&instance);
+        assert!(validate(&mp, &instance, Variant::Preemptive).is_empty());
+
+        let mp_bound = 2.0 - 1.0 / ((m / 2) as f64 + 1.0);
+        table.row(&[
+            format!("{m}"),
+            format!("{}", instance.num_jobs()),
+            format!("{:.4}", (ours.makespan / lb).to_f64()),
+            format!("{:.4}", (mp.makespan() / lb).to_f64()),
+            format!("{:.3}x", (mp.makespan() / ours.makespan).to_f64()),
+            format!("{mp_bound:.3}"),
+        ]);
+    }
+    println!("transcode cluster: preemptive scheduling with codec-toolchain setups\n");
+    print!("{}", table.to_aligned());
+    println!(
+        "\nThe Monma-Potts guarantee degrades toward 2 as m grows; the paper's\n\
+         algorithm (Theorem 6) keeps a 3/2 guarantee at every scale. The\n\
+         portfolio solver pairs that guarantee with the fast wrap heuristics,\n\
+         so it is never worse than Monma-Potts in practice either."
+    );
+}

@@ -1,0 +1,187 @@
+//! `bss` — command-line front end for batch-setup scheduling.
+//!
+//! ```text
+//! bss generate --preset uniform --jobs 1000 --classes 50 --machines 8 --seed 1 > inst.json
+//! bss bounds inst.json
+//! bss solve inst.json --variant preemptive --algorithm three-halves --render
+//! bss solve inst.json --variant splittable --schedule-out sched.json
+//! bss validate inst.json sched.json --variant splittable
+//! ```
+
+use std::process::ExitCode;
+
+use batch_setup_scheduling::prelude::*;
+use batch_setup_scheduling::report::{render_gantt, GanttOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+bss — near-linear approximation algorithms for scheduling with batch setup times
+
+USAGE:
+  bss generate --preset <uniform|small-batches|single-job|expensive|zipf>
+               [--jobs N] [--classes C] [--machines M] [--seed S]
+  bss bounds   <instance.json>
+  bss solve    <instance.json> [--variant V] [--algorithm A] [--render]
+               [--schedule-out FILE]
+  bss validate <instance.json> <schedule.json> [--variant V]
+
+  V: non-preemptive | preemptive | splittable        (default: non-preemptive)
+  A: two-approx | eps:<log2> | three-halves | portfolio (default: three-halves)";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_variant(args: &[String]) -> Result<Variant, String> {
+    match flag(args, "--variant").as_deref() {
+        None | Some("non-preemptive") => Ok(Variant::NonPreemptive),
+        Some("preemptive") => Ok(Variant::Preemptive),
+        Some("splittable") => Ok(Variant::Splittable),
+        Some(v) => Err(format!("unknown variant `{v}`")),
+    }
+}
+
+fn parse_algorithm(args: &[String]) -> Result<Algorithm, String> {
+    match flag(args, "--algorithm").as_deref() {
+        None | Some("three-halves") => Ok(Algorithm::ThreeHalves),
+        Some("two-approx") => Ok(Algorithm::TwoApprox),
+        Some("portfolio") => Ok(Algorithm::Portfolio),
+        Some(a) if a.starts_with("eps:") => a[4..]
+            .parse()
+            .map(|eps_log2| Algorithm::EpsilonSearch { eps_log2 })
+            .map_err(|_| format!("bad epsilon exponent in `{a}`")),
+        Some(a) => Err(format!("unknown algorithm `{a}`")),
+    }
+}
+
+fn load_instance(path: &str) -> Result<Instance, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Instance::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let jobs = flag(args, "--jobs").map_or(Ok(1000), |v| v.parse().map_err(|_| "bad --jobs"))?;
+    let classes =
+        flag(args, "--classes").map_or(Ok(jobs / 20), |v| v.parse().map_err(|_| "bad --classes"))?;
+    let machines =
+        flag(args, "--machines").map_or(Ok(8), |v| v.parse().map_err(|_| "bad --machines"))?;
+    let seed = flag(args, "--seed").map_or(Ok(0), |v| v.parse().map_err(|_| "bad --seed"))?;
+    let preset = flag(args, "--preset").unwrap_or_else(|| "uniform".into());
+    let inst = match preset.as_str() {
+        "uniform" => batch_setup_scheduling::gen::uniform(jobs, classes.max(1), machines, seed),
+        "small-batches" => batch_setup_scheduling::gen::small_batches(jobs, machines, seed),
+        "single-job" => batch_setup_scheduling::gen::single_job_batches(jobs, machines, seed),
+        "expensive" => batch_setup_scheduling::gen::expensive_setups(jobs, machines, seed),
+        "zipf" => batch_setup_scheduling::gen::zipf_classes(jobs, classes.max(1), machines, seed),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    println!("{}", inst.to_json());
+    Ok(())
+}
+
+fn cmd_bounds(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing instance path")?;
+    let inst = load_instance(path)?;
+    let lb = LowerBounds::of(&inst);
+    println!(
+        "n = {}, c = {}, m = {}, N = {}, s_max = {}, Δ = {}",
+        inst.num_jobs(),
+        inst.num_classes(),
+        inst.machines(),
+        inst.total_load_once(),
+        inst.smax(),
+        inst.delta()
+    );
+    for variant in Variant::ALL {
+        let (lo, hi) = lb.opt_window(variant);
+        println!("{variant:<15} T_min = {lo}   OPT ∈ [{lo}, {hi}]");
+    }
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing instance path")?;
+    let inst = load_instance(path)?;
+    let variant = parse_variant(args)?;
+    let algo = parse_algorithm(args)?;
+    let start = std::time::Instant::now();
+    let sol = solve(&inst, variant, algo);
+    let elapsed = start.elapsed();
+    let violations = validate(&sol.schedule, &inst, variant);
+    if !violations.is_empty() {
+        return Err(format!("internal error: infeasible output: {violations:?}"));
+    }
+    println!("variant        {variant}");
+    println!("makespan       {}  (~{:.2})", sol.makespan, sol.makespan.to_f64());
+    println!("accepted T     {}", sol.accepted);
+    println!("ratio bound    {} x OPT", sol.ratio_bound);
+    println!(
+        "certified      makespan/OPT <= {:.4}",
+        (sol.makespan / sol.certificate).to_f64()
+    );
+    println!("dual probes    {}", sol.probes);
+    println!("solve time     {elapsed:.2?}");
+    if has_flag(args, "--render") {
+        let opts = GanttOptions {
+            reference_t: Some(sol.accepted),
+            ..GanttOptions::default()
+        };
+        print!("{}", render_gantt(&sol.schedule, &inst, &opts));
+    }
+    if let Some(out) = flag(args, "--schedule-out") {
+        let json = serde_json::to_string_pretty(&sol.schedule).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+        println!("schedule       written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let inst_path = args.first().ok_or("missing instance path")?;
+    let sched_path = args.get(1).ok_or("missing schedule path")?;
+    let inst = load_instance(inst_path)?;
+    let json = std::fs::read_to_string(sched_path).map_err(|e| format!("{sched_path}: {e}"))?;
+    let schedule: Schedule = serde_json::from_str(&json).map_err(|e| format!("{sched_path}: {e}"))?;
+    let variant = parse_variant(args)?;
+    let violations = validate(&schedule, &inst, variant);
+    if violations.is_empty() {
+        println!(
+            "feasible ({variant}); makespan = {}, {} setups",
+            schedule.makespan(),
+            schedule.num_setups()
+        );
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        Err(format!("{} violation(s)", violations.len()))
+    }
+}

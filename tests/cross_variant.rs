@@ -1,0 +1,116 @@
+//! Cross-variant and cross-representation invariants.
+
+use batch_setup_scheduling::prelude::*;
+
+#[test]
+fn relaxation_order_of_certified_makespans() {
+    // More scheduling freedom never certifies a *larger* optimum: the
+    // splittable certificate (a strict lower bound on OPT_split) can never
+    // exceed the non-preemptive makespan (an upper bound on OPT_nonp scaled
+    // by the ratio), and so on down the relaxation chain.
+    for seed in 0..20 {
+        let inst = batch_setup_scheduling::gen::uniform(50, 7, 4, seed);
+        let split = solve(&inst, Variant::Splittable, Algorithm::ThreeHalves);
+        let pmtn = solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves);
+        let nonp = solve(&inst, Variant::NonPreemptive, Algorithm::ThreeHalves);
+        // certificate_variant < OPT_variant <= makespan of any feasible
+        // schedule of a *more restricted* variant.
+        assert!(split.certificate <= pmtn.makespan);
+        assert!(split.certificate <= nonp.makespan);
+        assert!(pmtn.certificate <= nonp.makespan);
+        // A non-preemptive schedule is feasible for the relaxed variants too.
+        assert!(validate(&nonp.schedule, &inst, Variant::Preemptive).is_empty());
+        assert!(validate(&nonp.schedule, &inst, Variant::Splittable).is_empty());
+        // A preemptive schedule is feasible for the splittable variant.
+        assert!(validate(&pmtn.schedule, &inst, Variant::Splittable).is_empty());
+    }
+}
+
+#[test]
+fn solve_is_deterministic() {
+    let inst = batch_setup_scheduling::gen::uniform(80, 9, 5, 3);
+    for variant in Variant::ALL {
+        let a = solve(&inst, variant, Algorithm::ThreeHalves);
+        let b = solve(&inst, variant, Algorithm::ThreeHalves);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.schedule.placements(), b.schedule.placements());
+    }
+}
+
+#[test]
+fn compact_expansion_is_consistent() {
+    for seed in 0..10 {
+        let inst = batch_setup_scheduling::gen::uniform(60, 8, 24, seed);
+        let sol = solve(&inst, Variant::Splittable, Algorithm::ThreeHalves);
+        let compact = sol.compact.expect("splittable");
+        let expanded = compact.expand();
+        assert_eq!(expanded.makespan(), sol.makespan);
+        assert_eq!(compact.makespan(), sol.makespan);
+        // Per-job assigned time matches between representations.
+        for j in 0..inst.num_jobs() {
+            assert_eq!(
+                compact.job_assigned(j),
+                Rational::from(inst.job(j).time),
+                "job {j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn instance_json_roundtrip_preserves_solutions() {
+    let inst = batch_setup_scheduling::gen::uniform(40, 6, 3, 11);
+    let json = inst.to_json();
+    let back = Instance::from_json(&json).expect("roundtrip");
+    for variant in Variant::ALL {
+        let a = solve(&inst, variant, Algorithm::ThreeHalves);
+        let b = solve(&back, variant, Algorithm::ThreeHalves);
+        assert_eq!(a.makespan, b.makespan);
+    }
+}
+
+#[test]
+fn setup_count_never_below_class_count() {
+    // Every class needs at least one setup (Lemma 1: λ_i >= α_i >= 1).
+    for seed in 0..10 {
+        let inst = batch_setup_scheduling::gen::uniform(50, 7, 4, seed);
+        for variant in Variant::ALL {
+            let sol = solve(&inst, variant, Algorithm::ThreeHalves);
+            assert!(sol.schedule.num_setups() >= inst.num_classes());
+        }
+    }
+}
+
+#[test]
+fn makespan_equals_max_machine_end() {
+    let inst = batch_setup_scheduling::gen::uniform(50, 7, 4, 5);
+    let sol = solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves);
+    let max_end = (0..inst.machines())
+        .filter_map(|u| {
+            sol.schedule
+                .machine_timeline(u)
+                .last()
+                .map(batch_setup_scheduling::schedule::Placement::end)
+        })
+        .max()
+        .unwrap();
+    assert_eq!(sol.makespan, max_end);
+}
+
+#[test]
+fn single_job_instances_are_scheduled_optimally() {
+    let mut b = InstanceBuilder::new(3);
+    b.add_batch(4, &[9]);
+    let inst = b.build().unwrap();
+    for variant in Variant::ALL {
+        let sol = solve(&inst, variant, Algorithm::ThreeHalves);
+        // One job: OPT = s + t = 13 for every variant; splitting cannot help
+        // a single job either (a piece still needs the setup first).
+        assert!(
+            sol.makespan <= Rational::from(13u64) * Rational::new(3, 2),
+            "{variant}"
+        );
+        assert!(validate(&sol.schedule, &inst, variant).is_empty());
+    }
+}

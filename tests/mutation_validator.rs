@@ -1,0 +1,247 @@
+//! Failure-injection tests: the validators must catch every class of
+//! corruption we can inflict on a known-good schedule.
+//!
+//! This is the safety net under every other test in the repository — if the
+//! validators were lenient, the "all algorithms validate" suites would prove
+//! nothing.
+
+use batch_setup_scheduling::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn solved(seed: u64) -> (Instance, Schedule, Variant) {
+    let variants = Variant::ALL;
+    let inst = batch_setup_scheduling::gen::uniform(40, 6, 4, seed);
+    let variant = variants[(seed % 3) as usize];
+    let sol = solve(&inst, variant, Algorithm::ThreeHalves);
+    (inst, sol.schedule, variant)
+}
+
+#[test]
+fn deleting_a_piece_is_caught() {
+    for seed in 0..20 {
+        let (inst, mut s, variant) = solved(seed);
+        let idx = s
+            .placements()
+            .iter()
+            .position(|p| !p.kind.is_setup())
+            .expect("has pieces");
+        s.placements_mut().remove(idx);
+        assert!(
+            validate(&s, &inst, variant)
+                .iter()
+                .any(|v| matches!(v, Violation::WrongJobTotal { .. })),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn deleting_a_setup_is_caught() {
+    for seed in 0..20 {
+        let (inst, mut s, variant) = solved(seed);
+        let idx = s
+            .placements()
+            .iter()
+            .position(|p| p.kind.is_setup())
+            .expect("has setups");
+        s.placements_mut().remove(idx);
+        // Removing a setup either uncovers a run or (if it was trailing /
+        // redundant) changes nothing structurally; the algorithms never emit
+        // redundant setups, so a violation must surface.
+        assert!(
+            !validate(&s, &inst, variant).is_empty(),
+            "seed {seed}: removing a setup went unnoticed"
+        );
+    }
+}
+
+#[test]
+fn shrinking_a_piece_is_caught() {
+    for seed in 0..20 {
+        let (inst, mut s, variant) = solved(seed);
+        let idx = s
+            .placements()
+            .iter()
+            .position(|p| !p.kind.is_setup() && p.len > Rational::ONE)
+            .expect("has a long piece");
+        s.placements_mut()[idx].len -= Rational::new(1, 3);
+        assert!(
+            validate(&s, &inst, variant)
+                .iter()
+                .any(|v| matches!(v, Violation::WrongJobTotal { .. })),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn overlapping_shift_is_caught() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut caught = 0;
+    for seed in 0..30 {
+        let (inst, mut s, variant) = solved(seed);
+        // Pick a machine with >= 2 placements and shift a later one down
+        // into its predecessor.
+        let machine = s.placements()[rng.gen_range(0..s.placements().len())].machine;
+        let tl = s.machine_timeline(machine);
+        if tl.len() < 2 {
+            continue;
+        }
+        let victim = tl[1];
+        let idx = s
+            .placements()
+            .iter()
+            .position(|p| p == &victim)
+            .expect("present");
+        s.placements_mut()[idx].start = tl[0].start; // collide with first item
+        let violations = validate(&s, &inst, variant);
+        assert!(!violations.is_empty(), "seed {seed}: overlap unnoticed");
+        caught += 1;
+    }
+    assert!(caught >= 20, "mutation rarely applicable: {caught}");
+}
+
+#[test]
+fn moving_piece_to_unset_machine_is_caught() {
+    for seed in 0..20 {
+        let (inst, mut s, variant) = solved(seed);
+        // Find an empty-ish target machine lacking this class's setup at the
+        // piece's time; machine count is 4, schedules rarely use a machine
+        // for *every* class, so search for a violating move.
+        let mut mutated = false;
+        let placements = s.placements().to_vec();
+        for (idx, p) in placements.iter().enumerate() {
+            if p.kind.is_setup() {
+                continue;
+            }
+            for target in 0..inst.machines() {
+                if target == p.machine {
+                    continue;
+                }
+                let class = p.kind.class();
+                let covered = s
+                    .machine_timeline(target)
+                    .iter()
+                    .any(|q| q.kind == ItemKind::Setup(class));
+                if !covered {
+                    s.placements_mut()[idx].machine = target;
+                    mutated = true;
+                    break;
+                }
+            }
+            if mutated {
+                break;
+            }
+        }
+        if mutated {
+            assert!(
+                validate(&s, &inst, variant)
+                    .iter()
+                    .any(|v| matches!(
+                        v,
+                        Violation::MissingSetup { .. } | Violation::Overlap { .. }
+                    )),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn relabeling_piece_class_is_caught() {
+    for seed in 0..20 {
+        let (inst, mut s, variant) = solved(seed);
+        if inst.num_classes() < 2 {
+            continue;
+        }
+        let idx = s
+            .placements()
+            .iter()
+            .position(|p| !p.kind.is_setup())
+            .expect("has pieces");
+        if let ItemKind::Piece { job, class } = s.placements()[idx].kind {
+            let other = (class + 1) % inst.num_classes();
+            s.placements_mut()[idx].kind = ItemKind::Piece { job, class: other };
+            assert!(
+                validate(&s, &inst, variant)
+                    .iter()
+                    .any(|v| matches!(v, Violation::WrongPieceClass { .. })),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stretching_a_setup_is_caught() {
+    for seed in 0..20 {
+        let (inst, mut s, variant) = solved(seed);
+        let idx = s
+            .placements()
+            .iter()
+            .position(|p| p.kind.is_setup())
+            .expect("has setups");
+        s.placements_mut()[idx].len += Rational::ONE;
+        assert!(
+            validate(&s, &inst, variant)
+                .iter()
+                .any(|v| matches!(
+                    v,
+                    Violation::WrongSetupLength { .. } | Violation::Overlap { .. }
+                )),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn duplicating_a_piece_is_caught() {
+    for seed in 0..20 {
+        let (inst, mut s, variant) = solved(seed);
+        let p = *s
+            .placements()
+            .iter()
+            .find(|p| !p.kind.is_setup())
+            .expect("has pieces");
+        s.push(p); // same place: overlap AND wrong job total
+        let violations = validate(&s, &inst, variant);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::WrongJobTotal { .. })),
+            "seed {seed}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::Overlap { .. })),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn splitting_a_nonpreemptive_job_is_caught() {
+    for seed in 0..20 {
+        let inst = batch_setup_scheduling::gen::uniform(40, 6, 4, seed);
+        let sol = solve(&inst, Variant::NonPreemptive, Algorithm::ThreeHalves);
+        let mut s = sol.schedule;
+        let idx = s
+            .placements()
+            .iter()
+            .position(|p| !p.kind.is_setup() && p.len > Rational::ONE)
+            .expect("has a splittable piece");
+        let p = s.placements()[idx];
+        let half = p.len.half();
+        s.placements_mut()[idx].len = half;
+        s.push(Placement::new(p.machine, p.start + half, p.len - half, p.kind));
+        // Still contiguous and load-conserving — but split in two pieces:
+        // only the non-preemptive validator may complain.
+        assert!(validate(&s, &inst, Variant::NonPreemptive)
+            .iter()
+            .any(|v| matches!(v, Violation::JobSplit { .. })));
+        assert!(validate(&s, &inst, Variant::Preemptive).is_empty());
+        assert!(validate(&s, &inst, Variant::Splittable).is_empty());
+    }
+}
