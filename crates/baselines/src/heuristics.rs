@@ -52,9 +52,8 @@ pub fn lpt_batches(inst: &Instance) -> Schedule {
     let mut order: Vec<usize> = (0..inst.num_classes()).collect();
     order.sort_by_key(|&i| Reverse(inst.setup(i) + inst.class_proc(i)));
     // Min-heap of (load, machine).
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..inst.machines())
-        .map(|u| Reverse((0u64, u)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..inst.machines()).map(|u| Reverse((0u64, u))).collect();
     let mut s = Schedule::new(inst.machines());
     for i in order {
         let Reverse((load, u)) = heap.pop().expect("m >= 1");
@@ -131,8 +130,8 @@ mod tests {
             let s = monma_potts(&inst);
             let v = validate(&s, &inst, Variant::Preemptive);
             assert!(v.is_empty(), "{v:?}");
-            let bound = LowerBounds::of(&inst).tmin(Variant::Preemptive)
-                + Rational::from(inst.smax());
+            let bound =
+                LowerBounds::of(&inst).tmin(Variant::Preemptive) + Rational::from(inst.smax());
             assert!(s.makespan() <= bound);
             // The bound itself certifies ratio < 2.
             assert!(bound < LowerBounds::of(&inst).tmin(Variant::Preemptive) * 2u64 + 1u64);

@@ -9,7 +9,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bss_core::{nonpreemptive, preemptive, splittable, solve, two_approx, Algorithm, Trace};
+use bss_core::{nonpreemptive, preemptive, solve, splittable, two_approx, Algorithm, Trace};
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 

@@ -74,9 +74,21 @@ fn validate_bench(c: &mut Criterion) {
     let inst = bss_gen::uniform(50_000, 2_500, 32, 1);
     let sol = bss_core::solve(&inst, Variant::Preemptive, bss_core::Algorithm::ThreeHalves);
     c.bench_function("validate_preemptive_50k", |b| {
-        b.iter(|| black_box(bss_schedule::validate(&sol.schedule, &inst, Variant::Preemptive)))
+        b.iter(|| {
+            black_box(bss_schedule::validate(
+                &sol.schedule,
+                &inst,
+                Variant::Preemptive,
+            ))
+        })
     });
 }
 
-criterion_group!(benches, wrap_ablation, knapsack, mcnaughton_bench, validate_bench);
+criterion_group!(
+    benches,
+    wrap_ablation,
+    knapsack,
+    mcnaughton_bench,
+    validate_bench
+);
 criterion_main!(benches);

@@ -22,42 +22,49 @@ fn main() {
         "certified ratio (max)",
     ]);
     for (suite, make) in [
-        ("uniform", bss_gen::uniform as fn(usize, usize, usize, u64) -> bss_instance::Instance),
-        ("contended", bss_gen::contended as fn(usize, usize, usize, u64) -> bss_instance::Instance),
+        (
+            "uniform",
+            bss_gen::uniform as fn(usize, usize, usize, u64) -> bss_instance::Instance,
+        ),
+        (
+            "contended",
+            bss_gen::contended as fn(usize, usize, usize, u64) -> bss_instance::Instance,
+        ),
     ] {
-    for variant in Variant::ALL {
-        let cells: Vec<u32> = (1..=12).collect();
-        let rows = parallel_map(cells, None, |eps_log2| {
-            let mut probes = Vec::new();
-            let mut times = Vec::new();
-            let mut ratios = Vec::new();
-            for seed in 0..reps {
-                let c = if suite == "contended" { 6 } else { n / 20 };
-                let inst = make(n, c, 8, seed);
-                let (sol, dt) =
-                    time_best_of(2, || solve(&inst, variant, Algorithm::EpsilonSearch { eps_log2 }));
-                probes.push(sol.probes as f64);
-                times.push(dt.as_secs_f64() * 1e3);
-                ratios.push((sol.makespan / sol.certificate).to_f64());
+        for variant in Variant::ALL {
+            let cells: Vec<u32> = (1..=12).collect();
+            let rows = parallel_map(cells, None, |eps_log2| {
+                let mut probes = Vec::new();
+                let mut times = Vec::new();
+                let mut ratios = Vec::new();
+                for seed in 0..reps {
+                    let c = if suite == "contended" { 6 } else { n / 20 };
+                    let inst = make(n, c, 8, seed);
+                    let (sol, dt) = time_best_of(2, || {
+                        solve(&inst, variant, Algorithm::EpsilonSearch { eps_log2 })
+                    });
+                    probes.push(sol.probes as f64);
+                    times.push(dt.as_secs_f64() * 1e3);
+                    ratios.push((sol.makespan / sol.certificate).to_f64());
+                }
+                (
+                    eps_log2,
+                    Summary::of(&probes),
+                    Summary::of(&times),
+                    Summary::of(&ratios),
+                )
+            });
+            for (eps_log2, probes, times, ratios) in rows {
+                table.row(&[
+                    variant.to_string(),
+                    suite.to_string(),
+                    format!("2^-{eps_log2}"),
+                    format!("{:.1}", probes.mean),
+                    format!("{:.2}", times.median),
+                    format!("{:.4}", ratios.max),
+                ]);
             }
-            (
-                eps_log2,
-                Summary::of(&probes),
-                Summary::of(&times),
-                Summary::of(&ratios),
-            )
-        });
-        for (eps_log2, probes, times, ratios) in rows {
-            table.row(&[
-                variant.to_string(),
-                suite.to_string(),
-                format!("2^-{eps_log2}"),
-                format!("{:.1}", probes.mean),
-                format!("{:.2}", times.median),
-                format!("{:.4}", ratios.max),
-            ]);
         }
-    }
     }
     std::fs::create_dir_all("bench_output").expect("create bench_output");
     std::fs::write("bench_output/epsilon.txt", table.to_aligned()).expect("write");

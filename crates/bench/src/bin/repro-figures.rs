@@ -41,7 +41,11 @@ fn render_steps(
 }
 
 /// Finds an accepted guess for a dual via the certified window.
-fn accepted_guess(inst: &Instance, variant: Variant, accepts: impl Fn(Rational) -> bool) -> Rational {
+fn accepted_guess(
+    inst: &Instance,
+    variant: Variant,
+    accepts: impl Fn(Rational) -> bool,
+) -> Rational {
     let t_min = LowerBounds::of(inst).tmin(variant);
     let mut lo = t_min;
     let mut hi = t_min * 2u64;
@@ -90,8 +94,8 @@ fn main() {
             preemptive::is_nice(&inst, t)
                 && preemptive::nice_dual(&inst, t, preemptive::CountMode::AlphaPrime).is_some()
         });
-        let s = preemptive::nice_dual(&inst, t, preemptive::CountMode::AlphaPrime)
-            .expect("accepted");
+        let s =
+            preemptive::nice_dual(&inst, t, preemptive::CountMode::AlphaPrime).expect("accepted");
         write(
             "fig2",
             &format!("Figure 2: Algorithm 2 on a nice instance (I+exp = {{A, B}}); T = {t}"),
@@ -115,8 +119,14 @@ fn main() {
             t,
             &trace,
             &[
-                ("3", "Figure 3: situation after step 1 (large machines for I0exp)"),
-                ("4", "Figure 4: the bottom of the large machines (K+/K− placement)"),
+                (
+                    "3",
+                    "Figure 3: situation after step 1 (large machines for I0exp)",
+                ),
+                (
+                    "4",
+                    "Figure 4: the bottom of the large machines (K+/K− placement)",
+                ),
                 ("9", "Figure 9: completed schedule (Lemma 10)"),
             ],
         );
@@ -182,8 +192,14 @@ fn main() {
             t,
             &trace,
             &[
-                ("-left", "left: next-fit schedule, items crossing T_min hatched"),
-                ("-right", "right: after moving border items (with fresh setups)"),
+                (
+                    "-left",
+                    "left: next-fit schedule, items crossing T_min hatched",
+                ),
+                (
+                    "-right",
+                    "right: after moving border items (with fresh setups)",
+                ),
             ],
         );
     }
@@ -240,10 +256,22 @@ fn main() {
             t,
             &trace,
             &[
-                ("0", "Figure 10: after step 1 (schedule L: J+, expensive wraps, K wraps)"),
-                ("1", "Figure 11: after step 2 (fill own machines, splits allowed)"),
-                ("2", "Figure 12: after step 3 (greedy fill, items may cross T)"),
-                ("3", "Figure 13: after step 4 (repair: integral jobs, moved items)"),
+                (
+                    "0",
+                    "Figure 10: after step 1 (schedule L: J+, expensive wraps, K wraps)",
+                ),
+                (
+                    "1",
+                    "Figure 11: after step 2 (fill own machines, splits allowed)",
+                ),
+                (
+                    "2",
+                    "Figure 12: after step 3 (greedy fill, items may cross T)",
+                ),
+                (
+                    "3",
+                    "Figure 13: after step 4 (repair: integral jobs, moved items)",
+                ),
             ],
         );
     }

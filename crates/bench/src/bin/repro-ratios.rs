@@ -98,7 +98,10 @@ fn main() {
             "R3".to_string(),
             format!("preemptive m={m}"),
             "Monma-Potts / T_min (max)".to_string(),
-            format!("{:.4}  [claim <= {mp_bound:.4} vs OPT]", Summary::of(&mp).max),
+            format!(
+                "{:.4}  [claim <= {mp_bound:.4} vs OPT]",
+                Summary::of(&mp).max
+            ),
         ]);
         table.row(&[
             "R3".to_string(),

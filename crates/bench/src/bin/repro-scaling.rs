@@ -34,11 +34,36 @@ fn main() {
 
     // S1: n-scaling of the full 3/2 algorithms and 2-approximations.
     let cases: Vec<(Variant, Algorithm, &str, &str)> = vec![
-        (Variant::Splittable, Algorithm::TwoApprox, "2-approx", "O(n)"),
-        (Variant::NonPreemptive, Algorithm::TwoApprox, "2-approx", "O(n)"),
-        (Variant::Splittable, Algorithm::ThreeHalves, "class jumping", "O(n + c log(c+m))"),
-        (Variant::Preemptive, Algorithm::ThreeHalves, "class jumping", "O(n log(c+m))"),
-        (Variant::NonPreemptive, Algorithm::ThreeHalves, "integer search", "O(n log(n+Δ))"),
+        (
+            Variant::Splittable,
+            Algorithm::TwoApprox,
+            "2-approx",
+            "O(n)",
+        ),
+        (
+            Variant::NonPreemptive,
+            Algorithm::TwoApprox,
+            "2-approx",
+            "O(n)",
+        ),
+        (
+            Variant::Splittable,
+            Algorithm::ThreeHalves,
+            "class jumping",
+            "O(n + c log(c+m))",
+        ),
+        (
+            Variant::Preemptive,
+            Algorithm::ThreeHalves,
+            "class jumping",
+            "O(n log(c+m))",
+        ),
+        (
+            Variant::NonPreemptive,
+            Algorithm::ThreeHalves,
+            "integer search",
+            "O(n log(n+Δ))",
+        ),
     ];
     for (variant, algo, name, claimed) in cases {
         let instances: Vec<(usize, Instance)> = sizes

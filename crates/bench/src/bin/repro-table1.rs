@@ -73,32 +73,44 @@ fn main() {
     for variant in Variant::ALL {
         for cell in algorithms(variant) {
             for suite in &suites {
-                cells.push((cell.variant, cell.algo, cell.algo_name, cell.claimed, cell.claimed_time, suite.name, suite.instances.clone()));
+                cells.push((
+                    cell.variant,
+                    cell.algo,
+                    cell.algo_name,
+                    cell.claimed,
+                    cell.claimed_time,
+                    suite.name,
+                    suite.instances.clone(),
+                ));
             }
         }
     }
 
-    let rows = parallel_map(cells, None, |(variant, algo, name, claimed, claimed_time, suite, instances)| {
-        let mut ratios = Vec::new();
-        let mut times = Vec::new();
-        for inst in &instances {
-            let (sol, dt) = time_best_of(2, || solve(inst, variant, algo));
-            ratios.push((sol.makespan / sol.certificate).to_f64());
-            times.push(dt.as_secs_f64() * 1e3);
-        }
-        let r = Summary::of(&ratios);
-        let t = Summary::of(&times);
-        vec![
-            variant.to_string(),
-            name.to_string(),
-            suite.to_string(),
-            claimed.to_string(),
-            format!("{:.4}", r.mean),
-            format!("{:.4}", r.max),
-            claimed_time.to_string(),
-            format!("{:.2}ms", t.median),
-        ]
-    });
+    let rows = parallel_map(
+        cells,
+        None,
+        |(variant, algo, name, claimed, claimed_time, suite, instances)| {
+            let mut ratios = Vec::new();
+            let mut times = Vec::new();
+            for inst in &instances {
+                let (sol, dt) = time_best_of(2, || solve(inst, variant, algo));
+                ratios.push((sol.makespan / sol.certificate).to_f64());
+                times.push(dt.as_secs_f64() * 1e3);
+            }
+            let r = Summary::of(&ratios);
+            let t = Summary::of(&times);
+            vec![
+                variant.to_string(),
+                name.to_string(),
+                suite.to_string(),
+                claimed.to_string(),
+                format!("{:.4}", r.mean),
+                format!("{:.4}", r.max),
+                claimed_time.to_string(),
+                format!("{:.2}ms", t.median),
+            ]
+        },
+    );
 
     let mut table = Table::new(&[
         "variant",

@@ -37,7 +37,9 @@ pub fn table1_suites(n: usize, c: usize, m: usize, reps: u64) -> Vec<Suite> {
         },
         Suite {
             name: "zipf",
-            instances: (0..reps).map(|s| bss_gen::zipf_classes(n, c, m, s)).collect(),
+            instances: (0..reps)
+                .map(|s| bss_gen::zipf_classes(n, c, m, s))
+                .collect(),
         },
     ]
 }

@@ -223,10 +223,8 @@ pub fn dual(inst: &Instance, t: u64, trace: &mut Trace) -> Option<Schedule> {
     // splitting at border T.
     let mut leftover: Vec<Vec<(JobId, u64)>> = vec![Vec::new(); c];
     for i in 0..c {
-        let mut queue: std::collections::VecDeque<(JobId, u64)> = light[i]
-            .iter()
-            .map(|&j| (j, inst.job(j).time))
-            .collect();
+        let mut queue: std::collections::VecDeque<(JobId, u64)> =
+            light[i].iter().map(|&j| (j, inst.job(j).time)).collect();
         for &u in &fillable[i] {
             while let Some(&(j, rem)) = queue.front() {
                 let avail = b.t - b.loads[u];
@@ -344,7 +342,8 @@ pub fn dual(inst: &Instance, t: u64, trace: &mut Trace) -> Option<Schedule> {
             continue;
         }
         let end = b.loads[mu]; // stacks are contiguous from 0
-        let crosses = end > b.t || (last.job.is_none() && end == b.t && idx + 1 < step3_machines.len());
+        let crosses =
+            end > b.t || (last.job.is_none() && end == b.t && idx + 1 < step3_machines.len());
         if !crosses {
             continue;
         }

@@ -24,9 +24,7 @@ pub fn three_halves(inst: &Instance) -> SearchOutcome<Schedule> {
     if inst.machines() >= inst.num_jobs() {
         return trivial_one_job_per_machine(inst);
     }
-    let t_min = LowerBounds::of(inst)
-        .tmin(Variant::NonPreemptive)
-        .ceil() as u64;
+    let t_min = LowerBounds::of(inst).tmin(Variant::NonPreemptive).ceil() as u64;
     integer_search(t_min, 2 * t_min, |t| dual(inst, t, &mut Trace::disabled()))
 }
 

@@ -86,8 +86,7 @@ fn prepare(inst: &Instance, t: Rational, mode: CountMode) -> Option<Plan> {
             }
         })
         .collect();
-    let istar_set: std::collections::HashSet<ClassId> =
-        istar.iter().map(|&(i, _)| i).collect();
+    let istar_set: std::collections::HashSet<ClassId> = istar.iter().map(|&(i, _)| i).collect();
 
     // Free time F outside the large machines (Equation 3).
     let mut base_load = Rational::ZERO;
@@ -108,8 +107,7 @@ fn prepare(inst: &Instance, t: Rational, mode: CountMode) -> Option<Plan> {
     for (&i, &a) in cls.iexp_plus.iter().zip(&counts) {
         l_pmtn += Rational::from(inst.setup(i) * a as u64);
     }
-    let plus_set: std::collections::HashSet<ClassId> =
-        cls.iexp_plus.iter().copied().collect();
+    let plus_set: std::collections::HashSet<ClassId> = cls.iexp_plus.iter().copied().collect();
     for i in 0..inst.num_classes() {
         if !plus_set.contains(&i) {
             l_pmtn += Rational::from(inst.setup(i));
@@ -370,13 +368,7 @@ pub fn dual(inst: &Instance, t: Rational, mode: CountMode, trace: &mut Trace) ->
             return None;
         }
         // Group by class, split-item class first (its setup leads the wrap).
-        kminus.sort_by_key(|p| {
-            (
-                (Some(p.class) != plan.k_first_class) as u8,
-                p.class,
-                p.job,
-            )
-        });
+        kminus.sort_by_key(|p| ((Some(p.class) != plan.k_first_class) as u8, p.class, p.job));
         let mut q = WrapSequence::new();
         let mut current: Option<ClassId> = None;
         for p in kminus {
@@ -531,7 +523,11 @@ mod tests {
         let mut b = InstanceBuilder::new(2);
         b.add_batch(10, &[25]);
         let inst = b.build().unwrap();
-        assert!(!accepts(&inst, Rational::from(34u64), CountMode::AlphaPrime));
+        assert!(!accepts(
+            &inst,
+            Rational::from(34u64),
+            CountMode::AlphaPrime
+        ));
     }
 
     #[test]
@@ -541,6 +537,10 @@ mod tests {
         b.add_batch(2, &[5]);
         let inst = b.build().unwrap();
         // N = 16; at T = 16 the single machine holds everything.
-        assert!(check_at(&inst, Rational::from(16u64), CountMode::AlphaPrime));
+        assert!(check_at(
+            &inst,
+            Rational::from(16u64),
+            CountMode::AlphaPrime
+        ));
     }
 }

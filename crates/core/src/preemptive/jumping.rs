@@ -67,7 +67,8 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<Schedule> {
         thresholds.push(Rational::new(4 * sp as i128, 3)); // I0exp / I−exp
     }
     for job in inst.jobs() {
-        thresholds.push(Rational::from(2 * (inst.setup(job.class) + job.time))); // C*
+        thresholds.push(Rational::from(2 * (inst.setup(job.class) + job.time)));
+        // C*
     }
     thresholds.sort();
     thresholds.dedup();
@@ -173,11 +174,7 @@ fn load_and_machines(inst: &Instance, t: Rational) -> Option<(Rational, usize)> 
     let half = t.half();
     let cls = classify(inst, t);
     let l = cls.iexp_zero.len();
-    let counts: Vec<usize> = cls
-        .iexp_plus
-        .iter()
-        .map(|&i| gamma(inst, t, i))
-        .collect();
+    let counts: Vec<usize> = cls.iexp_plus.iter().map(|&i| gamma(inst, t, i)).collect();
     let m_req = l + counts.iter().sum::<usize>() + cls.iexp_minus.len().div_ceil(2);
 
     let mut l_pmtn = Rational::from(inst.total_proc());

@@ -67,7 +67,11 @@ impl Batch {
 
     fn sequence(&self) -> WrapSequence {
         let mut q = WrapSequence::new();
-        q.push_batch(self.class, Rational::from(self.setup), self.pieces.iter().copied());
+        q.push_batch(
+            self.class,
+            Rational::from(self.setup),
+            self.pieces.iter().copied(),
+        );
         q
     }
 }
@@ -132,8 +136,8 @@ pub(crate) fn build_nice(
             runs.push(GapRun::single(cursor + a - 1, s, top));
         }
         let template = Template::new(runs);
-        let placed = wrap(&batch.sequence(), &template, inst.setups(), inst.machines())
-            .map_err(|_| ())?;
+        let placed =
+            wrap(&batch.sequence(), &template, inst.setups(), inst.machines()).map_err(|_| ())?;
         out.absorb(placed.expand());
         cursor += a;
     }
@@ -223,7 +227,12 @@ pub fn nice_dual(inst: &Instance, t: Rational, mode: CountMode) -> Option<Schedu
     for (&i, &a) in cls.iexp_plus.iter().zip(&counts) {
         l_nice += Rational::from(inst.setup(i) * a as u64);
     }
-    for i in cls.iexp_minus.iter().chain(cls.ichp_plus.iter()).chain(cls.ichp_minus.iter()) {
+    for i in cls
+        .iexp_minus
+        .iter()
+        .chain(cls.ichp_plus.iter())
+        .chain(cls.ichp_minus.iter())
+    {
         l_nice += Rational::from(inst.setup(*i));
     }
     if t * inst.machines() < l_nice {
@@ -236,7 +245,11 @@ pub fn nice_dual(inst: &Instance, t: Rational, mode: CountMode) -> Option<Schedu
             .zip(&counts)
             .map(|(&i, &a)| (Batch::full(inst, i), a))
             .collect(),
-        minus: cls.iexp_minus.iter().map(|&i| Batch::full(inst, i)).collect(),
+        minus: cls
+            .iexp_minus
+            .iter()
+            .map(|&i| Batch::full(inst, i))
+            .collect(),
         cheap: cls
             .ichp_plus
             .iter()

@@ -216,13 +216,7 @@ mod tests {
     #[test]
     fn integer_search_is_exact() {
         let threshold = 137u64;
-        let out = integer_search(100, 200, |t| {
-            if t >= threshold {
-                Some(t)
-            } else {
-                None
-            }
-        });
+        let out = integer_search(100, 200, |t| if t >= threshold { Some(t) } else { None });
         assert_eq!(out.accepted, r(137));
         assert_eq!(out.rejected, Some(r(136)));
     }

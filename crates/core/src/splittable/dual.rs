@@ -52,11 +52,7 @@ pub fn dual(inst: &Instance, t: Rational) -> Option<CompactSchedule> {
 /// step 2). Tracing expands the compact schedule, so only use it for
 /// rendering.
 #[must_use]
-pub fn dual_traced(
-    inst: &Instance,
-    t: Rational,
-    trace: &mut Trace,
-) -> Option<CompactSchedule> {
+pub fn dual_traced(inst: &Instance, t: Rational, trace: &mut Trace) -> Option<CompactSchedule> {
     if !accepts(inst, t) {
         return None;
     }

@@ -138,10 +138,7 @@ pub fn greedy_two_approx(inst: &Instance, trace: &mut Trace) -> Schedule {
     trace.snap("phase 2: repaired", &schedule);
     return schedule;
 
-    fn stacks_to_schedule(
-        inst: &Instance,
-        stacks: &[Vec<It>],
-    ) -> Schedule {
+    fn stacks_to_schedule(inst: &Instance, stacks: &[Vec<It>]) -> Schedule {
         let mut s = Schedule::new(inst.machines());
         for (u, stack) in stacks.iter().enumerate() {
             let mut t = Rational::ZERO;
@@ -177,8 +174,7 @@ mod tests {
         let s = cs.expand();
         let v = validate(&s, inst, Variant::Splittable);
         assert!(v.is_empty(), "splittable: {v:?}");
-        let bound =
-            LowerBounds::of(inst).tmin(Variant::Splittable) * 2u64;
+        let bound = LowerBounds::of(inst).tmin(Variant::Splittable) * 2u64;
         assert!(s.makespan() <= bound, "{} > {}", s.makespan(), bound);
 
         // Non-preemptive / preemptive.

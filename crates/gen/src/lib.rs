@@ -62,7 +62,10 @@ pub enum ClassSizes {
 /// empty/zero-based.
 #[must_use]
 pub fn generate(cfg: &GenConfig) -> Instance {
-    assert!(cfg.classes > 0 && cfg.classes <= cfg.jobs, "need 1 <= c <= n");
+    assert!(
+        cfg.classes > 0 && cfg.classes <= cfg.jobs,
+        "need 1 <= c <= n"
+    );
     assert!(cfg.setup_range.0 >= 1 && cfg.setup_range.0 <= cfg.setup_range.1);
     assert!(cfg.job_range.0 >= 1 && cfg.job_range.0 <= cfg.job_range.1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -152,7 +155,9 @@ pub fn single_job_batches(jobs: usize, machines: usize, seed: u64) -> Instance {
 /// Few classes whose setups dominate: exercises expensive-class handling.
 #[must_use]
 pub fn expensive_setups(jobs: usize, machines: usize, seed: u64) -> Instance {
-    let classes = machines.clamp(2, jobs);
+    // `~machines` classes, at least 2 when possible, never more than `jobs`
+    // (written without `clamp`, whose `min > max` case panics for `jobs < 2`).
+    let classes = machines.max(2).min(jobs);
     generate(&GenConfig {
         jobs,
         classes,
@@ -180,6 +185,10 @@ pub fn zipf_classes(jobs: usize, classes: usize, machines: usize, seed: u64) -> 
 
 /// Job times spanning `[1, delta]` log-uniformly: stress for the integer
 /// binary search of Theorem 8.
+///
+/// # Panics
+/// Panics if `delta < 2` or `jobs == 0` (as with [`generate`], degenerate
+/// shapes are precondition violations, not empty instances).
 #[must_use]
 pub fn wide_delta(jobs: usize, classes: usize, machines: usize, delta: u64, seed: u64) -> Instance {
     assert!(delta >= 2);
@@ -191,7 +200,11 @@ pub fn wide_delta(jobs: usize, classes: usize, machines: usize, delta: u64, seed
         b.add_class((exp.exp() as u64).clamp(1, delta));
     }
     for j in 0..jobs {
-        let class = if j < classes { j } else { rng.gen_range(0..classes) };
+        let class = if j < classes {
+            j
+        } else {
+            rng.gen_range(0..classes)
+        };
         let exp = rng.gen_range(0.0..(delta as f64).ln());
         b.add_job(class, (exp.exp() as u64).clamp(1, delta));
     }

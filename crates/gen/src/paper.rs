@@ -24,6 +24,7 @@ pub fn fig1_splittable() -> Instance {
     b.add_batch(70, &[65, 65]); // class 1: P=130
     b.add_batch(80, &[40]); // class 2: P=40
     b.add_batch(55, &[45, 45]); // class 3: P=90
+
     // Cheap: setups <= 50.
     b.add_batch(30, &[20, 20, 20]); // class 4
     b.add_batch(20, &[25, 25]); // class 5
@@ -41,10 +42,12 @@ pub fn fig2_nice_preemptive() -> Instance {
     // I+exp: s > T/2, s + P >= T (T ≈ 120).
     b.add_batch(65, &[55, 55, 40]); // class 0: s+P = 215 (α' ≈ 2)
     b.add_batch(70, &[50, 50, 20]); // class 1: s+P = 190
+
     // I−exp: s > T/2, s + P <= 3T/4 = 90 … needs T ≈ 120: s=61, P=20 → 81.
     b.add_batch(61, &[20]); // class 2
     b.add_batch(62, &[18]); // class 3
     b.add_batch(63, &[15]); // class 4
+
     // Cheap classes.
     b.add_batch(20, &[30, 30, 25]); // class 5
     b.add_batch(10, &[22, 22]); // class 6
@@ -63,14 +66,18 @@ pub fn fig3_general_preemptive() -> Instance {
     // I0exp: 3/4 T < s + P < T → (90, 120): s=61, P=35 → 96; s=65, P=40 → 105.
     b.add_batch(61, &[35]); // class 0 (large machine)
     b.add_batch(65, &[25, 15]); // class 1 (large machine)
+
     // I+exp: s + P >= T.
     b.add_batch(70, &[60, 60, 30]); // class 2
     b.add_batch(75, &[55, 55]); // class 3
+
     // I+chp: T/4 <= s <= T/2 → [30, 60].
     b.add_batch(35, &[30, 30]); // class 4
+
     // I−chp with big jobs (s + t > T/2 = 60): class 5 has C* jobs.
     b.add_batch(20, &[45, 45, 10]); // class 5: 20+45 = 65 > 60 → C* = {45, 45}
     b.add_batch(15, &[50, 8]); // class 6: 15+50 = 65 > 60 → C* = {50}
+
     // Plain light cheap load.
     b.add_batch(5, &[12, 12, 12, 12]); // class 7
     b.add_batch(8, &[18, 18]); // class 8
@@ -180,7 +187,11 @@ mod tests {
         assert!(inst.setup(0) > 50);
         // class 1: jobs 55 and 52 are J+ (t > 50); 40 and 35 are K
         // (t <= 50 but s + t > 50).
-        let times: Vec<u64> = inst.class_jobs(1).iter().map(|&j| inst.job(j).time).collect();
+        let times: Vec<u64> = inst
+            .class_jobs(1)
+            .iter()
+            .map(|&j| inst.job(j).time)
+            .collect();
         assert!(times.contains(&55) && times.contains(&40));
     }
 }

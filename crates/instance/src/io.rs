@@ -10,7 +10,7 @@ use crate::{Instance, InstanceError};
 #[derive(Debug)]
 pub enum IoError {
     /// The JSON was malformed.
-    Json(serde_json::Error),
+    Json(bss_json::JsonError),
     /// The decoded data violates the instance model.
     Model(InstanceError),
 }
@@ -30,13 +30,15 @@ impl Instance {
     /// Serializes the instance to pretty-printed JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("instance serialization cannot fail")
+        bss_json::encode_pretty(self)
     }
 
     /// Parses and validates an instance from JSON.
     pub fn from_json(json: &str) -> Result<Self, IoError> {
-        let raw: Instance = serde_json::from_str(json).map_err(IoError::Json)?;
-        raw.restore().map_err(IoError::Model)
+        let value = bss_json::parse(json).map_err(IoError::Json)?;
+        let (machines, setups, jobs) =
+            crate::model::raw_parts_from_json(&value).map_err(IoError::Json)?;
+        Instance::from_parts(machines, setups, jobs).map_err(IoError::Model)
     }
 }
 

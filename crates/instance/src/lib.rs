@@ -25,12 +25,14 @@ mod model;
 
 pub use bounds::{tmin, LowerBounds};
 pub use io::IoError;
-pub use model::{ClassId, Instance, InstanceBuilder, InstanceError, Job, JobId, MAX_TOTAL_LOAD};
+pub use model::{
+    ClassId, Instance, InstanceBuilder, InstanceError, Job, JobId, MAX_MACHINES, MAX_TOTAL_LOAD,
+};
 
-use serde::{Deserialize, Serialize};
+use bss_json::{FromJson, JsonError, ToJson, Value};
 
 /// The three problem variants of scheduling with batch setup times.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// `P|setup=s_i|Cmax`: jobs may not be preempted.
     NonPreemptive,
@@ -62,5 +64,33 @@ impl Variant {
 impl core::fmt::Display for Variant {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl ToJson for Variant {
+    fn to_json_value(&self) -> Value {
+        Value::Str(
+            match self {
+                Variant::NonPreemptive => "NonPreemptive",
+                Variant::Preemptive => "Preemptive",
+                Variant::Splittable => "Splittable",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for Variant {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("NonPreemptive") => Ok(Variant::NonPreemptive),
+            Some("Preemptive") => Ok(Variant::Preemptive),
+            Some("Splittable") => Ok(Variant::Splittable),
+            Some(other) => Err(JsonError::new(format!("unknown variant `{other}`"))),
+            None => Err(JsonError::new(format!(
+                "expected variant string, found {}",
+                value.kind()
+            ))),
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
+use bss_json::{FromJson, JsonError, ToJson, Value};
 
 /// Index of a job; jobs are numbered `0..n` in insertion order.
 pub type JobId = usize;
@@ -16,13 +16,40 @@ pub type ClassId = usize;
 /// comparisons) stays well inside `i128`.
 pub const MAX_TOTAL_LOAD: u64 = 1 << 60;
 
+/// Upper bound on the machine count `m` enforced at construction.
+///
+/// Explicit schedules and the validator allocate `O(m)` state, so an
+/// unbounded `m` (e.g. from a hand-edited instance file) could abort the
+/// process on allocation instead of failing cleanly. 2^24 machines is far
+/// beyond any workload the algorithms target while keeping `O(m)` buffers
+/// comfortably small.
+pub const MAX_MACHINES: usize = 1 << 24;
+
 /// A single job: its class and its integral processing time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Job {
     /// The class this job belongs to.
     pub class: ClassId,
     /// Processing time `t_j >= 1`.
     pub time: u64,
+}
+
+impl ToJson for Job {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("class".into(), Value::Int(self.class as i128)),
+            ("time".into(), Value::Int(self.time.into())),
+        ])
+    }
+}
+
+impl FromJson for Job {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(Job {
+            class: bss_json::int_from(bss_json::required(value, "class")?, "Job.class")?,
+            time: bss_json::int_from(bss_json::required(value, "time")?, "Job.time")?,
+        })
+    }
 }
 
 /// An immutable, validated instance of the batch-setup scheduling problem.
@@ -32,20 +59,54 @@ pub struct Job {
 /// precomputes the per-class aggregates (`P(C_i)`, `t^(i)_max`) that all
 /// algorithms need, so that the dual-approximation *tests* run in `O(c)` time
 /// as required by the Class-Jumping searches.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     machines: usize,
     setups: Vec<u64>,
     jobs: Vec<Job>,
-    // Derived data (reconstructed on deserialization via `Instance::restore`).
-    #[serde(skip)]
+    // Derived data, not serialized (rebuilt on load via `Instance::from_parts`).
     class_jobs: Vec<Vec<JobId>>,
-    #[serde(skip)]
     class_proc: Vec<u64>,
-    #[serde(skip)]
     class_tmax: Vec<u64>,
-    #[serde(skip)]
     total_proc: u64,
+}
+
+impl ToJson for Instance {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("machines".into(), Value::Int(self.machines as i128)),
+            (
+                "setups".into(),
+                Value::Array(self.setups.iter().map(|&s| Value::Int(s.into())).collect()),
+            ),
+            ("jobs".into(), self.jobs.to_json_value()),
+        ])
+    }
+}
+
+/// Decodes the raw `(machines, setups, jobs)` triple of the wire format.
+/// Crate-internal so that [`Instance::from_json`] can distinguish malformed
+/// JSON from model violations.
+pub(crate) fn raw_parts_from_json(value: &Value) -> Result<(usize, Vec<u64>, Vec<Job>), JsonError> {
+    Ok((
+        bss_json::int_from(bss_json::required(value, "machines")?, "machines")?,
+        bss_json::vec_from(bss_json::required(value, "setups")?, "setups", |v| {
+            bss_json::int_from(v, "setup time")
+        })?,
+        Vec::<Job>::from_json_value(bss_json::required(value, "jobs")?)?,
+    ))
+}
+
+impl FromJson for Instance {
+    /// Decodes *and validates*: the result always carries rebuilt aggregates,
+    /// exactly as if built through [`InstanceBuilder`]. Model violations are
+    /// reported as [`JsonError`]s; use [`Instance::from_json`] when the
+    /// caller needs to tell them apart from malformed JSON.
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let (machines, setups, jobs) = raw_parts_from_json(value)?;
+        Instance::from_parts(machines, setups, jobs)
+            .map_err(|e| JsonError::new(format!("invalid instance data: {e}")))
+    }
 }
 
 /// Errors detected while building an [`Instance`].
@@ -53,6 +114,8 @@ pub struct Instance {
 pub enum InstanceError {
     /// `m == 0`.
     NoMachines,
+    /// `m` exceeds [`MAX_MACHINES`].
+    TooManyMachines(usize),
     /// `c == 0`.
     NoClasses,
     /// A class without jobs (the paper requires a partition into non-empty classes).
@@ -71,6 +134,9 @@ impl fmt::Display for InstanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InstanceError::NoMachines => write!(f, "instance must have at least one machine"),
+            InstanceError::TooManyMachines(m) => {
+                write!(f, "machine count {m} exceeds the supported maximum 2^24")
+            }
             InstanceError::NoClasses => write!(f, "instance must have at least one class"),
             InstanceError::EmptyClass(c) => write!(f, "class {c} has no jobs"),
             InstanceError::UnknownClass { job, class } => {
@@ -163,6 +229,9 @@ impl Instance {
         if machines == 0 {
             return Err(InstanceError::NoMachines);
         }
+        if machines > MAX_MACHINES {
+            return Err(InstanceError::TooManyMachines(machines));
+        }
         if setups.is_empty() {
             return Err(InstanceError::NoClasses);
         }
@@ -176,6 +245,9 @@ impl Instance {
         let mut class_proc = vec![0u64; c];
         let mut class_tmax = vec![0u64; c];
         let mut total: u128 = setups.iter().map(|&s| s as u128).sum();
+        if total > MAX_TOTAL_LOAD as u128 {
+            return Err(InstanceError::TotalLoadTooLarge);
+        }
         let mut total_proc: u64 = 0;
         for (j, job) in jobs.iter().enumerate() {
             if job.class >= c {
@@ -187,14 +259,17 @@ impl Instance {
             if job.time == 0 {
                 return Err(InstanceError::ZeroJobTime(j));
             }
+            // Enforce the load cap incrementally: with the running total
+            // bounded by 2^60, the u64 accumulators below cannot overflow
+            // even on hostile inputs with times near u64::MAX.
+            total += job.time as u128;
+            if total > MAX_TOTAL_LOAD as u128 {
+                return Err(InstanceError::TotalLoadTooLarge);
+            }
             class_jobs[job.class].push(j);
             class_proc[job.class] += job.time;
             class_tmax[job.class] = class_tmax[job.class].max(job.time);
-            total += job.time as u128;
             total_proc += job.time;
-        }
-        if total > MAX_TOTAL_LOAD as u128 {
-            return Err(InstanceError::TotalLoadTooLarge);
         }
         for (i, js) in class_jobs.iter().enumerate() {
             if js.is_empty() {
@@ -210,11 +285,6 @@ impl Instance {
             class_tmax,
             total_proc,
         })
-    }
-
-    /// Rebuilds the derived aggregates; used after deserialization.
-    pub fn restore(self) -> Result<Self, InstanceError> {
-        Instance::from_parts(self.machines, self.setups, self.jobs)
     }
 
     /// Number of machines `m`.
@@ -384,6 +454,16 @@ mod tests {
         let mut b = InstanceBuilder::new(0);
         b.add_batch(1, &[1]);
         assert_eq!(b.build().unwrap_err(), InstanceError::NoMachines);
+    }
+
+    #[test]
+    fn rejects_too_many_machines() {
+        let mut b = InstanceBuilder::new(MAX_MACHINES + 1);
+        b.add_batch(1, &[1]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            InstanceError::TooManyMachines(MAX_MACHINES + 1)
+        );
     }
 
     #[test]

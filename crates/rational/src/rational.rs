@@ -5,7 +5,7 @@ use core::fmt;
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use core::str::FromStr;
 
-use serde::{Deserialize, Serialize};
+use bss_json::{FromJson, JsonError, ToJson, Value};
 
 use crate::gcd;
 
@@ -24,10 +24,51 @@ use crate::gcd;
 /// assert!(half > third);
 /// assert_eq!((half * Rational::from(4)).to_string(), "2");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rational {
     num: i128,
     den: i128,
+}
+
+impl ToJson for Rational {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("num".into(), Value::Int(self.num)),
+            ("den".into(), Value::Int(self.den)),
+        ])
+    }
+}
+
+impl Rational {
+    /// Largest `|numerator|` accepted from the JSON wire format.
+    ///
+    /// Together with [`Rational::MAX_WIRE_DEN`] this keeps every pairwise
+    /// comparison (`num * den` cross-multiplication, at most `2^126`) inside
+    /// `i128`, so exact arithmetic on decoded values cannot overflow before
+    /// a validator gets the chance to inspect them. The system itself emits
+    /// values far below these bounds (numerators up to `~2^60`, denominators
+    /// up to small multiples of the machine count).
+    pub const MAX_WIRE_NUM: i128 = 1 << 94;
+    /// Largest denominator accepted from the JSON wire format.
+    pub const MAX_WIRE_DEN: i128 = 1 << 32;
+}
+
+impl FromJson for Rational {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let num: i128 = bss_json::int_from(bss_json::required(value, "num")?, "Rational.num")?;
+        let den: i128 = bss_json::int_from(bss_json::required(value, "den")?, "Rational.den")?;
+        if den <= 0 || den > Rational::MAX_WIRE_DEN {
+            return Err(JsonError::new(format!(
+                "Rational.den must be in [1, 2^32], got {den}"
+            )));
+        }
+        // The magnitude bound also excludes `i128::MIN`, whose
+        // `unsigned_abs() as i128` wraps and would hang `gcd`.
+        if !(-Rational::MAX_WIRE_NUM..=Rational::MAX_WIRE_NUM).contains(&num) {
+            return Err(JsonError::new("Rational.num out of range (|num| > 2^94)"));
+        }
+        Ok(Rational::new(num, den))
+    }
 }
 
 impl Rational {
@@ -139,7 +180,10 @@ impl Rational {
     /// `self / 2` — the half-threshold `T/2` shows up throughout the paper.
     #[must_use]
     pub fn half(&self) -> Self {
-        Rational::new(self.num, self.den.checked_mul(2).expect("Rational overflow"))
+        Rational::new(
+            self.num,
+            self.den.checked_mul(2).expect("Rational overflow"),
+        )
     }
 
     /// Smaller of two values.
@@ -169,7 +213,10 @@ impl Rational {
         self.num as f64 / self.den as f64
     }
 
-    fn checked_add(self, rhs: Self) -> Option<Self> {
+    /// Overflow-aware addition: `None` instead of the panic of `+`. Used by
+    /// consumers of untrusted data (e.g. schedule validation) that must
+    /// degrade to an error report rather than abort.
+    pub fn checked_add(self, rhs: Self) -> Option<Self> {
         // a/b + c/d = (a*(lcm/b) + c*(lcm/d)) / lcm, computed via the gcd of
         // the denominators to keep intermediates small.
         let g = gcd(self.den, rhs.den);
@@ -378,7 +425,11 @@ impl FromStr for Rational {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let bad = || ParseRationalError(s.to_owned());
         match s.split_once('/') {
-            None => s.trim().parse::<i128>().map(Rational::from_int).map_err(|_| bad()),
+            None => s
+                .trim()
+                .parse::<i128>()
+                .map(Rational::from_int)
+                .map_err(|_| bad()),
             Some((n, d)) => {
                 let num = n.trim().parse::<i128>().map_err(|_| bad())?;
                 let den = d.trim().parse::<i128>().map_err(|_| bad())?;
@@ -469,6 +520,20 @@ mod tests {
         }
         assert!("1/0".parse::<Rational>().is_err());
         assert!("x".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_and_rejections() {
+        let r = Rational::new(-7, 3);
+        assert_eq!(
+            bss_json::decode::<Rational>(&bss_json::encode_pretty(&r)).unwrap(),
+            r
+        );
+        // i128::MIN would wrap inside gcd; non-positive denominators are invalid.
+        let min = i128::MIN;
+        assert!(bss_json::decode::<Rational>(&format!(r#"{{"num": {min}, "den": 1}}"#)).is_err());
+        assert!(bss_json::decode::<Rational>(r#"{"num": 1, "den": 0}"#).is_err());
+        assert!(bss_json::decode::<Rational>(r#"{"num": 1, "den": -2}"#).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Reporting substrate: ASCII Gantt rendering (figure regeneration), table
 //! and CSV writers, summary statistics, scaling fits, timing helpers and a
-//! crossbeam-based parallel sweep harness for the benchmark binaries.
+//! scoped-thread parallel sweep harness for the benchmark binaries.
 
 mod gantt;
 mod stats;

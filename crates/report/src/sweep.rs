@@ -1,12 +1,12 @@
 //! Parallel sweep harness for the benchmark binaries.
 //!
 //! The repro binaries evaluate many `(instance, algorithm)` cells; the cells
-//! are independent, so they fan out over crossbeam scoped threads (the
-//! guide-recommended pattern for fork-join workloads without a global pool).
-//! Results come back in input order.
+//! are independent, so they fan out over `std::thread::scope` workers (the
+//! standard fork-join pattern without a global pool). Results come back in
+//! input order.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// Applies `f` to every item on `threads` worker threads (defaults to the
 /// available parallelism), preserving input order.
@@ -33,28 +33,24 @@ where
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
-    for pair in items.into_iter().enumerate() {
-        tx.send(pair).expect("open channel");
-    }
-    drop(tx);
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            let rx = rx.clone();
-            let slots = &slots;
-            let f = &f;
-            scope.spawn(move |_| {
-                while let Ok((idx, item)) = rx.recv() {
-                    *slots[idx].lock() = Some(f(item));
-                }
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop_front();
+                let Some((idx, item)) = next else { break };
+                *slots[idx].lock().expect("slot lock") = Some(f(item));
             });
         }
-    })
-    .expect("workers do not panic");
+    });
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled")
+        })
         .collect()
 }
 

@@ -12,13 +12,13 @@
 //! [`CompactSchedule::expand`].
 
 use bss_instance::JobId;
+use bss_json::{FromJson, JsonError, ToJson, Value};
 use bss_rational::Rational;
-use serde::{Deserialize, Serialize};
 
 use crate::{ItemKind, Placement, Schedule};
 
 /// One item inside a machine configuration (machine-relative, no machine id).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConfigItem {
     /// Start time on the machine.
     pub start: Rational,
@@ -28,8 +28,28 @@ pub struct ConfigItem {
     pub kind: ItemKind,
 }
 
+impl ToJson for ConfigItem {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".into(), self.start.to_json_value()),
+            ("len".into(), self.len.to_json_value()),
+            ("kind".into(), self.kind.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for ConfigItem {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(ConfigItem {
+            start: Rational::from_json_value(bss_json::required(value, "start")?)?,
+            len: Rational::from_json_value(bss_json::required(value, "len")?)?,
+            kind: ItemKind::from_json_value(bss_json::required(value, "kind")?)?,
+        })
+    }
+}
+
 /// A machine configuration: (part of) the timeline of one machine.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MachineConfig {
     /// Items on this machine (in placement order).
     pub items: Vec<ConfigItem>,
@@ -56,9 +76,23 @@ impl MachineConfig {
     }
 }
 
+impl ToJson for MachineConfig {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![("items".into(), self.items.to_json_value())])
+    }
+}
+
+impl FromJson for MachineConfig {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(MachineConfig {
+            items: Vec::from_json_value(bss_json::required(value, "items")?)?,
+        })
+    }
+}
+
 /// A configuration group: `config` repeated on machines
 /// `first_machine .. first_machine + count`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigGroup {
     /// First machine of the group.
     pub first_machine: usize,
@@ -68,15 +102,59 @@ pub struct ConfigGroup {
     pub config: MachineConfig,
 }
 
+impl ToJson for ConfigGroup {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "first_machine".into(),
+                Value::Int(self.first_machine as i128),
+            ),
+            ("count".into(), Value::Int(self.count as i128)),
+            ("config".into(), self.config.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for ConfigGroup {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(ConfigGroup {
+            first_machine: bss_json::int_from(
+                bss_json::required(value, "first_machine")?,
+                "first_machine",
+            )?,
+            count: bss_json::int_from(bss_json::required(value, "count")?, "count")?,
+            config: MachineConfig::from_json_value(bss_json::required(value, "config")?)?,
+        })
+    }
+}
+
 /// A schedule stored as configuration groups with multiplicities.
 ///
 /// A job piece appearing in a configuration of multiplicity `k` denotes `k`
 /// *distinct* pieces of that job, one per machine — meaningful only for the
 /// splittable variant, where job pieces may run in parallel.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompactSchedule {
     machines: usize,
     groups: Vec<ConfigGroup>,
+}
+
+impl ToJson for CompactSchedule {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("machines".into(), Value::Int(self.machines as i128)),
+            ("groups".into(), self.groups.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for CompactSchedule {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(CompactSchedule {
+            machines: bss_json::int_from(bss_json::required(value, "machines")?, "machines")?,
+            groups: Vec::from_json_value(bss_json::required(value, "groups")?)?,
+        })
+    }
 }
 
 impl CompactSchedule {

@@ -1,11 +1,11 @@
 //! Placements: the atoms of a schedule.
 
 use bss_instance::{ClassId, JobId};
+use bss_json::{FromJson, JsonError, ToJson, Value};
 use bss_rational::Rational;
-use serde::{Deserialize, Serialize};
 
 /// What occupies a stretch of machine time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ItemKind {
     /// A (never preempted) setup of the given class.
     Setup(ClassId),
@@ -36,8 +36,45 @@ impl ItemKind {
     }
 }
 
+// The wire format follows serde's externally-tagged enum convention:
+// `{"Setup": 3}` and `{"Piece": {"job": 7, "class": 3}}`.
+impl ToJson for ItemKind {
+    fn to_json_value(&self) -> Value {
+        match *self {
+            ItemKind::Setup(class) => {
+                Value::Object(vec![("Setup".into(), Value::Int(class as i128))])
+            }
+            ItemKind::Piece { job, class } => Value::Object(vec![(
+                "Piece".into(),
+                Value::Object(vec![
+                    ("job".into(), Value::Int(job as i128)),
+                    ("class".into(), Value::Int(class as i128)),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for ItemKind {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        if let Some(class) = value.field("Setup") {
+            return Ok(ItemKind::Setup(bss_json::int_from(class, "Setup class")?));
+        }
+        if let Some(piece) = value.field("Piece") {
+            return Ok(ItemKind::Piece {
+                job: bss_json::int_from(bss_json::required(piece, "job")?, "Piece.job")?,
+                class: bss_json::int_from(bss_json::required(piece, "class")?, "Piece.class")?,
+            });
+        }
+        Err(JsonError::new(format!(
+            "expected `Setup` or `Piece` item, found {}",
+            value.kind()
+        )))
+    }
+}
+
 /// A contiguous block of time on one machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
     /// Machine index in `0..m`.
     pub machine: usize,
@@ -68,6 +105,28 @@ impl Placement {
     }
 }
 
+impl ToJson for Placement {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("machine".into(), Value::Int(self.machine as i128)),
+            ("start".into(), self.start.to_json_value()),
+            ("len".into(), self.len.to_json_value()),
+            ("kind".into(), self.kind.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for Placement {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(Placement {
+            machine: bss_json::int_from(bss_json::required(value, "machine")?, "machine")?,
+            start: Rational::from_json_value(bss_json::required(value, "start")?)?,
+            len: Rational::from_json_value(bss_json::required(value, "len")?)?,
+            kind: ItemKind::from_json_value(bss_json::required(value, "kind")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,7 +143,12 @@ mod tests {
 
     #[test]
     fn placement_end() {
-        let p = Placement::new(0, Rational::new(1, 2), Rational::new(3, 2), ItemKind::Setup(0));
+        let p = Placement::new(
+            0,
+            Rational::new(1, 2),
+            Rational::new(3, 2),
+            ItemKind::Setup(0),
+        );
         assert_eq!(p.end(), Rational::from(2u64));
     }
 }

@@ -18,9 +18,9 @@
 //! variant-specific job rules (contiguity / no self-parallelism).
 
 mod compact;
-mod stats;
 mod item;
 mod schedule;
+mod stats;
 mod validate;
 
 pub use compact::{CompactSchedule, ConfigGroup, ConfigItem, MachineConfig};

@@ -1,7 +1,7 @@
 //! The explicit [`Schedule`] representation.
 
+use bss_json::{FromJson, JsonError, ToJson, Value};
 use bss_rational::Rational;
-use serde::{Deserialize, Serialize};
 
 use crate::{ItemKind, Placement};
 
@@ -10,10 +10,28 @@ use crate::{ItemKind, Placement};
 /// The structure is deliberately permissive — algorithms push placements in
 /// whatever order is convenient; [`crate::validate`] is the arbiter of
 /// feasibility. Queries that need per-machine order sort on demand.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     machines: usize,
     placements: Vec<Placement>,
+}
+
+impl ToJson for Schedule {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("machines".into(), Value::Int(self.machines as i128)),
+            ("placements".into(), self.placements.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for Schedule {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(Schedule {
+            machines: bss_json::int_from(bss_json::required(value, "machines")?, "machines")?,
+            placements: Vec::from_json_value(bss_json::required(value, "placements")?)?,
+        })
+    }
 }
 
 impl Schedule {
@@ -136,6 +154,18 @@ impl Schedule {
     pub fn absorb(&mut self, other: Schedule) {
         debug_assert_eq!(self.machines, other.machines);
         self.placements.extend(other.placements);
+    }
+
+    /// Serializes the schedule to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        bss_json::encode_pretty(self)
+    }
+
+    /// Parses a schedule from JSON. The result is *not* checked for
+    /// feasibility — run [`crate::validate`] against an instance for that.
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        bss_json::decode(json)
     }
 }
 

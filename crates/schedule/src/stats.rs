@@ -84,7 +84,9 @@ impl ScheduleStats {
         if total.is_zero() {
             0.0
         } else {
-            ((self.setup_time + self.processing_time) / total).to_f64().min(1.0)
+            ((self.setup_time + self.processing_time) / total)
+                .to_f64()
+                .min(1.0)
         }
     }
 }

@@ -27,13 +27,17 @@ use crate::{ItemKind, Schedule};
 pub enum Violation {
     /// Placement on machine `>= m`.
     MachineOutOfRange { machine: usize },
+    /// A piece of a job the instance does not have (`job >= n`).
+    UnknownJob { job: usize },
+    /// A setup of a class the instance does not have (`class >= c`).
+    UnknownClass { class: usize },
+    /// Times too large for exact arithmetic (only reachable from hand-crafted
+    /// schedules; every feasible schedule's times are far below the bounds).
+    TimeOverflow,
     /// Placement starting before time 0.
     NegativeStart { machine: usize },
     /// Two placements on one machine intersect.
-    Overlap {
-        machine: usize,
-        at: Rational,
-    },
+    Overlap { machine: usize, at: Rational },
     /// A job piece not covered by a setup of its class.
     MissingSetup {
         machine: usize,
@@ -49,17 +53,11 @@ pub enum Violation {
     /// A job piece referencing the wrong class.
     WrongPieceClass { job: usize, class: usize },
     /// Job's scheduled time differs from `t_j`.
-    WrongJobTotal {
-        job: usize,
-        scheduled: Rational,
-    },
+    WrongJobTotal { job: usize, scheduled: Rational },
     /// Non-preemptive job split into several pieces.
     JobSplit { job: usize, pieces: usize },
     /// Preemptive job running on two machines at once.
-    JobParallel {
-        job: usize,
-        at: Rational,
-    },
+    JobParallel { job: usize, at: Rational },
 }
 
 impl core::fmt::Display for Violation {
@@ -68,17 +66,34 @@ impl core::fmt::Display for Violation {
             Violation::MachineOutOfRange { machine } => {
                 write!(f, "placement on non-existent machine {machine}")
             }
+            Violation::UnknownJob { job } => {
+                write!(f, "placement references non-existent job {job}")
+            }
+            Violation::UnknownClass { class } => {
+                write!(f, "setup references non-existent class {class}")
+            }
+            Violation::TimeOverflow => {
+                write!(f, "schedule times overflow exact arithmetic")
+            }
             Violation::NegativeStart { machine } => {
                 write!(f, "placement on machine {machine} starts before time 0")
             }
             Violation::Overlap { machine, at } => {
                 write!(f, "overlapping placements on machine {machine} at {at}")
             }
-            Violation::MissingSetup { machine, job, class } => write!(
+            Violation::MissingSetup {
+                machine,
+                job,
+                class,
+            } => write!(
                 f,
                 "job {job} (class {class}) on machine {machine} runs without its setup"
             ),
-            Violation::WrongSetupLength { machine, class, len } => write!(
+            Violation::WrongSetupLength {
+                machine,
+                class,
+                len,
+            } => write!(
                 f,
                 "setup of class {class} on machine {machine} has length {len}"
             ),
@@ -88,15 +103,36 @@ impl core::fmt::Display for Violation {
             Violation::WrongJobTotal { job, scheduled } => {
                 write!(f, "job {job} scheduled for {scheduled} time units")
             }
-            Violation::JobSplit { job, pieces } => write!(
-                f,
-                "non-preemptive job {job} split into {pieces} pieces"
-            ),
+            Violation::JobSplit { job, pieces } => {
+                write!(f, "non-preemptive job {job} split into {pieces} pieces")
+            }
             Violation::JobParallel { job, at } => {
-                write!(f, "preemptive job {job} runs in parallel with itself at {at}")
+                write!(
+                    f,
+                    "preemptive job {job} runs in parallel with itself at {at}"
+                )
             }
         }
     }
+}
+
+/// `true` iff `r` is small enough that any pairwise comparison or single
+/// addition with another bounded rational stays inside `i128` (matches the
+/// JSON wire-format bounds `Rational::MAX_WIRE_NUM`/`MAX_WIRE_DEN`).
+fn bounded(r: Rational) -> bool {
+    (-Rational::MAX_WIRE_NUM..=Rational::MAX_WIRE_NUM).contains(&r.numer())
+        && r.denom() <= Rational::MAX_WIRE_DEN
+}
+
+/// Sum that reports `None` instead of panicking when a hand-crafted schedule
+/// drives the exact arithmetic out of range (e.g. coprime denominators whose
+/// lcm explodes).
+fn bounded_sum(values: impl Iterator<Item = Rational>) -> Option<Rational> {
+    let mut acc = Rational::ZERO;
+    for v in values {
+        acc = acc.checked_add(v).filter(|&s| bounded(s))?;
+    }
+    Some(acc)
 }
 
 /// Checks full feasibility of `schedule` for `instance` under `variant`.
@@ -106,6 +142,17 @@ impl core::fmt::Display for Violation {
 pub fn validate(schedule: &Schedule, instance: &Instance, variant: Variant) -> Vec<Violation> {
     let mut violations = Vec::new();
     let m = instance.machines();
+
+    // 0. Magnitude guard: all later arithmetic (cross-multiplied comparisons,
+    // `start + len`) is exact and panics on i128 overflow, so reject times
+    // outside the wire-format bounds up front. Feasible schedules sit many
+    // orders of magnitude below the bounds.
+    for p in schedule.placements() {
+        let end_bounded = p.start.checked_add(p.len).is_some_and(|end| bounded(end));
+        if !bounded(p.start) || !bounded(p.len) || !end_bounded {
+            return vec![Violation::TimeOverflow];
+        }
+    }
 
     // 1. Range checks + bucket placements per machine and per job.
     let mut per_machine: Vec<Vec<usize>> = vec![Vec::new(); m];
@@ -121,7 +168,11 @@ pub fn validate(schedule: &Schedule, instance: &Instance, variant: Variant) -> V
         per_machine[p.machine].push(idx);
         match p.kind {
             ItemKind::Setup(class) => {
-                if p.len != Rational::from(instance.setup(class)) {
+                // Deserialized schedules may reference ids the instance does
+                // not have; report instead of indexing out of bounds.
+                if class >= instance.num_classes() {
+                    violations.push(Violation::UnknownClass { class });
+                } else if p.len != Rational::from(instance.setup(class)) {
                     violations.push(Violation::WrongSetupLength {
                         machine: p.machine,
                         class,
@@ -130,6 +181,10 @@ pub fn validate(schedule: &Schedule, instance: &Instance, variant: Variant) -> V
                 }
             }
             ItemKind::Piece { job, class } => {
+                if job >= instance.num_jobs() {
+                    violations.push(Violation::UnknownJob { job });
+                    continue;
+                }
                 if instance.job(job).class != class {
                     violations.push(Violation::WrongPieceClass { job, class });
                 }
@@ -174,10 +229,10 @@ pub fn validate(schedule: &Schedule, instance: &Instance, variant: Variant) -> V
 
     // 4. Load conservation per job.
     for (job, idxs) in per_job.iter().enumerate() {
-        let scheduled = idxs
-            .iter()
-            .map(|&i| placements[i].len)
-            .fold(Rational::ZERO, |a, b| a + b);
+        let Some(scheduled) = bounded_sum(idxs.iter().map(|&i| placements[i].len)) else {
+            violations.push(Violation::TimeOverflow);
+            return violations;
+        };
         if scheduled != Rational::from(instance.job(job).time) {
             violations.push(Violation::WrongJobTotal { job, scheduled });
         }
@@ -262,11 +317,50 @@ mod tests {
     }
 
     #[test]
+    fn detects_unknown_job_and_class() {
+        // Ids past the instance's n/c (e.g. from a hand-edited schedule
+        // JSON) must surface as violations, not index panics.
+        let mut s = good();
+        s.push_piece(0, r(20), r(1), 999, 0);
+        s.push_setup(1, r(20), r(1), 7);
+        let vs = validate(&s, &instance(), Variant::Splittable);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::UnknownJob { job: 999 })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::UnknownClass { class: 7 })));
+    }
+
+    #[test]
+    fn detects_time_overflow_instead_of_panicking() {
+        // Huge numerator within wire bounds: start + len overflows the
+        // comparison budget; must report, not abort.
+        let mut s = good();
+        s.push_piece(0, Rational::new(1i128 << 94, 1), r(1), 0, 0);
+        assert_eq!(
+            validate(&s, &instance(), Variant::Splittable),
+            vec![Violation::TimeOverflow]
+        );
+        // Coprime denominators whose lcm explodes past the bounds in the
+        // per-job sum.
+        let mut s = good();
+        for p in [(1i128 << 31) - 1, (1 << 31) - 99, (1 << 31) - 525] {
+            s.push_piece(1, r(30), Rational::new(1, p), 2, 1);
+        }
+        assert!(validate(&s, &instance(), Variant::Splittable)
+            .iter()
+            .any(|v| matches!(v, Violation::TimeOverflow)));
+    }
+
+    #[test]
     fn detects_negative_start() {
         let mut s = good();
         s.push_piece(1, r(-1), r(1), 2, 1);
         let vs = validate(&s, &instance(), Variant::Splittable);
-        assert!(vs.iter().any(|v| matches!(v, Violation::NegativeStart { .. })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::NegativeStart { .. })));
     }
 
     #[test]
@@ -275,7 +369,9 @@ mod tests {
         // Intersects the class-0 setup on machine 0.
         s.push_piece(0, r(1), r(1), 2, 1);
         let vs = validate(&s, &instance(), Variant::Splittable);
-        assert!(vs.iter().any(|v| matches!(v, Violation::Overlap { machine: 0, .. })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::Overlap { machine: 0, .. })));
     }
 
     #[test]

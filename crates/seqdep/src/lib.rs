@@ -117,7 +117,11 @@ impl SeqDepInstance {
             }
         }
         assert!(seen.iter().all(|&s| s), "some class unscheduled");
-        orders.iter().map(|o| self.machine_time(o)).max().unwrap_or(0)
+        orders
+            .iter()
+            .map(|o| self.machine_time(o))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -226,12 +230,7 @@ mod tests {
 
     #[test]
     fn machine_time_accumulates_switches() {
-        let inst = SeqDepInstance::new(
-            1,
-            vec![5, 7],
-            vec![vec![0, 2], vec![3, 0]],
-            vec![10, 20],
-        );
+        let inst = SeqDepInstance::new(1, vec![5, 7], vec![vec![0, 2], vec![3, 0]], vec![10, 20]);
         assert_eq!(inst.machine_time(&[0, 1]), 5 + 10 + 2 + 20);
         assert_eq!(inst.machine_time(&[1, 0]), 7 + 20 + 3 + 10);
         assert_eq!(inst.machine_time(&[]), 0);
@@ -304,6 +303,7 @@ mod tests {
             let inst = SeqDepInstance::new(m, initial, switch, work);
             let orders = nearest_neighbor_schedule(&inst);
             let makespan = inst.makespan(&orders); // panics if not a partition
+
             // Trivial sanity ceiling: everything sequential on one machine.
             let all: Vec<usize> = (0..c).collect();
             assert!(makespan <= inst.machine_time(&all) + initial_sum);
@@ -317,7 +317,10 @@ mod tests {
         let heuristic = inst.makespan(&orders);
         let exact = exact_single_machine(&inst);
         assert!(heuristic >= exact);
-        assert!(heuristic <= 3 * exact, "NN should stay within small factor here");
+        assert!(
+            heuristic <= 3 * exact,
+            "NN should stay within small factor here"
+        );
     }
 
     #[test]

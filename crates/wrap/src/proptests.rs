@@ -17,7 +17,7 @@ fn arb_case() -> impl Strategy<Value = (Template, WrapSequence, Vec<u64>, usize)
     (
         proptest::collection::vec(1u64..8, 1..5), // class setups
         proptest::collection::vec((0usize..4, 1u64..12), 1..25), // (class idx, job time)
-        1usize..12, // gap count
+        1usize..12,                               // gap count
     )
         .prop_map(|(setups, jobs, gaps)| {
             let smax = *setups.iter().max().expect("non-empty");

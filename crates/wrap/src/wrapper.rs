@@ -31,7 +31,10 @@ impl core::fmt::Display for WrapError {
                 write!(f, "wrap template exhausted with {unplaced} load unplaced")
             }
             WrapError::SetupBelowZero { class } => {
-                write!(f, "setup of class {class} moved below a gap starts before time 0")
+                write!(
+                    f,
+                    "setup of class {class} moved below a gap starts before time 0"
+                )
             }
         }
     }
@@ -154,12 +157,7 @@ impl<'a> Wrapper<'a> {
         Ok(())
     }
 
-    fn place_piece(
-        &mut self,
-        class: ClassId,
-        job: usize,
-        len: Rational,
-    ) -> Result<(), WrapError> {
+    fn place_piece(&mut self, class: ClassId, job: usize, len: Rational) -> Result<(), WrapError> {
         let mut remaining = len;
         loop {
             // A piece entering a fresh gap mid-class needs its setup below.
@@ -185,7 +183,9 @@ impl<'a> Wrapper<'a> {
                 remaining -= avail;
             }
             if !self.advance() {
-                return Err(WrapError::OutOfSpace { unplaced: remaining });
+                return Err(WrapError::OutOfSpace {
+                    unplaced: remaining,
+                });
             }
             // Parallel-gap fast path: if the piece covers >= 1 whole gap and
             // the current run still has identical gaps left, emit them as one
@@ -239,7 +239,9 @@ impl<'a> Wrapper<'a> {
                         return Ok(());
                     }
                     if self.exhausted() {
-                        return Err(WrapError::OutOfSpace { unplaced: remaining });
+                        return Err(WrapError::OutOfSpace {
+                            unplaced: remaining,
+                        });
                     }
                     self.t = self.gap_a();
                 }

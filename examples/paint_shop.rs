@@ -46,7 +46,10 @@ fn main() {
     table.row(&[
         "3/2-approx (this paper)".to_string(),
         ours.makespan.to_string(),
-        format!("<= 1.5 x OPT (certified <= {:.3})", (ours.makespan / ours.certificate).to_f64()),
+        format!(
+            "<= 1.5 x OPT (certified <= {:.3})",
+            (ours.makespan / ours.certificate).to_f64()
+        ),
     ]);
     table.row(&[
         "LPT on color batches".to_string(),
@@ -58,7 +61,11 @@ fn main() {
         next_fit.makespan().to_string(),
         "~3-approx".to_string(),
     ]);
-    println!("paint shop, {booths} booths, {} bodies, {} colors\n", instance.num_jobs(), names.len());
+    println!(
+        "paint shop, {booths} booths, {} bodies, {} colors\n",
+        instance.num_jobs(),
+        names.len()
+    );
     print!("{}", table.to_aligned());
 
     println!("\nbooth plan (3/2-approximation):");

@@ -21,12 +21,12 @@ fn main() {
     let mut builder = InstanceBuilder::new(nodes);
     // (scene-load minutes, per-sequence frame batches in minutes)
     let shots: &[(u64, &[u64])] = &[
-        (18, &[400, 380, 350, 900]),  // city flyover
-        (25, &[1200, 800]),           // ocean storm (heavy sim assets)
-        (9, &[150, 140, 130, 120]),   // interior dialogue
-        (30, &[2200]),                // battle scene, one huge sequence
-        (12, &[300, 280, 260]),       // forest chase
-        (6, &[90, 80, 70, 60, 50]),   // title cards
+        (18, &[400, 380, 350, 900]), // city flyover
+        (25, &[1200, 800]),          // ocean storm (heavy sim assets)
+        (9, &[150, 140, 130, 120]),  // interior dialogue
+        (30, &[2200]),               // battle scene, one huge sequence
+        (12, &[300, 280, 260]),      // forest chase
+        (6, &[90, 80, 70, 60, 50]),  // title cards
     ];
     for (setup, frames) in shots {
         builder.add_batch(*setup, frames);
@@ -82,6 +82,8 @@ fn main() {
     println!(
         "\n2-approximation finishes at {} ({}% longer)",
         two.makespan,
-        ((two.makespan / solution.makespan - 1u64) * 100u64).to_f64().round()
+        ((two.makespan / solution.makespan - 1u64) * 100u64)
+            .to_f64()
+            .round()
     );
 }

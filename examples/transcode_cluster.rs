@@ -31,15 +31,16 @@ fn main() {
     ]);
     for m in [2usize, 4, 8, 16, 32] {
         // Codec families with realistic toolchain-load vs transcode times.
-        let instance = batch_setup_scheduling::gen::generate(&batch_setup_scheduling::gen::GenConfig {
-            jobs: 60 * m,
-            classes: 8,
-            machines: m,
-            setup_range: (30, 120),  // toolchain load, seconds
-            job_range: (20, 600),    // per-video transcode, seconds
-            class_sizes: batch_setup_scheduling::gen::ClassSizes::Zipf(1.2),
-            seed: 42 + m as u64,
-        });
+        let instance =
+            batch_setup_scheduling::gen::generate(&batch_setup_scheduling::gen::GenConfig {
+                jobs: 60 * m,
+                classes: 8,
+                machines: m,
+                setup_range: (30, 120), // toolchain load, seconds
+                job_range: (20, 600),   // per-video transcode, seconds
+                class_sizes: batch_setup_scheduling::gen::ClassSizes::Zipf(1.2),
+                seed: 42 + m as u64,
+            });
         let lb = LowerBounds::of(&instance).tmin(Variant::Preemptive);
 
         let ours = solve(&instance, Variant::Preemptive, Algorithm::Portfolio);

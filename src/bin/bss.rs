@@ -88,18 +88,34 @@ fn load_instance(path: &str) -> Result<Instance, String> {
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let jobs = flag(args, "--jobs").map_or(Ok(1000), |v| v.parse().map_err(|_| "bad --jobs"))?;
-    let classes =
-        flag(args, "--classes").map_or(Ok(jobs / 20), |v| v.parse().map_err(|_| "bad --classes"))?;
     let machines =
         flag(args, "--machines").map_or(Ok(8), |v| v.parse().map_err(|_| "bad --machines"))?;
     let seed = flag(args, "--seed").map_or(Ok(0), |v| v.parse().map_err(|_| "bad --seed"))?;
     let preset = flag(args, "--preset").unwrap_or_else(|| "uniform".into());
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    if machines == 0 {
+        return Err("--machines must be at least 1".into());
+    }
+    // The generators require 1 <= classes <= jobs: an explicit --classes
+    // outside that range is an error, the default scales with n.
+    let classes = match flag(args, "--classes") {
+        Some(v) => {
+            let c: usize = v.parse().map_err(|_| "bad --classes")?;
+            if c == 0 || c > jobs {
+                return Err(format!("--classes must be in [1, --jobs]; got {c}"));
+            }
+            c
+        }
+        None => (jobs / 20).max(1),
+    };
     let inst = match preset.as_str() {
-        "uniform" => batch_setup_scheduling::gen::uniform(jobs, classes.max(1), machines, seed),
+        "uniform" => batch_setup_scheduling::gen::uniform(jobs, classes, machines, seed),
         "small-batches" => batch_setup_scheduling::gen::small_batches(jobs, machines, seed),
         "single-job" => batch_setup_scheduling::gen::single_job_batches(jobs, machines, seed),
         "expensive" => batch_setup_scheduling::gen::expensive_setups(jobs, machines, seed),
-        "zipf" => batch_setup_scheduling::gen::zipf_classes(jobs, classes.max(1), machines, seed),
+        "zipf" => batch_setup_scheduling::gen::zipf_classes(jobs, classes, machines, seed),
         other => return Err(format!("unknown preset `{other}`")),
     };
     println!("{}", inst.to_json());
@@ -139,7 +155,11 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         return Err(format!("internal error: infeasible output: {violations:?}"));
     }
     println!("variant        {variant}");
-    println!("makespan       {}  (~{:.2})", sol.makespan, sol.makespan.to_f64());
+    println!(
+        "makespan       {}  (~{:.2})",
+        sol.makespan,
+        sol.makespan.to_f64()
+    );
     println!("accepted T     {}", sol.accepted);
     println!("ratio bound    {} x OPT", sol.ratio_bound);
     println!(
@@ -156,7 +176,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         print!("{}", render_gantt(&sol.schedule, &inst, &opts));
     }
     if let Some(out) = flag(args, "--schedule-out") {
-        let json = serde_json::to_string_pretty(&sol.schedule).map_err(|e| e.to_string())?;
+        let json = sol.schedule.to_json();
         std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
         println!("schedule       written to {out}");
     }
@@ -168,7 +188,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     let sched_path = args.get(1).ok_or("missing schedule path")?;
     let inst = load_instance(inst_path)?;
     let json = std::fs::read_to_string(sched_path).map_err(|e| format!("{sched_path}: {e}"))?;
-    let schedule: Schedule = serde_json::from_str(&json).map_err(|e| format!("{sched_path}: {e}"))?;
+    let schedule = Schedule::from_json(&json).map_err(|e| format!("{sched_path}: {e}"))?;
     let variant = parse_variant(args)?;
     let violations = validate(&schedule, &inst, variant);
     if violations.is_empty() {

@@ -136,12 +136,10 @@ fn moving_piece_to_unset_machine_is_caught() {
         }
         if mutated {
             assert!(
-                validate(&s, &inst, variant)
-                    .iter()
-                    .any(|v| matches!(
-                        v,
-                        Violation::MissingSetup { .. } | Violation::Overlap { .. }
-                    )),
+                validate(&s, &inst, variant).iter().any(|v| matches!(
+                    v,
+                    Violation::MissingSetup { .. } | Violation::Overlap { .. }
+                )),
                 "seed {seed}"
             );
         }
@@ -184,12 +182,10 @@ fn stretching_a_setup_is_caught() {
             .expect("has setups");
         s.placements_mut()[idx].len += Rational::ONE;
         assert!(
-            validate(&s, &inst, variant)
-                .iter()
-                .any(|v| matches!(
-                    v,
-                    Violation::WrongSetupLength { .. } | Violation::Overlap { .. }
-                )),
+            validate(&s, &inst, variant).iter().any(|v| matches!(
+                v,
+                Violation::WrongSetupLength { .. } | Violation::Overlap { .. }
+            )),
             "seed {seed}"
         );
     }
@@ -235,7 +231,12 @@ fn splitting_a_nonpreemptive_job_is_caught() {
         let p = s.placements()[idx];
         let half = p.len.half();
         s.placements_mut()[idx].len = half;
-        s.push(Placement::new(p.machine, p.start + half, p.len - half, p.kind));
+        s.push(Placement::new(
+            p.machine,
+            p.start + half,
+            p.len - half,
+            p.kind,
+        ));
         // Still contiguous and load-conserving — but split in two pieces:
         // only the non-preemptive validator may complain.
         assert!(validate(&s, &inst, Variant::NonPreemptive)

@@ -48,7 +48,11 @@ fn note1_no_schedule_beats_setup_plus_job() {
         let inst = batch_setup_scheduling::gen::uniform(40, 6, 8, seed);
         let bound = Rational::from(inst.max_setup_plus_tmax());
         for variant in [Variant::Preemptive, Variant::NonPreemptive] {
-            for algo in [Algorithm::TwoApprox, Algorithm::ThreeHalves, Algorithm::Portfolio] {
+            for algo in [
+                Algorithm::TwoApprox,
+                Algorithm::ThreeHalves,
+                Algorithm::Portfolio,
+            ] {
                 let sol = solve(&inst, variant, algo);
                 assert!(
                     sol.makespan >= bound,
@@ -125,11 +129,7 @@ fn theorem7_uses_beta_machines_per_expensive_class() {
                 .filter(|p| !p.kind.is_setup() && p.kind.class() == i)
                 .map(|p| p.machine)
                 .collect();
-            assert_eq!(
-                machines.len(),
-                beta(&inst, t, i),
-                "class {i} (seed {seed})"
-            );
+            assert_eq!(machines.len(), beta(&inst, t, i), "class {i} (seed {seed})");
         }
     }
 }

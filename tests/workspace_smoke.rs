@@ -1,0 +1,80 @@
+//! Build-surface smoke test: every `Variant` × `Algorithm` combination must
+//! solve a small fixed instance through the facade and produce a feasible
+//! schedule that meets its guarantee. This is deliberately tiny and
+//! deterministic — it exists so that a broken manifest, feature, or re-export
+//! is caught by tier-1 even when the heavier suites are filtered out.
+
+use batch_setup_scheduling::prelude::*;
+
+fn tiny_instance() -> Instance {
+    let mut b = InstanceBuilder::new(3);
+    let red = b.add_class(10);
+    let blue = b.add_class(4);
+    let green = b.add_class(1);
+    for t in [7, 3, 9, 2] {
+        b.add_job(red, t);
+    }
+    for t in [5, 5, 6] {
+        b.add_job(blue, t);
+    }
+    b.add_job(green, 1);
+    b.build().expect("valid instance")
+}
+
+#[test]
+fn every_variant_algorithm_pair_solves_and_validates() {
+    let inst = tiny_instance();
+    let algos = [
+        Algorithm::TwoApprox,
+        Algorithm::EpsilonSearch { eps_log2: 6 },
+        Algorithm::ThreeHalves,
+        Algorithm::Portfolio,
+    ];
+    for variant in Variant::ALL {
+        for algo in algos {
+            let sol = solve(&inst, variant, algo);
+            let violations = validate(&sol.schedule, &inst, variant);
+            assert!(
+                violations.is_empty(),
+                "{variant} {algo:?}: infeasible: {violations:?}"
+            );
+            assert_eq!(sol.makespan, sol.schedule.makespan(), "{variant} {algo:?}");
+            assert!(
+                sol.makespan <= sol.ratio_bound * sol.accepted,
+                "{variant} {algo:?}: {} > {} * {}",
+                sol.makespan,
+                sol.ratio_bound,
+                sol.accepted
+            );
+        }
+    }
+}
+
+#[test]
+fn facade_reexports_are_wired() {
+    // One call through each re-exported crate root, so a missing workspace
+    // member or renamed facade path fails this test rather than only rustdoc.
+    let inst = tiny_instance();
+    let t_min = batch_setup_scheduling::instance::tmin(&inst, Variant::Splittable);
+    assert!(t_min.is_positive());
+    let generated = batch_setup_scheduling::gen::uniform(12, 3, 2, 7);
+    assert_eq!(generated.num_jobs(), 12);
+    let baseline = batch_setup_scheduling::baselines::lpt_batches(&inst);
+    assert!(validate(&baseline, &inst, Variant::NonPreemptive).is_empty());
+}
+
+#[test]
+fn instance_json_roundtrips_through_facade() {
+    let inst = tiny_instance();
+    let back = Instance::from_json(&inst.to_json()).expect("roundtrip");
+    assert_eq!(back, inst);
+}
+
+#[test]
+fn schedule_json_roundtrips_through_facade() {
+    let inst = tiny_instance();
+    let sol = solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves);
+    let back = Schedule::from_json(&sol.schedule.to_json()).expect("roundtrip");
+    assert_eq!(back, sol.schedule);
+    assert!(validate(&back, &inst, Variant::Preemptive).is_empty());
+}

@@ -1,0 +1,496 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the API subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`collection::vec()`], [`Just`], the [`proptest!`] macro with an
+//! optional `proptest_config`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing cases
+//! are **not shrunk**. Each case is generated from a deterministic seed
+//! derived from the test's module path, name and case index, and a failure
+//! reports that case index, so failures are exactly reproducible by rerunning
+//! the test.
+
+use core::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Per-test configuration (subset: number of cases).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Reject,
+    /// A `prop_assert*!` failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Convenience constructor used by the assertion macros.
+    #[must_use]
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// The deterministic generator handed to strategies; seeded per test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test's identity and case index (FNV-1a over the name).
+    #[must_use]
+    pub fn deterministic(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case) << 1) ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, width: u64) -> u64 {
+        if width <= 1 {
+            return 0;
+        }
+        let zone = u64::MAX - (u64::MAX % width + 1) % width;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % width;
+            }
+        }
+    }
+
+    fn below_u128(&mut self, width: u128) -> u128 {
+        if width <= 1 {
+            return 0;
+        }
+        if let Ok(w) = u64::try_from(width) {
+            return u128::from(self.below(w));
+        }
+        let zone = u128::MAX - (u128::MAX % width + 1) % width;
+        loop {
+            let v = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            if v <= zone {
+                return v % width;
+            }
+        }
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values; the heart of the API.
+///
+/// Unlike real proptest there is no value tree: `generate` draws a sample
+/// directly and failures are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one sample.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, builds a dependent strategy from it, and samples
+    /// that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let off = rng.below_u128(width);
+                (self.start as i128).wrapping_add(off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128).wrapping_sub(lo as i128) as u128;
+                let off = rng.below_u128(width.wrapping_add(1));
+                (lo as i128).wrapping_add(off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// i128 spans can exceed u128's modelling above only for the full i128 range,
+// which no strategy in this workspace uses; handle it with a direct impl.
+impl Strategy for Range<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let width = self.end.wrapping_sub(self.start) as u128;
+        self.start.wrapping_add(rng.below_u128(width) as i128)
+    }
+}
+
+impl Strategy for RangeInclusive<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let width = hi.wrapping_sub(lo) as u128;
+        lo.wrapping_add(rng.below_u128(width.wrapping_add(1)) as i128)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::{Range, RangeInclusive};
+
+    /// Size specification for [`vec()`]: a fixed size or a (half-open or
+    /// inclusive) range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from `element`, with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the subset of real proptest syntax this workspace uses: an
+/// optional leading `#![proptest_config(...)]`, then any number of test
+/// functions with `pattern in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let test_id = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::deterministic(test_id, case);
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("{test_id}: case {case}/{} failed: {msg}", config.cases);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Like `assert!`, but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                lhs, rhs
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                lhs,
+                rhs,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                lhs, rhs
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{collection, Strategy, TestRng};
+
+    #[test]
+    fn ranges_and_vec_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("self-test", 0);
+        for _ in 0..1000 {
+            let v = (1u64..8).generate(&mut rng);
+            assert!((1..8).contains(&v));
+            let w = (-5i128..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let xs = collection::vec(0usize..4, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::deterministic("self-test", 1);
+        let s = (1usize..4).prop_flat_map(|n| {
+            (Just(n), collection::vec(0u64..10, n..=n)).prop_map(|(n, xs)| (n, xs))
+        });
+        for _ in 0..200 {
+            let (n, xs) = s.generate(&mut rng);
+            assert_eq!(xs.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(a in 1u64..100, (b, c) in (0usize..4, 1i32..5)) {
+            prop_assume!(a != 13);
+            prop_assert!(a >= 1 && b < 4);
+            prop_assert_eq!(c - c, 0);
+            prop_assert_ne!(a, 0);
+        }
+    }
+}

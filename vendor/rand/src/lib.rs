@@ -1,0 +1,264 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the API subset the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer and float
+//! ranges, [`Rng::gen`] for a few primitives, and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — deterministic in the
+//! seed, with distribution quality far beyond what seeded test workloads need.
+//! The streams differ from the real `rand`'s `StdRng` (ChaCha12), which is
+//! fine: nothing in the workspace depends on a particular stream, only on
+//! determinism.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a value of a primitive type from its "standard" distribution
+    /// (`f64` in `[0, 1)`, integers uniform over the whole type).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+/// SplitMix64 step; used for seeding and as a stream expander.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ generator (the workspace's deterministic `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Uniform sampling over a half-open span of `width` values (`width >= 1`),
+/// bias-free via rejection on the top partial block.
+fn uniform_below<G: RngCore>(g: &mut G, width: u64) -> u64 {
+    debug_assert!(width >= 1);
+    if width == 1 {
+        return 0;
+    }
+    // Zone is the largest multiple of `width` that fits in u64.
+    let zone = u64::MAX - (u64::MAX % width + 1) % width;
+    loop {
+        let v = g.next_u64();
+        if v <= zone {
+            return v % width;
+        }
+    }
+}
+
+/// A range that can be sampled; mirrors `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<G: RngCore>(self, g: &mut G) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(uniform_below(g, width) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, g: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let width = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if width == u64::MAX {
+                    return g.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(g, width + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    u64 => u64,
+    u32 => u32,
+    usize => usize,
+    i64 => u64,
+    i32 => u32,
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<G: RngCore>(self, g: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64::sample_standard(g) * (self.end - self.start)
+    }
+}
+
+/// Primitive types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Samples from the type's standard distribution.
+    fn sample_standard<G: RngCore>(g: &mut G) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<G: RngCore>(g: &mut G) -> Self {
+        g.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<G: RngCore>(g: &mut G) -> Self {
+        (g.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<G: RngCore>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<G: RngCore>(g: &mut G) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice helpers (subset: `shuffle` only).
+    pub trait SliceRandom {
+        /// Fisher-Yates shuffle.
+        fn shuffle<G: RngCore>(&mut self, rng: &mut G);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<G: RngCore>(&mut self, rng: &mut G) {
+            for i in (1..self.len()).rev() {
+                let j = super::uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u64..=9);
+            assert!((3..=9).contains(&v));
+            let w = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&w));
+            let f = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}
