@@ -9,7 +9,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bss_core::{nonpreemptive, preemptive, solve, splittable, two_approx, Algorithm, Trace};
+use bss_core::{
+    nonpreemptive, preemptive, solve, splittable, two_approx, Algorithm, DualWorkspace, Trace,
+};
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 
@@ -27,15 +29,19 @@ fn accepted_guess_nonp(inst: &Instance) -> u64 {
 
 fn dual_probe(c: &mut Criterion) {
     let inst = bss_gen::uniform(50_000, 2_500, 32, 1);
+    // One workspace per group, exactly as a search would hold it: after the
+    // warm-up iteration every probe is allocation-free.
+    let mut ws = DualWorkspace::new();
     let mut g = c.benchmark_group("dual_probe");
     let t = accepted_guess_split(&inst);
     g.bench_function("splittable_O(c)", |b| {
-        b.iter(|| black_box(splittable::accepts(&inst, black_box(t))))
+        b.iter(|| black_box(splittable::accepts_in(&mut ws, &inst, black_box(t))))
     });
     let t = accepted_guess_pmtn(&inst);
     g.bench_function("preemptive_O(n)", |b| {
         b.iter(|| {
-            black_box(preemptive::accepts(
+            black_box(preemptive::accepts_in(
+                &mut ws,
                 &inst,
                 black_box(t),
                 preemptive::CountMode::AlphaPrime,
@@ -51,17 +57,19 @@ fn dual_probe(c: &mut Criterion) {
 
 fn dual_build(c: &mut Criterion) {
     let inst = bss_gen::uniform(50_000, 2_500, 32, 1);
+    let mut ws = DualWorkspace::new();
     let mut g = c.benchmark_group("dual_build");
     g.sample_size(20);
     let t = accepted_guess_split(&inst);
     g.bench_function("splittable", |b| {
-        b.iter(|| black_box(splittable::dual(&inst, t).expect("accepted")))
+        b.iter(|| black_box(splittable::dual_in(&mut ws, &inst, t).expect("accepted")))
     });
     let t = accepted_guess_pmtn(&inst);
     g.bench_function("preemptive", |b| {
         b.iter(|| {
             black_box(
-                preemptive::dual(
+                preemptive::dual_in(
+                    &mut ws,
                     &inst,
                     t,
                     preemptive::CountMode::AlphaPrime,
@@ -74,7 +82,10 @@ fn dual_build(c: &mut Criterion) {
     let t = accepted_guess_nonp(&inst);
     g.bench_function("nonpreemptive", |b| {
         b.iter(|| {
-            black_box(nonpreemptive::dual(&inst, t, &mut Trace::disabled()).expect("accepted"))
+            black_box(
+                nonpreemptive::dual_in(&mut ws, &inst, t, &mut Trace::disabled())
+                    .expect("accepted"),
+            )
         })
     });
     g.finish();
@@ -117,14 +128,15 @@ fn three_halves(c: &mut Criterion) {
 fn n_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("n_scaling_class_jumping");
     g.sample_size(10);
+    let mut ws = DualWorkspace::new();
     for k in [12u32, 14, 16] {
         let n = 1usize << k;
         let inst = bss_gen::uniform(n, n / 20, 16, 5);
         g.bench_with_input(BenchmarkId::new("splittable", n), &inst, |b, inst| {
-            b.iter(|| black_box(splittable::class_jumping(inst)))
+            b.iter(|| black_box(splittable::class_jumping_in(&mut ws, inst)))
         });
         g.bench_with_input(BenchmarkId::new("preemptive", n), &inst, |b, inst| {
-            b.iter(|| black_box(preemptive::class_jumping(inst)))
+            b.iter(|| black_box(preemptive::class_jumping_in(&mut ws, inst)))
         });
     }
     g.finish();

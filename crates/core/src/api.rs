@@ -5,6 +5,7 @@ use bss_rational::Rational;
 use bss_schedule::{CompactSchedule, Schedule};
 
 use crate::search::epsilon_search;
+use crate::workspace::DualWorkspace;
 use crate::{nonpreemptive, preemptive, splittable, two_approx, Trace};
 
 /// Algorithm selector for [`solve`].
@@ -61,9 +62,35 @@ pub fn solve(inst: &Instance, variant: Variant, algo: Algorithm) -> Solution {
     solve_traced(inst, variant, algo, &mut Trace::disabled())
 }
 
+/// [`solve`] on a reusable [`DualWorkspace`]: all probe and builder buffers
+/// are borrowed from `ws`, so repeated solves (or the many probes inside one
+/// search) share a single allocation footprint. The result is identical to
+/// [`solve`], which merely allocates a fresh workspace per call.
+#[must_use]
+pub fn solve_with(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+) -> Solution {
+    solve_traced_with(ws, inst, variant, algo, &mut Trace::disabled())
+}
+
 /// [`solve`] with step tracing (used by the figure-regeneration harness).
 #[must_use]
 pub fn solve_traced(
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+    trace: &mut Trace,
+) -> Solution {
+    solve_traced_with(&mut DualWorkspace::new(), inst, variant, algo, trace)
+}
+
+/// [`solve_traced`] on a reusable [`DualWorkspace`].
+#[must_use]
+pub fn solve_traced_with(
+    ws: &mut DualWorkspace,
     inst: &Instance,
     variant: Variant,
     algo: Algorithm,
@@ -74,8 +101,8 @@ pub fn solve_traced(
     let three_halves = Rational::new(3, 2);
     match (variant, algo) {
         (_, Algorithm::Portfolio) => {
-            let a = solve_traced(inst, variant, Algorithm::ThreeHalves, trace);
-            let b = solve_traced(inst, variant, Algorithm::TwoApprox, trace);
+            let a = solve_traced_with(ws, inst, variant, Algorithm::ThreeHalves, trace);
+            let b = solve_traced_with(ws, inst, variant, Algorithm::TwoApprox, trace);
             // The 3/2 guarantee carries over from the ThreeHalves run: even
             // when the 2-approximation's schedule wins on makespan, it is
             // bounded by the ThreeHalves makespan, so `3/2 * a.accepted`
@@ -94,7 +121,7 @@ pub fn solve_traced(
             best
         }
         (Variant::Splittable, Algorithm::TwoApprox) => {
-            let compact = two_approx::splittable_two_approx(inst);
+            let compact = two_approx::splittable_two_approx_in(ws, inst);
             let schedule = compact.expand();
             finish(schedule, Some(compact), t_min, Rational::from(2), t_min, 0)
         }
@@ -104,7 +131,7 @@ pub fn solve_traced(
         }
         (Variant::Splittable, Algorithm::EpsilonSearch { eps_log2 }) => {
             let eps = Rational::new(1, 1 << eps_log2.min(60));
-            let out = epsilon_search(t_min, eps, |t| splittable::dual(inst, t));
+            let out = epsilon_search(t_min, eps, |t| splittable::dual_in(ws, inst, t));
             let schedule = out.schedule.expand();
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
@@ -119,7 +146,7 @@ pub fn solve_traced(
         (Variant::Preemptive, Algorithm::EpsilonSearch { eps_log2 }) => {
             let eps = Rational::new(1, 1 << eps_log2.min(60));
             let out = epsilon_search(t_min, eps, |t| {
-                preemptive::dual(inst, t, preemptive::CountMode::AlphaPrime, trace)
+                preemptive::dual_in(ws, inst, t, preemptive::CountMode::AlphaPrime, trace)
             });
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
@@ -136,7 +163,7 @@ pub fn solve_traced(
             let out = epsilon_search(t_min, eps, |t| {
                 // The non-preemptive dual takes integral guesses; probing at
                 // ⌊t⌋ only strengthens the test (⌊t⌋ <= t).
-                nonpreemptive::dual(inst, t.floor().max(1) as u64, trace)
+                nonpreemptive::dual_in(ws, inst, t.floor().max(1) as u64, trace)
             });
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
@@ -149,7 +176,7 @@ pub fn solve_traced(
             )
         }
         (Variant::Splittable, Algorithm::ThreeHalves) => {
-            let out = splittable::class_jumping(inst);
+            let out = splittable::class_jumping_in(ws, inst);
             let schedule = out.schedule.expand();
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
@@ -162,7 +189,7 @@ pub fn solve_traced(
             )
         }
         (Variant::Preemptive, Algorithm::ThreeHalves) => {
-            let out = preemptive::class_jumping(inst);
+            let out = preemptive::class_jumping_in(ws, inst);
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
                 out.schedule,
@@ -174,7 +201,7 @@ pub fn solve_traced(
             )
         }
         (Variant::NonPreemptive, Algorithm::ThreeHalves) => {
-            let out = nonpreemptive::three_halves(inst);
+            let out = nonpreemptive::three_halves_in(ws, inst);
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
                 out.schedule,

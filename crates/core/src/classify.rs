@@ -64,6 +64,18 @@ impl Classification {
 #[must_use]
 pub fn classify(inst: &Instance, t: Rational) -> Classification {
     let mut cls = Classification::default();
+    classify_into(inst, t, &mut cls);
+    cls
+}
+
+/// [`classify`] into a caller-owned [`Classification`], clearing and reusing
+/// its buffers — the allocation-free form used by the probe workspaces.
+pub fn classify_into(inst: &Instance, t: Rational, cls: &mut Classification) {
+    cls.iexp_plus.clear();
+    cls.iexp_zero.clear();
+    cls.iexp_minus.clear();
+    cls.ichp_plus.clear();
+    cls.ichp_minus.clear();
     for i in 0..inst.num_classes() {
         let s = inst.setup(i);
         let sp = s + inst.class_proc(i); // s_i + P(C_i), integer
@@ -82,37 +94,82 @@ pub fn classify(inst: &Instance, t: Rational) -> Classification {
             cls.ichp_minus.push(i);
         }
     }
-    cls
+}
+
+/// `⌈a/b⌉` for `a >= 0`, `b > 0` (remainder form: immune to `a + b`
+/// overflow).
+#[inline]
+fn ceil_div(a: i128, b: i128) -> i128 {
+    debug_assert!(a >= 0 && b > 0);
+    a / b + (a % b != 0) as i128
+}
+
+/// `⌈(p · t.den) / q_num⌉` computed gcd-free in integers when the products
+/// fit `i128`; falls back to exact rational division otherwise (possible
+/// only for the huge search-bracket denominators near the headroom bound).
+#[inline]
+fn ceil_ratio(p: u64, t_num: i128, t_den: i128, fallback: impl Fn() -> i128) -> i128 {
+    match (p as i128).checked_mul(t_den) {
+        Some(scaled) => ceil_div(scaled, t_num),
+        None => fallback(),
+    }
 }
 
 /// `α_i = ⌈P(C_i)/(T - s_i)⌉` — minimal setups of class `i` in any
 /// `T`-feasible schedule (Lemma 1). Requires `s_i < T`.
+///
+/// `P/(T-s) = P·den / (num - s·den)`, so the count is one gcd-free integer
+/// ceiling division whenever the scaled numerator fits `i128`.
 #[must_use]
+#[inline]
 pub fn alpha(inst: &Instance, t: Rational, class: ClassId) -> usize {
-    let denom = t - inst.setup(class);
-    debug_assert!(denom.is_positive(), "alpha requires s_i < T");
-    (Rational::from(inst.class_proc(class)) / denom).ceil() as usize
+    let p = inst.class_proc(class);
+    let fallback = || (Rational::from(p) / (t - inst.setup(class))).ceil() as usize;
+    match scaled_gap(inst.setup(class), t) {
+        Some(d) => ceil_ratio(p, d, t.denom(), || fallback() as i128) as usize,
+        None => fallback(),
+    }
+}
+
+/// `t.num - s·t.den` (the scaled `T - s_i`), `None` when the product leaves
+/// `i128` — then the caller takes the exact rational route, matching the
+/// overflow-panics-never-wraps discipline of [`Rational`] itself.
+#[inline]
+fn scaled_gap(setup: u64, t: Rational) -> Option<i128> {
+    let d = t.numer() - (setup as i128).checked_mul(t.denom())?;
+    debug_assert!(d > 0, "alpha/alpha' require s_i < T");
+    Some(d)
 }
 
 /// `α'_i = ⌊P(C_i)/(T - s_i)⌋` (machine count used by Algorithm 2 for
 /// `I⁺_exp`). Requires `s_i < T`.
 #[must_use]
+#[inline]
 pub fn alpha_prime(inst: &Instance, t: Rational, class: ClassId) -> usize {
-    let denom = t - inst.setup(class);
-    debug_assert!(denom.is_positive(), "alpha' requires s_i < T");
-    (Rational::from(inst.class_proc(class)) / denom).floor() as usize
+    let p = inst.class_proc(class);
+    match scaled_gap(inst.setup(class), t).zip((p as i128).checked_mul(t.denom())) {
+        Some((d, scaled)) => (scaled / d) as usize,
+        None => (Rational::from(p) / (t - inst.setup(class))).floor() as usize,
+    }
 }
 
 /// `β_i = ⌈2 P(C_i)/T⌉` — minimal machines for an expensive class (Lemma 1).
 #[must_use]
+#[inline]
 pub fn beta(inst: &Instance, t: Rational, class: ClassId) -> usize {
-    (Rational::from(2 * inst.class_proc(class)) / t).ceil() as usize
+    let p2 = 2 * inst.class_proc(class);
+    ceil_ratio(p2, t.numer(), t.denom(), || (Rational::from(p2) / t).ceil()) as usize
 }
 
 /// `β'_i = ⌊2 P(C_i)/T⌋`.
 #[must_use]
+#[inline]
 pub fn beta_prime(inst: &Instance, t: Rational, class: ClassId) -> usize {
-    (Rational::from(2 * inst.class_proc(class)) / t).floor() as usize
+    let p2 = 2 * inst.class_proc(class);
+    match (p2 as i128).checked_mul(t.denom()) {
+        Some(scaled) => (scaled / t.numer()) as usize,
+        None => (Rational::from(p2) / t).floor() as usize,
+    }
 }
 
 /// `γ_i`: machines used by the γ-modified wrapping of `I⁺_exp` classes
@@ -121,9 +178,26 @@ pub fn beta_prime(inst: &Instance, t: Rational, class: ClassId) -> usize {
 /// Equivalently `max(1, ⌈2(P_i + s_i - T)/T⌉)`, which jumps exactly at the
 /// paper's points `T = 2(s_i + P_i)/(γ + 2)`.
 #[must_use]
+#[inline]
 pub fn gamma(inst: &Instance, t: Rational, class: ClassId) -> usize {
-    let need = Rational::from(2 * (inst.class_proc(class) + inst.setup(class))) / t - 2u64;
-    need.ceil().max(1) as usize
+    let sp2 = 2 * (inst.class_proc(class) + inst.setup(class));
+    // need = (sp2·den - 2·num) / num; ceil for a possibly negative numerator.
+    let fallback = || {
+        let need = Rational::from(sp2) / t - 2u64;
+        need.ceil().max(1) as usize
+    };
+    match (sp2 as i128)
+        .checked_mul(t.denom())
+        .zip(t.numer().checked_mul(2))
+        .and_then(|(scaled, num2)| scaled.checked_sub(num2))
+    {
+        Some(a) => {
+            let num = t.numer();
+            let need = if a >= 0 { ceil_div(a, num) } else { a / num };
+            need.max(1) as usize
+        }
+        None => fallback(),
+    }
 }
 
 /// Big jobs `C*_i = { j ∈ C_i : s_i + t_j > T/2 }` of a cheap-light class.

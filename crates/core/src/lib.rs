@@ -30,6 +30,8 @@ pub mod two_approx;
 
 mod api;
 mod trace;
+mod workspace;
 
-pub use api::{solve, solve_traced, Algorithm, Solution};
+pub use api::{solve, solve_traced, solve_traced_with, solve_with, Algorithm, Solution};
 pub use trace::Trace;
+pub use workspace::DualWorkspace;

@@ -24,6 +24,7 @@ use bss_instance::{ClassId, Instance, JobId};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
 
+use crate::workspace::DualWorkspace;
 use crate::Trace;
 
 /// The `O(n)` dual test of Theorem 9: `true` iff `T` is accepted.
@@ -168,9 +169,22 @@ impl<'a> Builder<'a> {
 /// `O(n)` up to the (rare) repair moves of step 4.
 #[must_use]
 pub fn dual(inst: &Instance, t: u64, trace: &mut Trace) -> Option<Schedule> {
+    dual_in(&mut DualWorkspace::new(), inst, t, trace)
+}
+
+/// [`dual`] on a reusable workspace (the step-4 repair's per-job buffers are
+/// borrowed from `ws`).
+#[must_use]
+pub fn dual_in(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    t: u64,
+    trace: &mut Trace,
+) -> Option<Schedule> {
     if !accepts(inst, t) {
         return None;
     }
+    ws.prepare_for(inst);
     let mut b = Builder::new(inst, t);
     let c = inst.num_classes();
 
@@ -286,40 +300,42 @@ pub fn dual(inst: &Instance, t: u64, trace: &mut Trace) -> Option<Schedule> {
     }
     trace.snap("step 3: greedy fill", &b.to_schedule());
 
-    // Step 4a: make jobs integral — replace each split's first piece by the
-    // parent job and remove the other pieces.
-    let mut pieces_of: std::collections::HashMap<JobId, Vec<usize>> =
-        std::collections::HashMap::new();
+    // Step 4a: make jobs integral — replace each split's first-placed piece
+    // (smallest sequence number) by the parent job and remove the other
+    // pieces. Two passes over the stacks with per-job min-seq/count buffers
+    // from the workspace: `O(n)` total instead of a rescan of every machine
+    // per split job, and no hash map.
+    // `prepare_for` cleared both buffers, so resize initializes every slot.
+    ws.job_min_seq.resize(inst.num_jobs(), usize::MAX);
+    ws.job_count.resize(inst.num_jobs(), 0);
     for stack in &b.machines {
         for item in stack {
             if let Some(j) = item.job {
-                pieces_of.entry(j).or_default().push(item.seq);
+                ws.job_count[j] += 1;
+                if item.seq < ws.job_min_seq[j] {
+                    ws.job_min_seq[j] = item.seq;
+                }
             }
         }
     }
-    for (job, mut seqs) in pieces_of {
-        if seqs.len() < 2 {
-            continue;
-        }
-        seqs.sort_unstable();
-        let first = seqs[0];
-        let full = inst.job(job).time;
-        for stack_idx in 0..b.machines.len() {
-            let mut k = 0;
-            while k < b.machines[stack_idx].len() {
-                let item = b.machines[stack_idx][k];
-                if item.job == Some(job) {
-                    if item.seq == first {
-                        b.loads[stack_idx] += full - item.len;
-                        b.machines[stack_idx][k].len = full;
-                        k += 1;
-                    } else {
-                        b.loads[stack_idx] -= item.len;
-                        b.machines[stack_idx].remove(k);
-                    }
-                } else {
-                    k += 1;
-                }
+    for u in 0..b.machines.len() {
+        let mut k = 0;
+        while k < b.machines[u].len() {
+            let item = b.machines[u][k];
+            let Some(j) = item.job else {
+                k += 1;
+                continue;
+            };
+            if ws.job_count[j] < 2 {
+                k += 1;
+            } else if item.seq == ws.job_min_seq[j] {
+                let full = inst.job(j).time;
+                b.loads[u] += full - item.len;
+                b.machines[u][k].len = full;
+                k += 1;
+            } else {
+                b.loads[u] -= item.len;
+                b.machines[u].remove(k);
             }
         }
     }

@@ -9,5 +9,5 @@
 mod dual;
 mod search;
 
-pub use dual::{accepts, dual};
-pub use search::three_halves;
+pub use dual::{accepts, dual, dual_in};
+pub use search::{three_halves, three_halves_in};

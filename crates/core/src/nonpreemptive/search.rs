@@ -5,9 +5,10 @@ use bss_rational::Rational;
 use bss_schedule::Schedule;
 
 use crate::search::{integer_search, SearchOutcome};
+use crate::workspace::DualWorkspace;
 use crate::Trace;
 
-use super::dual;
+use super::dual_in;
 
 /// Runs the exact integer binary search over the 3/2-dual of Theorem 9.
 ///
@@ -21,11 +22,20 @@ use super::dual;
 /// machine) is returned directly, as the paper assumes `m < n`.
 #[must_use]
 pub fn three_halves(inst: &Instance) -> SearchOutcome<Schedule> {
+    three_halves_in(&mut DualWorkspace::new(), inst)
+}
+
+/// [`three_halves`] on a reusable workspace: every probe's builder shares
+/// the workspace's repair buffers.
+#[must_use]
+pub fn three_halves_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome<Schedule> {
     if inst.machines() >= inst.num_jobs() {
         return trivial_one_job_per_machine(inst);
     }
     let t_min = LowerBounds::of(inst).tmin(Variant::NonPreemptive).ceil() as u64;
-    integer_search(t_min, 2 * t_min, |t| dual(inst, t, &mut Trace::disabled()))
+    integer_search(t_min, 2 * t_min, |t| {
+        dual_in(ws, inst, t, &mut Trace::disabled())
+    })
 }
 
 /// `m >= n`: one machine per job is optimal (`makespan = max_i (s_i +

@@ -18,213 +18,263 @@
 //! The band discipline (`K` below `T/2`, cheap nice load above `T/2`) is what
 //! keeps split jobs from running in parallel with themselves.
 
-use bss_instance::{ClassId, Instance, JobId};
-use bss_knapsack::{continuous_knapsack, CkItem};
-use bss_rational::Rational;
+use bss_instance::{ClassId, Instance};
+use bss_knapsack::{continuous_knapsack_in, CkItem};
+use bss_rational::{Rational, RawRational};
 use bss_schedule::Schedule;
 use bss_wrap::{wrap, GapRun, Template, WrapSequence};
 
-use crate::classify::{classify, cstar, Classification};
+use crate::classify::classify_into;
+use crate::workspace::{DualWorkspace, IstarAgg, KPiece};
 use crate::Trace;
 
-use super::nice::{build_nice, Batch, NiceParts};
+use super::nice::{build_nice, Batch, BatchJobs, NiceParts};
 use super::CountMode;
 
-/// A job piece destined for the bottom band of the large machines.
-#[derive(Debug, Clone)]
-struct KPiece {
-    class: ClassId,
-    job: JobId,
-    len: Rational,
+/// The probe aggregates of Theorem 5, computed allocation-free into the
+/// workspace. Exposed crate-internally so the Class-Jumping finishing move
+/// can reuse the load evaluation instead of re-deriving it.
+pub(crate) struct Aggregates {
+    pub half: Rational,
+    /// Free time `F` outside the large machines (Equation 3).
+    pub f_free: RawRational,
+    /// `Σ_{I*chp} (s_i + P(C_i))`.
+    pub istar_full: RawRational,
+    /// `L_pmtn` including the knapsack zero-set setups (case 3.a).
+    pub l_pmtn: RawRational,
+    /// `true` iff case 3.a applies (`F < Σ`); then `ws.ck_x` holds the
+    /// knapsack solution aligned with `ws.istar`.
+    pub case_a: bool,
 }
 
-/// Everything needed to build the schedule once the guess is accepted.
-struct Plan {
-    cls: Classification,
-    /// Machine counts for `I⁺_exp` (aligned with `cls.iexp_plus`).
-    counts: Vec<usize>,
-    /// Cheap batches of the nice residual instance.
-    cheap_batches: Vec<Batch>,
-    /// Bottom-band pieces, grouped later into `K⁺`/`K⁻`.
-    k_pieces: Vec<KPiece>,
+/// Computes the accept-test aggregates at `t`, filling `ws.cls`, `ws.counts`,
+/// `ws.istar` and (in case 3.a) `ws.ck_x`. `None` when `t` is structurally
+/// infeasible: below the trivial bound, machine demand `m' > m`, or the
+/// obligatory pieces alone exceed the free time (`Y < 0`).
+///
+/// After workspace warm-up this performs zero heap allocations.
+pub(crate) fn aggregates_in(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    t: Rational,
+    mode: CountMode,
+) -> Option<Aggregates> {
+    if t < Rational::from(inst.max_setup_plus_tmax()) {
+        return None;
+    }
+    ws.prepare_for(inst);
+    let m = inst.machines();
+    let half = t.half();
+    classify_into(inst, t, &mut ws.cls);
+    let l = ws.cls.iexp_zero.len();
+
+    // Machine requirement m' (Theorem 5).
+    for &i in &ws.cls.iexp_plus {
+        let count = mode.count(inst, t, i);
+        ws.counts.push(count);
+    }
+    let m_req = l + ws.counts.iter().sum::<usize>() + ws.cls.iexp_minus.len().div_ceil(2);
+    if m_req > m {
+        return None;
+    }
+
+    // Big-job aggregates of the light-cheap classes (C*_i): count and
+    // processing sum suffice for the test — no job lists, no hash sets.
+    for &i in &ws.cls.ichp_minus {
+        let s = inst.setup(i);
+        let mut big_count = 0u64;
+        let mut big_proc = 0u64;
+        for &j in inst.class_jobs(i) {
+            let tj = inst.job(j).time;
+            if Rational::from(s + tj) > half {
+                big_count += 1;
+                big_proc += tj;
+            }
+        }
+        if big_count > 0 {
+            ws.istar.push(IstarAgg {
+                class: i,
+                big_count,
+                big_proc,
+            });
+        }
+    }
+
+    // Free time F outside the large machines (Equation 3).
+    let mut base_load = RawRational::ZERO;
+    for (&i, &a) in ws.cls.iexp_plus.iter().zip(&ws.counts) {
+        base_load += inst.setup(i) * a as u64 + inst.class_proc(i);
+    }
+    for &i in ws.cls.iexp_minus.iter().chain(ws.cls.ichp_plus.iter()) {
+        base_load += inst.setup(i) + inst.class_proc(i);
+    }
+    let mut f_free = RawRational::from(t * (m - l));
+    f_free -= base_load;
+    let mut istar_full = RawRational::ZERO;
+    for e in &ws.istar {
+        istar_full += inst.setup(e.class) + inst.class_proc(e.class);
+    }
+
+    // Common part of L_pmtn: P(J) + Σ_plus a_i s_i + Σ_{[c] \ I+exp} s_i,
+    // rearranged as P(J) + Σ_all s_i + Σ_plus (a_i − 1) s_i to avoid a
+    // membership set.
+    let mut l_pmtn = RawRational::from(inst.total_proc());
+    for i in 0..inst.num_classes() {
+        l_pmtn += inst.setup(i);
+    }
+    for (&i, &a) in ws.cls.iexp_plus.iter().zip(&ws.counts) {
+        l_pmtn += inst.setup(i) * a as u64;
+        l_pmtn -= inst.setup(i);
+    }
+
+    let case_a = f_free < istar_full;
+    if case_a {
+        // ---- Case 3.a: knapsack over I*chp. ----
+        // Obligatory outside-load L*_i = P(C*_i) - |C*_i| (T/2 - s_i).
+        let mut l_star = RawRational::ZERO;
+        for e in &ws.istar {
+            let s = inst.setup(e.class);
+            let li = Rational::from(e.big_proc) - (half - Rational::from(s)) * e.big_count;
+            l_star += li;
+            l_star += s;
+            ws.ck_items.push(CkItem {
+                profit: s,
+                weight: Rational::from(inst.class_proc(e.class)) - li,
+            });
+        }
+        let mut y = f_free;
+        y -= l_star;
+        if y.is_negative() {
+            return None; // even the obligatory pieces cannot fit outside
+        }
+        continuous_knapsack_in(&ws.ck_items, y.reduce(), &mut ws.ck_order, &mut ws.ck_x);
+        for (e, x) in ws.istar.iter().zip(&ws.ck_x) {
+            if x.is_zero() {
+                l_pmtn += inst.setup(e.class); // extra setup
+            }
+        }
+    }
+
+    Some(Aggregates {
+        half,
+        f_free,
+        istar_full,
+        l_pmtn,
+        case_a,
+    })
+}
+
+/// Plan facts beyond the workspace buffers.
+struct PlanMeta {
     /// Class whose pieces lead the `K⁻` wrap (the knapsack split item /
     /// greedy split class).
     k_first_class: Option<ClassId>,
 }
 
-/// The test-plus-planning phase shared by [`accepts`] and [`dual`].
-fn prepare(inst: &Instance, t: Rational, mode: CountMode) -> Option<Plan> {
-    if t < Rational::from(inst.max_setup_plus_tmax()) {
+/// The planning phase of [`dual_in`]: runs the accept test and, on
+/// acceptance, fills `ws.cheap`/`ws.arena`/`ws.k_pieces` with the nice
+/// residual batches and bottom-band pieces.
+fn prepare_in(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    t: Rational,
+    mode: CountMode,
+) -> Option<PlanMeta> {
+    let agg = aggregates_in(ws, inst, t, mode)?;
+    if agg.l_pmtn > t * inst.machines() {
         return None;
     }
-    let m = inst.machines();
-    let half = t.half();
-    let cls = classify(inst, t);
-    let l = cls.iexp_zero.len();
+    let half = agg.half;
 
-    // Machine requirement m' (Theorem 5).
-    let counts: Vec<usize> = cls
-        .iexp_plus
-        .iter()
-        .map(|&i| mode.count(inst, t, i))
-        .collect();
-    let m_req = l + counts.iter().sum::<usize>() + cls.iexp_minus.len().div_ceil(2);
-    if m_req > m {
-        return None;
+    ws.class_mark.reset(inst.num_classes());
+    for e in &ws.istar {
+        ws.class_mark.mark(e.class);
     }
-
-    // Big jobs of light-cheap classes.
-    let istar: Vec<(ClassId, Vec<JobId>)> = cls
-        .ichp_minus
-        .iter()
-        .filter_map(|&i| {
-            let cs = cstar(inst, t, i);
-            if cs.is_empty() {
-                None
-            } else {
-                Some((i, cs))
-            }
-        })
-        .collect();
-    let istar_set: std::collections::HashSet<ClassId> = istar.iter().map(|&(i, _)| i).collect();
-
-    // Free time F outside the large machines (Equation 3).
-    let mut base_load = Rational::ZERO;
-    for (&i, &a) in cls.iexp_plus.iter().zip(&counts) {
-        base_load += Rational::from(inst.setup(i) * a as u64 + inst.class_proc(i));
+    for &i in &ws.cls.ichp_plus {
+        ws.cheap.push(Batch::full(inst, i));
     }
-    for &i in cls.iexp_minus.iter().chain(cls.ichp_plus.iter()) {
-        base_load += Rational::from(inst.setup(i) + inst.class_proc(i));
-    }
-    let f_free = t * (m - l) - base_load;
-    let istar_full: Rational = istar
-        .iter()
-        .map(|&(i, _)| Rational::from(inst.setup(i) + inst.class_proc(i)))
-        .fold(Rational::ZERO, |a, b| a + b);
-
-    // Common part of L_pmtn: P(J) + Σ_plus a_i s_i + Σ_{[c] \ I+exp} s_i.
-    let mut l_pmtn = Rational::from(inst.total_proc());
-    for (&i, &a) in cls.iexp_plus.iter().zip(&counts) {
-        l_pmtn += Rational::from(inst.setup(i) * a as u64);
-    }
-    let plus_set: std::collections::HashSet<ClassId> = cls.iexp_plus.iter().copied().collect();
-    for i in 0..inst.num_classes() {
-        if !plus_set.contains(&i) {
-            l_pmtn += Rational::from(inst.setup(i));
-        }
-    }
-
-    let mut cheap_batches: Vec<Batch> = cls
-        .ichp_plus
-        .iter()
-        .map(|&i| Batch::full(inst, i))
-        .collect();
-    let mut k_pieces: Vec<KPiece> = Vec::new();
     let mut k_first_class = None;
 
-    if f_free < istar_full {
-        // ---- Case 3.a: knapsack over I*chp. ----
-        // Obligatory outside-load L*_i = P(C*_i) - |C*_i| (T/2 - s_i).
-        let mut l_star = Rational::ZERO;
-        let mut weights: Vec<Rational> = Vec::with_capacity(istar.len());
-        for (i, cs) in &istar {
-            let s = inst.setup(*i);
-            let pc: u64 = cs.iter().map(|&j| inst.job(j).time).sum();
-            let li = Rational::from(pc) - (half - s) * cs.len();
-            l_star += li + s;
-            weights.push(Rational::from(inst.class_proc(*i)) - li);
-        }
-        let y = f_free - l_star;
-        if y.is_negative() {
-            return None; // even the obligatory pieces cannot fit outside
-        }
-        let items: Vec<CkItem> = istar
-            .iter()
-            .zip(&weights)
-            .map(|(&(i, _), &w)| CkItem {
-                profit: inst.setup(i),
-                weight: w,
-            })
-            .collect();
-        let sol = continuous_knapsack(&items, y);
-        for (idx, &(i, _)) in istar.iter().enumerate() {
-            if sol.x[idx].is_zero() {
-                l_pmtn += Rational::from(inst.setup(i)); // extra setup
-            }
-        }
-        if t * m < l_pmtn {
-            return None;
-        }
-
-        // Build the nice cheap batches and the K pieces.
-        for (idx, (i, cs)) in istar.iter().enumerate() {
-            let i = *i;
+    if agg.case_a {
+        // Build the nice cheap batches and the K pieces from the knapsack.
+        for idx in 0..ws.istar.len() {
+            let IstarAgg { class: i, .. } = ws.istar[idx];
+            let x = ws.ck_x[idx];
             let s = inst.setup(i);
-            let cs_set: std::collections::HashSet<JobId> = cs.iter().copied().collect();
-            let x = sol.x[idx];
+            let is_big = |tj: u64| Rational::from(s + tj) > half;
             if x == Rational::ONE {
-                cheap_batches.push(Batch::full(inst, i));
+                ws.cheap.push(Batch::full(inst, i));
             } else if x.is_zero() {
                 // Only the obligatory pieces j(2) go to the nice instance.
-                let mut pieces = Vec::with_capacity(cs.len());
-                for &j in cs {
-                    let t2 = Rational::from(s + inst.job(j).time) - half;
-                    pieces.push((j, t2));
-                    k_pieces.push(KPiece {
-                        class: i,
-                        job: j,
-                        len: half - s, // t(1)_j
-                    });
-                }
-                cheap_batches.push(Batch {
-                    class: i,
-                    setup: s,
-                    pieces,
-                });
+                let start = ws.arena.len();
                 for &j in inst.class_jobs(i) {
-                    if !cs_set.contains(&j) {
-                        k_pieces.push(KPiece {
+                    let tj = inst.job(j).time;
+                    if is_big(tj) {
+                        let t2 = Rational::from(s + tj) - half;
+                        ws.arena.push((j, t2));
+                        ws.k_pieces.push(KPiece {
                             class: i,
                             job: j,
-                            len: Rational::from(inst.job(j).time),
+                            len: half - Rational::from(s), // t(1)_j
+                        });
+                    }
+                }
+                ws.cheap.push(Batch {
+                    class: i,
+                    setup: s,
+                    jobs: BatchJobs::Pieces {
+                        start,
+                        end: ws.arena.len(),
+                    },
+                });
+                for &j in inst.class_jobs(i) {
+                    let tj = inst.job(j).time;
+                    if !is_big(tj) {
+                        ws.k_pieces.push(KPiece {
+                            class: i,
+                            job: j,
+                            len: Rational::from(tj),
                         });
                     }
                 }
             } else {
                 // The split item e: pieces per Equation (6).
                 k_first_class = Some(i);
-                let mut pieces = Vec::with_capacity(inst.class_jobs(i).len());
+                let start = ws.arena.len();
                 for &j in inst.class_jobs(i) {
                     let tj = Rational::from(inst.job(j).time);
-                    let t2 = if cs_set.contains(&j) {
-                        let t1 = half - s;
+                    let t2 = if is_big(inst.job(j).time) {
+                        let t1 = half - Rational::from(s);
                         let t2_obl = Rational::from(s) + tj - half;
                         x * t1 + t2_obl
                     } else {
                         x * tj
                     };
-                    pieces.push((j, t2));
+                    ws.arena.push((j, t2));
                     let rest = tj - t2;
                     if rest.is_positive() {
-                        k_pieces.push(KPiece {
+                        ws.k_pieces.push(KPiece {
                             class: i,
                             job: j,
                             len: rest,
                         });
                     }
                 }
-                cheap_batches.push(Batch {
+                ws.cheap.push(Batch {
                     class: i,
                     setup: s,
-                    pieces,
+                    jobs: BatchJobs::Pieces {
+                        start,
+                        end: ws.arena.len(),
+                    },
                 });
             }
         }
         // Light-cheap classes without big jobs go entirely to the bottom.
-        for &i in &cls.ichp_minus {
-            if !istar_set.contains(&i) {
+        for &i in &ws.cls.ichp_minus {
+            if !ws.class_mark.is_marked(i) {
                 for &j in inst.class_jobs(i) {
-                    k_pieces.push(KPiece {
+                    ws.k_pieces.push(KPiece {
                         class: i,
                         job: j,
                         len: Rational::from(inst.job(j).time),
@@ -234,60 +284,63 @@ fn prepare(inst: &Instance, t: Rational, mode: CountMode) -> Option<Plan> {
         }
     } else {
         // ---- Case 3.b: everything I*chp fits outside; greedy split. ----
-        if t * m < l_pmtn {
-            return None;
+        for idx in 0..ws.istar.len() {
+            let i = ws.istar[idx].class;
+            ws.cheap.push(Batch::full(inst, i));
         }
-        for &(i, _) in &istar {
-            cheap_batches.push(Batch::full(inst, i));
-        }
-        let mut remaining = f_free - istar_full;
+        let mut remaining = agg.f_free;
+        remaining -= agg.istar_full;
         let mut split_done = false;
-        for &i in &cls.ichp_minus {
-            if istar_set.contains(&i) {
+        for ci in 0..ws.cls.ichp_minus.len() {
+            let i = ws.cls.ichp_minus[ci];
+            if ws.class_mark.is_marked(i) {
                 continue;
             }
             let s = inst.setup(i);
             let need = Rational::from(s + inst.class_proc(i));
-            if !split_done && need <= remaining {
-                cheap_batches.push(Batch::full(inst, i));
+            if !split_done && remaining >= need {
+                ws.cheap.push(Batch::full(inst, i));
                 remaining -= need;
             } else if !split_done && remaining > Rational::from(s) {
                 // Split this class's jobs fractionally to land exactly.
                 split_done = true;
                 k_first_class = Some(i);
-                let mut budget = remaining - s;
-                let mut pieces = Vec::new();
+                let mut budget = remaining.reduce() - s;
+                let start = ws.arena.len();
                 for &j in inst.class_jobs(i) {
                     let tj = Rational::from(inst.job(j).time);
                     if budget.is_positive() {
                         let take = tj.min(budget);
-                        pieces.push((j, take));
+                        ws.arena.push((j, take));
                         budget -= take;
                         if take < tj {
-                            k_pieces.push(KPiece {
+                            ws.k_pieces.push(KPiece {
                                 class: i,
                                 job: j,
                                 len: tj - take,
                             });
                         }
                     } else {
-                        k_pieces.push(KPiece {
+                        ws.k_pieces.push(KPiece {
                             class: i,
                             job: j,
                             len: tj,
                         });
                     }
                 }
-                cheap_batches.push(Batch {
+                ws.cheap.push(Batch {
                     class: i,
                     setup: s,
-                    pieces,
+                    jobs: BatchJobs::Pieces {
+                        start,
+                        end: ws.arena.len(),
+                    },
                 });
-                remaining = Rational::ZERO;
+                remaining = RawRational::ZERO;
             } else {
                 split_done = true;
                 for &j in inst.class_jobs(i) {
-                    k_pieces.push(KPiece {
+                    ws.k_pieces.push(KPiece {
                         class: i,
                         job: j,
                         len: Rational::from(inst.job(j).time),
@@ -297,34 +350,50 @@ fn prepare(inst: &Instance, t: Rational, mode: CountMode) -> Option<Plan> {
         }
     }
 
-    Some(Plan {
-        cls,
-        counts,
-        cheap_batches,
-        k_pieces,
-        k_first_class,
-    })
+    Some(PlanMeta { k_first_class })
 }
 
 /// The dual test of Theorem 5 (with `mode` selecting α′ or γ machine counts).
 #[must_use]
 pub fn accepts(inst: &Instance, t: Rational, mode: CountMode) -> bool {
-    prepare(inst, t, mode).is_some()
+    accepts_in(&mut DualWorkspace::new(), inst, t, mode)
+}
+
+/// [`accepts`] on a reusable workspace — allocation-free after warm-up.
+#[must_use]
+pub fn accepts_in(ws: &mut DualWorkspace, inst: &Instance, t: Rational, mode: CountMode) -> bool {
+    match aggregates_in(ws, inst, t, mode) {
+        Some(agg) => agg.l_pmtn <= t * inst.machines(),
+        None => false,
+    }
 }
 
 /// The general preemptive 3/2-dual: `None` = rejected (`T < OPT`),
 /// `Some(schedule)` is preemptive-feasible with makespan `<= 3T/2`.
 #[must_use]
 pub fn dual(inst: &Instance, t: Rational, mode: CountMode, trace: &mut Trace) -> Option<Schedule> {
-    let plan = prepare(inst, t, mode)?;
+    dual_in(&mut DualWorkspace::new(), inst, t, mode, trace)
+}
+
+/// [`dual`] on a reusable workspace: the probe and plan buffers are borrowed
+/// from `ws`, so a search reuses one allocation footprint across guesses.
+#[must_use]
+pub fn dual_in(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    t: Rational,
+    mode: CountMode,
+    trace: &mut Trace,
+) -> Option<Schedule> {
+    let plan = prepare_in(ws, inst, t, mode)?;
     let m = inst.machines();
     let half = t.half();
     let quarter = half.half();
-    let l = plan.cls.iexp_zero.len();
+    let l = ws.cls.iexp_zero.len();
     let mut out = Schedule::new(m);
 
     // Step 1: large machines — each I0exp batch starts at T/2 (Lemma 11).
-    for (u, &i) in plan.cls.iexp_zero.iter().enumerate() {
+    for (u, &i) in ws.cls.iexp_zero.iter().enumerate() {
         let s = Rational::from(inst.setup(i));
         out.push_setup(u, half, s, i);
         let mut at = half + s;
@@ -340,7 +409,7 @@ pub fn dual(inst: &Instance, t: Rational, mode: CountMode, trace: &mut Trace) ->
     // Split K into big (K+) and small (K−) pieces.
     let mut kplus: Vec<&KPiece> = Vec::new();
     let mut kminus: Vec<&KPiece> = Vec::new();
-    for p in &plan.k_pieces {
+    for p in &ws.k_pieces {
         if p.len > quarter {
             kplus.push(p);
         } else {
@@ -349,7 +418,7 @@ pub fn dual(inst: &Instance, t: Rational, mode: CountMode, trace: &mut Trace) ->
     }
     // Not enough large-machine room is excluded by Theorem 5 when the tests
     // pass; treat it defensively as a rejection.
-    if kplus.len() > l || (l == 0 && !plan.k_pieces.is_empty()) {
+    if kplus.len() > l || (l == 0 && !ws.k_pieces.is_empty()) {
         return None;
     }
 
@@ -395,22 +464,13 @@ pub fn dual(inst: &Instance, t: Rational, mode: CountMode, trace: &mut Trace) ->
 
     // Step 3: the nice residual instance on machines [l, m).
     let parts = NiceParts {
-        plus: plan
-            .cls
-            .iexp_plus
-            .iter()
-            .zip(&plan.counts)
-            .map(|(&i, &a)| (Batch::full(inst, i), a))
-            .collect(),
-        minus: plan
-            .cls
-            .iexp_minus
-            .iter()
-            .map(|&i| Batch::full(inst, i))
-            .collect(),
-        cheap: plan.cheap_batches.clone(),
+        plus_classes: &ws.cls.iexp_plus,
+        plus_counts: &ws.counts,
+        minus_classes: &ws.cls.iexp_minus,
+        cheap: &ws.cheap,
+        arena: &ws.arena,
     };
-    build_nice(inst, t, mode, &parts, l, m - l, &mut out).ok()?;
+    build_nice(inst, t, mode, parts, l, m - l, &mut out).ok()?;
     trace.snap("step 3: nice residual instance", &out);
 
     debug_assert!(

@@ -17,35 +17,49 @@
 //! its optimality (`accepted <= OPT`) is validated against exact optima in
 //! the test suite and against certificates in the benches.
 
+use std::cell::Cell;
+
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
 
 use crate::classify::{classify, gamma};
 use crate::search::{refine_right_interval, SearchOutcome};
+use crate::workspace::DualWorkspace;
 use crate::Trace;
 
-use super::dual::{accepts, dual};
+use super::dual::{accepts_in, aggregates_in, dual_in};
 use super::CountMode;
 
 const MODE: CountMode = CountMode::Gamma;
+
+/// One dual-test probe: bumps the shared counter, then runs the accept test.
+/// Call sites wrap this in short-lived closures so the workspace borrow stays
+/// local to each search step.
+fn probe(ws: &mut DualWorkspace, inst: &Instance, probes: &Cell<usize>, t: Rational) -> bool {
+    probes.set(probes.get() + 1);
+    accepts_in(ws, inst, t, MODE)
+}
 
 /// Runs preemptive Class Jumping; the schedule's makespan is
 /// `<= 3/2 · accepted`.
 #[must_use]
 pub fn class_jumping(inst: &Instance) -> SearchOutcome<Schedule> {
+    class_jumping_in(&mut DualWorkspace::new(), inst)
+}
+
+/// [`class_jumping`] on a reusable workspace: all `O(log(c+m))` probes share
+/// one allocation footprint.
+#[must_use]
+pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome<Schedule> {
     if inst.machines() >= inst.num_jobs() {
         return trivial(inst);
     }
-    let probes = std::cell::Cell::new(0usize);
-    let mut probe = |t: Rational| {
-        probes.set(probes.get() + 1);
-        accepts(inst, t, MODE)
-    };
+    let probes = Cell::new(0usize);
 
     let t_min = LowerBounds::of(inst).tmin(Variant::Preemptive);
-    if probe(t_min) {
-        let schedule = dual(inst, t_min, MODE, &mut Trace::disabled()).expect("accepted");
+    if probe(ws, inst, &probes, t_min) {
+        let schedule = dual_in(ws, inst, t_min, MODE, &mut Trace::disabled()).expect("accepted");
         return SearchOutcome {
             accepted: t_min,
             schedule,
@@ -72,7 +86,7 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<Schedule> {
     }
     thresholds.sort();
     thresholds.dedup();
-    let (l2, h2, p) = refine_right_interval(lo, hi, &thresholds, &mut probe);
+    let (l2, h2, p) = refine_right_interval(lo, hi, &thresholds, |t| probe(ws, inst, &probes, t));
     lo = l2;
     hi = h2;
     probes.set(probes.get() + p);
@@ -103,7 +117,8 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<Schedule> {
         if w_lo <= w_hi {
             if w_hi - w_lo <= 64 {
                 let jumps: Vec<Rational> = (w_lo..=w_hi).rev().map(|w| sp2 / w).collect();
-                let (l3, h3, p) = refine_right_interval(lo, hi, &jumps, &mut probe);
+                let (l3, h3, p) =
+                    refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
                 lo = l3;
                 hi = h3;
                 probes.set(probes.get() + p);
@@ -113,7 +128,7 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<Schedule> {
                 let mut best: Option<i128> = None;
                 while a <= b {
                     let wm = a + (b - a) / 2;
-                    if probe(sp2 / wm) {
+                    if probe(ws, inst, &probes, sp2 / wm) {
                         best = Some(wm);
                         a = wm + 1;
                     } else {
@@ -144,7 +159,7 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<Schedule> {
         }
         jumps.sort();
         jumps.dedup();
-        let (l4, h4, p) = refine_right_interval(lo, hi, &jumps, &mut probe);
+        let (l4, h4, p) = refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
         lo = l4;
         hi = h4;
         probes.set(probes.get() + p);
@@ -152,8 +167,8 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<Schedule> {
 
     // Step 7: finishing move with a bounded fixed-point iteration on the
     // load (the knapsack zero-set may still move inside the bracket).
-    let chosen = finishing_move(inst, lo, hi, &mut probe);
-    let schedule = dual(inst, chosen, MODE, &mut Trace::disabled())
+    let chosen = finishing_move(ws, inst, lo, hi, &probes);
+    let schedule = dual_in(ws, inst, chosen, MODE, &mut Trace::disabled())
         .expect("finishing move returns an accepted guess");
     SearchOutcome {
         accepted: chosen,
@@ -163,100 +178,30 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<Schedule> {
     }
 }
 
-/// Evaluates `L_pmtn` and `m'` at `t` (γ mode) without the accept tests;
-/// `None` when `t` is structurally infeasible (below the trivial bound, or
-/// obligatory pieces exceed the free time).
-fn load_and_machines(inst: &Instance, t: Rational) -> Option<(Rational, usize)> {
-    use crate::classify::cstar;
-    if t < Rational::from(inst.max_setup_plus_tmax()) {
-        return None;
-    }
-    let half = t.half();
-    let cls = classify(inst, t);
-    let l = cls.iexp_zero.len();
-    let counts: Vec<usize> = cls.iexp_plus.iter().map(|&i| gamma(inst, t, i)).collect();
-    let m_req = l + counts.iter().sum::<usize>() + cls.iexp_minus.len().div_ceil(2);
-
-    let mut l_pmtn = Rational::from(inst.total_proc());
-    for (&i, &a) in cls.iexp_plus.iter().zip(&counts) {
-        l_pmtn += Rational::from(inst.setup(i) * a as u64);
-    }
-    let plus_set: std::collections::HashSet<usize> = cls.iexp_plus.iter().copied().collect();
-    for i in 0..inst.num_classes() {
-        if !plus_set.contains(&i) {
-            l_pmtn += Rational::from(inst.setup(i));
-        }
-    }
-    // Knapsack zero-set contribution (case 3.a only).
-    let istar: Vec<(usize, Vec<usize>)> = cls
-        .ichp_minus
-        .iter()
-        .filter_map(|&i| {
-            let cs = cstar(inst, t, i);
-            (!cs.is_empty()).then_some((i, cs))
-        })
-        .collect();
-    let mut base_load = Rational::ZERO;
-    for (&i, &a) in cls.iexp_plus.iter().zip(&counts) {
-        base_load += Rational::from(inst.setup(i) * a as u64 + inst.class_proc(i));
-    }
-    for &i in cls.iexp_minus.iter().chain(cls.ichp_plus.iter()) {
-        base_load += Rational::from(inst.setup(i) + inst.class_proc(i));
-    }
-    let f_free = t * (inst.machines() - l) - base_load;
-    let istar_full: Rational = istar
-        .iter()
-        .map(|&(i, _)| Rational::from(inst.setup(i) + inst.class_proc(i)))
-        .fold(Rational::ZERO, |a, b| a + b);
-    if f_free < istar_full {
-        let mut l_star = Rational::ZERO;
-        let mut items = Vec::with_capacity(istar.len());
-        for (i, cs) in &istar {
-            let s = inst.setup(*i);
-            let pc: u64 = cs.iter().map(|&j| inst.job(j).time).sum();
-            let li = Rational::from(pc) - (half - s) * cs.len();
-            l_star += li + s;
-            items.push(bss_knapsack::CkItem {
-                profit: s,
-                weight: Rational::from(inst.class_proc(*i)) - li,
-            });
-        }
-        let y = f_free - l_star;
-        if y.is_negative() {
-            return None;
-        }
-        let sol = bss_knapsack::continuous_knapsack(&items, y);
-        for (idx, &(i, _)) in istar.iter().enumerate() {
-            if sol.x[idx].is_zero() {
-                l_pmtn += Rational::from(inst.setup(i));
-            }
-        }
-    }
-    Some((l_pmtn, m_req))
-}
-
 /// The finishing case analysis (step 9 analogue) with a bounded fixed-point
-/// iteration for the knapsack wobble.
+/// iteration for the knapsack wobble. The load evaluation `L_pmtn(T)` is the
+/// probe's own aggregate computation ([`aggregates_in`]), so the logic exists
+/// exactly once.
 fn finishing_move(
+    ws: &mut DualWorkspace,
     inst: &Instance,
     mut lo: Rational,
     hi: Rational,
-    probe: &mut impl FnMut(Rational) -> bool,
+    probes: &Cell<usize>,
 ) -> Rational {
     let m = inst.machines();
     for _ in 0..32 {
         let mid = (lo + hi).half();
-        let Some((l_open, m_req)) = load_and_machines(inst, mid) else {
+        // `None` covers both structural infeasibility and `m < m'` — the
+        // bracket's right end is the answer either way.
+        let Some(agg) = aggregates_in(ws, inst, mid, MODE) else {
             return hi;
         };
-        if m < m_req {
-            return hi;
-        }
-        let t_new = l_open / m;
+        let t_new = agg.l_pmtn.reduce() / m;
         if t_new >= hi || t_new <= lo {
             return hi;
         }
-        if probe(t_new) {
+        if probe(ws, inst, probes, t_new) {
             return t_new;
         }
         // The load at t_new differs (zero-set moved): shrink and retry.
@@ -352,7 +297,7 @@ mod tests {
             let inst = bss_gen::uniform(50, 7, 4, seed);
             let tmin = LowerBounds::of(&inst).tmin(Variant::Preemptive);
             let eps = epsilon_search(tmin, Rational::new(1, 1 << 12), |t| {
-                dual(&inst, t, MODE, &mut Trace::disabled())
+                crate::preemptive::dual(&inst, t, MODE, &mut Trace::disabled())
             });
             let jump = class_jumping(&inst);
             let slack = Rational::new(4097, 4096);

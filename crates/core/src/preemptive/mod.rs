@@ -8,10 +8,10 @@
 //!   in `O(n log(c+m)) ⊆ O(n log n)`, improving on the previous best ratio of
 //!   `2 − 1/(⌊m/2⌋+1)` (Monma & Potts 1993).
 
-mod dual;
+pub(crate) mod dual;
 mod jumping;
-mod nice;
+pub(crate) mod nice;
 
-pub use dual::{accepts, dual};
-pub use jumping::class_jumping;
+pub use dual::{accepts, accepts_in, dual, dual_in};
+pub use jumping::{class_jumping, class_jumping_in};
 pub use nice::{is_nice, nice_dual, CountMode};

@@ -42,13 +42,26 @@ impl CountMode {
     }
 }
 
+/// The jobs carried by a [`Batch`]: either a whole class (lengths read from
+/// the instance — nothing materialized) or an explicit range of job pieces
+/// in a shared piece arena. The arena form is what keeps plan construction
+/// free of per-batch `Vec` allocations: all split pieces of a plan live in
+/// one flat, workspace-owned buffer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BatchJobs {
+    /// All jobs of the class, timings from the instance.
+    Full,
+    /// `arena[start..end]` holds the `(job, piece length)` pairs.
+    Pieces { start: usize, end: usize },
+}
+
 /// A batch to place: a class's setup plus (a subset of) its jobs, possibly as
 /// rational pieces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Batch {
     pub class: ClassId,
     pub setup: u64,
-    pub pieces: Vec<(JobId, Rational)>,
+    pub jobs: BatchJobs,
 }
 
 impl Batch {
@@ -57,34 +70,61 @@ impl Batch {
         Batch {
             class,
             setup: inst.setup(class),
-            pieces: inst
-                .class_jobs(class)
-                .iter()
-                .map(|&j| (j, Rational::from(inst.job(j).time)))
-                .collect(),
+            jobs: BatchJobs::Full,
         }
     }
 
-    fn sequence(&self) -> WrapSequence {
+    /// Invokes `f` for every `(job, piece length)` of the batch.
+    pub(crate) fn for_each_piece(
+        &self,
+        inst: &Instance,
+        arena: &[(JobId, Rational)],
+        mut f: impl FnMut(JobId, Rational),
+    ) {
+        match self.jobs {
+            BatchJobs::Full => {
+                for &j in inst.class_jobs(self.class) {
+                    f(j, Rational::from(inst.job(j).time));
+                }
+            }
+            BatchJobs::Pieces { start, end } => {
+                for &(j, len) in &arena[start..end] {
+                    f(j, len);
+                }
+            }
+        }
+    }
+
+    /// `true` iff the batch carries at least one piece.
+    pub(crate) fn has_pieces(&self, inst: &Instance) -> bool {
+        match self.jobs {
+            BatchJobs::Full => !inst.class_jobs(self.class).is_empty(),
+            BatchJobs::Pieces { start, end } => end > start,
+        }
+    }
+
+    fn sequence(&self, inst: &Instance, arena: &[(JobId, Rational)]) -> WrapSequence {
         let mut q = WrapSequence::new();
-        q.push_batch(
-            self.class,
-            Rational::from(self.setup),
-            self.pieces.iter().copied(),
-        );
+        q.push_setup(self.class, Rational::from(self.setup));
+        self.for_each_piece(inst, arena, |j, len| q.push_piece(self.class, j, len));
         q
     }
 }
 
-/// The input of the nice builder.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct NiceParts {
-    /// `I⁺_exp` batches with their machine counts `a_i`.
-    pub plus: Vec<(Batch, usize)>,
-    /// `I⁻_exp` batches.
-    pub minus: Vec<Batch>,
+/// The input of the nice builder, borrowed from the caller (in the general
+/// algorithm: from the [`DualWorkspace`](crate::DualWorkspace) that owns the
+/// plan buffers).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NiceParts<'a> {
+    /// `I⁺_exp` classes (always placed whole) with machine counts `a_i`.
+    pub plus_classes: &'a [ClassId],
+    pub plus_counts: &'a [usize],
+    /// `I⁻_exp` classes (always placed whole).
+    pub minus_classes: &'a [ClassId],
     /// Cheap batches (wrapped in the `[T/2, 3T/2]` band).
-    pub cheap: Vec<Batch>,
+    pub cheap: &'a [Batch],
+    /// Piece storage referenced by split batches in `cheap`.
+    pub arena: &'a [(JobId, Rational)],
 }
 
 /// Places `parts` on machines `base .. base + avail` of `out`.
@@ -95,7 +135,7 @@ pub(crate) fn build_nice(
     inst: &Instance,
     t: Rational,
     mode: CountMode,
-    parts: &NiceParts,
+    parts: NiceParts<'_>,
     base: usize,
     avail: usize,
     out: &mut Schedule,
@@ -106,8 +146,8 @@ pub(crate) fn build_nice(
     let mut cursor = base;
 
     // Step 1: I+exp classes.
-    for (batch, a) in &parts.plus {
-        let a = *a;
+    for (&i, &a) in parts.plus_classes.iter().zip(parts.plus_counts) {
+        let batch = Batch::full(inst, i);
         debug_assert!(a >= 1);
         if cursor + a > end {
             return Err(());
@@ -136,24 +176,30 @@ pub(crate) fn build_nice(
             runs.push(GapRun::single(cursor + a - 1, s, top));
         }
         let template = Template::new(runs);
-        let placed =
-            wrap(&batch.sequence(), &template, inst.setups(), inst.machines()).map_err(|_| ())?;
+        let placed = wrap(
+            &batch.sequence(inst, parts.arena),
+            &template,
+            inst.setups(),
+            inst.machines(),
+        )
+        .map_err(|_| ())?;
         out.absorb(placed.expand());
         cursor += a;
     }
 
     // Step 2: I−exp classes in pairs.
     let mut lone_machine = None;
-    for pair in parts.minus.chunks(2) {
+    for pair in parts.minus_classes.chunks(2) {
         if cursor >= end {
             return Err(());
         }
         let mut at = Rational::ZERO;
-        for batch in pair {
-            out.push_setup(cursor, at, Rational::from(batch.setup), batch.class);
-            at += batch.setup;
-            for &(j, len) in &batch.pieces {
-                out.push_piece(cursor, at, len, j, batch.class);
+        for &i in pair {
+            out.push_setup(cursor, at, Rational::from(inst.setup(i)), i);
+            at += inst.setup(i);
+            for &j in inst.class_jobs(i) {
+                let len = Rational::from(inst.job(j).time);
+                out.push_piece(cursor, at, len, j, i);
                 at += len;
             }
         }
@@ -164,7 +210,7 @@ pub(crate) fn build_nice(
     }
 
     // Step 3: wrap the cheap load between T/2 and 3T/2.
-    if parts.cheap.iter().all(|b| b.pieces.is_empty()) {
+    if parts.cheap.iter().all(|b| !b.has_pieces(inst)) {
         return Ok(());
     }
     let mut runs = Vec::with_capacity(2);
@@ -185,13 +231,12 @@ pub(crate) fn build_nice(
     }
     let template = Template::new(runs);
     let mut q = WrapSequence::new();
-    for batch in &parts.cheap {
-        if !batch.pieces.is_empty() {
-            q.push_batch(
-                batch.class,
-                Rational::from(batch.setup),
-                batch.pieces.iter().copied(),
-            );
+    for batch in parts.cheap {
+        if batch.has_pieces(inst) {
+            q.push_setup(batch.class, Rational::from(batch.setup));
+            batch.for_each_piece(inst, parts.arena, |j, len| {
+                q.push_piece(batch.class, j, len);
+            });
         }
     }
     let placed = wrap(&q, &template, inst.setups(), inst.machines()).map_err(|_| ())?;
@@ -238,27 +283,21 @@ pub fn nice_dual(inst: &Instance, t: Rational, mode: CountMode) -> Option<Schedu
     if t * inst.machines() < l_nice {
         return None;
     }
+    let cheap: Vec<Batch> = cls
+        .ichp_plus
+        .iter()
+        .chain(cls.ichp_minus.iter())
+        .map(|&i| Batch::full(inst, i))
+        .collect();
     let parts = NiceParts {
-        plus: cls
-            .iexp_plus
-            .iter()
-            .zip(&counts)
-            .map(|(&i, &a)| (Batch::full(inst, i), a))
-            .collect(),
-        minus: cls
-            .iexp_minus
-            .iter()
-            .map(|&i| Batch::full(inst, i))
-            .collect(),
-        cheap: cls
-            .ichp_plus
-            .iter()
-            .chain(cls.ichp_minus.iter())
-            .map(|&i| Batch::full(inst, i))
-            .collect(),
+        plus_classes: &cls.iexp_plus,
+        plus_counts: &counts,
+        minus_classes: &cls.iexp_minus,
+        cheap: &cheap,
+        arena: &[],
     };
     let mut out = Schedule::new(inst.machines());
-    build_nice(inst, t, mode, &parts, 0, inst.machines(), &mut out).ok()?;
+    build_nice(inst, t, mode, parts, 0, inst.machines(), &mut out).ok()?;
     debug_assert!(out.makespan() <= t * Rational::new(3, 2));
     Some(out)
 }

@@ -13,7 +13,7 @@
 //! * Class Jumping (in the per-variant modules) replaces the geometric search
 //!   with a jump-structure search for the splittable and preemptive variants.
 
-use bss_rational::Rational;
+use bss_rational::{gcd, Rational};
 
 /// Outcome of a dual-approximation search.
 #[derive(Debug, Clone)]
@@ -28,6 +28,112 @@ pub struct SearchOutcome<S> {
     pub rejected: Option<Rational>,
     /// Number of dual-test probes performed (for the running-time studies).
     pub probes: usize,
+}
+
+/// The search bracket `[lo, hi]` plus the termination gap, held as plain
+/// integers over one shared denominator (a `Guess`-style representation).
+///
+/// The binary-search loop then needs only integer comparisons and shifts:
+/// no gcd, no rational re-normalization per iteration. A rational is
+/// materialized (one gcd) only at the probe points, where it is dwarfed by
+/// the `O(n)` dual test it feeds. Midpoints double the denominator at most
+/// once per iteration; when that would leave the `i128` headroom the bracket
+/// renormalizes by the common gcd, matching the overflow discipline (and
+/// panic behaviour) of [`Rational`] itself.
+struct Bracket {
+    lo: i128,
+    hi: i128,
+    gap: i128,
+    den: i128,
+    mid: i128,
+}
+
+impl Bracket {
+    fn new(lo: Rational, hi: Rational, gap: Rational) -> Bracket {
+        let den = lcm(lo.denom(), hi.denom())
+            .and_then(|d| lcm(d, gap.denom()))
+            .expect("Rational overflow in search bracket");
+        let scale = |r: Rational| {
+            r.numer()
+                .checked_mul(den / r.denom())
+                .expect("Rational overflow in search bracket")
+        };
+        Bracket {
+            lo: scale(lo),
+            hi: scale(hi),
+            gap: scale(gap),
+            den,
+            mid: 0,
+        }
+    }
+
+    /// `hi - lo > gap` — the loop condition, a pure integer comparison.
+    fn is_wide(&self) -> bool {
+        self.hi - self.lo > self.gap
+    }
+
+    /// Computes the midpoint, remembers it for [`Bracket::accept_mid`] /
+    /// [`Bracket::reject_mid`], and exposes it as a reduced [`Rational`].
+    fn split(&mut self) -> Rational {
+        loop {
+            if let Some(sum) = self.lo.checked_add(self.hi) {
+                if sum % 2 == 0 {
+                    self.mid = sum / 2;
+                    return Rational::new(self.mid, self.den);
+                }
+                // Odd sum: double every component so the midpoint is exact.
+                if let (Some(d), Some(l), Some(h), Some(g)) = (
+                    self.den.checked_mul(2),
+                    self.lo.checked_mul(2),
+                    self.hi.checked_mul(2),
+                    self.gap.checked_mul(2),
+                ) {
+                    self.den = d;
+                    self.lo = l;
+                    self.hi = h;
+                    self.gap = g;
+                    self.mid = sum; // (2·lo + 2·hi) / 2
+                    return Rational::new(self.mid, self.den);
+                }
+            }
+            self.renormalize();
+        }
+    }
+
+    fn accept_mid(&mut self) {
+        self.hi = self.mid;
+    }
+
+    fn reject_mid(&mut self) {
+        self.lo = self.mid;
+    }
+
+    fn lo_rational(&self) -> Rational {
+        Rational::new(self.lo, self.den)
+    }
+
+    fn hi_rational(&self) -> Rational {
+        Rational::new(self.hi, self.den)
+    }
+
+    /// Divides every component by their common gcd to regain headroom.
+    ///
+    /// # Panics
+    /// Panics when the components share no factor — the exact value genuinely
+    /// leaves `i128`, exactly as plain [`Rational`] arithmetic would.
+    fn renormalize(&mut self) {
+        let g = gcd(gcd(self.lo, self.hi), gcd(self.gap, self.den));
+        assert!(g > 1, "Rational overflow in search bracket");
+        self.lo /= g;
+        self.hi /= g;
+        self.gap /= g;
+        self.den /= g;
+    }
+}
+
+/// `lcm(a, b)` for positive denominators; `None` on overflow.
+fn lcm(a: i128, b: i128) -> Option<i128> {
+    (a / gcd(a, b)).checked_mul(b)
 }
 
 /// Binary search on `[t_min, 2 t_min]` until the bracket is narrower than
@@ -55,26 +161,25 @@ pub fn epsilon_search<S>(
             probes,
         };
     }
-    let mut lo = t_min; // rejected
-    let mut hi = t_min * 2u64; // accepted by precondition
+    // lo rejected; hi accepted by precondition.
+    let mut bracket = Bracket::new(t_min, t_min * 2u64, eps * t_min);
     probes += 1;
-    let mut best = run(hi).expect("2*T_min >= OPT must be accepted (Theorem 1)");
-    let gap = eps * t_min;
-    while hi - lo > gap {
-        let mid = (lo + hi).half();
+    let mut best = run(bracket.hi_rational()).expect("2*T_min >= OPT must be accepted (Theorem 1)");
+    while bracket.is_wide() {
+        let mid = bracket.split();
         probes += 1;
         match run(mid) {
             Some(s) => {
                 best = s;
-                hi = mid;
+                bracket.accept_mid();
             }
-            None => lo = mid,
+            None => bracket.reject_mid(),
         }
     }
     SearchOutcome {
-        accepted: hi,
+        accepted: bracket.hi_rational(),
         schedule: best,
-        rejected: Some(lo),
+        rejected: Some(bracket.lo_rational()),
         probes,
     }
 }

@@ -10,34 +10,51 @@
 //! reserved for one cheap setup) and the remaining empty machines — Figure 1.
 
 use bss_instance::Instance;
-use bss_rational::Rational;
+use bss_rational::{Rational, RawRational};
 use bss_schedule::CompactSchedule;
 use bss_wrap::{wrap, GapRun, Template, WrapSequence};
 
-use crate::classify::{beta, classify};
+use crate::classify::{beta, classify_into};
+use crate::workspace::DualWorkspace;
 use crate::Trace;
 
 /// The `O(c)` dual test of Theorem 7: `true` iff `T` is accepted.
 #[must_use]
 pub fn accepts(inst: &Instance, t: Rational) -> bool {
+    accepts_in(&mut DualWorkspace::new(), inst, t)
+}
+
+/// [`accepts`] on a reusable workspace — allocation-free after warm-up, with
+/// the load `L_split` accumulated gcd-free.
+#[must_use]
+pub fn accepts_in(ws: &mut DualWorkspace, inst: &Instance, t: Rational) -> bool {
     // OPT > s_max always, so any T < s_max is rejected. (T = s_max may be
     // accepted: the build keeps every machine within 3T/2 whenever
     // s_i <= T, which the searches' probe points guarantee.)
     if t < Rational::from(inst.smax()) {
         return false;
     }
-    let cls = classify(inst, t);
-    let mut l_split = Rational::from(inst.total_proc());
+    ws.prepare_for(inst);
+    classify_into(inst, t, &mut ws.cls);
+    let mut l_split = RawRational::from(inst.total_proc());
     let mut m_exp = 0usize;
-    for i in cls.iexp() {
+    // The test is order-insensitive, so the expensive cells chain directly
+    // (no sorted-merge allocation as in the builder).
+    for &i in ws
+        .cls
+        .iexp_plus
+        .iter()
+        .chain(ws.cls.iexp_zero.iter())
+        .chain(ws.cls.iexp_minus.iter())
+    {
         let b = beta(inst, t, i);
         m_exp += b;
-        l_split += Rational::from(inst.setup(i) * b as u64);
+        l_split += inst.setup(i) * b as u64;
     }
-    for i in cls.ichp() {
-        l_split += Rational::from(inst.setup(i));
+    for &i in ws.cls.ichp_plus.iter().chain(ws.cls.ichp_minus.iter()) {
+        l_split += inst.setup(i);
     }
-    m_exp <= inst.machines() && t * inst.machines() >= l_split
+    m_exp <= inst.machines() && l_split <= t * inst.machines()
 }
 
 /// The 3/2-dual builder: `None` = rejected (`T < OPT`), `Some(schedule)` has
@@ -45,7 +62,13 @@ pub fn accepts(inst: &Instance, t: Rational) -> bool {
 /// `O(n + c)` stored items.
 #[must_use]
 pub fn dual(inst: &Instance, t: Rational) -> Option<CompactSchedule> {
-    dual_traced(inst, t, &mut Trace::disabled())
+    dual_traced_in(&mut DualWorkspace::new(), inst, t, &mut Trace::disabled())
+}
+
+/// [`dual`] on a reusable workspace.
+#[must_use]
+pub fn dual_in(ws: &mut DualWorkspace, inst: &Instance, t: Rational) -> Option<CompactSchedule> {
+    dual_traced_in(ws, inst, t, &mut Trace::disabled())
 }
 
 /// [`dual`] with step snapshots (Figure 1(a) after step 1, Figure 1(b) after
@@ -53,12 +76,23 @@ pub fn dual(inst: &Instance, t: Rational) -> Option<CompactSchedule> {
 /// rendering.
 #[must_use]
 pub fn dual_traced(inst: &Instance, t: Rational, trace: &mut Trace) -> Option<CompactSchedule> {
-    if !accepts(inst, t) {
+    dual_traced_in(&mut DualWorkspace::new(), inst, t, trace)
+}
+
+/// [`dual_traced`] on a reusable workspace.
+#[must_use]
+pub fn dual_traced_in(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    t: Rational,
+    trace: &mut Trace,
+) -> Option<CompactSchedule> {
+    if !accepts_in(ws, inst, t) {
         return None;
     }
     let m = inst.machines();
     let half = t.half();
-    let cls = classify(inst, t);
+    let cls = &ws.cls; // the classification the accept test just computed
     let mut out = CompactSchedule::new(m);
 
     // Step 1: expensive classes, β_i machines each, gaps of job capacity T/2

@@ -9,29 +9,43 @@
 //! are `<= OPT` (Section 3.4). Total work: `O(n + c log(c+m))` — `O(n)` once
 //! for the aggregates, `O(c)` per probe, `O(log(c+m))` probes.
 
+use std::cell::Cell;
+
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::CompactSchedule;
 
 use crate::classify::{beta, classify};
 use crate::search::{refine_right_interval, SearchOutcome};
+use crate::workspace::DualWorkspace;
 
-use super::{accepts, dual};
+use super::{accepts_in, dual_in};
+
+/// One dual-test probe: bumps the shared counter, then runs the accept test.
+/// Call sites wrap this in short-lived closures so the workspace borrow stays
+/// local to each search step.
+fn probe(ws: &mut DualWorkspace, inst: &Instance, probes: &Cell<usize>, t: Rational) -> bool {
+    probes.set(probes.get() + 1);
+    accepts_in(ws, inst, t)
+}
 
 /// Runs Class Jumping; returns the accepted guess (`<= OPT`), the compact
 /// schedule built there (makespan `<= 3/2 · accepted`) and the rejection
 /// certificate.
 #[must_use]
 pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
-    let probes = std::cell::Cell::new(0usize);
-    let mut probe = |t: Rational| {
-        probes.set(probes.get() + 1);
-        accepts(inst, t)
-    };
+    class_jumping_in(&mut DualWorkspace::new(), inst)
+}
+
+/// [`class_jumping`] on a reusable workspace: all probes share one
+/// allocation footprint.
+#[must_use]
+pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome<CompactSchedule> {
+    let probes = Cell::new(0usize);
 
     let t_min = LowerBounds::of(inst).tmin(Variant::Splittable);
-    if probe(t_min) {
-        let schedule = dual(inst, t_min).expect("probe accepted");
+    if probe(ws, inst, &probes, t_min) {
+        let schedule = dual_in(ws, inst, t_min).expect("probe accepted");
         return SearchOutcome {
             accepted: t_min,
             schedule,
@@ -41,7 +55,7 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
     }
     let mut lo = t_min; // rejected
     let mut hi = t_min * 2u64; // accepted (Theorem 1: OPT <= 2 T_min)
-    debug_assert!(probe(hi));
+    debug_assert!(probe(ws, inst, &probes, hi));
 
     // Step 4: pin the expensive/cheap partition — no boundary 2·s̃_i strictly
     // inside (lo, hi).
@@ -52,7 +66,7 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
         .collect();
     boundaries.sort_unstable();
     boundaries.dedup();
-    let (l2, h2, p) = refine_right_interval(lo, hi, &boundaries, &mut probe);
+    let (l2, h2, p) = refine_right_interval(lo, hi, &boundaries, |t| probe(ws, inst, &probes, t));
     lo = l2;
     hi = h2;
     probes.set(probes.get() + p);
@@ -65,7 +79,7 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
     let chosen = if iexp.is_empty() {
         // No expensive classes: L_split is constant on the interval.
         let l_const = Rational::from(inst.total_load_once());
-        finishing_move(inst, lo, hi, 0, l_const, &mut probe)
+        finishing_move(ws, inst, lo, hi, 0, l_const, &probes)
     } else {
         // Step 5: fastest jumping class f (largest P_f).
         let f = *iexp
@@ -97,7 +111,7 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
                 let mut best: Option<i128> = None;
                 while a <= b {
                     let zm = a + (b - a) / 2;
-                    if probe(pf2 / zm) {
+                    if probe(ws, inst, &probes, pf2 / zm) {
                         best = Some(zm);
                         a = zm + 1;
                     } else {
@@ -116,7 +130,8 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
                 Vec::new()
             };
             if !jumps.is_empty() {
-                let (l3, h3, p) = refine_right_interval(lo, hi, &jumps, &mut probe);
+                let (l3, h3, p) =
+                    refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
                 lo = l3;
                 hi = h3;
                 probes.set(probes.get() + p);
@@ -134,7 +149,8 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
         }
         other_jumps.sort();
         other_jumps.dedup();
-        let (l4, h4, p) = refine_right_interval(lo, hi, &other_jumps, &mut probe);
+        let (l4, h4, p) =
+            refine_right_interval(lo, hi, &other_jumps, |t| probe(ws, inst, &probes, t));
         lo = l4;
         hi = h4;
         probes.set(probes.get() + p);
@@ -152,10 +168,10 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
         for i in cls.ichp() {
             l_open += Rational::from(inst.setup(i));
         }
-        finishing_move(inst, lo, hi, m_exp, l_open, &mut probe)
+        finishing_move(ws, inst, lo, hi, m_exp, l_open, &probes)
     };
 
-    let schedule = dual(inst, chosen).expect("chosen guess must be accepted");
+    let schedule = dual_in(ws, inst, chosen).expect("chosen guess must be accepted");
     SearchOutcome {
         accepted: chosen,
         schedule,
@@ -168,12 +184,13 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
 /// interval with open-interval machine demand `m_exp` and load `l_open`,
 /// return the smallest certified-acceptable guess.
 fn finishing_move(
+    ws: &mut DualWorkspace,
     inst: &Instance,
     lo: Rational,
     hi: Rational,
     m_exp: usize,
     l_open: Rational,
-    probe: &mut impl FnMut(Rational) -> bool,
+    probes: &Cell<usize>,
 ) -> Rational {
     if inst.machines() < m_exp {
         // The whole open interval is machine-infeasible: OPT >= hi.
@@ -184,7 +201,7 @@ fn finishing_move(
         // Everything below hi is load-infeasible: OPT >= hi.
         return hi;
     }
-    if t_new > lo && probe(t_new) {
+    if t_new > lo && probe(ws, inst, probes, t_new) {
         t_new
     } else {
         // Defensive: fall back to the known-accepted right end.
@@ -288,7 +305,9 @@ mod tests {
         for seed in 0..15 {
             let inst = bss_gen::uniform(50, 7, 4, seed);
             let tmin = LowerBounds::of(&inst).tmin(Variant::Splittable);
-            let eps = epsilon_search(tmin, Rational::new(1, 1 << 12), |t| dual(&inst, t));
+            let eps = epsilon_search(tmin, Rational::new(1, 1 << 12), |t| {
+                crate::splittable::dual(&inst, t)
+            });
             let jump = class_jumping(&inst);
             // Jumping's accepted value is exact-optimal for the dual, the
             // ε-search's is within (1+ε); allow the ε slack.

@@ -3,8 +3,9 @@
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::{CompactSchedule, Schedule};
-use bss_wrap::{wrap, GapRun, Template, WrapSequence};
+use bss_wrap::{wrap, GapRun, Template};
 
+use crate::workspace::DualWorkspace;
 use crate::Trace;
 
 /// Lemma 8: splittable 2-approximation in `O(n)`.
@@ -14,6 +15,13 @@ use crate::Trace;
 /// Makespan `<= s_max + N/m <= 2·max(N/m, s_max) <= 2·OPT`.
 #[must_use]
 pub fn splittable_two_approx(inst: &Instance) -> CompactSchedule {
+    splittable_two_approx_in(&mut DualWorkspace::new(), inst)
+}
+
+/// [`splittable_two_approx`] on a reusable workspace (the `O(n)`-item wrap
+/// sequence is built in the workspace's scratch buffer).
+#[must_use]
+pub fn splittable_two_approx_in(ws: &mut DualWorkspace, inst: &Instance) -> CompactSchedule {
     let m = inst.machines();
     let smax = Rational::from(inst.smax());
     let per_machine = Rational::from(inst.total_load_once()) / m;
@@ -23,7 +31,8 @@ pub fn splittable_two_approx(inst: &Instance) -> CompactSchedule {
         a: smax,
         b: smax + per_machine,
     }]);
-    let mut q = WrapSequence::new();
+    let q = &mut ws.seq;
+    q.clear();
     for i in 0..inst.num_classes() {
         q.push_batch(
             i,
@@ -34,7 +43,7 @@ pub fn splittable_two_approx(inst: &Instance) -> CompactSchedule {
         );
     }
     // Capacity S(ω) = N = L(Q) exactly; Lemma 6 applies.
-    wrap(&q, &template, inst.setups(), m).expect("Lemma 8: template capacity equals load")
+    wrap(q, &template, inst.setups(), m).expect("Lemma 8: template capacity equals load")
 }
 
 /// Lemma 9: non-preemptive (and hence preemptive) 2-approximation in `O(n)`.

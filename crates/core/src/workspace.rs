@@ -1,0 +1,160 @@
+//! Reusable buffers for the dual-probe hot path.
+//!
+//! The searches of Theorems 2, 3, 6 and 8 call an `O(n)` dual test
+//! `O(log 1/ε)` (or `O(log(c+m))`) times with different guesses `T`. Before
+//! this module, every probe rebuilt its classification vectors, hash sets
+//! and knapsack buffers from scratch — roughly ten heap allocations per
+//! probe. A [`DualWorkspace`] owns all of those buffers; one workspace
+//! serves a whole search (or any number of [`solve`](crate::solve) calls),
+//! so after the first probe warms the capacities up, the probe path performs
+//! **zero** heap allocations (asserted by the `zero_alloc` test suite).
+//!
+//! The per-probe `HashSet<ClassId>`/`HashSet<JobId>` lookups are replaced by
+//! [`MarkVec`], an epoch-based mark vector sized from the [`Instance`]:
+//! `O(1)` clear, `O(1)` membership, no hashing, no allocation.
+
+use bss_instance::{ClassId, Instance, JobId};
+use bss_knapsack::CkItem;
+use bss_rational::Rational;
+use bss_wrap::WrapSequence;
+
+use crate::classify::Classification;
+
+/// Epoch-based mark vector: membership marks that clear in `O(1)` by
+/// bumping an epoch counter instead of touching the storage.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct MarkVec {
+    epoch: u32,
+    marks: Vec<u32>,
+}
+
+impl MarkVec {
+    /// Clears all marks and ensures indices `0..n` are addressable.
+    pub(crate) fn reset(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: old marks could alias the fresh epoch.
+            self.marks.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    pub(crate) fn mark(&mut self, i: usize) {
+        self.marks[i] = self.epoch;
+    }
+
+    pub(crate) fn is_marked(&self, i: usize) -> bool {
+        self.marks[i] == self.epoch
+    }
+}
+
+/// Per-class aggregate over the big jobs `C*_i = { j : s_i + t_j > T/2 }` of
+/// a light-cheap class — all the probe needs from `C*_i`, without
+/// materializing the job list.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IstarAgg {
+    pub class: ClassId,
+    /// `|C*_i|`.
+    pub big_count: u64,
+    /// `P(C*_i)`.
+    pub big_proc: u64,
+}
+
+/// A job piece destined for the bottom band of the large machines
+/// (preemptive Algorithm 3, Figure 4).
+#[derive(Debug, Clone)]
+pub(crate) struct KPiece {
+    pub class: ClassId,
+    pub job: JobId,
+    pub len: Rational,
+}
+
+/// Reusable buffers for the dual probes and builders of all three variants.
+///
+/// Create one with [`DualWorkspace::new`] and thread it through
+/// [`solve_with`](crate::solve_with) (or the `_in`-suffixed algorithm entry
+/// points) to amortize every per-probe buffer across a whole search — or
+/// across many solves: the workspace grows to the largest instance it has
+/// seen and never shrinks. Results are bit-identical to the
+/// workspace-free entry points, which simply allocate a fresh workspace
+/// internally.
+#[derive(Debug, Default)]
+pub struct DualWorkspace {
+    /// Class partition of the current probe.
+    pub(crate) cls: Classification,
+    /// Machine counts for `I⁺_exp`, aligned with `cls.iexp_plus`.
+    pub(crate) counts: Vec<usize>,
+    /// Big-job aggregates of the light-cheap classes (order of
+    /// `cls.ichp_minus`, classes with `C*_i = ∅` skipped).
+    pub(crate) istar: Vec<IstarAgg>,
+    /// Knapsack input (aligned with `istar`).
+    pub(crate) ck_items: Vec<CkItem>,
+    /// Knapsack solution `x` (aligned with `istar`).
+    pub(crate) ck_x: Vec<Rational>,
+    /// Knapsack ordering scratch.
+    pub(crate) ck_order: Vec<usize>,
+    /// Class membership marks (istar membership during plan building).
+    pub(crate) class_mark: MarkVec,
+    /// Cheap batches of the current preemptive plan.
+    pub(crate) cheap: Vec<crate::preemptive::nice::Batch>,
+    /// Piece storage for split batches (see
+    /// [`BatchJobs::Pieces`](crate::preemptive::nice::BatchJobs)).
+    pub(crate) arena: Vec<(JobId, Rational)>,
+    /// Bottom-band pieces of the current preemptive plan.
+    pub(crate) k_pieces: Vec<KPiece>,
+    /// Non-preemptive repair: earliest placement sequence per job.
+    pub(crate) job_min_seq: Vec<usize>,
+    /// Non-preemptive repair: piece count per job.
+    pub(crate) job_count: Vec<u32>,
+    /// Scratch wrap sequence for the builders (cleared per use).
+    pub(crate) seq: WrapSequence,
+}
+
+impl DualWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        DualWorkspace::default()
+    }
+
+    /// Clears all probe/plan state and reserves capacities sized from
+    /// `inst`, so every subsequent push this probe stays within capacity.
+    /// Idempotent: after the first call for a given instance size this is a
+    /// handful of capacity checks and never allocates.
+    pub(crate) fn prepare_for(&mut self, inst: &Instance) {
+        let c = inst.num_classes();
+        let n = inst.num_jobs();
+        // `cls` is cleared by `classify_into` itself (the single owner of
+        // that invariant); here we only pre-size its buffers.
+        self.cls.iexp_plus.reserve(c);
+        self.cls.iexp_zero.reserve(c);
+        self.cls.iexp_minus.reserve(c);
+        self.cls.ichp_plus.reserve(c);
+        self.cls.ichp_minus.reserve(c);
+        self.counts.clear();
+        self.counts.reserve(c);
+        self.istar.clear();
+        self.istar.reserve(c);
+        self.ck_items.clear();
+        self.ck_items.reserve(c);
+        self.ck_x.clear();
+        self.ck_x.reserve(c);
+        self.ck_order.clear();
+        self.ck_order.reserve(c);
+        self.cheap.clear();
+        self.cheap.reserve(c);
+        // Every job contributes at most one bottom-band piece and at most
+        // one arena piece per plan.
+        self.arena.clear();
+        self.arena.reserve(n);
+        self.k_pieces.clear();
+        self.k_pieces.reserve(n);
+        self.job_min_seq.clear();
+        self.job_min_seq.reserve(n);
+        self.job_count.clear();
+        self.job_count.reserve(n);
+    }
+}

@@ -57,19 +57,52 @@ impl CkSolution {
 /// yields the all-zero solution.
 #[must_use]
 pub fn continuous_knapsack(items: &[CkItem], capacity: Rational) -> CkSolution {
-    let mut x = vec![Rational::ZERO; items.len()];
-    if !capacity.is_positive() || items.is_empty() {
-        return CkSolution {
-            x,
-            split: None,
-            value: Rational::ZERO,
-            used: Rational::ZERO,
-        };
+    let mut x = Vec::new();
+    let mut order = Vec::new();
+    let (split, value) = continuous_knapsack_in(items, capacity, &mut order, &mut x);
+    // The all-zero solution uses no weight; `capacity.min(...)` would report
+    // a negative `used` for non-positive capacities.
+    let used = if capacity.is_positive() {
+        capacity.min(
+            items
+                .iter()
+                .map(|i| i.weight)
+                .fold(Rational::ZERO, |a, b| a + b),
+        )
+    } else {
+        Rational::ZERO
+    };
+    CkSolution {
+        x,
+        split,
+        value,
+        used,
     }
-    let mut order: Vec<usize> = (0..items.len()).collect();
+}
+
+/// Allocation-free core of [`continuous_knapsack`]: solves into caller-owned
+/// buffers (`order` is scratch, `x` receives one entry per item) and returns
+/// `(split item, total profit)`. Once the buffers have grown to the item
+/// count, repeated calls perform no heap allocation — this is what the dual
+/// probes of the preemptive algorithm run on every guess.
+pub fn continuous_knapsack_in(
+    items: &[CkItem],
+    capacity: Rational,
+    order: &mut Vec<usize>,
+    x: &mut Vec<Rational>,
+) -> (Option<usize>, Rational) {
+    x.clear();
+    x.resize(items.len(), Rational::ZERO);
+    if !capacity.is_positive() || items.is_empty() {
+        return (None, Rational::ZERO);
+    }
+    order.clear();
+    order.extend(0..items.len());
     // Decreasing p/w; zero-weight first. Compare p_a/w_a > p_b/w_b via
-    // cross-multiplication (weights are non-negative rationals).
-    order.sort_by(|&a, &b| {
+    // cross-multiplication (weights are non-negative rationals). The
+    // index tiebreak makes the order total, so the in-place unstable sort
+    // is deterministic (and, unlike a stable sort, buffer-free).
+    order.sort_unstable_by(|&a, &b| {
         let (ia, ib) = (&items[a], &items[b]);
         let lhs = Rational::from(ia.profit) * ib.weight;
         let rhs = Rational::from(ib.profit) * ia.weight;
@@ -78,7 +111,7 @@ pub fn continuous_knapsack(items: &[CkItem], capacity: Rational) -> CkSolution {
     let mut remaining = capacity;
     let mut value = Rational::ZERO;
     let mut split = None;
-    for &i in &order {
+    for &i in order.iter() {
         let item = &items[i];
         if item.weight <= remaining {
             x[i] = Rational::ONE;
@@ -95,17 +128,7 @@ pub fn continuous_knapsack(items: &[CkItem], capacity: Rational) -> CkSolution {
             break;
         }
     }
-    CkSolution {
-        x,
-        split,
-        value,
-        used: capacity.min(
-            items
-                .iter()
-                .map(|i| i.weight)
-                .fold(Rational::ZERO, |a, b| a + b),
-        ),
-    }
+    (split, value)
 }
 
 #[cfg(test)]
@@ -161,8 +184,10 @@ mod tests {
         let sol = continuous_knapsack(&items, r(0));
         assert_eq!(sol.x, vec![Rational::ZERO]);
         assert_eq!(sol.value, r(0));
+        assert_eq!(sol.used, r(0));
         let sol = continuous_knapsack(&items, r(-3));
         assert_eq!(sol.value, r(0));
+        assert_eq!(sol.used, r(0), "the all-zero solution uses no weight");
     }
 
     #[test]

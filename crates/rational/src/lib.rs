@@ -14,13 +14,16 @@
 //! an overflow panics instead of silently wrapping.
 
 mod rational;
+mod raw;
 
 pub use rational::{ParseRationalError, Rational};
+pub use raw::RawRational;
 
 /// Greatest common divisor of two non-negative `i128` values (binary GCD).
 ///
 /// `gcd(0, x) == x` and `gcd(0, 0) == 0`.
 #[must_use]
+#[inline]
 pub fn gcd(mut a: i128, mut b: i128) -> i128 {
     debug_assert!(a >= 0 && b >= 0, "gcd expects non-negative inputs");
     if a == 0 {
@@ -28,6 +31,11 @@ pub fn gcd(mut a: i128, mut b: i128) -> i128 {
     }
     if b == 0 {
         return a;
+    }
+    // Unit operands dominate the scheduling hot paths (integer-valued
+    // rationals); skip the binary-gcd loop for them.
+    if a == 1 || b == 1 {
+        return 1;
     }
     let shift = (a | b).trailing_zeros();
     a >>= a.trailing_zeros();

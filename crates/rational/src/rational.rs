@@ -82,9 +82,19 @@ impl Rational {
     /// # Panics
     /// Panics if `den == 0`.
     #[must_use]
+    #[inline]
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "Rational denominator must be non-zero");
         let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        // Hot-path shortcuts: integral and zero values need no gcd at all
+        // (binary gcd on a 60-bit numerator costs dozens of iterations, and
+        // the scheduling algorithms form integral values constantly).
+        if den == 1 {
+            return Rational { num, den: 1 };
+        }
+        if num == 0 {
+            return Rational::ZERO;
+        }
         let g = gcd(num.unsigned_abs() as i128, den);
         if g <= 1 {
             Rational { num, den }
@@ -172,18 +182,43 @@ impl Rational {
     /// # Panics
     /// Panics if the value is zero.
     #[must_use]
+    #[inline]
     pub fn recip(&self) -> Self {
         assert!(self.num != 0, "cannot invert zero");
-        Rational::new(self.den, self.num)
+        // The reciprocal of a reduced fraction is reduced; only the sign
+        // moves to the numerator.
+        if self.num < 0 {
+            Rational {
+                num: -self.den,
+                den: -self.num,
+            }
+        } else {
+            Rational {
+                num: self.den,
+                den: self.num,
+            }
+        }
     }
 
     /// `self / 2` — the half-threshold `T/2` shows up throughout the paper.
+    ///
+    /// Gcd-free: for a reduced `num/den`, either `num` is even (then
+    /// `num/2 / den` is reduced) or `num` is odd (then `num / 2den` is —
+    /// `gcd(num, 2) = 1` and `gcd(num, den) = 1`).
     #[must_use]
+    #[inline]
     pub fn half(&self) -> Self {
-        Rational::new(
-            self.num,
-            self.den.checked_mul(2).expect("Rational overflow"),
-        )
+        if self.num % 2 == 0 {
+            Rational {
+                num: self.num / 2,
+                den: self.den,
+            }
+        } else {
+            Rational {
+                num: self.num,
+                den: self.den.checked_mul(2).expect("Rational overflow"),
+            }
+        }
     }
 
     /// Smaller of two values.
@@ -216,7 +251,27 @@ impl Rational {
     /// Overflow-aware addition: `None` instead of the panic of `+`. Used by
     /// consumers of untrusted data (e.g. schedule validation) that must
     /// degrade to an error report rather than abort.
+    #[inline]
     pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        // Fast paths: integral values add without any gcd, and equal
+        // denominators need only the final reduction.
+        if self.den == rhs.den {
+            let num = self.num.checked_add(rhs.num)?;
+            if self.den == 1 {
+                return Some(Rational { num, den: 1 });
+            }
+            return Some(Rational::new(num, self.den));
+        }
+        // Integer + fraction needs no gcd either: for reduced `a/b`,
+        // `gcd(a + c·b, b) = gcd(a, b) = 1`, so the sum is already canonical.
+        if rhs.den == 1 {
+            let num = self.num.checked_add(rhs.num.checked_mul(self.den)?)?;
+            return Some(Rational { num, den: self.den });
+        }
+        if self.den == 1 {
+            let num = rhs.num.checked_add(self.num.checked_mul(rhs.den)?)?;
+            return Some(Rational { num, den: rhs.den });
+        }
         // a/b + c/d = (a*(lcm/b) + c*(lcm/d)) / lcm, computed via the gcd of
         // the denominators to keep intermediates small.
         let g = gcd(self.den, rhs.den);
@@ -230,13 +285,25 @@ impl Rational {
         Some(Rational::new(num, den))
     }
 
+    #[inline]
     fn checked_mul_r(self, rhs: Self) -> Option<Self> {
-        // Cross-reduce before multiplying to keep intermediates small.
+        // Fast path: integer times integer never needs a gcd.
+        if self.den == 1 && rhs.den == 1 {
+            return Some(Rational {
+                num: self.num.checked_mul(rhs.num)?,
+                den: 1,
+            });
+        }
+        // Cross-reduce before multiplying to keep intermediates small. The
+        // cross-reduced product of two reduced fractions is itself reduced
+        // (each remaining numerator factor is coprime to both denominator
+        // factors), so it can be constructed directly — no further gcd. A
+        // zero stays canonical: `0/1` forces `g1 = rhs.den`, `g2 = 1`.
         let g1 = gcd(self.num.unsigned_abs() as i128, rhs.den);
         let g2 = gcd(rhs.num.unsigned_abs() as i128, self.den);
         let num = (self.num / g1).checked_mul(rhs.num / g2)?;
         let den = (self.den / g2).checked_mul(rhs.den / g1)?;
-        Some(Rational::new(num, den))
+        Some(Rational { num, den })
     }
 }
 
@@ -247,49 +314,62 @@ impl Default for Rational {
 }
 
 impl From<i128> for Rational {
+    #[inline]
     fn from(v: i128) -> Self {
         Rational::from_int(v)
     }
 }
 
 impl From<i64> for Rational {
+    #[inline]
     fn from(v: i64) -> Self {
         Rational::from_int(v as i128)
     }
 }
 
 impl From<u64> for Rational {
+    #[inline]
     fn from(v: u64) -> Self {
         Rational::from_int(v as i128)
     }
 }
 
 impl From<u32> for Rational {
+    #[inline]
     fn from(v: u32) -> Self {
         Rational::from_int(v as i128)
     }
 }
 
 impl From<i32> for Rational {
+    #[inline]
     fn from(v: i32) -> Self {
         Rational::from_int(v as i128)
     }
 }
 
 impl From<usize> for Rational {
+    #[inline]
     fn from(v: usize) -> Self {
         Rational::from_int(v as i128)
     }
 }
 
 impl PartialOrd for Rational {
+    #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl Ord for Rational {
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
+        // Equal denominators (in particular integer vs integer) compare by
+        // numerator alone — the search loops hit this path constantly.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
         let lhs = self.num.checked_mul(other.den).expect("Rational overflow");
         let rhs = other.num.checked_mul(self.den).expect("Rational overflow");
@@ -299,6 +379,7 @@ impl Ord for Rational {
 
 impl Add for Rational {
     type Output = Rational;
+    #[inline]
     fn add(self, rhs: Self) -> Self {
         self.checked_add(rhs).expect("Rational overflow in add")
     }
@@ -306,6 +387,7 @@ impl Add for Rational {
 
 impl Sub for Rational {
     type Output = Rational;
+    #[inline]
     fn sub(self, rhs: Self) -> Self {
         self.checked_add(-rhs).expect("Rational overflow in sub")
     }
@@ -313,6 +395,7 @@ impl Sub for Rational {
 
 impl Mul for Rational {
     type Output = Rational;
+    #[inline]
     fn mul(self, rhs: Self) -> Self {
         self.checked_mul_r(rhs).expect("Rational overflow in mul")
     }
@@ -320,6 +403,7 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    #[inline]
     fn div(self, rhs: Self) -> Self {
         assert!(rhs.num != 0, "Rational division by zero");
         self.checked_mul_r(rhs.recip())
@@ -329,6 +413,7 @@ impl Div for Rational {
 
 impl Neg for Rational {
     type Output = Rational;
+    #[inline]
     fn neg(self) -> Self {
         Rational {
             num: -self.num,
@@ -338,24 +423,28 @@ impl Neg for Rational {
 }
 
 impl AddAssign for Rational {
+    #[inline]
     fn add_assign(&mut self, rhs: Self) {
         *self = *self + rhs;
     }
 }
 
 impl SubAssign for Rational {
+    #[inline]
     fn sub_assign(&mut self, rhs: Self) {
         *self = *self - rhs;
     }
 }
 
 impl MulAssign for Rational {
+    #[inline]
     fn mul_assign(&mut self, rhs: Self) {
         *self = *self * rhs;
     }
 }
 
 impl DivAssign for Rational {
+    #[inline]
     fn div_assign(&mut self, rhs: Self) {
         *self = *self / rhs;
     }

@@ -1,0 +1,325 @@
+//! Deferred-normalization arithmetic for hot accumulation loops.
+//!
+//! [`Rational`] keeps every value in canonical reduced form, which costs a
+//! binary gcd per constructed value. The dual-approximation probes of the
+//! scheduling algorithms sum thousands of terms per guess and only *compare*
+//! the result once — the canonical form of every intermediate sum is wasted
+//! work. [`RawRational`] is the accumulator for those loops: it keeps an
+//! unreduced `num/den` (with `den > 0`), performs gcd-free additions, and
+//! reduces only on exposure ([`RawRational::reduce`]) or when an intermediate
+//! would leave the `i128` headroom (a normalize-and-retry step, mirroring how
+//! [`Rational`] itself reduces to keep products inside `i128`).
+
+use core::cmp::Ordering;
+use core::ops::{AddAssign, SubAssign};
+
+use crate::Rational;
+
+/// An unreduced rational accumulator `num / den` with `den > 0`.
+///
+/// Semantically identical to the [`Rational`] it reduces to; only the
+/// representation is lazy. Overflow behaviour matches [`Rational`]: if a
+/// value cannot be represented even after full reduction, the operation
+/// panics.
+///
+/// ```
+/// use bss_rational::{RawRational, Rational};
+///
+/// let mut acc = RawRational::ZERO;
+/// acc += Rational::new(1, 6);
+/// acc += Rational::new(1, 3);
+/// acc += 2u64;
+/// assert_eq!(acc.reduce(), Rational::new(5, 2));
+/// assert!(acc < Rational::from(3u64));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RawRational {
+    num: i128,
+    den: i128,
+}
+
+impl RawRational {
+    /// The value `0`.
+    pub const ZERO: RawRational = RawRational { num: 0, den: 1 };
+
+    /// Creates an integral accumulator.
+    #[must_use]
+    #[inline]
+    pub const fn from_int(v: i128) -> Self {
+        RawRational { num: v, den: 1 }
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[must_use]
+    #[inline]
+    pub const fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[must_use]
+    #[inline]
+    pub const fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Exposes the canonical reduced value (the only place a gcd is paid).
+    #[must_use]
+    #[inline]
+    pub fn reduce(&self) -> Rational {
+        Rational::new(self.num, self.den)
+    }
+
+    /// Gcd-free `self += rn/rd` (`rd > 0`); `false` on `i128` overflow.
+    #[inline]
+    fn add_raw(&mut self, rn: i128, rd: i128) -> bool {
+        debug_assert!(rd > 0);
+        if rd == self.den {
+            // Common case: matching denominators (integers in particular).
+            match self.num.checked_add(rn) {
+                Some(n) => {
+                    self.num = n;
+                    true
+                }
+                None => false,
+            }
+        } else {
+            let (Some(a), Some(b), Some(d)) = (
+                self.num.checked_mul(rd),
+                rn.checked_mul(self.den),
+                self.den.checked_mul(rd),
+            ) else {
+                return false;
+            };
+            match a.checked_add(b) {
+                Some(n) => {
+                    self.num = n;
+                    self.den = d;
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    /// `self += rn/rd`, normalizing and retrying once when the gcd-free step
+    /// overflows.
+    ///
+    /// # Panics
+    /// Panics exactly when fully-reduced [`Rational`] addition would: the
+    /// fallback normalizes and delegates to [`Rational::checked_add`], whose
+    /// lcm-via-gcd intermediates are the tightest exact representation.
+    #[inline]
+    fn add_checked(&mut self, rn: i128, rd: i128) {
+        if self.add_raw(rn, rd) {
+            return;
+        }
+        let sum = self
+            .reduce()
+            .checked_add(Rational::new(rn, rd))
+            .expect("Rational overflow in add");
+        self.num = sum.numer();
+        self.den = sum.denom();
+    }
+
+    /// Three-way comparison against a reduced value.
+    #[must_use]
+    #[inline]
+    pub fn cmp_rational(&self, rhs: Rational) -> Ordering {
+        self.cmp_raw(rhs.numer(), rhs.denom())
+    }
+
+    fn cmp_raw(&self, rn: i128, rd: i128) -> Ordering {
+        debug_assert!(rd > 0);
+        if self.den == rd {
+            return self.num.cmp(&rn);
+        }
+        if let (Some(lhs), Some(rhs)) = (self.num.checked_mul(rd), rn.checked_mul(self.den)) {
+            return lhs.cmp(&rhs);
+        }
+        // Cross-multiplication left i128: reduce a copy and retry (reduced
+        // operands are the same values, so the ordering is unchanged).
+        let lhs = self.reduce();
+        let rhs = Rational::new(rn, rd);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Default for RawRational {
+    fn default() -> Self {
+        RawRational::ZERO
+    }
+}
+
+impl From<Rational> for RawRational {
+    #[inline]
+    fn from(r: Rational) -> Self {
+        RawRational {
+            num: r.numer(),
+            den: r.denom(),
+        }
+    }
+}
+
+impl From<u64> for RawRational {
+    #[inline]
+    fn from(v: u64) -> Self {
+        RawRational::from_int(v as i128)
+    }
+}
+
+impl AddAssign<Rational> for RawRational {
+    #[inline]
+    fn add_assign(&mut self, rhs: Rational) {
+        self.add_checked(rhs.numer(), rhs.denom());
+    }
+}
+
+impl AddAssign<RawRational> for RawRational {
+    #[inline]
+    fn add_assign(&mut self, rhs: RawRational) {
+        self.add_checked(rhs.num, rhs.den);
+    }
+}
+
+impl AddAssign<u64> for RawRational {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.add_checked(rhs as i128, 1);
+    }
+}
+
+impl SubAssign<Rational> for RawRational {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Rational) {
+        self.add_checked(-rhs.numer(), rhs.denom());
+    }
+}
+
+impl SubAssign<RawRational> for RawRational {
+    #[inline]
+    fn sub_assign(&mut self, rhs: RawRational) {
+        self.add_checked(-rhs.num, rhs.den);
+    }
+}
+
+impl SubAssign<u64> for RawRational {
+    #[inline]
+    fn sub_assign(&mut self, rhs: u64) {
+        self.add_checked(-(rhs as i128), 1);
+    }
+}
+
+impl PartialEq for RawRational {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_raw(other.num, other.den) == Ordering::Equal
+    }
+}
+
+impl Eq for RawRational {}
+
+impl PartialOrd for RawRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RawRational {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_raw(other.num, other.den)
+    }
+}
+
+impl PartialEq<Rational> for RawRational {
+    fn eq(&self, other: &Rational) -> bool {
+        self.cmp_rational(*other) == Ordering::Equal
+    }
+}
+
+impl PartialOrd<Rational> for RawRational {
+    #[inline]
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp_rational(*other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_like_rational() {
+        let terms = [
+            Rational::new(1, 6),
+            Rational::new(2, 3),
+            Rational::from(41u64),
+            Rational::new(-7, 4),
+        ];
+        let mut raw = RawRational::ZERO;
+        let mut reference = Rational::ZERO;
+        for t in terms {
+            raw += t;
+            reference += t;
+            assert_eq!(raw.reduce(), reference);
+            assert_eq!(raw.cmp_rational(reference), Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn subtraction_and_sign() {
+        let mut raw = RawRational::from(10u64);
+        raw -= Rational::new(21, 2);
+        assert!(raw.is_negative());
+        assert_eq!(raw.reduce(), Rational::new(-1, 2));
+        raw += 1u64;
+        assert!(raw.is_positive());
+    }
+
+    #[test]
+    fn ordering_against_rational() {
+        let mut raw = RawRational::ZERO;
+        raw += Rational::new(2, 4); // stays unreduced internally
+        assert!(raw == Rational::new(1, 2));
+        assert!(raw < Rational::new(2, 3));
+        assert!(raw > Rational::new(1, 3));
+    }
+
+    #[test]
+    fn near_overflow_normalizes_instead_of_panicking() {
+        // Large same-value terms with huge denominators force the
+        // normalize-and-retry path.
+        let big = Rational::new(1i128 << 62, (1i128 << 31) + 1);
+        let mut raw = RawRational::ZERO;
+        let mut reference = Rational::ZERO;
+        for _ in 0..8 {
+            raw += big;
+            raw += Rational::new(1, (1 << 31) - 1);
+            reference += big;
+            reference += Rational::new(1, (1 << 31) - 1);
+        }
+        assert_eq!(raw.reduce(), reference);
+    }
+
+    #[test]
+    fn raw_raw_ops() {
+        let mut a = RawRational::from(Rational::new(5, 6));
+        let b = RawRational::from(Rational::new(1, 6));
+        a += b;
+        assert_eq!(a.reduce(), Rational::ONE);
+        a -= b;
+        a -= b;
+        assert_eq!(a.reduce(), Rational::new(2, 3));
+        assert!(a > b);
+    }
+
+    #[test]
+    fn gcd_never_called_on_matching_denominators() {
+        // Purely behavioural check: integer accumulation round-trips exactly.
+        let mut raw = RawRational::ZERO;
+        for v in 0..1000u64 {
+            raw += v;
+        }
+        assert_eq!(raw.reduce(), Rational::from(499_500u64));
+    }
+}

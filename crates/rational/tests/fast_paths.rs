@@ -1,0 +1,210 @@
+//! Property tests pinning the arithmetic fast paths to a naive,
+//! always-fully-reduced reference implementation.
+//!
+//! `Rational` now short-circuits several hot cases (equal denominators,
+//! integer operands, cross-reduced multiplication without a final gcd) and
+//! `RawRational` defers normalization entirely; these suites assert that
+//! every such shortcut agrees with textbook reduced-fraction arithmetic
+//! across the JSON wire-format bounds (`|num| <= 2^94`, `den <= 2^32`),
+//! including the `i128` headroom edges where cross-multiplication is within
+//! a factor of two of overflow.
+
+use std::cmp::Ordering;
+
+use bss_rational::{gcd, Rational, RawRational};
+use proptest::prelude::*;
+
+/// Textbook reference: reduce by gcd after every operation, compare by
+/// cross-multiplication. Deliberately naive — no fast paths to share bugs
+/// with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Reference {
+    num: i128,
+    den: i128,
+}
+
+impl Reference {
+    fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0);
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num.unsigned_abs() as i128, den).max(1);
+        Reference {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    fn of(r: Rational) -> Self {
+        Reference::new(r.numer(), r.denom())
+    }
+
+    fn add(self, rhs: Reference) -> Reference {
+        Reference::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+
+    fn mul(self, rhs: Reference) -> Reference {
+        Reference::new(self.num * rhs.num, self.den * rhs.den)
+    }
+
+    fn cmp(self, rhs: Reference) -> Ordering {
+        (self.num * rhs.den).cmp(&(rhs.num * self.den))
+    }
+
+    fn matches(self, r: Rational) -> bool {
+        self.num == r.numer() && self.den == r.denom()
+    }
+}
+
+/// Values safe for reference addition/multiplication without overflowing the
+/// naive (un-cross-reduced) intermediates: the system's own emission range.
+fn arb_moderate() -> impl Strategy<Value = Rational> {
+    ((-(1i128 << 60)..(1i128 << 60)), 1i128..(1i128 << 32)).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+/// Values with smooth (`2^a 3^b 5^c 7^d`) denominators, mirroring how the
+/// scheduler's intermediate values all share denominators derived from one
+/// guess `T`: any lcm over these stays below `2^20`, so long accumulations
+/// remain exactly representable.
+fn arb_smooth() -> impl Strategy<Value = Rational> {
+    (
+        (-(1i128 << 60)..(1i128 << 60)),
+        0u32..7,
+        0u32..5,
+        0u32..3,
+        0u32..2,
+    )
+        .prop_map(|(n, a, b, c, d)| {
+            let den = (1i128 << a) * 3i128.pow(b) * 5i128.pow(c) * 7i128.pow(d);
+            Rational::new(n, den)
+        })
+}
+
+/// Values spanning the full wire-format bounds; only comparisons are exact
+/// up here (cross products stay below `2^126`).
+fn arb_wire() -> impl Strategy<Value = Rational> {
+    (
+        (-Rational::MAX_WIRE_NUM..=Rational::MAX_WIRE_NUM),
+        1i128..=Rational::MAX_WIRE_DEN,
+    )
+        .prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_matches_reference(a in arb_moderate(), b in arb_moderate()) {
+        let expected = Reference::of(a).add(Reference::of(b));
+        prop_assert!(expected.matches(a + b));
+    }
+
+    #[test]
+    fn integer_fast_paths_match_reference(a in arb_moderate(), k in -(1i128 << 60)..(1i128 << 60)) {
+        // Exercises the den == 1 shortcuts on both sides.
+        let int = Rational::from_int(k);
+        let expected = Reference::of(a).add(Reference::new(k, 1));
+        prop_assert!(expected.matches(a + int));
+        prop_assert!(expected.matches(int + a));
+        prop_assert!(Reference::of(a).mul(Reference::new(k, 1)).matches(a * int));
+    }
+
+    #[test]
+    fn mul_matches_reference(
+        a in ((-(1i128 << 40)..(1i128 << 40)), 1i128..(1i128 << 20)).prop_map(|(n, d)| Rational::new(n, d)),
+        b in ((-(1i128 << 40)..(1i128 << 40)), 1i128..(1i128 << 20)).prop_map(|(n, d)| Rational::new(n, d)),
+    ) {
+        let expected = Reference::of(a).mul(Reference::of(b));
+        prop_assert!(expected.matches(a * b));
+    }
+
+    #[test]
+    fn cmp_matches_reference_across_wire_bounds(a in arb_wire(), b in arb_wire()) {
+        prop_assert_eq!(a.cmp(&b), Reference::of(a).cmp(Reference::of(b)));
+        // Antisymmetry through the fast paths.
+        prop_assert_eq!(b.cmp(&a), Reference::of(a).cmp(Reference::of(b)).reverse());
+    }
+
+    #[test]
+    fn equal_denominator_cmp_fast_path(n1 in -(1i128 << 90)..(1i128 << 90), n2 in -(1i128 << 90)..(1i128 << 90), d in 1i128..(1i128 << 31)) {
+        let (a, b) = (Rational::new(n1, d), Rational::new(n2, d));
+        prop_assert_eq!(a.cmp(&b), Reference::of(a).cmp(Reference::of(b)));
+    }
+
+    #[test]
+    fn half_matches_division(a in arb_moderate()) {
+        prop_assert_eq!(a.half(), a / Rational::from_int(2));
+        prop_assert_eq!(a.half() + a.half(), a);
+    }
+
+    #[test]
+    fn recip_matches_reference(a in arb_moderate()) {
+        prop_assume!(!a.is_zero());
+        let r = a.recip();
+        prop_assert!(r.denom() > 0);
+        prop_assert_eq!(a * r, Rational::ONE);
+    }
+
+    #[test]
+    fn raw_accumulation_matches_reduced_sum(terms in proptest::collection::vec(arb_smooth(), 1..24)) {
+        let mut raw = RawRational::ZERO;
+        let mut reference = Rational::ZERO;
+        for t in &terms {
+            raw += *t;
+            reference += *t;
+        }
+        prop_assert_eq!(raw.reduce(), reference);
+        prop_assert_eq!(raw.cmp_rational(reference), Ordering::Equal);
+        prop_assert_eq!(raw.cmp_rational(reference + Rational::ONE), Ordering::Less);
+        prop_assert_eq!(raw.cmp_rational(reference - Rational::ONE), Ordering::Greater);
+    }
+
+    #[test]
+    fn raw_mixed_add_sub_matches(terms in proptest::collection::vec((arb_smooth(), 0u32..2), 1..24)) {
+        let mut raw = RawRational::ZERO;
+        let mut reference = Rational::ZERO;
+        for (t, subtract) in &terms {
+            if *subtract == 1 {
+                raw -= *t;
+                reference -= *t;
+            } else {
+                raw += *t;
+                reference += *t;
+            }
+        }
+        prop_assert_eq!(raw.reduce(), reference);
+    }
+}
+
+#[test]
+fn cmp_at_i128_headroom_edges() {
+    // Cross products here are within a factor of four of i128::MAX; the
+    // fast-path comparisons must stay exact.
+    let top = Rational::new(Rational::MAX_WIRE_NUM, Rational::MAX_WIRE_DEN);
+    let just_below = Rational::new(Rational::MAX_WIRE_NUM - 1, Rational::MAX_WIRE_DEN);
+    assert_eq!(top.cmp(&just_below), Ordering::Greater);
+    assert_eq!(just_below.cmp(&top), Ordering::Less);
+    assert_eq!(top.cmp(&top), Ordering::Equal);
+
+    let neg_top = Rational::new(-Rational::MAX_WIRE_NUM, Rational::MAX_WIRE_DEN);
+    assert_eq!(neg_top.cmp(&top), Ordering::Less);
+    assert_eq!(neg_top.cmp(&neg_top), Ordering::Equal);
+
+    // Integer vs extreme fraction exercises the den == 1 side of cmp.
+    let int = Rational::from_int((1i128 << 62) + 1);
+    assert_eq!(int.cmp(&top), Ordering::Greater);
+    assert_eq!(top.cmp(&int), Ordering::Less);
+}
+
+#[test]
+fn raw_normalize_retry_at_headroom_edge() {
+    // Repeatedly adding a term with a large prime-ish denominator drives the
+    // deferred representation toward the i128 edge and forces the
+    // normalize-and-retry path; exactness must survive it.
+    let term = Rational::new((1i128 << 61) + 1, (1i128 << 31) - 1);
+    let mut raw = RawRational::ZERO;
+    let mut reference = Rational::ZERO;
+    for _ in 0..12 {
+        raw += term;
+        reference += term;
+        assert_eq!(raw.reduce(), reference);
+    }
+    assert_eq!(raw.cmp_rational(reference), Ordering::Equal);
+}

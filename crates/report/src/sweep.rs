@@ -4,15 +4,32 @@
 //! are independent, so they fan out over `std::thread::scope` workers (the
 //! standard fork-join pattern without a global pool). Results come back in
 //! input order.
+//!
+//! Scheduling is chunked work-stealing: the items are pre-split into small
+//! contiguous chunks (several per worker, so uneven cell costs still
+//! balance) and workers claim chunks through one atomic cursor. Each chunk
+//! carries disjoint `&mut` slices of the item and result storage, so inside
+//! a chunk there is no synchronization at all — unlike the previous design,
+//! which paid a queue lock per item and a mutex per result slot.
 
-use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// How many chunks each worker gets on average; >1 so that a handful of
+/// expensive cells cannot serialize the sweep behind one worker.
+const CHUNKS_PER_WORKER: usize = 8;
 
 /// Applies `f` to every item on `threads` worker threads (defaults to the
 /// available parallelism), preserving input order.
 ///
-/// `f` must be `Sync` because workers share it; items are consumed from a
-/// shared queue, so uneven cell costs balance automatically.
+/// `f` must be `Sync` because workers share it.
+///
+/// # Panics
+/// If `f` panics for some item, the panic is re-raised on the calling thread
+/// after all workers have drained, prefixed (via stderr) with the index of
+/// the failing item — instead of the old behaviour of poisoning a result
+/// slot and failing later with a misleading `"every slot filled"` message.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: Option<usize>, f: F) -> Vec<R>
 where
     T: Send,
@@ -33,24 +50,80 @@ where
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
-    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    // Striped chunk layout: ⌈n / (workers · CHUNKS_PER_WORKER)⌉ items per
+    // chunk, claimed via one atomic cursor. Items and results travel as
+    // disjoint slices, so workers write results without locks; the per-chunk
+    // mutex is taken exactly once, to move the slices out.
+    let chunk_len = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let mut item_slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut result_slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    type Chunk<'a, T, R> = (usize, &'a mut [Option<T>], &'a mut [Option<R>]);
+    let chunks: Vec<Mutex<Option<Chunk<'_, T, R>>>> = {
+        let mut out = Vec::with_capacity(n.div_ceil(chunk_len));
+        let mut base = 0usize;
+        let mut items_rest = item_slots.as_mut_slice();
+        let mut results_rest = result_slots.as_mut_slice();
+        while !items_rest.is_empty() {
+            let take = chunk_len.min(items_rest.len());
+            let (ichunk, irest) = items_rest.split_at_mut(take);
+            let (rchunk, rrest) = results_rest.split_at_mut(take);
+            out.push(Mutex::new(Some((base, ichunk, rchunk))));
+            items_rest = irest;
+            results_rest = rrest;
+            base += take;
+        }
+        out
+    };
+    let cursor = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    // First panic wins: (item index, panic payload).
+    let failure: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop_front();
-                let Some((idx, item)) = next else { break };
-                *slots[idx].lock().expect("slot lock") = Some(f(item));
+                if aborted.load(Ordering::Relaxed) {
+                    break;
+                }
+                let chunk_idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if chunk_idx >= chunks.len() {
+                    break;
+                }
+                let Some((base, item_chunk, result_chunk)) =
+                    chunks[chunk_idx].lock().expect("chunk lock").take()
+                else {
+                    continue;
+                };
+                for (off, (slot, result)) in item_chunk
+                    .iter_mut()
+                    .zip(result_chunk.iter_mut())
+                    .enumerate()
+                {
+                    let item = slot.take().expect("chunk items taken once");
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(r) => *result = Some(r),
+                        Err(payload) => {
+                            let mut slot = failure.lock().expect("failure lock");
+                            if slot.is_none() {
+                                *slot = Some((base + off, payload));
+                            }
+                            aborted.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
             });
         }
     });
-    slots
+
+    if let Some((idx, payload)) = failure.into_inner().expect("failure lock") {
+        eprintln!("parallel_map: worker panicked on item {idx}; propagating");
+        resume_unwind(payload);
+    }
+    result_slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("slot lock")
-                .expect("every slot filled")
-        })
+        .map(|r| r.expect("all chunks processed"))
         .collect()
 }
 
@@ -74,6 +147,46 @@ mod tests {
     fn empty_input() {
         let out: Vec<i32> = parallel_map(Vec::<i32>::new(), None, |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_item_index() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map((0..64).collect(), Some(4), |x: i32| {
+                if x == 23 {
+                    panic!("bad cell {x}");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is the worker's message");
+        assert_eq!(msg, "bad cell 23");
+    }
+
+    #[test]
+    fn single_thread_panic_also_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(vec![1, 2, 3], Some(1), |x: i32| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn more_items_than_chunks_round_trips() {
+        // Exercises multi-chunk claiming with every chunk shape: n chosen so
+        // the last chunk is partial.
+        let n = 8 * super::CHUNKS_PER_WORKER * 3 + 5;
+        let out = parallel_map((0..n as i64).collect(), Some(8), |x| x * 2);
+        assert_eq!(out, (0..n as i64).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -41,6 +41,13 @@ impl WrapSequence {
         WrapSequence::default()
     }
 
+    /// Clears the sequence for reuse, keeping the item buffer's capacity
+    /// (workspaces rebuild a fresh sequence per guess without reallocating).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.load = Rational::ZERO;
+    }
+
     /// Appends a setup of `class` with length `len`.
     pub fn push_setup(&mut self, class: ClassId, len: Rational) {
         debug_assert!(len.is_positive(), "setups have positive length");

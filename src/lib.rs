@@ -59,7 +59,7 @@ pub use bss_wrap as wrap;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use bss_core::{solve, Algorithm, Solution};
+    pub use bss_core::{solve, solve_with, Algorithm, DualWorkspace, Solution};
     pub use bss_instance::{ClassId, Instance, InstanceBuilder, Job, JobId, LowerBounds, Variant};
     pub use bss_rational::Rational;
     pub use bss_schedule::{

@@ -50,6 +50,50 @@ fn every_variant_algorithm_pair_solves_and_validates() {
     }
 }
 
+/// Workspace reuse must be an invisible optimization: re-running `solve` for
+/// every `Variant` × `Algorithm` pair through one shared [`DualWorkspace`]
+/// yields schedules identical to the fresh-allocation path — including on a
+/// second pass over the warmed-up buffers, and across instances of different
+/// shapes through the same workspace.
+#[test]
+fn shared_workspace_matches_fresh_solves_exactly() {
+    let algos = [
+        Algorithm::TwoApprox,
+        Algorithm::EpsilonSearch { eps_log2: 6 },
+        Algorithm::ThreeHalves,
+        Algorithm::Portfolio,
+    ];
+    let instances = [
+        tiny_instance(),
+        batch_setup_scheduling::gen::uniform(60, 8, 4, 11),
+        batch_setup_scheduling::gen::expensive_setups(40, 5, 2),
+    ];
+    let mut ws = DualWorkspace::new();
+    for _pass in 0..2 {
+        for inst in &instances {
+            for variant in Variant::ALL {
+                for algo in algos {
+                    let fresh = solve(inst, variant, algo);
+                    let shared = solve_with(&mut ws, inst, variant, algo);
+                    assert_eq!(
+                        shared.schedule, fresh.schedule,
+                        "{variant} {algo:?}: workspace changed the schedule"
+                    );
+                    assert_eq!(shared.makespan, fresh.makespan);
+                    assert_eq!(shared.accepted, fresh.accepted);
+                    assert_eq!(shared.certificate, fresh.certificate);
+                    assert_eq!(shared.probes, fresh.probes);
+                    assert_eq!(
+                        shared.compact.is_some(),
+                        fresh.compact.is_some(),
+                        "{variant} {algo:?}: compact presence diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn facade_reexports_are_wired() {
     // One call through each re-exported crate root, so a missing workspace

@@ -20,6 +20,27 @@ pub fn black_box<T>(x: T) -> T {
 
 const DEFAULT_SAMPLE_SIZE: usize = 100;
 
+/// Sample-count cap from the `BSS_BENCH_SAMPLES` environment variable.
+///
+/// CI's bench-smoke job sets `BSS_BENCH_SAMPLES=1` so every target runs its
+/// warm-up plus a single timed sample — enough to catch compile or runtime
+/// rot without spending minutes on statistics. Unset or unparsable values
+/// leave the configured sample sizes untouched; `0` is clamped to `1` (a
+/// benchmark cannot run fewer than one sample).
+fn sample_cap() -> Option<usize> {
+    std::env::var("BSS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|v| v.max(1))
+}
+
+fn effective_samples(configured: usize) -> usize {
+    match sample_cap() {
+        Some(cap) => configured.min(cap),
+        None => configured,
+    }
+}
+
 /// Entry point handed to `criterion_group!` functions.
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -122,6 +143,7 @@ impl Bencher {
 }
 
 fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let sample_size = effective_samples(sample_size);
     // Warm-up batch (not recorded).
     let mut warmup = Bencher {
         samples: Vec::new(),
