@@ -3,7 +3,7 @@
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
-use bss_wrap::{wrap, GapRun, Template, WrapSequence};
+use bss_wrap::{wrap_into, GapRun, Template, WrapSequence};
 
 /// Monma–Potts-style batch wrap-around heuristic for the preemptive variant.
 ///
@@ -36,9 +36,10 @@ pub fn monma_potts(inst: &Instance) -> Schedule {
     }
     // Capacity: m·T_min >= N = L(Q); setups fit below since a = s_max.
     // Jobs never self-parallelize: t_j <= T_min - s_i <= gap height.
-    wrap(&q, &template, inst.setups(), m)
-        .expect("m*T_min >= N guarantees capacity")
-        .expand()
+    let mut out = Schedule::new(m);
+    wrap_into(&q, template.runs(), inst.setups(), &mut out)
+        .expect("m*T_min >= N guarantees capacity");
+    out
 }
 
 /// LPT list scheduling of whole batches: classes sorted by `s_i + P(C_i)`

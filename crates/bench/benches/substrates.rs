@@ -76,9 +76,31 @@ fn validate_bench(c: &mut Criterion) {
     c.bench_function("validate_preemptive_50k", |b| {
         b.iter(|| {
             black_box(bss_schedule::validate(
-                &sol.schedule,
+                sol.schedule(),
                 &inst,
                 Variant::Preemptive,
+            ))
+        })
+    });
+    // The compact-aware validator against the explicit walk on the same
+    // splittable output: group-level checks never pay O(total_items + m).
+    let split = bss_core::solve(&inst, Variant::Splittable, bss_core::Algorithm::ThreeHalves);
+    let compact = split.compact().expect("splittable is compact");
+    c.bench_function("validate_compact_splittable_50k", |b| {
+        b.iter(|| {
+            black_box(bss_schedule::validate_compact(
+                compact,
+                &inst,
+                Variant::Splittable,
+            ))
+        })
+    });
+    c.bench_function("validate_explicit_splittable_50k", |b| {
+        b.iter(|| {
+            black_box(bss_schedule::validate(
+                split.schedule(),
+                &inst,
+                Variant::Splittable,
             ))
         })
     });

@@ -170,7 +170,7 @@ fn main() {
                 .map(|&j| (j, Rational::from(inst.job(j).time))),
         );
         let placed = wrap(&q, &template, inst.setups(), 4).expect("fits");
-        let s: Schedule = placed.expand();
+        let s: Schedule = placed.expand().expect("in range");
         write(
             "fig6",
             "Figure 6: a wrap template with |omega| = 4 gaps, filled by Wrap\n\

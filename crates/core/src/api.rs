@@ -1,5 +1,7 @@
 //! The high-level solver API.
 
+use std::sync::OnceLock;
+
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::{CompactSchedule, Schedule};
@@ -31,14 +33,31 @@ pub enum Algorithm {
     Portfolio,
 }
 
+/// The schedule representation a solver produced natively.
+///
+/// Splittable algorithms emit the compact configuration-group form (their
+/// near-linear bounds depend on never writing all machines out); the other
+/// variants emit explicit placements.
+#[derive(Debug, Clone)]
+pub enum ScheduleRepr {
+    /// An explicit placement list.
+    Explicit(Schedule),
+    /// Machine configurations with multiplicities.
+    Compact(CompactSchedule),
+}
+
 /// A solved instance.
+///
+/// The schedule is kept in the representation the algorithm produced
+/// ([`ScheduleRepr`]); [`Solution::schedule`] expands a compact form
+/// **lazily, once**, on first access — callers that only need the makespan,
+/// the compact groups, or the certificate never pay `O(total_items + m)`.
 #[derive(Debug, Clone)]
 pub struct Solution {
-    /// The explicit schedule (feasible for the requested variant).
-    pub schedule: Schedule,
-    /// The compact form, when the algorithm produces one natively
-    /// (splittable algorithms).
-    pub compact: Option<CompactSchedule>,
+    /// The solver-native schedule representation.
+    repr: ScheduleRepr,
+    /// Lazily expanded explicit form of a compact `repr`.
+    expanded: OnceLock<Schedule>,
     /// The schedule's makespan.
     pub makespan: Rational,
     /// The accepted makespan guess; `makespan <= ratio_bound · accepted`.
@@ -50,6 +69,53 @@ pub struct Solution {
     pub certificate: Rational,
     /// Dual-test probes performed by the search (0 for direct algorithms).
     pub probes: usize,
+}
+
+impl Solution {
+    /// The explicit schedule (feasible for the requested variant).
+    ///
+    /// For compact-native solutions the expansion runs on first call and is
+    /// cached; repeated calls are free.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        match &self.repr {
+            ScheduleRepr::Explicit(s) => s,
+            ScheduleRepr::Compact(c) => self.expanded.get_or_init(|| {
+                c.expand()
+                    .expect("solver-produced compact schedules are in machine range")
+            }),
+        }
+    }
+
+    /// Consumes the solution, returning the explicit schedule.
+    #[must_use]
+    pub fn into_schedule(self) -> Schedule {
+        match self.repr {
+            ScheduleRepr::Explicit(s) => s,
+            ScheduleRepr::Compact(c) => match self.expanded.into_inner() {
+                Some(s) => s,
+                None => c
+                    .expand()
+                    .expect("solver-produced compact schedules are in machine range"),
+            },
+        }
+    }
+
+    /// The compact form, when the algorithm produced one natively
+    /// (splittable algorithms).
+    #[must_use]
+    pub fn compact(&self) -> Option<&CompactSchedule> {
+        match &self.repr {
+            ScheduleRepr::Compact(c) => Some(c),
+            ScheduleRepr::Explicit(_) => None,
+        }
+    }
+
+    /// The solver-native representation.
+    #[must_use]
+    pub fn repr(&self) -> &ScheduleRepr {
+        &self.repr
+    }
 }
 
 /// Solves `inst` under `variant` with the chosen algorithm.
@@ -122,22 +188,46 @@ pub fn solve_traced_with(
         }
         (Variant::Splittable, Algorithm::TwoApprox) => {
             let compact = two_approx::splittable_two_approx_in(ws, inst);
-            let schedule = compact.expand();
-            finish(schedule, Some(compact), t_min, Rational::from(2), t_min, 0)
+            finish(
+                ScheduleRepr::Compact(compact),
+                t_min,
+                Rational::from(2),
+                t_min,
+                0,
+            )
         }
         (_, Algorithm::TwoApprox) => {
             let schedule = two_approx::greedy_two_approx(inst, trace);
-            finish(schedule, None, t_min, Rational::from(2), t_min, 0)
+            finish(
+                ScheduleRepr::Explicit(schedule),
+                t_min,
+                Rational::from(2),
+                t_min,
+                0,
+            )
         }
         (Variant::Splittable, Algorithm::EpsilonSearch { eps_log2 }) => {
             let eps = Rational::new(1, 1 << eps_log2.min(60));
-            let out = epsilon_search(t_min, eps, |t| splittable::dual_in(ws, inst, t));
-            let schedule = out.schedule.expand();
+            let out = epsilon_search(t_min, eps, |t| splittable::accepts_in(ws, inst, t));
+            // The builders keep defensive rejection branches beyond the
+            // accept test; if one fires at the accepted guess, fall back to
+            // 2·T_min — the guess the pre-probe-only searches ultimately
+            // relied on (Theorem 1) — instead of panicking.
+            let (accepted, compact) = match splittable::dual_in(ws, inst, out.accepted) {
+                Some(c) => (out.accepted, c),
+                None => {
+                    let hi = t_min * 2u64;
+                    (
+                        hi,
+                        splittable::dual_in(ws, inst, hi)
+                            .expect("2*T_min is accepted and builds (Theorem 1)"),
+                    )
+                }
+            };
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
-                schedule,
-                Some(out.schedule),
-                out.accepted,
+                ScheduleRepr::Compact(compact),
+                accepted,
                 three_halves * (eps + 1u64),
                 cert,
                 out.probes,
@@ -146,13 +236,25 @@ pub fn solve_traced_with(
         (Variant::Preemptive, Algorithm::EpsilonSearch { eps_log2 }) => {
             let eps = Rational::new(1, 1 << eps_log2.min(60));
             let out = epsilon_search(t_min, eps, |t| {
-                preemptive::dual_in(ws, inst, t, preemptive::CountMode::AlphaPrime, trace)
+                preemptive::accepts_in(ws, inst, t, preemptive::CountMode::AlphaPrime)
             });
+            let mode = preemptive::CountMode::AlphaPrime;
+            let (accepted, schedule) =
+                match preemptive::dual_in(ws, inst, out.accepted, mode, trace) {
+                    Some(s) => (out.accepted, s),
+                    None => {
+                        let hi = t_min * 2u64;
+                        (
+                            hi,
+                            preemptive::dual_in(ws, inst, hi, mode, trace)
+                                .expect("2*T_min is accepted and builds (Theorem 1)"),
+                        )
+                    }
+                };
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
-                out.schedule,
-                None,
-                out.accepted,
+                ScheduleRepr::Explicit(schedule),
+                accepted,
                 three_halves * (eps + 1u64),
                 cert,
                 out.probes,
@@ -163,13 +265,24 @@ pub fn solve_traced_with(
             let out = epsilon_search(t_min, eps, |t| {
                 // The non-preemptive dual takes integral guesses; probing at
                 // ⌊t⌋ only strengthens the test (⌊t⌋ <= t).
-                nonpreemptive::dual_in(ws, inst, t.floor().max(1) as u64, trace)
+                nonpreemptive::accepts(inst, t.floor().max(1) as u64)
             });
+            let t_int = out.accepted.floor().max(1) as u64;
+            let (accepted, schedule) = match nonpreemptive::dual_in(ws, inst, t_int, trace) {
+                Some(s) => (out.accepted, s),
+                None => {
+                    let hi = 2 * t_min.ceil().max(1) as u64;
+                    (
+                        Rational::from(hi),
+                        nonpreemptive::dual_in(ws, inst, hi, trace)
+                            .expect("2*T_min is accepted and builds (Theorem 1)"),
+                    )
+                }
+            };
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
-                out.schedule,
-                None,
-                out.accepted,
+                ScheduleRepr::Explicit(schedule),
+                accepted,
                 three_halves * (eps + 1u64),
                 cert,
                 out.probes,
@@ -177,11 +290,9 @@ pub fn solve_traced_with(
         }
         (Variant::Splittable, Algorithm::ThreeHalves) => {
             let out = splittable::class_jumping_in(ws, inst);
-            let schedule = out.schedule.expand();
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
-                schedule,
-                Some(out.schedule),
+                ScheduleRepr::Compact(out.schedule),
                 out.accepted,
                 three_halves,
                 cert,
@@ -192,8 +303,7 @@ pub fn solve_traced_with(
             let out = preemptive::class_jumping_in(ws, inst);
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
-                out.schedule,
-                None,
+                ScheduleRepr::Explicit(out.schedule),
                 out.accepted,
                 three_halves,
                 cert,
@@ -204,8 +314,7 @@ pub fn solve_traced_with(
             let out = nonpreemptive::three_halves_in(ws, inst);
             let cert = out.rejected.unwrap_or(t_min).max(t_min);
             finish(
-                out.schedule,
-                None,
+                ScheduleRepr::Explicit(out.schedule),
                 out.accepted,
                 three_halves,
                 cert,
@@ -216,17 +325,19 @@ pub fn solve_traced_with(
 }
 
 fn finish(
-    schedule: Schedule,
-    compact: Option<CompactSchedule>,
+    repr: ScheduleRepr,
     accepted: Rational,
     ratio_bound: Rational,
     certificate: Rational,
     probes: usize,
 ) -> Solution {
-    let makespan = schedule.makespan();
+    let makespan = match &repr {
+        ScheduleRepr::Explicit(s) => s.makespan(),
+        ScheduleRepr::Compact(c) => c.makespan(),
+    };
     Solution {
-        schedule,
-        compact,
+        repr,
+        expanded: OnceLock::new(),
         makespan,
         accepted,
         ratio_bound,
@@ -237,7 +348,7 @@ fn finish(
 
 #[cfg(test)]
 mod tests {
-    use bss_schedule::validate;
+    use bss_schedule::{validate, validate_compact};
 
     use super::*;
 
@@ -254,8 +365,14 @@ mod tests {
             for variant in Variant::ALL {
                 for algo in ALGOS {
                     let sol = solve(&inst, variant, algo);
-                    let v = validate(&sol.schedule, &inst, variant);
+                    let v = validate(sol.schedule(), &inst, variant);
                     assert!(v.is_empty(), "{variant} {algo:?}: {v:?}");
+                    // Compact-native solutions also pass the compact-aware
+                    // validator, without expansion.
+                    if let Some(compact) = sol.compact() {
+                        let cv = validate_compact(compact, &inst, variant);
+                        assert!(cv.is_empty(), "{variant} {algo:?}: {cv:?}");
+                    }
                     assert!(
                         sol.makespan <= sol.ratio_bound * sol.accepted,
                         "{variant} {algo:?}: {} > {} * {}",
@@ -315,7 +432,7 @@ mod tests {
                 let a = solve(&inst, variant, Algorithm::ThreeHalves);
                 let b = solve(&inst, variant, Algorithm::TwoApprox);
                 assert!(p.makespan <= a.makespan.min(b.makespan));
-                assert!(validate(&p.schedule, &inst, variant).is_empty());
+                assert!(validate(p.schedule(), &inst, variant).is_empty());
                 assert_eq!(p.ratio_bound, Rational::new(3, 2));
                 assert!(p.certificate >= a.certificate.max(b.certificate));
             }
@@ -326,10 +443,27 @@ mod tests {
     fn compact_present_only_for_splittable() {
         let inst = bss_gen::uniform(30, 5, 3, 2);
         assert!(solve(&inst, Variant::Splittable, Algorithm::ThreeHalves)
-            .compact
+            .compact()
             .is_some());
         assert!(solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves)
-            .compact
+            .compact()
             .is_none());
+    }
+
+    #[test]
+    fn expansion_is_lazy_and_cached() {
+        let inst = bss_gen::uniform(40, 6, 8, 3);
+        let sol = solve(&inst, Variant::Splittable, Algorithm::ThreeHalves);
+        // Makespan was computed straight off the compact form.
+        assert_eq!(sol.makespan, sol.compact().unwrap().makespan());
+        // First access expands; the second returns the same cached object.
+        let first = sol.schedule() as *const Schedule;
+        let second = sol.schedule() as *const Schedule;
+        assert_eq!(first, second);
+        assert_eq!(sol.schedule().makespan(), sol.makespan);
+        // into_schedule hands out the cached expansion.
+        let makespan = sol.makespan;
+        let schedule = sol.into_schedule();
+        assert_eq!(schedule.makespan(), makespan);
     }
 }

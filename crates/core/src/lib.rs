@@ -32,6 +32,8 @@ mod api;
 mod trace;
 mod workspace;
 
-pub use api::{solve, solve_traced, solve_traced_with, solve_with, Algorithm, Solution};
+pub use api::{
+    solve, solve_traced, solve_traced_with, solve_with, Algorithm, ScheduleRepr, Solution,
+};
 pub use trace::Trace;
 pub use workspace::DualWorkspace;

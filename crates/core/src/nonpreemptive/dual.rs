@@ -19,12 +19,18 @@
 //!    when the moved item is a job.
 //!
 //! The result is non-preemptive with makespan `<= 3T/2`.
+//!
+//! Every buffer of the build — the per-class big/borderline/light partition,
+//! the fillable-machine lists, the step-3 queue, the machine stacks and the
+//! repair maps — lives in the [`DualWorkspace`], so a warm
+//! [`dual_into`] performs **zero** heap allocations beyond the output
+//! schedule the caller provides.
 
 use bss_instance::{ClassId, Instance, JobId};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
 
-use crate::workspace::DualWorkspace;
+use crate::workspace::{DualWorkspace, NpClassRange, NpItem};
 use crate::Trace;
 
 /// The `O(n)` dual test of Theorem 9: `true` iff `T` is accepted.
@@ -64,48 +70,50 @@ pub fn accepts(inst: &Instance, t: u64) -> bool {
     m_prime <= inst.machines() as u64 && (inst.machines() as i128) * (t as i128) >= l_nonp
 }
 
-/// One placed item on a machine stack (items are contiguous from time 0).
-#[derive(Debug, Clone, Copy)]
-struct MItem {
-    /// `None` = setup, `Some(j)` = piece of job `j`.
-    job: Option<JobId>,
-    class: ClassId,
-    len: u64,
-    /// Global placement sequence number (drives the step-4 repair order).
-    seq: usize,
-    /// Placed by step 3 (candidate for the border-crossing move).
-    step3: bool,
-}
-
-/// Machine stacks plus bookkeeping.
+/// Machine stacks plus bookkeeping, borrowed from the workspace: the outer
+/// vector and every inner stack keep their capacity across builds.
 struct Builder<'a> {
     inst: &'a Instance,
     t: u64,
-    machines: Vec<Vec<MItem>>,
-    loads: Vec<u64>,
+    stacks: &'a mut Vec<Vec<NpItem>>,
+    loads: &'a mut Vec<u64>,
+    /// Live stacks this build (`stacks[used..]` are warm spares).
+    used: usize,
     seq: usize,
 }
 
 impl<'a> Builder<'a> {
-    fn new(inst: &'a Instance, t: u64) -> Self {
+    fn new(
+        inst: &'a Instance,
+        t: u64,
+        stacks: &'a mut Vec<Vec<NpItem>>,
+        loads: &'a mut Vec<u64>,
+    ) -> Self {
         Builder {
             inst,
             t,
-            machines: Vec::new(),
-            loads: Vec::new(),
+            stacks,
+            loads,
+            used: 0,
             seq: 0,
         }
     }
 
     fn open_machine(&mut self) -> usize {
-        self.machines.push(Vec::new());
-        self.loads.push(0);
-        self.machines.len() - 1
+        if self.used == self.stacks.len() {
+            self.stacks.push(Vec::new());
+            self.loads.push(0);
+        } else {
+            self.stacks[self.used].clear();
+        }
+        self.loads[self.used] = 0;
+        self.used += 1;
+        self.used - 1
     }
 
     fn push(&mut self, u: usize, job: Option<JobId>, class: ClassId, len: u64, step3: bool) {
         debug_assert!(len > 0);
-        let item = MItem {
+        let item = NpItem {
             job,
             class,
             len,
@@ -113,19 +121,17 @@ impl<'a> Builder<'a> {
             step3,
         };
         self.seq += 1;
-        self.machines[u].push(item);
+        self.stacks[u].push(item);
         self.loads[u] += len;
     }
 
     /// Preemptive per-class wrap until border `T` with one setup per machine
-    /// (used for expensive classes and for `C_i ∩ K`). Returns the machines
-    /// used.
-    fn wrap_class(&mut self, class: ClassId, jobs: &[JobId]) -> Vec<usize> {
+    /// (used for expensive classes and for `C_i ∩ K`). Returns the last
+    /// machine used.
+    fn wrap_class(&mut self, class: ClassId, jobs: &[JobId]) -> usize {
         let s = self.inst.setup(class);
-        let mut used = Vec::new();
         let mut u = self.open_machine();
         self.push(u, None, class, s, false);
-        used.push(u);
         for &j in jobs {
             let mut rem = self.inst.job(j).time;
             while rem > 0 {
@@ -140,26 +146,32 @@ impl<'a> Builder<'a> {
                     }
                     u = self.open_machine();
                     self.push(u, None, class, s, false);
-                    used.push(u);
                 }
             }
         }
-        used
+        u
     }
 
-    fn to_schedule(&self) -> Schedule {
-        let mut s = Schedule::new(self.inst.machines());
-        for (u, stack) in self.machines.iter().enumerate() {
+    /// Emits the stacks into `out` (cleared by the caller).
+    fn emit_into(&self, out: &mut Schedule) {
+        for (u, stack) in self.stacks[..self.used].iter().enumerate() {
             let mut at = Rational::ZERO;
             for item in stack {
                 let len = Rational::from(item.len);
                 match item.job {
-                    None => s.push_setup(u, at, len, item.class),
-                    Some(j) => s.push_piece(u, at, len, j, item.class),
+                    None => out.push_setup(u, at, len, item.class),
+                    Some(j) => out.push_piece(u, at, len, j, item.class),
                 }
                 at += len;
             }
         }
+    }
+
+    /// A fresh explicit snapshot (trace rendering only — never on the warm
+    /// build path).
+    fn to_schedule(&self) -> Schedule {
+        let mut s = Schedule::new(self.inst.machines());
+        self.emit_into(&mut s);
         s
     }
 }
@@ -172,8 +184,8 @@ pub fn dual(inst: &Instance, t: u64, trace: &mut Trace) -> Option<Schedule> {
     dual_in(&mut DualWorkspace::new(), inst, t, trace)
 }
 
-/// [`dual`] on a reusable workspace (the step-4 repair's per-job buffers are
-/// borrowed from `ws`).
+/// [`dual`] on a reusable workspace (partitions, machine stacks and repair
+/// buffers are all borrowed from `ws`).
 #[must_use]
 pub fn dual_in(
     ws: &mut DualWorkspace,
@@ -181,112 +193,181 @@ pub fn dual_in(
     t: u64,
     trace: &mut Trace,
 ) -> Option<Schedule> {
+    let mut out = Schedule::new(inst.machines());
+    dual_into(ws, inst, t, trace, &mut out).then_some(out)
+}
+
+/// [`dual_in`] that emits the repaired schedule into a caller-provided `out`
+/// (reset at entry). After workspace warm-up a build allocates nothing
+/// beyond `out`'s own growth.
+///
+/// Returns `false` on rejection (`T < OPT`).
+#[must_use]
+pub fn dual_into(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    t: u64,
+    trace: &mut Trace,
+    out: &mut Schedule,
+) -> bool {
+    out.reset(inst.machines());
     if !accepts(inst, t) {
-        return None;
+        return false;
     }
     ws.prepare_for(inst);
-    let mut b = Builder::new(inst, t);
     let c = inst.num_classes();
+    let DualWorkspace {
+        ref mut np_jobs,
+        ref mut np_ranges,
+        ref mut np_fillable,
+        ref mut np_fill_ranges,
+        ref mut np_queue,
+        ref mut np_stacks,
+        ref mut np_loads,
+        ref mut np_step3,
+        ref mut job_min_seq,
+        ref mut job_count,
+        ..
+    } = *ws;
+    let mut b = Builder::new(inst, t, np_stacks, np_loads);
 
-    // Per-class job partition: J+ (t_j > T/2), K (borderline), C' (light).
-    let mut big: Vec<Vec<JobId>> = vec![Vec::new(); c];
-    let mut borderline: Vec<Vec<JobId>> = vec![Vec::new(); c];
-    let mut light: Vec<Vec<JobId>> = vec![Vec::new(); c];
+    // Per-class job partition into the flat workspace buffer:
+    // J+ (t_j > T/2), K (borderline), C' (light) — contiguous per class.
     for i in 0..c {
         let s = inst.setup(i);
+        let start = np_jobs.len() as u32;
+        let mut range = NpClassRange {
+            start,
+            big_end: start,
+            bord_end: start,
+            end: start,
+        };
         if 2 * s > t {
-            continue; // expensive classes are wrapped whole
+            np_ranges.push(range); // expensive classes are wrapped whole
+            continue;
         }
         for &j in inst.class_jobs(i) {
-            let tj = inst.job(j).time;
-            if 2 * tj > t {
-                big[i].push(j);
-            } else if 2 * (s + tj) > t {
-                borderline[i].push(j);
-            } else {
-                light[i].push(j);
+            if 2 * inst.job(j).time > t {
+                np_jobs.push(j);
             }
         }
+        range.big_end = np_jobs.len() as u32;
+        for &j in inst.class_jobs(i) {
+            let tj = inst.job(j).time;
+            if 2 * tj <= t && 2 * (s + tj) > t {
+                np_jobs.push(j);
+            }
+        }
+        range.bord_end = np_jobs.len() as u32;
+        for &j in inst.class_jobs(i) {
+            if 2 * (s + inst.job(j).time) <= t {
+                np_jobs.push(j);
+            }
+        }
+        range.end = np_jobs.len() as u32;
+        np_ranges.push(range);
     }
 
     // Step 1: schedule L.
-    let mut fillable: Vec<Vec<usize>> = vec![Vec::new(); c];
-    for i in 0..c {
+    for (i, &r) in np_ranges.iter().enumerate() {
+        let fill_start = np_fillable.len() as u32;
         let s = inst.setup(i);
         if 2 * s > t {
             b.wrap_class(i, inst.class_jobs(i));
         } else {
-            for &j in &big[i] {
+            for &j in &np_jobs[r.start as usize..r.big_end as usize] {
                 let u = b.open_machine();
                 b.push(u, None, i, s, false);
                 b.push(u, Some(j), i, inst.job(j).time, false);
-                fillable[i].push(u);
+                np_fillable.push(u);
             }
-            if !borderline[i].is_empty() {
-                let used = b.wrap_class(i, &borderline[i]);
-                fillable[i].push(*used.last().expect("wrap uses >= 1 machine"));
+            let borderline = &np_jobs[r.big_end as usize..r.bord_end as usize];
+            if !borderline.is_empty() {
+                let last = b.wrap_class(i, borderline);
+                np_fillable.push(last);
             }
         }
+        np_fill_ranges.push((fill_start, np_fillable.len() as u32));
     }
-    if b.machines.len() > inst.machines() {
-        return None; // defensive; excluded by the m' test
+    if b.used > inst.machines() {
+        return false; // defensive; excluded by the m' test
     }
-    trace.snap("step 1: schedule L", &b.to_schedule());
+    if trace.is_enabled() {
+        trace.snap("step 1: schedule L", &b.to_schedule());
+    }
 
     // Step 2: fill each cheap class's light jobs onto its own machines,
-    // splitting at border T.
-    let mut leftover: Vec<Vec<(JobId, u64)>> = vec![Vec::new(); c];
+    // splitting at border T; what does not fit queues for step 3.
     for i in 0..c {
-        let mut queue: std::collections::VecDeque<(JobId, u64)> =
-            light[i].iter().map(|&j| (j, inst.job(j).time)).collect();
-        for &u in &fillable[i] {
-            while let Some(&(j, rem)) = queue.front() {
+        let r = np_ranges[i];
+        let (fs, fe) = np_fill_ranges[i];
+        let lend = r.end as usize;
+        let mut k = r.bord_end as usize;
+        let mut rem = if k < lend {
+            inst.job(np_jobs[k]).time
+        } else {
+            0
+        };
+        for &u in &np_fillable[fs as usize..fe as usize] {
+            while k < lend {
                 let avail = b.t - b.loads[u];
                 if avail == 0 {
                     break;
                 }
                 if rem <= avail {
-                    b.push(u, Some(j), i, rem, false);
-                    queue.pop_front();
+                    b.push(u, Some(np_jobs[k]), i, rem, false);
+                    k += 1;
+                    rem = if k < lend {
+                        inst.job(np_jobs[k]).time
+                    } else {
+                        0
+                    };
                 } else {
-                    b.push(u, Some(j), i, avail, false);
-                    queue.front_mut().expect("non-empty").1 = rem - avail;
+                    b.push(u, Some(np_jobs[k]), i, avail, false);
+                    rem -= avail;
                     break;
                 }
             }
         }
-        leftover[i] = queue.into_iter().collect();
-    }
-    trace.snap("step 2: fill own machines", &b.to_schedule());
-
-    // Step 3: remaining batches greedily, never splitting, items may cross T.
-    let mut q: std::collections::VecDeque<MItem> = std::collections::VecDeque::new();
-    for (i, left) in leftover.iter().enumerate() {
-        if left.iter().map(|&(_, r)| r).sum::<u64>() > 0 {
-            q.push_back(MItem {
+        // Leftovers (with the front job's remaining length) become the
+        // step-3 batch of this class.
+        if k < lend {
+            np_queue.push(NpItem {
                 job: None,
                 class: i,
                 len: inst.setup(i),
                 seq: 0,
                 step3: true,
             });
-            for &(j, rem) in left {
-                q.push_back(MItem {
+            np_queue.push(NpItem {
+                job: Some(np_jobs[k]),
+                class: i,
+                len: rem,
+                seq: 0,
+                step3: true,
+            });
+            for &j in &np_jobs[k + 1..lend] {
+                np_queue.push(NpItem {
                     job: Some(j),
                     class: i,
-                    len: rem,
+                    len: inst.job(j).time,
                     seq: 0,
                     step3: true,
                 });
             }
         }
     }
-    let used_now = b.machines.len();
+    if trace.is_enabled() {
+        trace.snap("step 2: fill own machines", &b.to_schedule());
+    }
+
+    // Step 3: remaining batches greedily, never splitting, items may cross T.
     let mut u = 0usize;
-    while let Some(item) = q.front().copied() {
-        if u >= b.machines.len() {
-            if b.machines.len() >= inst.machines() {
-                return None; // defensive; excluded by the load test
+    let mut qi = 0usize;
+    while qi < np_queue.len() {
+        if u >= b.used {
+            if b.used >= inst.machines() {
+                return false; // defensive; excluded by the load test
             }
             b.open_machine();
         }
@@ -294,11 +375,13 @@ pub fn dual_in(
             u += 1;
             continue;
         }
-        q.pop_front();
+        let item = np_queue[qi];
+        qi += 1;
         b.push(u, item.job, item.class, item.len, true);
-        let _ = used_now;
     }
-    trace.snap("step 3: greedy fill", &b.to_schedule());
+    if trace.is_enabled() {
+        trace.snap("step 3: greedy fill", &b.to_schedule());
+    }
 
     // Step 4a: make jobs integral — replace each split's first-placed piece
     // (smallest sequence number) by the parent job and remove the other
@@ -306,36 +389,36 @@ pub fn dual_in(
     // from the workspace: `O(n)` total instead of a rescan of every machine
     // per split job, and no hash map.
     // `prepare_for` cleared both buffers, so resize initializes every slot.
-    ws.job_min_seq.resize(inst.num_jobs(), usize::MAX);
-    ws.job_count.resize(inst.num_jobs(), 0);
-    for stack in &b.machines {
+    job_min_seq.resize(inst.num_jobs(), usize::MAX);
+    job_count.resize(inst.num_jobs(), 0);
+    for stack in &b.stacks[..b.used] {
         for item in stack {
             if let Some(j) = item.job {
-                ws.job_count[j] += 1;
-                if item.seq < ws.job_min_seq[j] {
-                    ws.job_min_seq[j] = item.seq;
+                job_count[j] += 1;
+                if item.seq < job_min_seq[j] {
+                    job_min_seq[j] = item.seq;
                 }
             }
         }
     }
-    for u in 0..b.machines.len() {
+    for u in 0..b.used {
         let mut k = 0;
-        while k < b.machines[u].len() {
-            let item = b.machines[u][k];
+        while k < b.stacks[u].len() {
+            let item = b.stacks[u][k];
             let Some(j) = item.job else {
                 k += 1;
                 continue;
             };
-            if ws.job_count[j] < 2 {
+            if job_count[j] < 2 {
                 k += 1;
-            } else if item.seq == ws.job_min_seq[j] {
+            } else if item.seq == job_min_seq[j] {
                 let full = inst.job(j).time;
                 b.loads[u] += full - item.len;
-                b.machines[u][k].len = full;
+                b.stacks[u][k].len = full;
                 k += 1;
             } else {
                 b.loads[u] -= item.len;
-                b.machines[u].remove(k);
+                b.stacks[u].remove(k);
             }
         }
     }
@@ -347,33 +430,36 @@ pub fn dual_in(
     // its jobs continued on the next machine. Each machine receives at most
     // one insertion (≤ s + t_q ≤ T) and passes on its own crossing item, so
     // loads stay ≤ 3T/2.
-    let step3_machines: Vec<usize> = (0..b.machines.len())
-        .filter(|&u| b.machines[u].iter().any(|i| i.step3))
-        .collect();
-    for (idx, &mu) in step3_machines.iter().enumerate() {
-        let Some(&last) = b.machines[mu].last() else {
+    np_step3.clear();
+    for u in 0..b.used {
+        if b.stacks[u].iter().any(|i| i.step3) {
+            np_step3.push(u);
+        }
+    }
+    for idx in 0..np_step3.len() {
+        let mu = np_step3[idx];
+        let Some(&last) = b.stacks[mu].last() else {
             continue;
         };
         if !last.step3 {
             continue;
         }
         let end = b.loads[mu]; // stacks are contiguous from 0
-        let crosses =
-            end > b.t || (last.job.is_none() && end == b.t && idx + 1 < step3_machines.len());
+        let crosses = end > b.t || (last.job.is_none() && end == b.t && idx + 1 < np_step3.len());
         if !crosses {
             continue;
         }
-        let item = match step3_machines.get(idx + 1) {
+        let item = match np_step3.get(idx + 1) {
             Some(&tu) => {
-                let item = b.machines[mu].pop().expect("non-empty");
+                let item = b.stacks[mu].pop().expect("non-empty");
                 b.loads[mu] -= item.len;
-                let mut insert_at = b.machines[tu]
+                let mut insert_at = b.stacks[tu]
                     .iter()
                     .position(|i| i.step3)
                     .expect("target has step-3 items");
                 if item.job.is_some() {
                     let s = inst.setup(item.class);
-                    let setup = MItem {
+                    let setup = NpItem {
                         job: None,
                         class: item.class,
                         len: s,
@@ -381,12 +467,12 @@ pub fn dual_in(
                         step3: false,
                     };
                     b.seq += 1;
-                    b.machines[tu].insert(insert_at, setup);
+                    b.stacks[tu].insert(insert_at, setup);
                     b.loads[tu] += s;
                     insert_at += 1;
                 }
                 b.loads[tu] += item.len;
-                b.machines[tu].insert(insert_at, item);
+                b.stacks[tu].insert(insert_at, item);
                 continue;
             }
             None => {
@@ -396,27 +482,25 @@ pub fn dual_in(
                 if b.loads[mu] <= b.t + b.t / 2 {
                     continue; // already within 3T/2; nothing to do
                 }
-                let item = b.machines[mu].pop().expect("non-empty");
+                let item = b.stacks[mu].pop().expect("non-empty");
                 b.loads[mu] -= item.len;
                 item
             }
         };
-        let empty = (0..b.machines.len())
-            .find(|&u| b.machines[u].is_empty())
-            .or_else(|| {
-                if b.machines.len() < inst.machines() {
-                    Some(b.open_machine())
-                } else {
-                    None
-                }
-            });
+        let empty = (0..b.used).find(|&u| b.stacks[u].is_empty()).or_else(|| {
+            if b.used < inst.machines() {
+                Some(b.open_machine())
+            } else {
+                None
+            }
+        });
         let Some(eu) = empty else {
-            return None; // defensive: excluded by the load test
+            return false; // defensive: excluded by the load test
         };
         let class = item.class;
         if item.job.is_some() {
             let s = inst.setup(class);
-            let setup = MItem {
+            let setup = NpItem {
                 job: None,
                 class,
                 len: s,
@@ -425,18 +509,18 @@ pub fn dual_in(
             };
             b.seq += 1;
             b.loads[eu] += s;
-            b.machines[eu].push(setup);
+            b.stacks[eu].push(setup);
         }
         b.loads[eu] += item.len;
-        b.machines[eu].push(item);
+        b.stacks[eu].push(item);
     }
 
     // Coverage repair for exact-T fills (a step-3 run can open naked when the
     // previous machine's last item landed exactly on T and nothing crossed).
-    for u in 0..b.machines.len() {
+    for u in 0..b.used {
         let mut configured: Option<ClassId> = None;
         let mut fix: Option<(usize, ClassId)> = None;
-        for (k, item) in b.machines[u].iter().enumerate() {
+        for (k, item) in b.stacks[u].iter().enumerate() {
             match item.job {
                 None => configured = Some(item.class),
                 Some(_) => {
@@ -449,7 +533,7 @@ pub fn dual_in(
         }
         if let Some((k, class)) = fix {
             let s = inst.setup(class);
-            let setup = MItem {
+            let setup = NpItem {
                 job: None,
                 class,
                 len: s,
@@ -457,27 +541,27 @@ pub fn dual_in(
                 step3: false,
             };
             b.seq += 1;
-            b.machines[u].insert(k, setup);
+            b.stacks[u].insert(k, setup);
             b.loads[u] += s;
         }
     }
 
     // Drop unnecessary trailing setups.
-    for u in 0..b.machines.len() {
-        while matches!(b.machines[u].last(), Some(i) if i.job.is_none()) {
-            let it = b.machines[u].pop().expect("non-empty");
+    for u in 0..b.used {
+        while matches!(b.stacks[u].last(), Some(i) if i.job.is_none()) {
+            let it = b.stacks[u].pop().expect("non-empty");
             b.loads[u] -= it.len;
         }
     }
 
-    let schedule = b.to_schedule();
-    trace.snap("step 4: repaired", &schedule);
+    b.emit_into(out);
+    trace.snap("step 4: repaired", out);
     debug_assert!(
-        schedule.makespan() <= Rational::from(3 * t).half(),
+        out.makespan() <= Rational::from(3 * t).half(),
         "makespan {} exceeds 3T/2 at T={t}",
-        schedule.makespan()
+        out.makespan()
     );
-    Some(schedule)
+    true
 }
 
 #[cfg(test)]
@@ -586,6 +670,29 @@ mod tests {
             let lo = tmin_int(&inst);
             for t in [lo, lo + 1, lo + 2, 2 * lo] {
                 check_at(&inst, t);
+            }
+        }
+    }
+
+    /// The workspace-reusing `dual_into` is bit-identical to the fresh path,
+    /// including when `out` is recycled across guesses and instances.
+    #[test]
+    fn dual_into_reuse_matches_fresh() {
+        let mut ws = DualWorkspace::new();
+        let mut out = Schedule::new(1);
+        for seed in 0..10 {
+            let inst = bss_gen::uniform(50, 7, 4, seed);
+            let lo = tmin_int(&inst);
+            for t in [lo, lo + lo / 2, 2 * lo] {
+                let fresh = dual(&inst, t, &mut Trace::disabled());
+                let reused = dual_into(&mut ws, &inst, t, &mut Trace::disabled(), &mut out);
+                match fresh {
+                    Some(s) => {
+                        assert!(reused, "seed {seed} T={t}");
+                        assert_eq!(s, out, "seed {seed} T={t}");
+                    }
+                    None => assert!(!reused, "seed {seed} T={t}"),
+                }
             }
         }
     }

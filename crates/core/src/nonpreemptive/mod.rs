@@ -9,5 +9,5 @@
 mod dual;
 mod search;
 
-pub use dual::{accepts, dual, dual_in};
+pub use dual::{accepts, dual, dual_in, dual_into};
 pub use search::{three_halves, three_halves_in};

@@ -8,7 +8,7 @@ use crate::search::{integer_search, SearchOutcome};
 use crate::workspace::DualWorkspace;
 use crate::Trace;
 
-use super::dual_in;
+use super::{accepts, dual_in};
 
 /// Runs the exact integer binary search over the 3/2-dual of Theorem 9.
 ///
@@ -33,9 +33,26 @@ pub fn three_halves_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome
         return trivial_one_job_per_machine(inst);
     }
     let t_min = LowerBounds::of(inst).tmin(Variant::NonPreemptive).ceil() as u64;
-    integer_search(t_min, 2 * t_min, |t| {
-        dual_in(ws, inst, t, &mut Trace::disabled())
-    })
+    // Probe with the O(n) accept test; build the schedule once, at the
+    // smallest accepted guess. The builder keeps defensive rejection
+    // branches beyond the accept test; if one fires, fall back to the
+    // bracket's top (2·T_min, always acceptable by Theorem 1) instead of
+    // panicking.
+    let out = integer_search(t_min, 2 * t_min, |t| accepts(inst, t));
+    let (accepted, schedule) = match dual_in(ws, inst, out.accepted, &mut Trace::disabled()) {
+        Some(s) => (out.accepted, s),
+        None => (
+            2 * t_min,
+            dual_in(ws, inst, 2 * t_min, &mut Trace::disabled())
+                .expect("2*T_min is accepted and builds (Theorem 1)"),
+        ),
+    };
+    SearchOutcome {
+        accepted: Rational::from(accepted),
+        schedule,
+        rejected: out.rejected.map(Rational::from),
+        probes: out.probes,
+    }
 }
 
 /// `m >= n`: one machine per job is optimal (`makespan = max_i (s_i +

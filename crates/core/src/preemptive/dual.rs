@@ -22,7 +22,7 @@ use bss_instance::{ClassId, Instance};
 use bss_knapsack::{continuous_knapsack_in, CkItem};
 use bss_rational::{Rational, RawRational};
 use bss_schedule::Schedule;
-use bss_wrap::{wrap, GapRun, Template, WrapSequence};
+use bss_wrap::{wrap_into, GapRun};
 
 use crate::classify::classify_into;
 use crate::workspace::{DualWorkspace, IstarAgg, KPiece};
@@ -385,12 +385,35 @@ pub fn dual_in(
     mode: CountMode,
     trace: &mut Trace,
 ) -> Option<Schedule> {
-    let plan = prepare_in(ws, inst, t, mode)?;
+    let mut out = Schedule::new(inst.machines());
+    dual_into(ws, inst, t, mode, trace, &mut out).then_some(out)
+}
+
+/// [`dual_in`] that streams the schedule into a caller-provided `out`
+/// (reset at entry) instead of allocating a fresh one — the compact-first
+/// build path: every wrap result is emitted exactly once, directly into the
+/// final destination, and a warm workspace build performs **zero** heap
+/// allocations beyond `out`'s own growth.
+///
+/// Returns `false` on rejection (`T < OPT`); `out` then holds a partial
+/// schedule the caller must discard (or reset).
+#[must_use]
+pub fn dual_into(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    t: Rational,
+    mode: CountMode,
+    trace: &mut Trace,
+    out: &mut Schedule,
+) -> bool {
     let m = inst.machines();
+    out.reset(m);
+    let Some(plan) = prepare_in(ws, inst, t, mode) else {
+        return false;
+    };
     let half = t.half();
     let quarter = half.half();
     let l = ws.cls.iexp_zero.len();
-    let mut out = Schedule::new(m);
 
     // Step 1: large machines — each I0exp batch starts at T/2 (Lemma 11).
     for (u, &i) in ws.cls.iexp_zero.iter().enumerate() {
@@ -404,27 +427,29 @@ pub fn dual_in(
         }
         debug_assert!(at <= t * Rational::new(3, 2));
     }
-    trace.snap("step 1: large machines", &out);
+    trace.snap("step 1: large machines", out);
 
-    // Split K into big (K+) and small (K−) pieces.
-    let mut kplus: Vec<&KPiece> = Vec::new();
-    let mut kminus: Vec<&KPiece> = Vec::new();
-    for p in &ws.k_pieces {
+    // Split K into big (K+) and small (K−) pieces, as indices into the
+    // workspace-owned piece buffer.
+    ws.k_big.clear();
+    ws.k_small.clear();
+    for (idx, p) in ws.k_pieces.iter().enumerate() {
         if p.len > quarter {
-            kplus.push(p);
+            ws.k_big.push(idx);
         } else {
-            kminus.push(p);
+            ws.k_small.push(idx);
         }
     }
     // Not enough large-machine room is excluded by Theorem 5 when the tests
     // pass; treat it defensively as a rejection.
-    if kplus.len() > l || (l == 0 && !ws.k_pieces.is_empty()) {
-        return None;
+    if ws.k_big.len() > l || (l == 0 && !ws.k_pieces.is_empty()) {
+        return false;
     }
 
     // K+ : one piece at the bottom of each of the first l' large machines.
-    let l_prime = kplus.len();
-    for (u, p) in kplus.iter().enumerate() {
+    let l_prime = ws.k_big.len();
+    for (u, &pi) in ws.k_big.iter().enumerate() {
+        let p: &KPiece = &ws.k_pieces[pi];
         let s = Rational::from(inst.setup(p.class));
         debug_assert!(s + p.len <= half, "Note 3: s + t <= T/2");
         out.push_setup(u, Rational::ZERO, s, p.class);
@@ -432,35 +457,44 @@ pub fn dual_in(
     }
 
     // K− : wrapped over the remaining large machines below T/2.
-    if !kminus.is_empty() {
+    if !ws.k_small.is_empty() {
         if l_prime >= l {
-            return None;
+            return false;
         }
         // Group by class, split-item class first (its setup leads the wrap).
-        kminus.sort_by_key(|p| ((Some(p.class) != plan.k_first_class) as u8, p.class, p.job));
-        let mut q = WrapSequence::new();
+        let k_first_class = plan.k_first_class;
+        ws.k_small.sort_unstable_by_key(|&pi| {
+            let p = &ws.k_pieces[pi];
+            ((Some(p.class) != k_first_class) as u8, p.class, p.job)
+        });
+        ws.scratch.clear();
         let mut current: Option<ClassId> = None;
-        for p in kminus {
+        for &pi in &ws.k_small {
+            let p = &ws.k_pieces[pi];
             if current != Some(p.class) {
-                q.push_setup(p.class, Rational::from(inst.setup(p.class)));
+                ws.scratch
+                    .seq
+                    .push_setup(p.class, Rational::from(inst.setup(p.class)));
                 current = Some(p.class);
             }
-            q.push_piece(p.class, p.job, p.len);
+            ws.scratch.seq.push_piece(p.class, p.job, p.len);
         }
-        let mut runs = vec![GapRun::single(l_prime, Rational::ZERO, half)];
+        ws.scratch
+            .runs
+            .push(GapRun::single(l_prime, Rational::ZERO, half));
         if l - l_prime > 1 {
-            runs.push(GapRun {
+            ws.scratch.runs.push(GapRun {
                 first_machine: l_prime + 1,
                 count: l - l_prime - 1,
                 a: quarter,
                 b: half,
             });
         }
-        let template = Template::new(runs);
-        let placed = wrap(&q, &template, inst.setups(), m).ok()?;
-        out.absorb(placed.expand());
+        if wrap_into(&ws.scratch.seq, &ws.scratch.runs, inst.setups(), out).is_err() {
+            return false;
+        }
     }
-    trace.snap("step 2: bottom of large machines (K)", &out);
+    trace.snap("step 2: bottom of large machines (K)", out);
 
     // Step 3: the nice residual instance on machines [l, m).
     let parts = NiceParts {
@@ -470,15 +504,17 @@ pub fn dual_in(
         cheap: &ws.cheap,
         arena: &ws.arena,
     };
-    build_nice(inst, t, mode, parts, l, m - l, &mut out).ok()?;
-    trace.snap("step 3: nice residual instance", &out);
+    if build_nice(inst, t, mode, parts, l, m - l, &mut ws.scratch, out).is_err() {
+        return false;
+    }
+    trace.snap("step 3: nice residual instance", out);
 
     debug_assert!(
         out.makespan() <= t * Rational::new(3, 2),
         "makespan {} > 3T/2 at T={t}",
         out.makespan()
     );
-    Some(out)
+    true
 }
 
 #[cfg(test)]

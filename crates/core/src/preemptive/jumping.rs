@@ -23,7 +23,7 @@ use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
 
-use crate::classify::{classify, gamma};
+use crate::classify::{classify_into, gamma};
 use crate::search::{refine_right_interval, SearchOutcome};
 use crate::workspace::DualWorkspace;
 use crate::Trace;
@@ -70,8 +70,11 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
     let mut lo = t_min;
     let mut hi = t_min * 2u64;
 
-    // Step 2: pin every partition threshold.
-    let mut thresholds: Vec<Rational> = Vec::with_capacity(4 * inst.num_classes());
+    // Step 2: pin every partition threshold. The candidate buffer is
+    // workspace-owned (taken out for the probe loop, put back after), so
+    // warm searches reuse its allocation.
+    let mut thresholds = core::mem::take(&mut ws.thresholds);
+    thresholds.clear();
     for i in 0..inst.num_classes() {
         let s = inst.setup(i);
         let sp = s + inst.class_proc(i);
@@ -84,16 +87,22 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
         thresholds.push(Rational::from(2 * (inst.setup(job.class) + job.time)));
         // C*
     }
-    thresholds.sort();
+    thresholds.sort_unstable();
     thresholds.dedup();
     let (l2, h2, p) = refine_right_interval(lo, hi, &thresholds, |t| probe(ws, inst, &probes, t));
+    ws.thresholds = thresholds;
     lo = l2;
     hi = h2;
     probes.set(probes.get() + p);
 
-    // Partitions are now constant on the open interval.
+    // Partitions are now constant on the open interval; the pinned I⁺_exp
+    // classes are copied out of the probe classification (later probes
+    // overwrite it).
     let mid = (lo + hi).half();
-    let iexp_plus = classify(inst, mid).iexp_plus;
+    classify_into(inst, mid, &mut ws.cls);
+    let mut iexp_plus = core::mem::take(&mut ws.jump_classes);
+    iexp_plus.clear();
+    iexp_plus.extend_from_slice(&ws.cls.iexp_plus);
 
     if !iexp_plus.is_empty() {
         // Step 3: fastest jumping class f = argmax (s_f + P_f).
@@ -116,9 +125,12 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
         };
         if w_lo <= w_hi {
             if w_hi - w_lo <= 64 {
-                let jumps: Vec<Rational> = (w_lo..=w_hi).rev().map(|w| sp2 / w).collect();
+                let mut jumps = core::mem::take(&mut ws.jumps);
+                jumps.clear();
+                jumps.extend((w_lo..=w_hi).rev().map(|w| sp2 / w));
                 let (l3, h3, p) =
                     refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
+                ws.jumps = jumps;
                 lo = l3;
                 hi = h3;
                 probes.set(probes.get() + p);
@@ -149,7 +161,8 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
 
         // Steps 5–6: each class jumps at most once inside one f-gap
         // (Lemma 5); collect and pin those jumps.
-        let mut jumps: Vec<Rational> = Vec::with_capacity(iexp_plus.len());
+        let mut jumps = core::mem::take(&mut ws.jumps);
+        jumps.clear();
         for &i in &iexp_plus {
             let g = gamma(inst, hi, i);
             let cand = Rational::from(2 * (inst.setup(i) + inst.class_proc(i))) / (g + 2) as u64;
@@ -157,13 +170,15 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
                 jumps.push(cand);
             }
         }
-        jumps.sort();
+        jumps.sort_unstable();
         jumps.dedup();
         let (l4, h4, p) = refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
+        ws.jumps = jumps;
         lo = l4;
         hi = h4;
         probes.set(probes.get() + p);
     }
+    ws.jump_classes = iexp_plus;
 
     // Step 7: finishing move with a bounded fixed-point iteration on the
     // load (the knapsack zero-set may still move inside the bracket).
@@ -297,7 +312,7 @@ mod tests {
             let inst = bss_gen::uniform(50, 7, 4, seed);
             let tmin = LowerBounds::of(&inst).tmin(Variant::Preemptive);
             let eps = epsilon_search(tmin, Rational::new(1, 1 << 12), |t| {
-                crate::preemptive::dual(&inst, t, MODE, &mut Trace::disabled())
+                crate::preemptive::accepts(&inst, t, MODE)
             });
             let jump = class_jumping(&inst);
             let slack = Rational::new(4097, 4096);

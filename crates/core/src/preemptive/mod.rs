@@ -12,6 +12,6 @@ pub(crate) mod dual;
 mod jumping;
 pub(crate) mod nice;
 
-pub use dual::{accepts, accepts_in, dual, dual_in};
+pub use dual::{accepts, accepts_in, dual, dual_in, dual_into};
 pub use jumping::{class_jumping, class_jumping_in};
 pub use nice::{is_nice, nice_dual, CountMode};

@@ -16,10 +16,11 @@
 
 use bss_instance::{ClassId, Instance, JobId};
 use bss_rational::Rational;
-use bss_schedule::Schedule;
-use bss_wrap::{wrap, GapRun, Template, WrapSequence};
+use bss_schedule::{PlacementSink, Schedule};
+use bss_wrap::{wrap_into, GapRun};
 
 use crate::classify::{alpha_prime, classify, gamma};
+use crate::workspace::WrapScratch;
 
 /// Machine-count mode for `I⁺_exp` classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,11 +104,15 @@ impl Batch {
         }
     }
 
-    fn sequence(&self, inst: &Instance, arena: &[(JobId, Rational)]) -> WrapSequence {
-        let mut q = WrapSequence::new();
+    /// Appends the batch (setup, then pieces) to a wrap sequence.
+    fn sequence_into(
+        &self,
+        inst: &Instance,
+        arena: &[(JobId, Rational)],
+        q: &mut bss_wrap::WrapSequence,
+    ) {
         q.push_setup(self.class, Rational::from(self.setup));
         self.for_each_piece(inst, arena, |j, len| q.push_piece(self.class, j, len));
-        q
     }
 }
 
@@ -127,18 +132,24 @@ pub(crate) struct NiceParts<'a> {
     pub arena: &'a [(JobId, Rational)],
 }
 
-/// Places `parts` on machines `base .. base + avail` of `out`.
+/// Places `parts` on machines `base .. base + avail`, streaming every
+/// placement once into `sink` (no intermediate schedules — the wraps emit
+/// through the same [`PlacementSink`]). `scratch` provides the reusable
+/// sequence/run buffers, so a warm build performs no allocations here.
 ///
 /// Returns `Err(())` when the machines or the wrap capacity do not suffice —
-/// the caller treats this as a dual rejection.
-pub(crate) fn build_nice(
+/// the caller treats this as a dual rejection (and discards whatever was
+/// already emitted).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's builder inputs
+pub(crate) fn build_nice<S: PlacementSink>(
     inst: &Instance,
     t: Rational,
     mode: CountMode,
     parts: NiceParts<'_>,
     base: usize,
     avail: usize,
-    out: &mut Schedule,
+    scratch: &mut WrapScratch,
+    sink: &mut S,
 ) -> Result<(), ()> {
     let half = t.half();
     let top = t + half; // 3T/2
@@ -153,17 +164,21 @@ pub(crate) fn build_nice(
             return Err(());
         }
         let s = Rational::from(batch.setup);
-        let mut runs = Vec::with_capacity(3);
+        scratch.clear();
         if a == 1 {
-            runs.push(GapRun::single(cursor, Rational::ZERO, top));
+            scratch
+                .runs
+                .push(GapRun::single(cursor, Rational::ZERO, top));
         } else {
             let first_b = match mode {
                 CountMode::AlphaPrime => t,
                 CountMode::Gamma => s + half,
             };
-            runs.push(GapRun::single(cursor, Rational::ZERO, first_b));
+            scratch
+                .runs
+                .push(GapRun::single(cursor, Rational::ZERO, first_b));
             if a > 2 {
-                runs.push(GapRun {
+                scratch.runs.push(GapRun {
                     first_machine: cursor + 1,
                     count: a - 2,
                     a: s,
@@ -173,17 +188,10 @@ pub(crate) fn build_nice(
             // The last gap absorbs the residue up to 3T/2 (the paper moves
             // the last machine's jobs atop the second-last; extending the
             // final gap is the same schedule up to machine naming).
-            runs.push(GapRun::single(cursor + a - 1, s, top));
+            scratch.runs.push(GapRun::single(cursor + a - 1, s, top));
         }
-        let template = Template::new(runs);
-        let placed = wrap(
-            &batch.sequence(inst, parts.arena),
-            &template,
-            inst.setups(),
-            inst.machines(),
-        )
-        .map_err(|_| ())?;
-        out.absorb(placed.expand());
+        batch.sequence_into(inst, parts.arena, &mut scratch.seq);
+        wrap_into(&scratch.seq, &scratch.runs, inst.setups(), sink).map_err(|_| ())?;
         cursor += a;
     }
 
@@ -195,11 +203,11 @@ pub(crate) fn build_nice(
         }
         let mut at = Rational::ZERO;
         for &i in pair {
-            out.push_setup(cursor, at, Rational::from(inst.setup(i)), i);
+            sink.place_setup(cursor, at, Rational::from(inst.setup(i)), i);
             at += inst.setup(i);
             for &j in inst.class_jobs(i) {
                 let len = Rational::from(inst.job(j).time);
-                out.push_piece(cursor, at, len, j, i);
+                sink.place_piece(cursor, at, len, j, i);
                 at += len;
             }
         }
@@ -213,34 +221,33 @@ pub(crate) fn build_nice(
     if parts.cheap.iter().all(|b| !b.has_pieces(inst)) {
         return Ok(());
     }
-    let mut runs = Vec::with_capacity(2);
+    scratch.clear();
     if let Some(mu) = lone_machine {
         // The lone I−exp machine (load <= 3T/4 <= T) carries the first gap.
-        runs.push(GapRun::single(mu, t, top));
+        scratch.runs.push(GapRun::single(mu, t, top));
     }
     if cursor < end {
-        runs.push(GapRun {
+        scratch.runs.push(GapRun {
             first_machine: cursor,
             count: end - cursor,
             a: half,
             b: top,
         });
     }
-    if runs.is_empty() {
+    if scratch.runs.is_empty() {
         return Err(());
     }
-    let template = Template::new(runs);
-    let mut q = WrapSequence::new();
     for batch in parts.cheap {
         if batch.has_pieces(inst) {
-            q.push_setup(batch.class, Rational::from(batch.setup));
+            scratch
+                .seq
+                .push_setup(batch.class, Rational::from(batch.setup));
             batch.for_each_piece(inst, parts.arena, |j, len| {
-                q.push_piece(batch.class, j, len);
+                scratch.seq.push_piece(batch.class, j, len);
             });
         }
     }
-    let placed = wrap(&q, &template, inst.setups(), inst.machines()).map_err(|_| ())?;
-    out.absorb(placed.expand());
+    wrap_into(&scratch.seq, &scratch.runs, inst.setups(), sink).map_err(|_| ())?;
     Ok(())
 }
 
@@ -297,7 +304,18 @@ pub fn nice_dual(inst: &Instance, t: Rational, mode: CountMode) -> Option<Schedu
         arena: &[],
     };
     let mut out = Schedule::new(inst.machines());
-    build_nice(inst, t, mode, parts, 0, inst.machines(), &mut out).ok()?;
+    let mut scratch = WrapScratch::default();
+    build_nice(
+        inst,
+        t,
+        mode,
+        parts,
+        0,
+        inst.machines(),
+        &mut scratch,
+        &mut out,
+    )
+    .ok()?;
     debug_assert!(out.makespan() <= t * Rational::new(3, 2));
     Some(out)
 }

@@ -136,27 +136,44 @@ fn lcm(a: i128, b: i128) -> Option<i128> {
     (a / gcd(a, b)).checked_mul(b)
 }
 
+/// Outcome of a probe-only search: the guess bracket, without a schedule.
+///
+/// The searches probe with the `O(n)`-or-better dual *test* and leave
+/// schedule construction to the caller, who builds **exactly once**, at
+/// `accepted` — the compact-first pipeline never constructs per-probe
+/// schedules that are immediately thrown away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome<T> {
+    /// The smallest guess the search certified acceptable; a builder run at
+    /// this guess must succeed (the dual algorithms are deterministic in
+    /// `T`).
+    pub accepted: T,
+    /// The largest rejected guess, if any — a certificate that
+    /// `OPT > rejected`.
+    pub rejected: Option<T>,
+    /// Number of dual-test probes performed.
+    pub probes: usize,
+}
+
 /// Binary search on `[t_min, 2 t_min]` until the bracket is narrower than
 /// `eps * t_min` (Theorem 2).
 ///
-/// `run` is the dual algorithm: `None` = rejected (`T < OPT`), `Some` =
-/// schedule with makespan `<= ρT`. Preconditions: `t_min <= OPT` and `run(2
-/// t_min)` accepts (both hold for the paper's `T_min`, by Theorem 1).
+/// `accepts` is the dual test (`false` certifies `T < OPT`). Preconditions:
+/// `t_min <= OPT` and `accepts(2 t_min)` holds (both follow from Theorem 1).
 ///
-/// The returned `accepted` satisfies `accepted < (1 + eps) · OPT`, so the
-/// schedule is a `ρ(1+ε)`-approximation.
-pub fn epsilon_search<S>(
+/// The returned `accepted` satisfies `accepted < (1 + eps) · OPT`, so a
+/// ρ-dual schedule built there is a `ρ(1+ε)`-approximation.
+pub fn epsilon_search(
     t_min: Rational,
     eps: Rational,
-    mut run: impl FnMut(Rational) -> Option<S>,
-) -> SearchOutcome<S> {
+    mut accepts: impl FnMut(Rational) -> bool,
+) -> ProbeOutcome<Rational> {
     assert!(t_min.is_positive() && eps.is_positive());
     let mut probes = 1;
-    if let Some(schedule) = run(t_min) {
-        // T_min <= OPT, so this is even a clean ρ-approximation.
-        return SearchOutcome {
+    if accepts(t_min) {
+        // T_min <= OPT, so a build here is even a clean ρ-approximation.
+        return ProbeOutcome {
             accepted: t_min,
-            schedule,
             rejected: None,
             probes,
         };
@@ -164,21 +181,21 @@ pub fn epsilon_search<S>(
     // lo rejected; hi accepted by precondition.
     let mut bracket = Bracket::new(t_min, t_min * 2u64, eps * t_min);
     probes += 1;
-    let mut best = run(bracket.hi_rational()).expect("2*T_min >= OPT must be accepted (Theorem 1)");
+    assert!(
+        accepts(bracket.hi_rational()),
+        "2*T_min >= OPT must be accepted (Theorem 1)"
+    );
     while bracket.is_wide() {
         let mid = bracket.split();
         probes += 1;
-        match run(mid) {
-            Some(s) => {
-                best = s;
-                bracket.accept_mid();
-            }
-            None => bracket.reject_mid(),
+        if accepts(mid) {
+            bracket.accept_mid();
+        } else {
+            bracket.reject_mid();
         }
     }
-    SearchOutcome {
+    ProbeOutcome {
         accepted: bracket.hi_rational(),
-        schedule: best,
         rejected: Some(bracket.lo_rational()),
         probes,
     }
@@ -186,20 +203,20 @@ pub fn epsilon_search<S>(
 
 /// Exact binary search over integral makespans in `[t_lo, t_hi]` (Theorem 8).
 ///
-/// Preconditions: `OPT` is an integer with `t_lo <= OPT`, and `run(t_hi)`
-/// accepts. Maintains the invariant "`lo` rejected ⇒ `OPT >= lo + 1`", so the
-/// returned `accepted` is `<= OPT` and the schedule a clean ρ-approximation.
-pub fn integer_search<S>(
+/// Preconditions: `OPT` is an integer with `t_lo <= OPT` and `accepts(t_hi)`
+/// holds. Maintains the invariant "`lo` rejected ⇒ `OPT >= lo + 1`", so the
+/// returned `accepted` is `<= OPT` and a ρ-dual schedule built there a clean
+/// ρ-approximation.
+pub fn integer_search(
     t_lo: u64,
     t_hi: u64,
-    mut run: impl FnMut(u64) -> Option<S>,
-) -> SearchOutcome<S> {
+    mut accepts: impl FnMut(u64) -> bool,
+) -> ProbeOutcome<u64> {
     assert!(t_lo <= t_hi);
     let mut probes = 1;
-    if let Some(schedule) = run(t_lo) {
-        return SearchOutcome {
-            accepted: Rational::from(t_lo),
-            schedule,
+    if accepts(t_lo) {
+        return ProbeOutcome {
+            accepted: t_lo,
             rejected: None,
             probes,
         };
@@ -207,22 +224,19 @@ pub fn integer_search<S>(
     let mut lo = t_lo; // rejected
     let mut hi = t_hi;
     probes += 1;
-    let mut best = run(hi).expect("upper bound must be accepted");
+    assert!(accepts(hi), "upper bound must be accepted");
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         probes += 1;
-        match run(mid) {
-            Some(s) => {
-                best = s;
-                hi = mid;
-            }
-            None => lo = mid,
+        if accepts(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
         }
     }
-    SearchOutcome {
-        accepted: Rational::from(hi),
-        schedule: best,
-        rejected: Some(Rational::from(lo)),
+    ProbeOutcome {
+        accepted: hi,
+        rejected: Some(lo),
         probes,
     }
 }
@@ -287,9 +301,9 @@ mod tests {
         Rational::from_int(v)
     }
 
-    /// A fake dual: accepts exactly T >= threshold, returns T as "schedule".
-    fn fake(threshold: Rational) -> impl FnMut(Rational) -> Option<Rational> {
-        move |t| if t >= threshold { Some(t) } else { None }
+    /// A fake dual test: accepts exactly T >= threshold.
+    fn fake(threshold: Rational) -> impl FnMut(Rational) -> bool {
+        move |t| t >= threshold
     }
 
     #[test]
@@ -321,15 +335,15 @@ mod tests {
     #[test]
     fn integer_search_is_exact() {
         let threshold = 137u64;
-        let out = integer_search(100, 200, |t| if t >= threshold { Some(t) } else { None });
-        assert_eq!(out.accepted, r(137));
-        assert_eq!(out.rejected, Some(r(136)));
+        let out = integer_search(100, 200, |t| t >= threshold);
+        assert_eq!(out.accepted, 137);
+        assert_eq!(out.rejected, Some(136));
     }
 
     #[test]
     fn integer_search_immediate() {
-        let out = integer_search(100, 200, Some);
-        assert_eq!(out.accepted, r(100));
+        let out = integer_search(100, 200, |_| true);
+        assert_eq!(out.accepted, 100);
         assert_eq!(out.rejected, None);
     }
 

@@ -12,7 +12,7 @@
 use bss_instance::Instance;
 use bss_rational::{Rational, RawRational};
 use bss_schedule::CompactSchedule;
-use bss_wrap::{wrap, GapRun, Template, WrapSequence};
+use bss_wrap::{wrap_append, GapRun};
 
 use crate::classify::{beta, classify_into};
 use crate::workspace::DualWorkspace;
@@ -87,83 +87,139 @@ pub fn dual_traced_in(
     t: Rational,
     trace: &mut Trace,
 ) -> Option<CompactSchedule> {
-    if !accepts_in(ws, inst, t) {
-        return None;
-    }
+    let mut out = CompactSchedule::new(inst.machines());
+    dual_into(ws, inst, t, trace, &mut out).then_some(out)
+}
+
+/// [`dual_in`] that assembles the compact schedule in a caller-provided
+/// `out` (reset at entry): every wrap appends its configuration groups
+/// directly — no per-wrap `CompactSchedule` and no group cloning. A warm
+/// workspace build allocates only `out`'s own group storage.
+///
+/// Returns `false` on rejection (`T < OPT`); `out` then holds a partial
+/// schedule the caller must discard (or reset).
+#[must_use]
+pub fn dual_into(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    t: Rational,
+    trace: &mut Trace,
+    out: &mut CompactSchedule,
+) -> bool {
     let m = inst.machines();
+    out.reset(m);
+    if !accepts_in(ws, inst, t) {
+        return false;
+    }
     let half = t.half();
-    let cls = &ws.cls; // the classification the accept test just computed
-    let mut out = CompactSchedule::new(m);
 
     // Step 1: expensive classes, β_i machines each, gaps of job capacity T/2
-    // above the setups.
+    // above the setups. The expensive cells are walked in sorted class order
+    // (matching the historical `iexp()` order) via a three-way merge over
+    // the already-sorted partition cells.
     let mut next_machine = 0usize;
-    // (machine, load) of each class's last machine with load < T.
-    let mut partial: Vec<(usize, Rational)> = Vec::new();
-    for i in cls.iexp() {
+    ws.partial.clear();
+    let cls = &ws.cls;
+    let mut exp_cells = [
+        cls.iexp_plus.as_slice(),
+        cls.iexp_zero.as_slice(),
+        cls.iexp_minus.as_slice(),
+    ];
+    while let Some(cell) = exp_cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_empty())
+        .min_by_key(|(_, c)| c[0])
+        .map(|(k, _)| k)
+    {
+        let i = exp_cells[cell][0];
+        exp_cells[cell] = &exp_cells[cell][1..];
+
         let s = Rational::from(inst.setup(i));
         let b = beta(inst, t, i);
         let p = Rational::from(inst.class_proc(i));
-        let mut runs = vec![GapRun::single(next_machine, Rational::ZERO, s + half)];
+        ws.scratch.clear();
+        ws.scratch
+            .runs
+            .push(GapRun::single(next_machine, Rational::ZERO, s + half));
         if b > 1 {
-            runs.push(GapRun {
+            ws.scratch.runs.push(GapRun {
                 first_machine: next_machine + 1,
                 count: b - 1,
                 a: s,
                 b: s + half,
             });
         }
-        let template = Template::new(runs);
-        let mut q = WrapSequence::new();
-        q.push_batch(
+        ws.scratch.seq.push_batch(
             i,
             s,
             inst.class_jobs(i)
                 .iter()
                 .map(|&j| (j, Rational::from(inst.job(j).time))),
         );
-        let part = wrap(&q, &template, inst.setups(), m)
+        wrap_append(&ws.scratch.seq, &ws.scratch.runs, inst.setups(), out)
             .expect("Theorem 7: expensive template capacity suffices");
-        for g in part.groups() {
-            out.push_group(g.first_machine, g.count, g.config.clone());
-        }
         // Load of the last machine: s_i + (P_i - (β_i - 1)·T/2).
         let last_load = s + (p - half * (b - 1) as u64);
         let last_machine = next_machine + b - 1;
         if last_load < t {
-            partial.push((last_machine, last_load));
+            ws.partial.push((last_machine, last_load));
         }
         next_machine += b;
     }
     if trace.is_enabled() {
-        trace.snap("step 1: expensive classes", &out.expand());
+        trace.snap(
+            "step 1: expensive classes",
+            &out.expand().expect("builder emits in-range groups"),
+        );
     }
 
     // Step 2: cheap classes between T/2 and 3T/2, over the partial machines
     // (reserving T/2 for one cheap setup) and the empty machines.
-    let cheap: Vec<usize> = cls.ichp();
-    if !cheap.is_empty() {
-        let mut runs: Vec<GapRun> = partial
-            .iter()
-            .map(|&(u, load)| GapRun::single(u, load + half, t + half))
-            .collect();
+    let has_cheap = !ws.cls.ichp_plus.is_empty() || !ws.cls.ichp_minus.is_empty();
+    if has_cheap {
+        ws.scratch.clear();
+        for &(u, load) in &ws.partial {
+            ws.scratch
+                .runs
+                .push(GapRun::single(u, load + half, t + half));
+        }
         if next_machine < m {
-            runs.push(GapRun {
+            ws.scratch.runs.push(GapRun {
                 first_machine: next_machine,
                 count: m - next_machine,
                 a: half,
                 b: t + half,
             });
         }
-        if runs.is_empty() {
+        if ws.scratch.runs.is_empty() {
             // All machines exactly full of expensive load but cheap load
             // remains: impossible under the accept test.
-            return None;
+            return false;
         }
-        let template = Template::new(runs);
-        let mut q = WrapSequence::new();
-        for i in cheap {
-            q.push_batch(
+        // Cheap classes in sorted class order (two-way merge of the cells).
+        let (mut plus, mut minus) = (ws.cls.ichp_plus.as_slice(), ws.cls.ichp_minus.as_slice());
+        loop {
+            let i = match (plus.first(), minus.first()) {
+                (Some(&a), Some(&b)) if a < b => {
+                    plus = &plus[1..];
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    minus = &minus[1..];
+                    b
+                }
+                (Some(&a), None) => {
+                    plus = &plus[1..];
+                    a
+                }
+                (None, Some(&b)) => {
+                    minus = &minus[1..];
+                    b
+                }
+                (None, None) => break,
+            };
+            ws.scratch.seq.push_batch(
                 i,
                 Rational::from(inst.setup(i)),
                 inst.class_jobs(i)
@@ -171,17 +227,17 @@ pub fn dual_traced_in(
                     .map(|&j| (j, Rational::from(inst.job(j).time))),
             );
         }
-        let part = wrap(&q, &template, inst.setups(), m)
+        wrap_append(&ws.scratch.seq, &ws.scratch.runs, inst.setups(), out)
             .expect("Theorem 7: cheap template capacity suffices");
-        for g in part.groups() {
-            out.push_group(g.first_machine, g.count, g.config.clone());
-        }
     }
     if trace.is_enabled() {
-        trace.snap("step 2: cheap classes wrapped", &out.expand());
+        trace.snap(
+            "step 2: cheap classes wrapped",
+            &out.expand().expect("builder emits in-range groups"),
+        );
     }
     debug_assert!(out.makespan() <= t + half);
-    Some(out)
+    true
 }
 
 #[cfg(test)]
@@ -199,7 +255,7 @@ mod tests {
         match dual(inst, t) {
             None => false,
             Some(cs) => {
-                let s = cs.expand();
+                let s = cs.expand().expect("in range");
                 let v = validate(&s, inst, Variant::Splittable);
                 assert!(v.is_empty(), "T={t}: {v:?}");
                 assert!(

@@ -15,7 +15,7 @@ use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::CompactSchedule;
 
-use crate::classify::{beta, classify};
+use crate::classify::{beta, classify_into};
 use crate::search::{refine_right_interval, SearchOutcome};
 use crate::workspace::DualWorkspace;
 
@@ -58,23 +58,31 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
     debug_assert!(probe(ws, inst, &probes, hi));
 
     // Step 4: pin the expensive/cheap partition — no boundary 2·s̃_i strictly
-    // inside (lo, hi).
-    let mut boundaries: Vec<Rational> = inst
-        .setups()
-        .iter()
-        .map(|&s| Rational::from(2 * s))
-        .collect();
+    // inside (lo, hi). The candidate buffer is workspace-owned; it is taken
+    // out for the probe loop (probes borrow the whole workspace) and put
+    // back afterwards, so warm searches reuse its allocation.
+    let mut boundaries = core::mem::take(&mut ws.thresholds);
+    boundaries.clear();
+    boundaries.extend(inst.setups().iter().map(|&s| Rational::from(2 * s)));
     boundaries.sort_unstable();
     boundaries.dedup();
     let (l2, h2, p) = refine_right_interval(lo, hi, &boundaries, |t| probe(ws, inst, &probes, t));
+    ws.thresholds = boundaries;
     lo = l2;
     hi = h2;
     probes.set(probes.get() + p);
 
     // The partition is now constant on the open interval; evaluate it at the
-    // midpoint.
+    // midpoint. The pinned expensive classes are copied out of the probe
+    // classification (later probes overwrite it).
     let mid = (lo + hi).half();
-    let iexp = classify(inst, mid).iexp();
+    classify_into(inst, mid, &mut ws.cls);
+    let mut iexp = core::mem::take(&mut ws.jump_classes);
+    iexp.clear();
+    iexp.extend_from_slice(&ws.cls.iexp_plus);
+    iexp.extend_from_slice(&ws.cls.iexp_zero);
+    iexp.extend_from_slice(&ws.cls.iexp_minus);
+    iexp.sort_unstable();
 
     let chosen = if iexp.is_empty() {
         // No expensive classes: L_split is constant on the interval.
@@ -100,9 +108,11 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
             }
         }; // largest z with 2P_f/z > lo
         if z_lo <= z_hi {
-            let jumps: Vec<Rational> = if z_hi - z_lo <= 64 {
+            let mut jumps = core::mem::take(&mut ws.jumps);
+            jumps.clear();
+            if z_hi - z_lo <= 64 {
                 // Few jumps: enumerate directly.
-                (z_lo..=z_hi).rev().map(|z| pf2 / z).collect()
+                jumps.extend((z_lo..=z_hi).rev().map(|z| pf2 / z));
             } else {
                 // Many jumps: binary search over z (monotone acceptance in T).
                 let mut a = z_lo; // T_{z_lo} largest
@@ -127,8 +137,7 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
                     }
                     None => lo = pf2 / z_lo,
                 }
-                Vec::new()
-            };
+            }
             if !jumps.is_empty() {
                 let (l3, h3, p) =
                     refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
@@ -136,10 +145,12 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
                 hi = h3;
                 probes.set(probes.get() + p);
             }
+            ws.jumps = jumps;
         }
 
         // Step 7+8: inside one f-gap each class jumps at most once (Lemma 3).
-        let mut other_jumps: Vec<Rational> = Vec::with_capacity(iexp.len());
+        let mut other_jumps = core::mem::take(&mut ws.jumps);
+        other_jumps.clear();
         for &i in &iexp {
             let z = beta(inst, hi, i); // β_i at the right end
             let cand = Rational::from(2 * inst.class_proc(i)) / z as u64;
@@ -147,29 +158,37 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
                 other_jumps.push(cand);
             }
         }
-        other_jumps.sort();
+        other_jumps.sort_unstable();
         other_jumps.dedup();
         let (l4, h4, p) =
             refine_right_interval(lo, hi, &other_jumps, |t| probe(ws, inst, &probes, t));
+        ws.jumps = other_jumps;
         lo = l4;
         hi = h4;
         probes.set(probes.get() + p);
 
         // Step 9: the load is constant on the open interval (lo, hi).
         let m2 = (lo + hi).half();
-        let cls = classify(inst, m2);
+        classify_into(inst, m2, &mut ws.cls);
         let mut m_exp = 0usize;
         let mut l_open = Rational::from(inst.total_proc());
-        for i in cls.iexp() {
+        for &i in ws
+            .cls
+            .iexp_plus
+            .iter()
+            .chain(&ws.cls.iexp_zero)
+            .chain(&ws.cls.iexp_minus)
+        {
             let b = beta(inst, m2, i);
             m_exp += b;
             l_open += Rational::from(inst.setup(i) * b as u64);
         }
-        for i in cls.ichp() {
+        for &i in ws.cls.ichp_plus.iter().chain(&ws.cls.ichp_minus) {
             l_open += Rational::from(inst.setup(i));
         }
         finishing_move(ws, inst, lo, hi, m_exp, l_open, &probes)
     };
+    ws.jump_classes = iexp;
 
     let schedule = dual_in(ws, inst, chosen).expect("chosen guess must be accepted");
     SearchOutcome {
@@ -218,7 +237,7 @@ mod tests {
 
     fn check(inst: &Instance) -> (Rational, Rational) {
         let out = class_jumping(inst);
-        let s = out.schedule.expand();
+        let s = out.schedule.expand().expect("in range");
         let v = validate(&s, inst, Variant::Splittable);
         assert!(v.is_empty(), "{v:?}");
         let makespan = s.makespan();
@@ -306,7 +325,7 @@ mod tests {
             let inst = bss_gen::uniform(50, 7, 4, seed);
             let tmin = LowerBounds::of(&inst).tmin(Variant::Splittable);
             let eps = epsilon_search(tmin, Rational::new(1, 1 << 12), |t| {
-                crate::splittable::dual(&inst, t)
+                crate::splittable::accepts(&inst, t)
             });
             let jump = class_jumping(&inst);
             // Jumping's accepted value is exact-optimal for the dual, the

@@ -10,5 +10,5 @@
 mod dual;
 mod jumping;
 
-pub use dual::{accepts, accepts_in, dual, dual_in, dual_traced, dual_traced_in};
+pub use dual::{accepts, accepts_in, dual, dual_in, dual_into, dual_traced, dual_traced_in};
 pub use jumping::{class_jumping, class_jumping_in};

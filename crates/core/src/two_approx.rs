@@ -3,7 +3,7 @@
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::{CompactSchedule, Schedule};
-use bss_wrap::{wrap, GapRun, Template};
+use bss_wrap::{wrap_append, GapRun};
 
 use crate::workspace::DualWorkspace;
 use crate::Trace;
@@ -19,22 +19,22 @@ pub fn splittable_two_approx(inst: &Instance) -> CompactSchedule {
 }
 
 /// [`splittable_two_approx`] on a reusable workspace (the `O(n)`-item wrap
-/// sequence is built in the workspace's scratch buffer).
+/// sequence and the one-run template are built in the workspace's scratch
+/// buffers; the wrap appends its groups directly to the output).
 #[must_use]
 pub fn splittable_two_approx_in(ws: &mut DualWorkspace, inst: &Instance) -> CompactSchedule {
     let m = inst.machines();
     let smax = Rational::from(inst.smax());
     let per_machine = Rational::from(inst.total_load_once()) / m;
-    let template = Template::new(vec![GapRun {
+    ws.scratch.clear();
+    ws.scratch.runs.push(GapRun {
         first_machine: 0,
         count: m,
         a: smax,
         b: smax + per_machine,
-    }]);
-    let q = &mut ws.seq;
-    q.clear();
+    });
     for i in 0..inst.num_classes() {
-        q.push_batch(
+        ws.scratch.seq.push_batch(
             i,
             Rational::from(inst.setup(i)),
             inst.class_jobs(i)
@@ -43,7 +43,10 @@ pub fn splittable_two_approx_in(ws: &mut DualWorkspace, inst: &Instance) -> Comp
         );
     }
     // Capacity S(ω) = N = L(Q) exactly; Lemma 6 applies.
-    wrap(q, &template, inst.setups(), m).expect("Lemma 8: template capacity equals load")
+    let mut out = CompactSchedule::new(m);
+    wrap_append(&ws.scratch.seq, &ws.scratch.runs, inst.setups(), &mut out)
+        .expect("Lemma 8: template capacity equals load");
+    out
 }
 
 /// Lemma 9: non-preemptive (and hence preemptive) 2-approximation in `O(n)`.
@@ -180,7 +183,7 @@ mod tests {
     fn check_two_approx(inst: &Instance) {
         // Splittable.
         let cs = splittable_two_approx(inst);
-        let s = cs.expand();
+        let s = cs.expand().expect("in range");
         let v = validate(&s, inst, Variant::Splittable);
         assert!(v.is_empty(), "splittable: {v:?}");
         let bound = LowerBounds::of(inst).tmin(Variant::Splittable) * 2u64;

@@ -16,7 +16,7 @@
 use bss_instance::{ClassId, Instance, JobId};
 use bss_knapsack::CkItem;
 use bss_rational::Rational;
-use bss_wrap::WrapSequence;
+use bss_wrap::{GapRun, WrapSequence};
 
 use crate::classify::Classification;
 
@@ -72,6 +72,53 @@ pub(crate) struct KPiece {
     pub len: Rational,
 }
 
+/// Scratch buffers for assembling one wrap call: the sequence and the gap
+/// runs, both cleared and rebuilt per wrap without reallocating. Kept as its
+/// own struct so builders can borrow it mutably while the plan buffers
+/// ([`DualWorkspace::cheap`], [`DualWorkspace::arena`], …) stay borrowed
+/// immutably.
+#[derive(Debug, Default)]
+pub(crate) struct WrapScratch {
+    /// The wrap sequence `Q` under construction.
+    pub seq: WrapSequence,
+    /// The gap runs `ω` under construction.
+    pub runs: Vec<GapRun>,
+}
+
+impl WrapScratch {
+    /// Clears both buffers, keeping capacity.
+    pub(crate) fn clear(&mut self) {
+        self.seq.clear();
+        self.runs.clear();
+    }
+}
+
+/// One stacked item of the non-preemptive builder (items are contiguous
+/// from time 0 on their machine).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NpItem {
+    /// `None` = setup, `Some(j)` = piece of job `j`.
+    pub job: Option<JobId>,
+    pub class: ClassId,
+    pub len: u64,
+    /// Global placement sequence number (drives the step-4 repair order).
+    pub seq: usize,
+    /// Placed by step 3 (candidate for the border-crossing move).
+    pub step3: bool,
+}
+
+/// Per-class job partition of the non-preemptive builder, as ranges into
+/// [`DualWorkspace::np_jobs`]: `[start, big_end)` holds `J⁺ ∩ C_i`,
+/// `[big_end, bord_end)` the borderline jobs `K ∩ C_i`, `[bord_end, end)`
+/// the light jobs `C'_i`. Expensive classes keep an empty range.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NpClassRange {
+    pub start: u32,
+    pub big_end: u32,
+    pub bord_end: u32,
+    pub end: u32,
+}
+
 /// Reusable buffers for the dual probes and builders of all three variants.
 ///
 /// Create one with [`DualWorkspace::new`] and thread it through
@@ -105,12 +152,42 @@ pub struct DualWorkspace {
     pub(crate) arena: Vec<(JobId, Rational)>,
     /// Bottom-band pieces of the current preemptive plan.
     pub(crate) k_pieces: Vec<KPiece>,
+    /// Bottom-band split: indices into `k_pieces` with `len > T/4` (`K⁺`).
+    pub(crate) k_big: Vec<usize>,
+    /// Bottom-band split: indices into `k_pieces` with `len <= T/4` (`K⁻`).
+    pub(crate) k_small: Vec<usize>,
+    /// Partial machines of the splittable builder: `(machine, load)`.
+    pub(crate) partial: Vec<(usize, Rational)>,
     /// Non-preemptive repair: earliest placement sequence per job.
     pub(crate) job_min_seq: Vec<usize>,
     /// Non-preemptive repair: piece count per job.
     pub(crate) job_count: Vec<u32>,
-    /// Scratch wrap sequence for the builders (cleared per use).
-    pub(crate) seq: WrapSequence,
+    /// Non-preemptive builder: flat per-class big/borderline/light partition.
+    pub(crate) np_jobs: Vec<JobId>,
+    /// Ranges of `np_jobs` per class.
+    pub(crate) np_ranges: Vec<NpClassRange>,
+    /// Non-preemptive builder: fillable machines, flat.
+    pub(crate) np_fillable: Vec<usize>,
+    /// Ranges of `np_fillable` per class.
+    pub(crate) np_fill_ranges: Vec<(u32, u32)>,
+    /// Non-preemptive builder: the step-3 item queue.
+    pub(crate) np_queue: Vec<NpItem>,
+    /// Non-preemptive builder: machine stacks (outer vector and inner
+    /// capacities survive across builds; `np_used` stacks are live).
+    pub(crate) np_stacks: Vec<Vec<NpItem>>,
+    /// Non-preemptive builder: machine loads, aligned with `np_stacks`.
+    pub(crate) np_loads: Vec<u64>,
+    /// Non-preemptive repair: machines holding step-3 items.
+    pub(crate) np_step3: Vec<usize>,
+    /// Class-Jumping searches: partition thresholds / jump candidates.
+    pub(crate) thresholds: Vec<Rational>,
+    /// Class-Jumping searches: jump guesses of one refinement round.
+    pub(crate) jumps: Vec<Rational>,
+    /// Class-Jumping searches: the pinned `I⁺_exp` (or `I_exp`) classes,
+    /// copied out of `cls` so later probes may overwrite the partition.
+    pub(crate) jump_classes: Vec<ClassId>,
+    /// Scratch for assembling wrap calls (sequence + gap runs).
+    pub(crate) scratch: WrapScratch,
 }
 
 impl DualWorkspace {
@@ -152,9 +229,25 @@ impl DualWorkspace {
         self.arena.reserve(n);
         self.k_pieces.clear();
         self.k_pieces.reserve(n);
+        self.k_big.clear();
+        self.k_small.clear();
+        self.partial.clear();
         self.job_min_seq.clear();
         self.job_min_seq.reserve(n);
         self.job_count.clear();
         self.job_count.reserve(n);
+        self.np_jobs.clear();
+        self.np_jobs.reserve(n);
+        self.np_ranges.clear();
+        self.np_ranges.reserve(c);
+        self.np_fillable.clear();
+        self.np_fill_ranges.clear();
+        self.np_queue.clear();
+        self.np_step3.clear();
+        self.scratch.clear();
+        // `np_stacks`/`np_loads` are reset by the non-preemptive builder
+        // itself (it tracks how many stacks are live); `thresholds`, `jumps`
+        // and `jump_classes` belong to the searches, which clear them at
+        // each use.
     }
 }

@@ -1,5 +1,6 @@
-//! Counting-allocator proof that the dual-probe hot path is allocation-free
-//! once a [`DualWorkspace`] is warmed up.
+//! Counting-allocator proof that the dual-probe hot path — and, since the
+//! compact-first pipeline, the dual *build* path — is allocation-free once a
+//! [`DualWorkspace`] is warmed up.
 //!
 //! The whole check lives in a single `#[test]` so no concurrent test in this
 //! binary can pollute the global allocation counter.
@@ -7,9 +8,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bss_core::{nonpreemptive, preemptive, splittable, DualWorkspace};
+use bss_core::{nonpreemptive, preemptive, splittable, Algorithm, DualWorkspace, Trace};
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
+use bss_schedule::{CompactSchedule, Schedule};
 
 struct CountingAllocator;
 
@@ -109,4 +111,122 @@ fn dual_probes_allocate_nothing_after_warmup() {
         "dual-probe hot path allocated {} times after warm-up",
         after - before
     );
+
+    warm_builds_allocate_only_output(&inst, &mut ws);
+    warm_solves_allocate_only_output(&inst, &mut ws);
+}
+
+/// The *build* path: with the workspace warm and the output buffers
+/// recycled, `dual_into` performs **zero** heap allocations for the
+/// explicit-schedule variants, and only per-group output storage for the
+/// compact splittable builder.
+fn warm_builds_allocate_only_output(inst: &Instance, ws: &mut DualWorkspace) {
+    let split_t = LowerBounds::of(inst).tmin(Variant::Splittable) * 2u64;
+    let pmtn_t = LowerBounds::of(inst).tmin(Variant::Preemptive) * 2u64;
+    let nonp_t = 2 * LowerBounds::of(inst).tmin(Variant::NonPreemptive).ceil() as u64;
+    let mut trace = Trace::disabled();
+
+    // Warm-up: grow the workspace and the reused outputs to steady state.
+    let mut schedule_out = Schedule::new(inst.machines());
+    let mut compact_out = CompactSchedule::new(inst.machines());
+    assert!(preemptive::dual_into(
+        ws,
+        inst,
+        pmtn_t,
+        preemptive::CountMode::AlphaPrime,
+        &mut trace,
+        &mut schedule_out,
+    ));
+    let mut nonp_out = Schedule::new(inst.machines());
+    assert!(nonpreemptive::dual_into(
+        ws,
+        inst,
+        nonp_t,
+        &mut trace,
+        &mut nonp_out
+    ));
+    assert!(splittable::dual_into(
+        ws,
+        inst,
+        split_t,
+        &mut trace,
+        &mut compact_out
+    ));
+
+    // Preemptive warm build: zero allocations.
+    let before = allocations();
+    assert!(preemptive::dual_into(
+        ws,
+        inst,
+        pmtn_t,
+        preemptive::CountMode::AlphaPrime,
+        &mut trace,
+        &mut schedule_out,
+    ));
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "warm preemptive build allocated {delta} times");
+
+    // Non-preemptive warm build: zero allocations (partitions, stacks,
+    // queues and repair maps all live in the workspace).
+    let before = allocations();
+    assert!(nonpreemptive::dual_into(
+        ws,
+        inst,
+        nonp_t,
+        &mut trace,
+        &mut nonp_out
+    ));
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "warm non-preemptive build allocated {delta} times"
+    );
+
+    // Splittable warm build: the compact output's per-group item vectors are
+    // the only allocations (genuine output storage; the group list itself is
+    // recycled).
+    let before = allocations();
+    assert!(splittable::dual_into(
+        ws,
+        inst,
+        split_t,
+        &mut trace,
+        &mut compact_out
+    ));
+    let delta = allocations() - before;
+    // Groups are built in place inside the output: each group costs its item
+    // vector's doubling growth (≤ stored items) plus at most one push — all
+    // of it output storage.
+    let output_bound = compact_out.groups().len() as u64 + compact_out.stored_items() as u64;
+    assert!(
+        delta <= output_bound,
+        "warm splittable build allocated {delta} times (output bound {output_bound})"
+    );
+}
+
+/// The full `solve_with` path (search + build): warm allocations are bounded
+/// by the output schedule's own storage plus a small constant — no
+/// per-probe or per-build `O(n)` buffers survive anywhere in the pipeline.
+fn warm_solves_allocate_only_output(inst: &Instance, ws: &mut DualWorkspace) {
+    for variant in Variant::ALL {
+        // Warm-up solve grows the search scratch to steady state.
+        let _ = bss_core::solve_with(ws, inst, variant, Algorithm::ThreeHalves);
+
+        let before = allocations();
+        let sol = bss_core::solve_with(ws, inst, variant, Algorithm::ThreeHalves);
+        let delta = allocations() - before;
+        // Output storage: a compact schedule allocates one item vector per
+        // group plus the group list; an explicit schedule grows its
+        // placement vector by doubling (≤ log2(P) + 1 reallocations). The
+        // slack of 64 covers the SearchOutcome/Solution scaffolding without
+        // leaving room for any O(n) per-solve buffer (n = 2000 here).
+        let output_bound = 64
+            + sol
+                .compact()
+                .map_or(0, |c| (c.groups().len() + c.stored_items()) as u64);
+        assert!(
+            delta <= output_bound,
+            "warm {variant} solve allocated {delta} times (bound {output_bound})"
+        );
+    }
 }

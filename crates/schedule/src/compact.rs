@@ -8,14 +8,17 @@
 //! configuration on `count` consecutive machines starting at `first_machine`.
 //! Several groups may target the same machine (e.g. the splittable 3/2-dual
 //! first fills a class's last machine, then *tops it up* with cheap load in a
-//! second pass); feasibility of the combined timeline is checked after
-//! [`CompactSchedule::expand`].
+//! second pass); feasibility of the combined timeline is checked either
+//! directly on the groups ([`crate::validate_compact`]) or after
+//! [`CompactSchedule::expand`]. [`CompactSchedule::expand_into`] streams the
+//! explicit placements into any [`PlacementSink`] without an intermediate
+//! copy.
 
 use bss_instance::JobId;
 use bss_json::{FromJson, JsonError, ToJson, Value};
 use bss_rational::Rational;
 
-use crate::{ItemKind, Placement, Schedule};
+use crate::{ItemKind, Placement, PlacementSink, Schedule, Violation};
 
 /// One item inside a machine configuration (machine-relative, no machine id).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +170,13 @@ impl CompactSchedule {
         }
     }
 
+    /// Clears the schedule for reuse on `machines` machines, keeping the
+    /// group buffer's capacity.
+    pub fn reset(&mut self, machines: usize) {
+        self.machines = machines;
+        self.groups.clear();
+    }
+
     /// Number of machines of the instance.
     #[must_use]
     pub fn machines(&self) -> usize {
@@ -189,6 +199,44 @@ impl CompactSchedule {
     #[must_use]
     pub fn groups(&self) -> &[ConfigGroup] {
         &self.groups
+    }
+
+    /// Streaming group builder: opens an empty group whose items arrive via
+    /// [`CompactSchedule::push_open_item`]. Close it with
+    /// [`CompactSchedule::end_group`] before reading [`CompactSchedule::groups`]
+    /// — an open group that never received an item would otherwise linger
+    /// empty. Building in place keeps every allocation inside the output
+    /// (the wrap emitters rely on this for the zero-copy pipeline).
+    pub fn begin_group(&mut self, first_machine: usize, count: usize) {
+        self.groups.push(ConfigGroup {
+            first_machine,
+            count,
+            config: MachineConfig::default(),
+        });
+    }
+
+    /// Appends an item to the group opened by [`CompactSchedule::begin_group`].
+    ///
+    /// # Panics
+    /// Panics when no group is open (programming error in the emitter).
+    pub fn push_open_item(&mut self, item: ConfigItem) {
+        self.groups
+            .last_mut()
+            .expect("push_open_item requires an open group")
+            .config
+            .items
+            .push(item);
+    }
+
+    /// Closes the group opened by [`CompactSchedule::begin_group`], dropping
+    /// it when it stayed empty (mirroring [`CompactSchedule::push_group`]).
+    pub fn end_group(&mut self) {
+        if matches!(
+            self.groups.last(),
+            Some(g) if g.count == 0 || g.config.items.is_empty()
+        ) {
+            self.groups.pop();
+        }
     }
 
     /// Total number of `(item, machine)` incidences; `expand` cost is
@@ -234,24 +282,24 @@ impl CompactSchedule {
         total
     }
 
-    /// Materializes the explicit schedule. Runs in `O(total_items + m)`.
+    /// Streams the explicit placements into `sink`, once, in group order —
+    /// the single-copy replacement for the old expand-then-`absorb` pattern.
+    /// Runs in `O(total_items + m)`.
     ///
-    /// # Panics
-    /// Panics if a group extends past the last machine.
-    #[must_use]
-    pub fn expand(&self) -> Schedule {
-        let mut schedule = Schedule::new(self.machines);
+    /// # Errors
+    /// [`Violation::MachineOutOfRange`] when a group extends past the last
+    /// machine (e.g. a hand-edited or deserialized schedule); placements
+    /// emitted before the offending group remain in `sink`.
+    pub fn expand_into<S: PlacementSink>(&self, sink: &mut S) -> Result<(), Violation> {
         for g in &self.groups {
-            assert!(
-                g.first_machine + g.count <= self.machines,
-                "group [{}, {}) exceeds machine count {}",
-                g.first_machine,
-                g.first_machine + g.count,
-                self.machines
-            );
+            if g.first_machine + g.count > self.machines {
+                return Err(Violation::MachineOutOfRange {
+                    machine: g.first_machine + g.count - 1,
+                });
+            }
             for k in 0..g.count {
                 for item in &g.config.items {
-                    schedule.push(Placement::new(
+                    sink.place(Placement::new(
                         g.first_machine + k,
                         item.start,
                         item.len,
@@ -260,7 +308,18 @@ impl CompactSchedule {
                 }
             }
         }
-        schedule
+        Ok(())
+    }
+
+    /// Materializes the explicit schedule. Runs in `O(total_items + m)`.
+    ///
+    /// # Errors
+    /// [`Violation::MachineOutOfRange`] when a group extends past the last
+    /// machine — malformed input is reported, never aborted on.
+    pub fn expand(&self) -> Result<Schedule, Violation> {
+        let mut schedule = Schedule::new(self.machines);
+        self.expand_into(&mut schedule)?;
+        Ok(schedule)
     }
 }
 
@@ -301,7 +360,7 @@ mod tests {
                 items: vec![setup(1, 0, 2)],
             },
         );
-        let s = cs.expand();
+        let s = cs.expand().expect("in range");
         assert_eq!(s.machine_load(0), Rational::ZERO);
         assert_eq!(s.machine_load(1), Rational::from(4u64));
         assert_eq!(s.machine_load(2), Rational::from(4u64));
@@ -329,7 +388,7 @@ mod tests {
                 items: vec![piece(0, 1, 2)],
             },
         );
-        let s = cs.expand();
+        let s = cs.expand().expect("in range");
         assert_eq!(s.machine_load(0), Rational::from(3u64));
     }
 
@@ -348,8 +407,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds machine count")]
-    fn expand_panics_when_group_out_of_range() {
+    fn expand_reports_out_of_range_group() {
         let mut cs = CompactSchedule::new(1);
         cs.push_group(
             1,
@@ -358,7 +416,49 @@ mod tests {
                 items: vec![setup(0, 0, 1)],
             },
         );
-        let _ = cs.expand();
+        assert_eq!(
+            cs.expand().unwrap_err(),
+            Violation::MachineOutOfRange { machine: 1 }
+        );
+        let mut sink = Schedule::new(1);
+        assert!(cs.expand_into(&mut sink).is_err());
+    }
+
+    #[test]
+    fn expand_into_matches_expand() {
+        let mut cs = CompactSchedule::new(4);
+        cs.push_group(
+            0,
+            3,
+            MachineConfig {
+                items: vec![setup(0, 0, 1), piece(0, 1, 2)],
+            },
+        );
+        cs.push_group(
+            3,
+            1,
+            MachineConfig {
+                items: vec![setup(1, 0, 2)],
+            },
+        );
+        let mut streamed = Schedule::new(4);
+        cs.expand_into(&mut streamed).expect("in range");
+        assert_eq!(streamed, cs.expand().expect("in range"));
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_clears_groups() {
+        let mut cs = CompactSchedule::new(2);
+        cs.push_group(
+            0,
+            1,
+            MachineConfig {
+                items: vec![setup(0, 0, 1)],
+            },
+        );
+        cs.reset(5);
+        assert!(cs.groups().is_empty());
+        assert_eq!(cs.machines(), 5);
     }
 
     #[test]

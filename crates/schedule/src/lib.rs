@@ -1,30 +1,53 @@
-//! Schedule representations and feasibility validators.
+//! Schedule representations, streaming placement sinks, and feasibility
+//! validators — the compact-first schedule pipeline.
 //!
 //! A schedule assigns *placements* — setups and job pieces with exact rational
 //! start times and lengths — to machines. Two representations are provided:
 //!
-//! * [`Schedule`]: one explicit placement list; the universal format consumed
-//!   by validators, renderers and tests.
 //! * [`CompactSchedule`]: machine *configurations with multiplicities*, the
-//!   paper's "weaker definition of schedules" for the splittable variant. The
-//!   `O(n + c log(c+m))` bound of Theorem 3 is only attainable because a
-//!   schedule may repeat one configuration on many machines without writing
-//!   them all out; [`CompactSchedule::expand`] materializes the explicit form
-//!   (at `O(n + m)` cost) for validation and rendering.
+//!   paper's "weaker definition of schedules" and the **primary form** the
+//!   near-linear builders emit. The `O(n + c log(c+m))` bound of Theorem 3 is
+//!   only attainable because a schedule may repeat one configuration on many
+//!   machines without writing them all out.
+//! * [`Schedule`]: one explicit placement list; the universal format consumed
+//!   by renderers, serializers and the repair passes of the non-preemptive
+//!   algorithm.
 //!
-//! [`validate`] checks full feasibility against an [`bss_instance::Instance`] under each of
-//! the three variants: machine exclusivity, setup coverage on every class
-//! switch, un-preempted setups, exact load conservation per job, and the
-//! variant-specific job rules (contiguity / no self-parallelism).
+//! ## Who owns what, and when expansion happens
+//!
+//! Builders own the compact form and keep it as long as possible. When an
+//! explicit schedule is needed, [`CompactSchedule::expand_into`] streams the
+//! placements **once** into any [`PlacementSink`] — the explicit [`Schedule`]
+//! and bare `Vec<Placement>` both implement the trait — replacing the old
+//! expand-then-absorb double copy. [`CompactSchedule::expand`] is the
+//! convenience wrapper; both report malformed groups as a
+//! [`Violation`] instead of panicking.
+//!
+//! ## Which validator to use
+//!
+//! * [`validate_compact`] checks a [`CompactSchedule`] directly on its
+//!   groups: one representative machine per group region plus the
+//!   group-boundary/width invariants, with job totals counting
+//!   multiplicities. Use it for solver-native compact output — it never pays
+//!   `O(total_items)`.
+//! * [`validate`] walks an explicit [`Schedule`] in one `O(P log P)`
+//!   sort-and-sweep. Use it for repaired schedules (the non-preemptive
+//!   builder's step 4 edits placements in place) and anything deserialized.
+//!
+//! Both enforce the same model: machine exclusivity, setup coverage on every
+//! class switch, un-preempted setups, exact load conservation per job, and
+//! the variant-specific job rules (contiguity / no self-parallelism).
 
 mod compact;
 mod item;
 mod schedule;
+mod sink;
 mod stats;
 mod validate;
 
 pub use compact::{CompactSchedule, ConfigGroup, ConfigItem, MachineConfig};
 pub use item::{ItemKind, Placement};
 pub use schedule::Schedule;
+pub use sink::PlacementSink;
 pub use stats::ScheduleStats;
-pub use validate::{validate, Violation};
+pub use validate::{validate, validate_compact, Violation};

@@ -50,6 +50,14 @@ impl Schedule {
         self.machines
     }
 
+    /// Clears the schedule for reuse on `machines` machines, keeping the
+    /// placement buffer's capacity (warm builders re-emit into the same
+    /// output without reallocating).
+    pub fn reset(&mut self, machines: usize) {
+        self.machines = machines;
+        self.placements.clear();
+    }
+
     /// Adds a placement. Zero-length placements are ignored.
     pub fn push(&mut self, p: Placement) {
         if p.len.is_positive() {

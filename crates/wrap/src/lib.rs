@@ -40,4 +40,4 @@ mod wrapper;
 pub use mcnaughton::{mcnaughton, McNaughtonSchedule};
 pub use sequence::{SeqItem, SeqKind, WrapSequence};
 pub use template::{GapRun, Template};
-pub use wrapper::{wrap, wrap_explicit, WrapError};
+pub use wrapper::{wrap, wrap_append, wrap_explicit, wrap_into, WrapError};

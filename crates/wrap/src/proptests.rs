@@ -54,7 +54,12 @@ proptest! {
     #[test]
     fn wrap_succeeds_and_is_feasible((template, q, setups, machines) in arb_case()) {
         let out = wrap(&q, &template, &setups, machines).expect("capacity suffices");
-        let s = out.expand();
+        let s = out.expand().expect("wrap output is in machine range");
+        // The streaming path must agree with expand bit for bit.
+        let mut streamed = bss_schedule::Schedule::new(machines);
+        crate::wrap_into(&q, template.runs(), &setups, &mut streamed)
+            .expect("capacity suffices");
+        prop_assert_eq!(&streamed, &s);
         // Load conservation: pieces total the sequence's job load.
         let placed: Rational = s
             .placements()

@@ -62,8 +62,19 @@ impl Template {
     /// non-increasing machines.
     #[must_use]
     pub fn new(runs: Vec<GapRun>) -> Self {
+        Template::check(&runs);
+        Template { runs }
+    }
+
+    /// Asserts the template invariants on a raw run slice — used by the
+    /// wrap entry points that take caller-owned (workspace-reused) run
+    /// buffers instead of an owned [`Template`].
+    ///
+    /// # Panics
+    /// Panics on malformed runs, like [`Template::new`].
+    pub fn check(runs: &[GapRun]) {
         let mut next_free = 0usize;
-        for run in &runs {
+        for run in runs {
             assert!(run.count > 0, "empty gap run");
             assert!(
                 !run.a.is_negative() && run.a < run.b,
@@ -79,7 +90,6 @@ impl Template {
             );
             next_free = run.first_machine + run.count;
         }
-        Template { runs }
     }
 
     /// Template over single gaps, convenience for tests and simple callers.

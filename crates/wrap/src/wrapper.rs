@@ -1,11 +1,20 @@
 //! The `Wrap` algorithm with `Split` (Algorithm 5) and the parallel-gap fast
 //! path.
+//!
+//! The wrapper is generic over its *emission target* ([`WrapEmit`]): the same
+//! placement logic either appends configuration groups to a
+//! [`CompactSchedule`] ([`wrap`], [`wrap_append`]) or streams explicit
+//! placements straight into a [`PlacementSink`] ([`wrap_into`]) — the
+//! compact-first pipeline's way of writing a wrap result into its final
+//! destination exactly once, with no intermediate `Schedule`.
 
 use bss_instance::ClassId;
 use bss_rational::Rational;
-use bss_schedule::{CompactSchedule, ConfigItem, ItemKind, MachineConfig, Placement};
+use bss_schedule::{
+    CompactSchedule, ConfigItem, ItemKind, MachineConfig, Placement, PlacementSink,
+};
 
-use crate::{SeqKind, Template, WrapSequence};
+use crate::{GapRun, SeqKind, Template, WrapSequence};
 
 /// Structural failures of a wrap. Under Lemma 6's preconditions these never
 /// occur; the dual algorithms treat them as "reject this makespan guess".
@@ -42,17 +51,114 @@ impl core::fmt::Display for WrapError {
 
 impl std::error::Error for WrapError {}
 
+/// Where wrapped items go: one call per single-machine item, one call per
+/// parallel-gap group. Machines arrive in non-decreasing order (gaps live on
+/// strictly increasing machines).
+trait WrapEmit {
+    /// An item on a single machine.
+    fn item(&mut self, machine: usize, item: ConfigItem);
+
+    /// A `(setup, piece)` configuration repeated on `count` consecutive
+    /// machines (the parallel-gap fast path).
+    fn group(&mut self, first_machine: usize, count: usize, setup: ConfigItem, piece: ConfigItem);
+
+    /// Called once after the sequence is fully placed.
+    fn finish(&mut self);
+}
+
+/// Appends configuration groups to a [`CompactSchedule`]: single-machine
+/// items stream into a group opened *in place* in the output (so every
+/// allocation is output storage — no emit-side scratch); fast-path groups
+/// pass through with their multiplicity.
+struct GroupEmit<'a> {
+    out: &'a mut CompactSchedule,
+    machine: usize,
+    open: bool,
+}
+
+impl<'a> GroupEmit<'a> {
+    fn new(out: &'a mut CompactSchedule) -> Self {
+        GroupEmit {
+            out,
+            machine: 0,
+            open: false,
+        }
+    }
+
+    fn close(&mut self) {
+        if self.open {
+            self.out.end_group();
+            self.open = false;
+        }
+    }
+}
+
+impl WrapEmit for GroupEmit<'_> {
+    fn item(&mut self, machine: usize, item: ConfigItem) {
+        if !self.open || machine != self.machine {
+            self.close();
+            self.out.begin_group(machine, 1);
+            self.machine = machine;
+            self.open = true;
+        }
+        self.out.push_open_item(item);
+    }
+
+    fn group(&mut self, first_machine: usize, count: usize, setup: ConfigItem, piece: ConfigItem) {
+        self.close();
+        self.out.push_group(
+            first_machine,
+            count,
+            MachineConfig {
+                items: vec![setup, piece],
+            },
+        );
+        self.machine = first_machine + count;
+    }
+
+    fn finish(&mut self) {
+        self.close();
+    }
+}
+
+/// Streams explicit placements into a [`PlacementSink`]; fast-path groups
+/// are unrolled (that cost is exactly what any later expansion would pay —
+/// paid once, at the final destination).
+struct StreamEmit<'a, S: PlacementSink> {
+    sink: &'a mut S,
+}
+
+impl<S: PlacementSink> WrapEmit for StreamEmit<'_, S> {
+    fn item(&mut self, machine: usize, item: ConfigItem) {
+        self.sink
+            .place(Placement::new(machine, item.start, item.len, item.kind));
+    }
+
+    fn group(&mut self, first_machine: usize, count: usize, setup: ConfigItem, piece: ConfigItem) {
+        for k in 0..count {
+            let u = first_machine + k;
+            self.sink
+                .place(Placement::new(u, setup.start, setup.len, setup.kind));
+            self.sink
+                .place(Placement::new(u, piece.start, piece.len, piece.kind));
+        }
+    }
+
+    fn finish(&mut self) {}
+}
+
 /// Cursor state of the wrapper: which gap we are in and what has been emitted.
-struct Wrapper<'a> {
-    template: &'a Template,
+struct Wrapper<'a, E: WrapEmit> {
+    runs: &'a [GapRun],
     setups: &'a [u64],
-    out: CompactSchedule,
-    /// Index of the current run in the template.
+    emit: E,
+    /// Index of the current run.
     run: usize,
     /// Gap offset within the current run.
     offset: usize,
-    /// Items accumulated for the current gap's machine.
-    items: Vec<ConfigItem>,
+    /// Whether anything was emitted into the current gap yet (guards the
+    /// parallel-gap fast path).
+    gap_dirty: bool,
     /// Current fill time within the current gap.
     t: Rational,
     /// Class the current gap's machine is configured for (reset per gap —
@@ -60,57 +166,50 @@ struct Wrapper<'a> {
     configured: Option<ClassId>,
 }
 
-impl<'a> Wrapper<'a> {
-    fn new(template: &'a Template, setups: &'a [u64], machines: usize) -> Self {
-        let t = template
-            .runs()
-            .first()
-            .map(|r| r.a)
-            .unwrap_or(Rational::ZERO);
+impl<'a, E: WrapEmit> Wrapper<'a, E> {
+    fn new(runs: &'a [GapRun], setups: &'a [u64], emit: E) -> Self {
+        let t = runs.first().map(|r| r.a).unwrap_or(Rational::ZERO);
         Wrapper {
-            template,
+            runs,
             setups,
-            out: CompactSchedule::new(machines),
+            emit,
             run: 0,
             offset: 0,
-            items: Vec::new(),
+            gap_dirty: false,
             t,
             configured: None,
         }
     }
 
     fn exhausted(&self) -> bool {
-        self.run >= self.template.runs().len()
+        self.run >= self.runs.len()
     }
 
     fn gap_a(&self) -> Rational {
-        self.template.runs()[self.run].a
+        self.runs[self.run].a
     }
 
     fn gap_b(&self) -> Rational {
-        self.template.runs()[self.run].b
+        self.runs[self.run].b
     }
 
     fn machine(&self) -> usize {
-        let r = &self.template.runs()[self.run];
+        let r = &self.runs[self.run];
         r.first_machine + self.offset
     }
 
-    /// Emits the current gap's items (if any) as a multiplicity-1 group.
-    fn flush(&mut self) {
-        if !self.items.is_empty() {
-            let items = core::mem::take(&mut self.items);
-            let machine = self.machine();
-            self.out.push_group(machine, 1, MachineConfig { items });
-        }
+    fn push(&mut self, item: ConfigItem) {
+        let machine = self.machine();
+        self.emit.item(machine, item);
+        self.gap_dirty = true;
     }
 
     /// Moves to the next gap; `false` if the template is exhausted.
     fn advance(&mut self) -> bool {
-        self.flush();
         self.configured = None;
+        self.gap_dirty = false;
         self.offset += 1;
-        if self.offset >= self.template.runs()[self.run].count {
+        if self.offset >= self.runs[self.run].count {
             self.run += 1;
             self.offset = 0;
         }
@@ -129,7 +228,7 @@ impl<'a> Wrapper<'a> {
         if start.is_negative() {
             return Err(WrapError::SetupBelowZero { class });
         }
-        self.items.push(ConfigItem {
+        self.push(ConfigItem {
             start,
             len: s,
             kind: ItemKind::Setup(class),
@@ -146,7 +245,7 @@ impl<'a> Wrapper<'a> {
             }
             self.setup_below(class)?;
         } else {
-            self.items.push(ConfigItem {
+            self.push(ConfigItem {
                 start: self.t,
                 len,
                 kind: ItemKind::Setup(class),
@@ -166,7 +265,7 @@ impl<'a> Wrapper<'a> {
             }
             let avail = self.gap_b() - self.t;
             if remaining <= avail {
-                self.items.push(ConfigItem {
+                self.push(ConfigItem {
                     start: self.t,
                     len: remaining,
                     kind: ItemKind::Piece { job, class },
@@ -175,7 +274,7 @@ impl<'a> Wrapper<'a> {
                 return Ok(());
             }
             if avail.is_positive() {
-                self.items.push(ConfigItem {
+                self.push(ConfigItem {
                     start: self.t,
                     len: avail,
                     kind: ItemKind::Piece { job, class },
@@ -190,9 +289,9 @@ impl<'a> Wrapper<'a> {
             // Parallel-gap fast path: if the piece covers >= 1 whole gap and
             // the current run still has identical gaps left, emit them as one
             // configuration group with a multiplicity.
-            let run = &self.template.runs()[self.run];
+            let run = &self.runs[self.run];
             let full = run.b - run.a;
-            if remaining >= full && self.items.is_empty() {
+            if remaining >= full && !self.gap_dirty {
                 let gaps_left = run.count - self.offset;
                 let needed = (remaining / full).floor() as usize;
                 let mult = needed.min(gaps_left);
@@ -202,26 +301,25 @@ impl<'a> Wrapper<'a> {
                     if below_start.is_negative() {
                         return Err(WrapError::SetupBelowZero { class });
                     }
-                    let config = MachineConfig {
-                        items: vec![
-                            ConfigItem {
-                                start: below_start,
-                                len: s,
-                                kind: ItemKind::Setup(class),
-                            },
-                            ConfigItem {
-                                start: run.a,
-                                len: full,
-                                kind: ItemKind::Piece { job, class },
-                            },
-                        ],
-                    };
-                    self.out
-                        .push_group(run.first_machine + self.offset, mult, config);
+                    self.emit.group(
+                        run.first_machine + self.offset,
+                        mult,
+                        ConfigItem {
+                            start: below_start,
+                            len: s,
+                            kind: ItemKind::Setup(class),
+                        },
+                        ConfigItem {
+                            start: run.a,
+                            len: full,
+                            kind: ItemKind::Piece { job, class },
+                        },
+                    );
                     remaining -= full * mult;
                     // Skip the covered gaps.
                     self.offset += mult;
                     self.configured = None;
+                    self.gap_dirty = false;
                     if self.offset >= run.count {
                         self.run += 1;
                         self.offset = 0;
@@ -250,21 +348,15 @@ impl<'a> Wrapper<'a> {
     }
 }
 
-/// Wraps `seq` into `template` (the paper's `Wrap(Q, ω)`).
-///
-/// `setups[i]` is the setup time of class `i`, used for the fresh setups that
-/// `Split` inserts below gaps. `machines` is the machine count of the target
-/// schedule.
-///
-/// Runs in `O(|Q| + |runs(ω)|)` — note: runs, not gaps — and returns a
-/// [`CompactSchedule`] whose stored size is of the same order.
-pub fn wrap(
+/// The shared driver behind every public entry point.
+fn run_wrap<E: WrapEmit>(
     seq: &WrapSequence,
-    template: &Template,
+    runs: &[GapRun],
     setups: &[u64],
-    machines: usize,
-) -> Result<CompactSchedule, WrapError> {
-    let mut w = Wrapper::new(template, setups, machines);
+    emit: E,
+) -> Result<(), WrapError> {
+    Template::check(runs);
+    let mut w = Wrapper::new(runs, setups, emit);
     if !seq.is_empty() && w.exhausted() {
         return Err(WrapError::OutOfSpace {
             unplaced: seq.load(),
@@ -279,20 +371,98 @@ pub fn wrap(
             SeqKind::Piece(job) => w.place_piece(item.class, job, item.len)?,
         }
     }
-    w.flush();
-    Ok(w.out)
+    w.emit.finish();
+    Ok(())
 }
 
-/// Like [`wrap`], but returns explicit placements (convenience for the
-/// non-compact algorithms).
+/// Wraps `seq` into `template` (the paper's `Wrap(Q, ω)`).
+///
+/// `setups[i]` is the setup time of class `i`, used for the fresh setups that
+/// `Split` inserts below gaps. `machines` is the machine count of the target
+/// schedule.
+///
+/// Runs in `O(|Q| + |runs(ω)|)` — note: runs, not gaps — and returns a
+/// [`CompactSchedule`] whose stored size is of the same order.
+pub fn wrap(
+    seq: &WrapSequence,
+    template: &Template,
+    setups: &[u64],
+    machines: usize,
+) -> Result<CompactSchedule, WrapError> {
+    let mut out = CompactSchedule::new(machines);
+    wrap_append(seq, template.runs(), setups, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`wrap`], but appends the configuration groups to an existing
+/// [`CompactSchedule`] — the builders' way of assembling one compact output
+/// from several wraps without cloning groups.
+///
+/// `runs` must satisfy the [`Template`] invariants (checked; machine indices
+/// of *this call* strictly increase — different calls may revisit machines).
+///
+/// # Errors
+/// On [`WrapError`] the groups emitted so far remain in `out`; callers treat
+/// wrap errors as a dual rejection and discard the whole output.
+pub fn wrap_append(
+    seq: &WrapSequence,
+    runs: &[GapRun],
+    setups: &[u64],
+    out: &mut CompactSchedule,
+) -> Result<(), WrapError> {
+    run_wrap(seq, runs, setups, GroupEmit::new(out))
+}
+
+/// Like [`wrap`], but streams the explicit placements of the wrap straight
+/// into `sink` — one copy, no intermediate schedule. Parallel-gap groups are
+/// unrolled per machine, so the cost is `O(|Q| + gaps touched)`.
+///
+/// # Errors
+/// On [`WrapError`] the placements emitted so far remain in `sink`; callers
+/// treat wrap errors as a dual rejection and discard the whole output.
+pub fn wrap_into<S: PlacementSink>(
+    seq: &WrapSequence,
+    runs: &[GapRun],
+    setups: &[u64],
+    sink: &mut S,
+) -> Result<(), WrapError> {
+    // A template past the sink's machine bound is a programming error in
+    // the calling algorithm; fail as loudly as the old expand() assert did.
+    if let Some(m) = sink.machine_bound() {
+        let last = runs.last().map_or(0, |r| r.first_machine + r.count);
+        assert!(
+            last <= m,
+            "template addresses machine {} but the sink has {m} machines",
+            last.saturating_sub(1),
+        );
+    }
+    run_wrap(seq, runs, setups, StreamEmit { sink })
+}
+
+/// Like [`wrap`], but returns explicit placements (convenience for callers
+/// that want the raw list; streams once, no `Schedule` round trip).
+///
+/// # Panics
+/// Panics when the template addresses machines `>= machines` (a programming
+/// error in the calling algorithm, like [`Template::new`]'s own invariants).
 pub fn wrap_explicit(
     seq: &WrapSequence,
     template: &Template,
     setups: &[u64],
     machines: usize,
 ) -> Result<Vec<Placement>, WrapError> {
-    let compact = wrap(seq, template, setups, machines)?;
-    Ok(compact.expand().placements().to_vec())
+    let last = template
+        .runs()
+        .last()
+        .map_or(0, |r| r.first_machine + r.count);
+    assert!(
+        last <= machines,
+        "template addresses machine {} but the schedule has {machines} machines",
+        last.saturating_sub(1),
+    );
+    let mut placements = Vec::new();
+    wrap_into(seq, template.runs(), setups, &mut placements)?;
+    Ok(placements)
 }
 
 #[cfg(test)]
@@ -316,7 +486,7 @@ mod tests {
         q.push_batch(0, r(2), [(0, r(3)), (1, r(4))]);
         let template = Template::from_gaps(vec![(0, r(0), r(20))]);
         let out = wrap(&q, &template, &[2], 1).unwrap();
-        let s = out.expand();
+        let s = out.expand().unwrap();
         assert_eq!(s.machine_load(0), r(9));
         assert_eq!(s.makespan(), r(9));
         assert_eq!(s.num_setups(), 1);
@@ -331,7 +501,7 @@ mod tests {
         // Gap 1: [0, 8) on machine 0; gap 2: [2, 10) on machine 1.
         let template = Template::from_gaps(vec![(0, r(0), r(8)), (1, r(2), r(10))]);
         let out = wrap(&q, &template, &[2], 2).unwrap();
-        let s = out.expand();
+        let s = out.expand().unwrap();
         // Machine 0: setup [0,2), piece [2,8) (6 units).
         assert_eq!(s.machine_load(0), r(8));
         // Machine 1: setup below gap [0,2), remaining piece [2,6) (4 units).
@@ -357,7 +527,7 @@ mod tests {
         // (3 units) crosses. Gap 2: [4, 12) on machine 1.
         let template = Template::from_gaps(vec![(0, r(0), r(8)), (1, r(4), r(12))]);
         let out = wrap(&q, &template, &[2, 3], 2).unwrap();
-        let s = out.expand();
+        let s = out.expand().unwrap();
         let tl = s.machine_timeline(1);
         // Setup of class 1 below gap 2: [1, 4), then job: [4, 8).
         assert_eq!(tl[0].kind, ItemKind::Setup(1));
@@ -386,7 +556,7 @@ mod tests {
             "expected O(1) groups, got {}",
             out.groups().len()
         );
-        let s = out.expand();
+        let s = out.expand().unwrap();
         let total: Rational = s
             .placements()
             .iter()
@@ -412,7 +582,7 @@ mod tests {
         q.push_batch(1, r(2), [(1, r(3))]);
         let template = Template::from_gaps(vec![(0, r(0), r(8)), (1, r(2), r(10))]);
         let out = wrap(&q, &template, &[1, 2], 2).unwrap();
-        let s = out.expand();
+        let s = out.expand().unwrap();
         let tl = s.machine_timeline(1);
         assert_eq!(tl[0].kind, ItemKind::Setup(1));
         assert_eq!(tl[1].kind, ItemKind::Piece { job: 1, class: 1 });
@@ -435,7 +605,7 @@ mod tests {
             b: r(6),
         }]);
         let out = wrap(&q, &template, &[1], 4).unwrap();
-        let s = out.expand();
+        let s = out.expand().unwrap();
         // Job 1 must be covered by a setup on its machine.
         let inst_check = {
             // machine holding job 1's piece:
@@ -485,8 +655,55 @@ mod tests {
         assert!(out.groups().is_empty());
     }
 
+    /// The streaming sink path emits exactly the placements of the expanded
+    /// compact path — bit-identical, in the same order.
+    #[test]
+    fn wrap_into_matches_wrap_expand() {
+        let mut q = WrapSequence::new();
+        q.push_batch(0, r(1), [(0, r(9)), (1, r(3))]);
+        q.push_batch(1, r(2), [(2, r(4))]);
+        let template = Template::new(vec![
+            GapRun {
+                first_machine: 0,
+                count: 4,
+                a: r(2),
+                b: r(6),
+            },
+            GapRun::single(4, r(2), r(12)),
+        ]);
+        let setups = [1u64, 2];
+        let compact = wrap(&q, &template, &setups, 5).unwrap();
+        let expanded = compact.expand().unwrap();
+
+        let mut streamed = Schedule::new(5);
+        wrap_into(&q, template.runs(), &setups, &mut streamed).unwrap();
+        assert_eq!(streamed, expanded);
+
+        let explicit = wrap_explicit(&q, &template, &setups, 5).unwrap();
+        assert_eq!(explicit, expanded.placements());
+    }
+
+    /// `wrap_append` into a pre-filled compact schedule extends it in place.
+    #[test]
+    fn wrap_append_extends_existing_output() {
+        let setups = [2u64, 1];
+        let mut out = CompactSchedule::new(3);
+        let mut q = WrapSequence::new();
+        q.push_batch(0, r(2), [(0, r(4))]);
+        wrap_append(&q, &[GapRun::single(0, r(0), r(10))], &setups, &mut out).unwrap();
+        let first_groups = out.groups().len();
+        let mut q2 = WrapSequence::new();
+        q2.push_batch(1, r(1), [(1, r(5))]);
+        wrap_append(&q2, &[GapRun::single(1, r(0), r(10))], &setups, &mut out).unwrap();
+        assert!(out.groups().len() > first_groups);
+        let s = out.expand().unwrap();
+        assert_eq!(s.machine_load(0), r(6));
+        assert_eq!(s.machine_load(1), r(6));
+    }
+
     /// McNaughton-style wholesale test: wrap a full instance's batches into
-    /// per-machine gaps and validate the result as a splittable schedule.
+    /// per-machine gaps and validate the result as a splittable schedule —
+    /// with both validators.
     #[test]
     fn wrap_validates_as_splittable_schedule() {
         use bss_instance::InstanceBuilder;
@@ -518,7 +735,9 @@ mod tests {
             );
         }
         let out = wrap(&q, &template, inst.setups(), 4).unwrap();
-        let s: Schedule = out.expand();
+        let compact_violations = bss_schedule::validate_compact(&out, &inst, Variant::Splittable);
+        assert!(compact_violations.is_empty(), "{compact_violations:?}");
+        let s: Schedule = out.expand().unwrap();
         let violations = bss_schedule::validate(&s, &inst, Variant::Splittable);
         assert!(violations.is_empty(), "{violations:?}");
         assert!(s.makespan() <= smax + per);

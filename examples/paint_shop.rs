@@ -38,7 +38,7 @@ fn main() {
     let instance = builder.build().expect("valid instance");
 
     let ours = solve(&instance, Variant::NonPreemptive, Algorithm::ThreeHalves);
-    assert!(validate(&ours.schedule, &instance, Variant::NonPreemptive).is_empty());
+    assert!(validate(ours.schedule(), &instance, Variant::NonPreemptive).is_empty());
     let lpt = lpt_batches(&instance);
     let next_fit = next_fit_batches(&instance);
 
@@ -74,13 +74,13 @@ fn main() {
         width: 84,
         ..GanttOptions::default()
     };
-    print!("{}", render_gantt(&ours.schedule, &instance, &opts));
+    print!("{}", render_gantt(ours.schedule(), &instance, &opts));
     println!("(░ = purge/refill; letters = colors in declaration order)");
 
     // A concrete per-booth listing.
     for booth in 0..booths {
         let mut line = format!("booth {booth}:");
-        for p in ours.schedule.machine_timeline(booth) {
+        for p in ours.schedule().machine_timeline(booth) {
             match p.kind {
                 ItemKind::Setup(c) => line.push_str(&format!("  [purge->{}]", names[c])),
                 ItemKind::Piece { job, class } => {

@@ -40,7 +40,7 @@ fn main() {
 
     for variant in Variant::ALL {
         let solution = solve(&instance, variant, Algorithm::ThreeHalves);
-        let violations = validate(&solution.schedule, &instance, variant);
+        let violations = validate(solution.schedule(), &instance, variant);
         assert!(violations.is_empty(), "{violations:?}");
         println!(
             "{variant:<15} makespan = {:<8} accepted T = {:<8} certified ratio <= {:.4}",
@@ -57,5 +57,5 @@ fn main() {
         width: 80,
         ..GanttOptions::default()
     };
-    print!("{}", render_gantt(&solution.schedule, &instance, &opts));
+    print!("{}", render_gantt(solution.schedule(), &instance, &opts));
 }

@@ -34,7 +34,7 @@ fn main() {
     let instance = builder.build().expect("valid instance");
 
     let solution = solve(&instance, Variant::Splittable, Algorithm::ThreeHalves);
-    assert!(validate(&solution.schedule, &instance, Variant::Splittable).is_empty());
+    assert!(validate(solution.schedule(), &instance, Variant::Splittable).is_empty());
 
     println!(
         "render farm: {} nodes, {} shots, {} sequences, total work {} node-minutes",
@@ -50,7 +50,7 @@ fn main() {
         (solution.makespan / solution.certificate).to_f64()
     );
 
-    let compact = solution.compact.as_ref().expect("splittable is compact");
+    let compact = solution.compact().expect("splittable is compact");
     println!(
         "schedule description: {} configuration groups / {} stored records for {} nodes",
         compact.groups().len(),

@@ -44,7 +44,7 @@ fn main() {
         let lb = LowerBounds::of(&instance).tmin(Variant::Preemptive);
 
         let ours = solve(&instance, Variant::Preemptive, Algorithm::Portfolio);
-        assert!(validate(&ours.schedule, &instance, Variant::Preemptive).is_empty());
+        assert!(validate(ours.schedule(), &instance, Variant::Preemptive).is_empty());
         let mp = monma_potts(&instance);
         assert!(validate(&mp, &instance, Variant::Preemptive).is_empty());
 

@@ -150,7 +150,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let start = std::time::Instant::now();
     let sol = solve(&inst, variant, algo);
     let elapsed = start.elapsed();
-    let violations = validate(&sol.schedule, &inst, variant);
+    let violations = validate(sol.schedule(), &inst, variant);
     if !violations.is_empty() {
         return Err(format!("internal error: infeasible output: {violations:?}"));
     }
@@ -173,10 +173,10 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
             reference_t: Some(sol.accepted),
             ..GanttOptions::default()
         };
-        print!("{}", render_gantt(&sol.schedule, &inst, &opts));
+        print!("{}", render_gantt(sol.schedule(), &inst, &opts));
     }
     if let Some(out) = flag(args, "--schedule-out") {
-        let json = sol.schedule.to_json();
+        let json = sol.schedule().to_json();
         std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
         println!("schedule       written to {out}");
     }

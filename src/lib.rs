@@ -34,7 +34,7 @@
 //!
 //! // Solve the preemptive variant with the 3/2-approximation.
 //! let solution = solve(&instance, Variant::Preemptive, Algorithm::ThreeHalves);
-//! assert!(validate(&solution.schedule, &instance, Variant::Preemptive).is_empty());
+//! assert!(validate(solution.schedule(), &instance, Variant::Preemptive).is_empty());
 //!
 //! // The guarantee: makespan <= 3/2 * accepted makespan guess <= 3/2 * OPT.
 //! assert!(solution.makespan <= solution.accepted * Rational::new(3, 2));
@@ -59,10 +59,11 @@ pub use bss_wrap as wrap;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use bss_core::{solve, solve_with, Algorithm, DualWorkspace, Solution};
+    pub use bss_core::{solve, solve_with, Algorithm, DualWorkspace, ScheduleRepr, Solution};
     pub use bss_instance::{ClassId, Instance, InstanceBuilder, Job, JobId, LowerBounds, Variant};
     pub use bss_rational::Rational;
     pub use bss_schedule::{
-        validate, CompactSchedule, ItemKind, Placement, Schedule, ScheduleStats, Violation,
+        validate, validate_compact, CompactSchedule, ItemKind, Placement, PlacementSink, Schedule,
+        ScheduleStats, Violation,
     };
 }

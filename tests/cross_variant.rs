@@ -19,10 +19,68 @@ fn relaxation_order_of_certified_makespans() {
         assert!(split.certificate <= nonp.makespan);
         assert!(pmtn.certificate <= nonp.makespan);
         // A non-preemptive schedule is feasible for the relaxed variants too.
-        assert!(validate(&nonp.schedule, &inst, Variant::Preemptive).is_empty());
-        assert!(validate(&nonp.schedule, &inst, Variant::Splittable).is_empty());
+        assert!(validate(nonp.schedule(), &inst, Variant::Preemptive).is_empty());
+        assert!(validate(nonp.schedule(), &inst, Variant::Splittable).is_empty());
         // A preemptive schedule is feasible for the splittable variant.
-        assert!(validate(&pmtn.schedule, &inst, Variant::Splittable).is_empty());
+        assert!(validate(pmtn.schedule(), &inst, Variant::Splittable).is_empty());
+    }
+}
+
+/// The relaxation chain `split <= pmtn <= nonp` on adversarial families:
+/// Δ-wide instances (processing times spanning many orders of magnitude) and
+/// `c ≈ m` contention (as many classes as machines). Certified lower bounds
+/// of a relaxed variant never exceed upper bounds of a more restricted one,
+/// and the restricted schedules remain feasible under the relaxed rules.
+#[test]
+fn dominance_on_wide_delta_and_contention_families() {
+    let families: Vec<(String, Instance)> = (0..6u64)
+        .map(|seed| {
+            (
+                format!("wide_delta seed {seed}"),
+                batch_setup_scheduling::gen::wide_delta(70, 9, 4, 1 << 20, seed),
+            )
+        })
+        .chain((0..6u64).map(|seed| {
+            // c == m: every machine is contended by exactly one class's
+            // worth of setups on average.
+            (
+                format!("contended seed {seed}"),
+                batch_setup_scheduling::gen::contended(60, 6, 6, seed),
+            )
+        }))
+        .collect();
+    for (name, inst) in &families {
+        let split = solve(inst, Variant::Splittable, Algorithm::ThreeHalves);
+        let pmtn = solve(inst, Variant::Preemptive, Algorithm::ThreeHalves);
+        let nonp = solve(inst, Variant::NonPreemptive, Algorithm::ThreeHalves);
+        // Dominance: lower bounds of the relaxation chain.
+        assert!(split.certificate <= pmtn.makespan, "{name}");
+        assert!(split.certificate <= nonp.makespan, "{name}");
+        assert!(pmtn.certificate <= nonp.makespan, "{name}");
+        // The accepted guesses (each <= OPT of its variant) follow the chain
+        // against the upper bounds of more restricted variants.
+        assert!(split.accepted <= pmtn.makespan, "{name}");
+        assert!(pmtn.accepted <= nonp.makespan, "{name}");
+        // Feasibility cascades down the relaxation order.
+        assert!(
+            validate(nonp.schedule(), inst, Variant::Preemptive).is_empty(),
+            "{name}"
+        );
+        assert!(
+            validate(nonp.schedule(), inst, Variant::Splittable).is_empty(),
+            "{name}"
+        );
+        assert!(
+            validate(pmtn.schedule(), inst, Variant::Splittable).is_empty(),
+            "{name}"
+        );
+        // The splittable compact output passes the compact-aware validator.
+        let compact = split.compact().expect("splittable is compact");
+        assert!(
+            batch_setup_scheduling::schedule::validate_compact(compact, inst, Variant::Splittable)
+                .is_empty(),
+            "{name}"
+        );
     }
 }
 
@@ -34,7 +92,7 @@ fn solve_is_deterministic() {
         let b = solve(&inst, variant, Algorithm::ThreeHalves);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.accepted, b.accepted);
-        assert_eq!(a.schedule.placements(), b.schedule.placements());
+        assert_eq!(a.schedule().placements(), b.schedule().placements());
     }
 }
 
@@ -43,9 +101,15 @@ fn compact_expansion_is_consistent() {
     for seed in 0..10 {
         let inst = batch_setup_scheduling::gen::uniform(60, 8, 24, seed);
         let sol = solve(&inst, Variant::Splittable, Algorithm::ThreeHalves);
-        let compact = sol.compact.expect("splittable");
-        let expanded = compact.expand();
+        let compact = sol.compact().expect("splittable");
+        let expanded = compact.expand().expect("in range");
         assert_eq!(expanded.makespan(), sol.makespan);
+        // The lazy expansion must agree with a manual one, and streaming
+        // into a fresh sink must agree with both.
+        assert_eq!(&expanded, sol.schedule());
+        let mut streamed = Schedule::new(compact.machines());
+        compact.expand_into(&mut streamed).expect("in range");
+        assert_eq!(streamed, expanded);
         assert_eq!(compact.makespan(), sol.makespan);
         // Per-job assigned time matches between representations.
         for j in 0..inst.num_jobs() {
@@ -77,7 +141,7 @@ fn setup_count_never_below_class_count() {
         let inst = batch_setup_scheduling::gen::uniform(50, 7, 4, seed);
         for variant in Variant::ALL {
             let sol = solve(&inst, variant, Algorithm::ThreeHalves);
-            assert!(sol.schedule.num_setups() >= inst.num_classes());
+            assert!(sol.schedule().num_setups() >= inst.num_classes());
         }
     }
 }
@@ -88,7 +152,7 @@ fn makespan_equals_max_machine_end() {
     let sol = solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves);
     let max_end = (0..inst.machines())
         .filter_map(|u| {
-            sol.schedule
+            sol.schedule()
                 .machine_timeline(u)
                 .last()
                 .map(batch_setup_scheduling::schedule::Placement::end)
@@ -111,6 +175,6 @@ fn single_job_instances_are_scheduled_optimally() {
             sol.makespan <= Rational::from(13u64) * Rational::new(3, 2),
             "{variant}"
         );
-        assert!(validate(&sol.schedule, &inst, variant).is_empty());
+        assert!(validate(sol.schedule(), &inst, variant).is_empty());
     }
 }

@@ -25,7 +25,7 @@ fn three_halves_within_bound_of_exact_opt() {
     for (inst, opt) in tiny_with_opt() {
         for variant in Variant::ALL {
             let sol = solve(&inst, variant, Algorithm::ThreeHalves);
-            assert!(validate(&sol.schedule, &inst, variant).is_empty());
+            assert!(validate(sol.schedule(), &inst, variant).is_empty());
             assert!(
                 sol.makespan <= opt * Rational::new(3, 2),
                 "{variant}: makespan {} > 1.5 * OPT {} (n={}, m={})",
@@ -58,7 +58,7 @@ fn two_approx_within_factor_two_of_exact_opt() {
     for (inst, opt) in tiny_with_opt() {
         for variant in Variant::ALL {
             let sol = solve(&inst, variant, Algorithm::TwoApprox);
-            assert!(validate(&sol.schedule, &inst, variant).is_empty());
+            assert!(validate(sol.schedule(), &inst, variant).is_empty());
             assert!(
                 sol.makespan <= opt * 2u64,
                 "{variant}: makespan {} > 2 * OPT {}",
@@ -75,7 +75,7 @@ fn epsilon_search_respects_inflated_bound() {
     for (inst, opt) in tiny_with_opt() {
         for variant in Variant::ALL {
             let sol = solve(&inst, variant, Algorithm::EpsilonSearch { eps_log2: 7 });
-            assert!(validate(&sol.schedule, &inst, variant).is_empty());
+            assert!(validate(sol.schedule(), &inst, variant).is_empty());
             let bound = opt * Rational::new(3, 2) * (eps + 1u64);
             assert!(
                 sol.makespan <= bound,

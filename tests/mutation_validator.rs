@@ -14,7 +14,7 @@ fn solved(seed: u64) -> (Instance, Schedule, Variant) {
     let inst = batch_setup_scheduling::gen::uniform(40, 6, 4, seed);
     let variant = variants[(seed % 3) as usize];
     let sol = solve(&inst, variant, Algorithm::ThreeHalves);
-    (inst, sol.schedule, variant)
+    (inst, sol.into_schedule(), variant)
 }
 
 #[test]
@@ -222,7 +222,7 @@ fn splitting_a_nonpreemptive_job_is_caught() {
     for seed in 0..20 {
         let inst = batch_setup_scheduling::gen::uniform(40, 6, 4, seed);
         let sol = solve(&inst, Variant::NonPreemptive, Algorithm::ThreeHalves);
-        let mut s = sol.schedule;
+        let mut s = sol.into_schedule();
         let idx = s
             .placements()
             .iter()

@@ -20,7 +20,7 @@ fn lemma2_expensive_classes_machine_disjoint() {
         let Some(cs) = splittable::dual(&inst, t) else {
             continue;
         };
-        let s = cs.expand();
+        let s = cs.expand().expect("in range");
         let half = t.half();
         let mut machine_exp_class: HashMap<usize, usize> = HashMap::new();
         for p in s.placements() {
@@ -120,7 +120,7 @@ fn theorem7_uses_beta_machines_per_expensive_class() {
         let Some(cs) = splittable::dual(&inst, t) else {
             continue;
         };
-        let s = cs.expand();
+        let s = cs.expand().expect("in range");
         let cls = classify(&inst, t);
         for i in cls.iexp() {
             let machines: HashSet<usize> = s
@@ -145,7 +145,7 @@ fn compact_output_independent_of_machine_count() {
         b.add_batch(2, &[7, 7, 7]);
         let inst = b.build().unwrap();
         let sol = solve(&inst, Variant::Splittable, Algorithm::ThreeHalves);
-        sizes.push(sol.compact.expect("splittable").stored_items());
+        sizes.push(sol.compact().expect("splittable").stored_items());
     }
     assert!(
         sizes[2] <= sizes[0] + 8,

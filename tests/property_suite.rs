@@ -41,7 +41,7 @@ proptest! {
                 Algorithm::ThreeHalves,
             ] {
                 let sol = solve(&inst, variant, algo);
-                let violations = validate(&sol.schedule, &inst, variant);
+                let violations = validate(sol.schedule(), &inst, variant);
                 prop_assert!(violations.is_empty(), "{variant} {algo:?}: {violations:?}");
                 prop_assert!(
                     sol.makespan <= sol.ratio_bound * sol.accepted,
@@ -77,7 +77,7 @@ proptest! {
         for variant in Variant::ALL {
             let sol = solve(&inst, variant, Algorithm::ThreeHalves);
             let placed: Rational = sol
-                .schedule
+                .schedule()
                 .placements()
                 .iter()
                 .filter(|p| !p.kind.is_setup())
@@ -113,6 +113,50 @@ proptest! {
                 s.makespan,
                 a.makespan * factor,
                 "{} scaling", variant
+            );
+        }
+    }
+
+    /// Cross-variant dominance `split <= pmtn <= nonp` on the adversarial
+    /// generator families: Δ-wide processing times and `c ≈ m` contention.
+    #[test]
+    fn dominance_on_adversarial_families(
+        seed in 0u64..1_000_000,
+        wide in 0u8..2,
+        m in 2usize..8,
+    ) {
+        let inst = if wide == 1 {
+            batch_setup_scheduling::gen::wide_delta(60, 8, m, 1 << 16, seed)
+        } else {
+            batch_setup_scheduling::gen::contended(60, m, m, seed)
+        };
+        let split = solve(&inst, Variant::Splittable, Algorithm::ThreeHalves);
+        let pmtn = solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves);
+        let nonp = solve(&inst, Variant::NonPreemptive, Algorithm::ThreeHalves);
+        prop_assert!(split.certificate <= pmtn.makespan);
+        prop_assert!(pmtn.certificate <= nonp.makespan);
+        prop_assert!(split.certificate <= nonp.makespan);
+        prop_assert!(validate(nonp.schedule(), &inst, Variant::Splittable).is_empty());
+        prop_assert!(validate(pmtn.schedule(), &inst, Variant::Splittable).is_empty());
+    }
+
+    /// The compact-first pipeline invariants hold on arbitrary instances:
+    /// streaming expansion equals materialize-then-copy, and the compact
+    /// validator agrees with the explicit walk.
+    #[test]
+    fn compact_pipeline_equivalences(inst in arb_instance()) {
+        use batch_setup_scheduling::schedule::validate_compact;
+        let sol = solve(&inst, Variant::Splittable, Algorithm::ThreeHalves);
+        let compact = sol.compact().expect("splittable is compact");
+        let expanded = compact.expand().expect("in range");
+        let mut streamed = Schedule::new(compact.machines());
+        compact.expand_into(&mut streamed).expect("in range");
+        prop_assert_eq!(&streamed, &expanded);
+        for variant in Variant::ALL {
+            prop_assert_eq!(
+                validate_compact(compact, &inst, variant).is_empty(),
+                validate(&expanded, &inst, variant).is_empty(),
+                "{}", variant
             );
         }
     }

@@ -33,12 +33,16 @@ fn every_variant_algorithm_pair_solves_and_validates() {
     for variant in Variant::ALL {
         for algo in algos {
             let sol = solve(&inst, variant, algo);
-            let violations = validate(&sol.schedule, &inst, variant);
+            let violations = validate(sol.schedule(), &inst, variant);
             assert!(
                 violations.is_empty(),
                 "{variant} {algo:?}: infeasible: {violations:?}"
             );
-            assert_eq!(sol.makespan, sol.schedule.makespan(), "{variant} {algo:?}");
+            assert_eq!(
+                sol.makespan,
+                sol.schedule().makespan(),
+                "{variant} {algo:?}"
+            );
             assert!(
                 sol.makespan <= sol.ratio_bound * sol.accepted,
                 "{variant} {algo:?}: {} > {} * {}",
@@ -76,7 +80,8 @@ fn shared_workspace_matches_fresh_solves_exactly() {
                     let fresh = solve(inst, variant, algo);
                     let shared = solve_with(&mut ws, inst, variant, algo);
                     assert_eq!(
-                        shared.schedule, fresh.schedule,
+                        shared.schedule(),
+                        fresh.schedule(),
                         "{variant} {algo:?}: workspace changed the schedule"
                     );
                     assert_eq!(shared.makespan, fresh.makespan);
@@ -84,8 +89,8 @@ fn shared_workspace_matches_fresh_solves_exactly() {
                     assert_eq!(shared.certificate, fresh.certificate);
                     assert_eq!(shared.probes, fresh.probes);
                     assert_eq!(
-                        shared.compact.is_some(),
-                        fresh.compact.is_some(),
+                        shared.compact().is_some(),
+                        fresh.compact().is_some(),
                         "{variant} {algo:?}: compact presence diverged"
                     );
                 }
@@ -118,7 +123,7 @@ fn instance_json_roundtrips_through_facade() {
 fn schedule_json_roundtrips_through_facade() {
     let inst = tiny_instance();
     let sol = solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves);
-    let back = Schedule::from_json(&sol.schedule.to_json()).expect("roundtrip");
-    assert_eq!(back, sol.schedule);
+    let back = Schedule::from_json(&sol.schedule().to_json()).expect("roundtrip");
+    assert_eq!(&back, sol.schedule());
     assert!(validate(&back, &inst, Variant::Preemptive).is_empty());
 }

@@ -34,6 +34,18 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run: the `BSS_PROPTEST_CASES` environment
+    /// variable (when set to a positive integer) overrides the per-suite
+    /// value, so CI's nightly job can raise coverage without code changes.
+    #[must_use]
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("BSS_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {
@@ -365,8 +377,9 @@ macro_rules! __proptest_body {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
             let test_id = concat!(module_path!(), "::", stringify!($name));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 let mut rng = $crate::TestRng::deterministic(test_id, case);
                 let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
                     $( let $pat = $crate::Strategy::generate(&($strat), &mut rng); )+
@@ -377,7 +390,7 @@ macro_rules! __proptest_body {
                     ::core::result::Result::Ok(()) => {}
                     ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
                     ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                        panic!("{test_id}: case {case}/{} failed: {msg}", config.cases);
+                        panic!("{test_id}: case {case}/{cases} failed: {msg}");
                     }
                 }
             }
