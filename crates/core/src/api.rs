@@ -1,14 +1,21 @@
 //! The high-level solver API.
+//!
+//! Since the unified-surface refactor the entry points here are thin: the
+//! [`solve`] family wraps the instance in a [`BssProblem`](crate::BssProblem)
+//! and hands it to the variant-generic driver
+//! [`solve_problem`](crate::solve_problem). [`Algorithm`], [`ScheduleRepr`]
+//! and [`Solution`] are shared by *every* problem on that surface
+//! (sequence-dependent instances included) rather than duplicated per model.
 
 use std::sync::OnceLock;
 
-use bss_instance::{Instance, LowerBounds, Variant};
+use bss_instance::{Instance, Variant};
 use bss_rational::Rational;
 use bss_schedule::{CompactSchedule, Schedule};
 
-use crate::search::epsilon_search;
+use crate::problem::{solve_problem, BssProblem};
 use crate::workspace::DualWorkspace;
-use crate::{nonpreemptive, preemptive, splittable, two_approx, Trace};
+use crate::Trace;
 
 /// Algorithm selector for [`solve`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,169 +169,10 @@ pub fn solve_traced_with(
     algo: Algorithm,
     trace: &mut Trace,
 ) -> Solution {
-    let bounds = LowerBounds::of(inst);
-    let t_min = bounds.tmin(variant);
-    let three_halves = Rational::new(3, 2);
-    match (variant, algo) {
-        (_, Algorithm::Portfolio) => {
-            let a = solve_traced_with(ws, inst, variant, Algorithm::ThreeHalves, trace);
-            let b = solve_traced_with(ws, inst, variant, Algorithm::TwoApprox, trace);
-            // The 3/2 guarantee carries over from the ThreeHalves run: even
-            // when the 2-approximation's schedule wins on makespan, it is
-            // bounded by the ThreeHalves makespan, so `3/2 * a.accepted`
-            // still dominates. Keep `a.accepted` so that the documented
-            // invariant `makespan <= ratio_bound * accepted` holds.
-            let accepted = a.accepted;
-            let (mut best, other) = if a.makespan <= b.makespan {
-                (a, b)
-            } else {
-                (b, a)
-            };
-            best.accepted = accepted;
-            best.ratio_bound = three_halves;
-            best.certificate = best.certificate.max(other.certificate);
-            best.probes += other.probes;
-            best
-        }
-        (Variant::Splittable, Algorithm::TwoApprox) => {
-            let compact = two_approx::splittable_two_approx_in(ws, inst);
-            finish(
-                ScheduleRepr::Compact(compact),
-                t_min,
-                Rational::from(2),
-                t_min,
-                0,
-            )
-        }
-        (_, Algorithm::TwoApprox) => {
-            let schedule = two_approx::greedy_two_approx(inst, trace);
-            finish(
-                ScheduleRepr::Explicit(schedule),
-                t_min,
-                Rational::from(2),
-                t_min,
-                0,
-            )
-        }
-        (Variant::Splittable, Algorithm::EpsilonSearch { eps_log2 }) => {
-            let eps = Rational::new(1, 1 << eps_log2.min(60));
-            let out = epsilon_search(t_min, eps, |t| splittable::accepts_in(ws, inst, t));
-            // The builders keep defensive rejection branches beyond the
-            // accept test; if one fires at the accepted guess, fall back to
-            // 2·T_min — the guess the pre-probe-only searches ultimately
-            // relied on (Theorem 1) — instead of panicking.
-            let (accepted, compact) = match splittable::dual_in(ws, inst, out.accepted) {
-                Some(c) => (out.accepted, c),
-                None => {
-                    let hi = t_min * 2u64;
-                    (
-                        hi,
-                        splittable::dual_in(ws, inst, hi)
-                            .expect("2*T_min is accepted and builds (Theorem 1)"),
-                    )
-                }
-            };
-            let cert = out.rejected.unwrap_or(t_min).max(t_min);
-            finish(
-                ScheduleRepr::Compact(compact),
-                accepted,
-                three_halves * (eps + 1u64),
-                cert,
-                out.probes,
-            )
-        }
-        (Variant::Preemptive, Algorithm::EpsilonSearch { eps_log2 }) => {
-            let eps = Rational::new(1, 1 << eps_log2.min(60));
-            let out = epsilon_search(t_min, eps, |t| {
-                preemptive::accepts_in(ws, inst, t, preemptive::CountMode::AlphaPrime)
-            });
-            let mode = preemptive::CountMode::AlphaPrime;
-            let (accepted, schedule) =
-                match preemptive::dual_in(ws, inst, out.accepted, mode, trace) {
-                    Some(s) => (out.accepted, s),
-                    None => {
-                        let hi = t_min * 2u64;
-                        (
-                            hi,
-                            preemptive::dual_in(ws, inst, hi, mode, trace)
-                                .expect("2*T_min is accepted and builds (Theorem 1)"),
-                        )
-                    }
-                };
-            let cert = out.rejected.unwrap_or(t_min).max(t_min);
-            finish(
-                ScheduleRepr::Explicit(schedule),
-                accepted,
-                three_halves * (eps + 1u64),
-                cert,
-                out.probes,
-            )
-        }
-        (Variant::NonPreemptive, Algorithm::EpsilonSearch { eps_log2 }) => {
-            let eps = Rational::new(1, 1 << eps_log2.min(60));
-            let out = epsilon_search(t_min, eps, |t| {
-                // The non-preemptive dual takes integral guesses; probing at
-                // ⌊t⌋ only strengthens the test (⌊t⌋ <= t).
-                nonpreemptive::accepts(inst, t.floor().max(1) as u64)
-            });
-            let t_int = out.accepted.floor().max(1) as u64;
-            let (accepted, schedule) = match nonpreemptive::dual_in(ws, inst, t_int, trace) {
-                Some(s) => (out.accepted, s),
-                None => {
-                    let hi = 2 * t_min.ceil().max(1) as u64;
-                    (
-                        Rational::from(hi),
-                        nonpreemptive::dual_in(ws, inst, hi, trace)
-                            .expect("2*T_min is accepted and builds (Theorem 1)"),
-                    )
-                }
-            };
-            let cert = out.rejected.unwrap_or(t_min).max(t_min);
-            finish(
-                ScheduleRepr::Explicit(schedule),
-                accepted,
-                three_halves * (eps + 1u64),
-                cert,
-                out.probes,
-            )
-        }
-        (Variant::Splittable, Algorithm::ThreeHalves) => {
-            let out = splittable::class_jumping_in(ws, inst);
-            let cert = out.rejected.unwrap_or(t_min).max(t_min);
-            finish(
-                ScheduleRepr::Compact(out.schedule),
-                out.accepted,
-                three_halves,
-                cert,
-                out.probes,
-            )
-        }
-        (Variant::Preemptive, Algorithm::ThreeHalves) => {
-            let out = preemptive::class_jumping_in(ws, inst);
-            let cert = out.rejected.unwrap_or(t_min).max(t_min);
-            finish(
-                ScheduleRepr::Explicit(out.schedule),
-                out.accepted,
-                three_halves,
-                cert,
-                out.probes,
-            )
-        }
-        (Variant::NonPreemptive, Algorithm::ThreeHalves) => {
-            let out = nonpreemptive::three_halves_in(ws, inst);
-            let cert = out.rejected.unwrap_or(t_min).max(t_min);
-            finish(
-                ScheduleRepr::Explicit(out.schedule),
-                out.accepted,
-                three_halves,
-                cert,
-                out.probes,
-            )
-        }
-    }
+    solve_problem(ws, &BssProblem::new(inst, variant), algo, trace)
 }
 
-fn finish(
+pub(crate) fn finish(
     repr: ScheduleRepr,
     accepted: Rational,
     ratio_bound: Rational,

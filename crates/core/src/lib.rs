@@ -29,11 +29,15 @@ pub mod splittable;
 pub mod two_approx;
 
 mod api;
+mod problem;
+mod seqdep_bridge;
 mod trace;
 mod workspace;
 
 pub use api::{
     solve, solve_traced, solve_traced_with, solve_with, Algorithm, ScheduleRepr, Solution,
 };
+pub use problem::{solve_problem, BssProblem, DirectSolve, Problem};
+pub use seqdep_bridge::{solve_seqdep, solve_seqdep_with, SeqDepProblem};
 pub use trace::Trace;
 pub use workspace::DualWorkspace;

@@ -1,0 +1,393 @@
+//! The variant-generic solve surface: the [`Problem`] trait and its driver.
+//!
+//! Every solver in this workspace has the same dual-approximation shape —
+//! an instance-only lower bound `T_min` seeding a search window, a cheap
+//! accept/reject *probe* at a guess `T`, and a *builder* that turns an
+//! accepted guess into a schedule of makespan `<= ρ·T`. The [`Problem`]
+//! trait captures exactly that shape; [`solve_problem`] drives any
+//! implementor through the four [`Algorithm`] modes (direct fallback,
+//! ε-search, the problem's best direct search, and the portfolio), producing
+//! the same [`Solution`] type everywhere.
+//!
+//! Implementors:
+//!
+//! * [`BssProblem`] — the paper's three batch-setup variants
+//!   ([`bss_instance::Variant`]); probes certify `T < OPT` (the proven
+//!   duals), ratios are the theorems' 3/2 and 2.
+//! * [`crate::SeqDepProblem`] — sequence-dependent setups. The uniform
+//!   special case `s(c, c') = s(c')` reduces bit-exactly to a batch-setup
+//!   instance and inherits the non-preemptive guarantees; the general case
+//!   runs a heuristic dual whose rejections certify nothing (and say so via
+//!   [`Problem::probe_certifies`]).
+//!
+//! # Guarantee accounting
+//!
+//! A [`Solution`] always satisfies `makespan <= ratio_bound · accepted` —
+//! for the proven duals because the theorem says so, for heuristic duals
+//! because the builder enforces the ceiling constructively. What differs is
+//! the *certificate*: only problems whose probes certify rejections may
+//! export a rejected guess as a lower bound on `OPT`; heuristic problems
+//! fall back to the instance-only `T_min`. The portfolio keeps the primary
+//! member's `(accepted, ratio_bound)` pair (the winner's makespan is bounded
+//! by the primary's), takes the best makespan, and merges certificates by
+//! maximum — the same accounting for every problem.
+
+use bss_instance::{Instance, LowerBounds, Variant};
+use bss_rational::Rational;
+
+use crate::api::{finish, Algorithm, ScheduleRepr, Solution};
+use crate::search::epsilon_search_between;
+use crate::workspace::DualWorkspace;
+use crate::{nonpreemptive, preemptive, splittable, two_approx, Trace};
+
+/// Outcome of a problem's best direct search ([`Algorithm::ThreeHalves`]).
+#[derive(Debug)]
+pub struct DirectSolve {
+    /// The schedule, in the solver's native representation.
+    pub repr: ScheduleRepr,
+    /// The accepted guess: `makespan <= ratio · accepted`.
+    pub accepted: Rational,
+    /// A certified lower bound on `OPT` established by the search (at least
+    /// the problem's `T_min`; stronger when rejections certify).
+    pub certificate: Rational,
+    /// Dual-test probes performed.
+    pub probes: usize,
+    /// The proven factor of this run relative to `accepted`.
+    pub ratio: Rational,
+}
+
+/// A scheduling problem solvable through the unified dual-approximation
+/// surface — see the module docs for the contract each method carries.
+pub trait Problem {
+    /// Short human-readable name (CLI/report labels).
+    fn name(&self) -> &'static str;
+
+    /// Instance-only lower bound: `T_min <= OPT`.
+    fn t_min(&self) -> Rational;
+
+    /// A guess [`Problem::probe`] is guaranteed to accept *and*
+    /// [`Problem::build`] to realize — the searches' fallback anchor.
+    /// Default: the Theorem-1 window top `2·T_min`.
+    fn t_safe(&self) -> Rational {
+        self.t_min() * 2u64
+    }
+
+    /// Upper seed of the ε-search bracket (must be accepted). Default:
+    /// `2·T_min`, the proven window; heuristic problems override with their
+    /// own safe guess.
+    fn search_hi(&self) -> Rational {
+        self.t_min() * 2u64
+    }
+
+    /// Whether a probe rejection certifies `T < OPT`. `true` for the
+    /// paper's duals; `false` for heuristic duals, whose rejections must not
+    /// tighten the certificate.
+    fn probe_certifies(&self) -> bool;
+
+    /// The builder's dual ratio `ρ`: `build(T)` schedules within `ρ·T`.
+    fn dual_ratio(&self) -> Rational;
+
+    /// The dual accept test at guess `t`.
+    fn probe(&self, ws: &mut DualWorkspace, t: Rational) -> bool;
+
+    /// Builds a schedule at an accepted guess; `None` signals a defensive
+    /// rejection (callers retry at [`Problem::t_safe`]).
+    fn build(&self, ws: &mut DualWorkspace, t: Rational, trace: &mut Trace)
+        -> Option<ScheduleRepr>;
+
+    /// The `O(n)` direct fallback ([`Algorithm::TwoApprox`]): a schedule
+    /// plus the proven (possibly a-posteriori) factor of its makespan
+    /// relative to `T_min`.
+    fn fallback(&self, ws: &mut DualWorkspace, trace: &mut Trace) -> (ScheduleRepr, Rational);
+
+    /// The problem's best direct algorithm ([`Algorithm::ThreeHalves`]):
+    /// Class Jumping, the exact integer search, or — for problems without a
+    /// specialized search — a fine ε-search over the dual.
+    fn direct_search(&self, ws: &mut DualWorkspace, trace: &mut Trace) -> DirectSolve;
+}
+
+/// Drives any [`Problem`] through the chosen [`Algorithm`] on a reusable
+/// workspace. All four modes share the guarantee accounting documented on
+/// the module; the result is a standard [`Solution`].
+#[must_use]
+pub fn solve_problem<P: Problem + ?Sized>(
+    ws: &mut DualWorkspace,
+    problem: &P,
+    algo: Algorithm,
+    trace: &mut Trace,
+) -> Solution {
+    let t_min = problem.t_min();
+    let mut sol = match algo {
+        Algorithm::Portfolio => {
+            let a = solve_problem(ws, problem, Algorithm::ThreeHalves, trace);
+            let b = solve_problem(ws, problem, Algorithm::TwoApprox, trace);
+            // The primary member's guarantee carries over: even when the
+            // fallback's schedule wins on makespan, it is bounded by the
+            // primary's makespan, so `a.ratio_bound * a.accepted` still
+            // dominates. Keep that pair so the documented invariant
+            // `makespan <= ratio_bound * accepted` holds.
+            let accepted = a.accepted;
+            let ratio = a.ratio_bound;
+            let (mut best, other) = if a.makespan <= b.makespan {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            best.accepted = accepted;
+            best.ratio_bound = ratio;
+            best.certificate = best.certificate.max(other.certificate);
+            best.probes += other.probes;
+            best
+        }
+        Algorithm::TwoApprox => {
+            let (repr, ratio) = problem.fallback(ws, trace);
+            finish(repr, t_min, ratio, t_min, 0)
+        }
+        Algorithm::EpsilonSearch { eps_log2 } => {
+            let eps = Rational::new(1, 1 << eps_log2.min(60));
+            let out = epsilon_search_between(t_min, problem.search_hi(), eps * t_min, |t| {
+                problem.probe(ws, t)
+            });
+            // The builders keep defensive rejection branches beyond the
+            // accept test; if one fires at the accepted guess, fall back to
+            // the problem's safe guess instead of panicking.
+            let (accepted, repr) = match problem.build(ws, out.accepted, trace) {
+                Some(r) => (out.accepted, r),
+                None => {
+                    let hi = problem.t_safe();
+                    (
+                        hi,
+                        problem
+                            .build(ws, hi, trace)
+                            .expect("t_safe is accepted and builds"),
+                    )
+                }
+            };
+            let cert = if problem.probe_certifies() {
+                out.rejected.unwrap_or(t_min).max(t_min)
+            } else {
+                t_min
+            };
+            finish(
+                repr,
+                accepted,
+                problem.dual_ratio() * (eps + 1u64),
+                cert,
+                out.probes,
+            )
+        }
+        Algorithm::ThreeHalves => {
+            let d = problem.direct_search(ws, trace);
+            finish(
+                d.repr,
+                d.accepted,
+                d.ratio,
+                d.certificate.max(t_min),
+                d.probes,
+            )
+        }
+    };
+    // Heuristic problems may floor their `t_min` above the true optimum of
+    // degenerate (all-zero-cost) instances; clamp so `certificate <=
+    // makespan` stays an invariant of every Solution. A no-op whenever the
+    // certificate is a genuine lower bound on OPT.
+    if !problem.probe_certifies() {
+        sol.certificate = sol.certificate.min(sol.makespan);
+    }
+    sol
+}
+
+/// The batch-setup problem of the paper, for one of its three variants.
+///
+/// This is the [`Problem`] the historical `solve` family is implemented on:
+/// probes and builders are the theorems' duals (rejections certify), the
+/// direct search is Class Jumping (splittable, preemptive; Theorems 3 and 6)
+/// or the exact integer search (non-preemptive; Theorem 8), and the fallback
+/// is the `O(n)` 2-approximation of Theorem 1.
+#[derive(Debug)]
+pub struct BssProblem<'a> {
+    inst: &'a Instance,
+    variant: Variant,
+    bounds: LowerBounds,
+}
+
+impl<'a> BssProblem<'a> {
+    /// The chosen variant's problem over `inst`.
+    #[must_use]
+    pub fn new(inst: &'a Instance, variant: Variant) -> Self {
+        BssProblem {
+            inst,
+            variant,
+            bounds: LowerBounds::of(inst),
+        }
+    }
+
+    /// The integral guess the non-preemptive dual takes (probing at `⌊t⌋`
+    /// only strengthens the test, `⌊t⌋ <= t`).
+    fn int_guess(t: Rational) -> u64 {
+        t.floor().max(1) as u64
+    }
+}
+
+impl Problem for BssProblem<'_> {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            Variant::Splittable => "splittable",
+            Variant::Preemptive => "preemptive",
+            Variant::NonPreemptive => "non-preemptive",
+        }
+    }
+
+    fn t_min(&self) -> Rational {
+        self.bounds.tmin(self.variant)
+    }
+
+    fn t_safe(&self) -> Rational {
+        match self.variant {
+            // The integral window top, so the fallback build probes the same
+            // guess it reports.
+            Variant::NonPreemptive => Rational::from(2 * self.t_min().ceil().max(1) as u64),
+            _ => self.t_min() * 2u64,
+        }
+    }
+
+    fn probe_certifies(&self) -> bool {
+        true
+    }
+
+    fn dual_ratio(&self) -> Rational {
+        Rational::new(3, 2)
+    }
+
+    fn probe(&self, ws: &mut DualWorkspace, t: Rational) -> bool {
+        match self.variant {
+            Variant::Splittable => splittable::accepts_in(ws, self.inst, t),
+            Variant::Preemptive => {
+                preemptive::accepts_in(ws, self.inst, t, preemptive::CountMode::AlphaPrime)
+            }
+            Variant::NonPreemptive => nonpreemptive::accepts(self.inst, Self::int_guess(t)),
+        }
+    }
+
+    fn build(
+        &self,
+        ws: &mut DualWorkspace,
+        t: Rational,
+        trace: &mut Trace,
+    ) -> Option<ScheduleRepr> {
+        match self.variant {
+            Variant::Splittable => {
+                splittable::dual_traced_in(ws, self.inst, t, trace).map(ScheduleRepr::Compact)
+            }
+            Variant::Preemptive => {
+                preemptive::dual_in(ws, self.inst, t, preemptive::CountMode::AlphaPrime, trace)
+                    .map(ScheduleRepr::Explicit)
+            }
+            Variant::NonPreemptive => {
+                nonpreemptive::dual_in(ws, self.inst, Self::int_guess(t), trace)
+                    .map(ScheduleRepr::Explicit)
+            }
+        }
+    }
+
+    fn fallback(&self, ws: &mut DualWorkspace, trace: &mut Trace) -> (ScheduleRepr, Rational) {
+        let repr = match self.variant {
+            Variant::Splittable => {
+                ScheduleRepr::Compact(two_approx::splittable_two_approx_in(ws, self.inst))
+            }
+            _ => ScheduleRepr::Explicit(two_approx::greedy_two_approx(self.inst, trace)),
+        };
+        (repr, Rational::from(2u64))
+    }
+
+    fn direct_search(&self, ws: &mut DualWorkspace, _trace: &mut Trace) -> DirectSolve {
+        let t_min = self.t_min();
+        let three_halves = Rational::new(3, 2);
+        match self.variant {
+            Variant::Splittable => {
+                let out = splittable::class_jumping_in(ws, self.inst);
+                DirectSolve {
+                    repr: ScheduleRepr::Compact(out.schedule),
+                    accepted: out.accepted,
+                    certificate: out.rejected.unwrap_or(t_min).max(t_min),
+                    probes: out.probes,
+                    ratio: three_halves,
+                }
+            }
+            Variant::Preemptive => {
+                let out = preemptive::class_jumping_in(ws, self.inst);
+                DirectSolve {
+                    repr: ScheduleRepr::Explicit(out.schedule),
+                    accepted: out.accepted,
+                    certificate: out.rejected.unwrap_or(t_min).max(t_min),
+                    probes: out.probes,
+                    ratio: three_halves,
+                }
+            }
+            Variant::NonPreemptive => {
+                let out = nonpreemptive::three_halves_in(ws, self.inst);
+                DirectSolve {
+                    repr: ScheduleRepr::Explicit(out.schedule),
+                    accepted: out.accepted,
+                    certificate: out.rejected.unwrap_or(t_min).max(t_min),
+                    probes: out.probes,
+                    ratio: three_halves,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, solve_problem};
+    use bss_schedule::validate;
+
+    /// The trait-driven path must be bit-identical to the historical `solve`
+    /// facade (which now delegates to it — this guards the delegation).
+    #[test]
+    fn bss_problem_matches_solve_facade() {
+        for seed in 0..8 {
+            let inst = bss_gen::uniform(60, 8, 4, seed);
+            for variant in Variant::ALL {
+                let problem = BssProblem::new(&inst, variant);
+                for algo in [
+                    Algorithm::TwoApprox,
+                    Algorithm::EpsilonSearch { eps_log2: 6 },
+                    Algorithm::ThreeHalves,
+                    Algorithm::Portfolio,
+                ] {
+                    let mut ws = DualWorkspace::new();
+                    let a = solve_problem(&mut ws, &problem, algo, &mut Trace::disabled());
+                    let b = solve(&inst, variant, algo);
+                    assert_eq!(a.makespan, b.makespan, "{variant} {algo:?}");
+                    assert_eq!(a.accepted, b.accepted, "{variant} {algo:?}");
+                    assert_eq!(a.ratio_bound, b.ratio_bound, "{variant} {algo:?}");
+                    assert_eq!(a.certificate, b.certificate, "{variant} {algo:?}");
+                    assert_eq!(a.probes, b.probes, "{variant} {algo:?}");
+                    assert_eq!(a.schedule().placements(), b.schedule().placements());
+                    assert!(validate(a.schedule(), &inst, variant).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn problem_metadata_is_consistent() {
+        let inst = bss_gen::uniform(30, 5, 3, 1);
+        for variant in Variant::ALL {
+            let p = BssProblem::new(&inst, variant);
+            assert!(p.probe_certifies());
+            assert!(p.t_min() <= p.t_safe());
+            assert!(p.t_min() <= p.search_hi());
+            assert_eq!(p.dual_ratio(), Rational::new(3, 2));
+            // The safe guess really is accepted and buildable.
+            let mut ws = DualWorkspace::new();
+            assert!(p.probe(&mut ws, p.t_safe()));
+            assert!(p
+                .build(&mut ws, p.t_safe(), &mut Trace::disabled())
+                .is_some());
+        }
+    }
+}

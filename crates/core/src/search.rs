@@ -166,24 +166,41 @@ pub struct ProbeOutcome<T> {
 pub fn epsilon_search(
     t_min: Rational,
     eps: Rational,
-    mut accepts: impl FnMut(Rational) -> bool,
+    accepts: impl FnMut(Rational) -> bool,
 ) -> ProbeOutcome<Rational> {
     assert!(t_min.is_positive() && eps.is_positive());
+    epsilon_search_between(t_min, t_min * 2u64, eps * t_min, accepts)
+}
+
+/// [`epsilon_search`] over an explicit bracket `[t_lo, t_hi]` with absolute
+/// termination gap `gap` — the generic driver for problems whose guaranteed
+/// upper seed is not `2·T_min` (heuristic duals seed with their own safe
+/// guess; see `Problem::search_hi`).
+///
+/// Preconditions: `t_lo <= t_hi` and `accepts(t_hi)` holds (asserted on the
+/// paths that reach it).
+pub fn epsilon_search_between(
+    t_lo: Rational,
+    t_hi: Rational,
+    gap: Rational,
+    mut accepts: impl FnMut(Rational) -> bool,
+) -> ProbeOutcome<Rational> {
+    assert!(t_lo.is_positive() && gap.is_positive() && t_lo <= t_hi);
     let mut probes = 1;
-    if accepts(t_min) {
-        // T_min <= OPT, so a build here is even a clean ρ-approximation.
+    if accepts(t_lo) {
+        // t_lo <= OPT, so a build here is even a clean ρ-approximation.
         return ProbeOutcome {
-            accepted: t_min,
+            accepted: t_lo,
             rejected: None,
             probes,
         };
     }
     // lo rejected; hi accepted by precondition.
-    let mut bracket = Bracket::new(t_min, t_min * 2u64, eps * t_min);
+    let mut bracket = Bracket::new(t_lo, t_hi, gap);
     probes += 1;
     assert!(
         accepts(bracket.hi_rational()),
-        "2*T_min >= OPT must be accepted (Theorem 1)"
+        "the search's upper seed must be accepted"
     );
     while bracket.is_wide() {
         let mid = bracket.split();

@@ -9,10 +9,10 @@
 //! `T/2` and `3T/2` over the partially-filled last machines (with `T/2`
 //! reserved for one cheap setup) and the remaining empty machines — Figure 1.
 
-use bss_instance::Instance;
+use bss_instance::{ClassId, Instance};
 use bss_rational::{Rational, RawRational};
 use bss_schedule::CompactSchedule;
-use bss_wrap::{wrap_append, GapRun};
+use bss_wrap::{batch_items, wrap_iter_append, GapRun, SeqItem};
 
 use crate::classify::{beta, classify_into};
 use crate::workspace::DualWorkspace;
@@ -150,14 +150,8 @@ pub fn dual_into(
                 b: s + half,
             });
         }
-        ws.scratch.seq.push_batch(
-            i,
-            s,
-            inst.class_jobs(i)
-                .iter()
-                .map(|&j| (j, Rational::from(inst.job(j).time))),
-        );
-        wrap_append(&ws.scratch.seq, &ws.scratch.runs, inst.setups(), out)
+        // The batch streams lazily from the instance — no WrapSequence.
+        wrap_iter_append(class_batch(inst, i), &ws.scratch.runs, inst.setups(), out)
             .expect("Theorem 7: expensive template capacity suffices");
         // Load of the last machine: s_i + (P_i - (β_i - 1)·T/2).
         let last_load = s + (p - half * (b - 1) as u64);
@@ -197,38 +191,20 @@ pub fn dual_into(
             // remains: impossible under the accept test.
             return false;
         }
-        // Cheap classes in sorted class order (two-way merge of the cells).
-        let (mut plus, mut minus) = (ws.cls.ichp_plus.as_slice(), ws.cls.ichp_minus.as_slice());
-        loop {
-            let i = match (plus.first(), minus.first()) {
-                (Some(&a), Some(&b)) if a < b => {
-                    plus = &plus[1..];
-                    a
-                }
-                (Some(_), Some(&b)) => {
-                    minus = &minus[1..];
-                    b
-                }
-                (Some(&a), None) => {
-                    plus = &plus[1..];
-                    a
-                }
-                (None, Some(&b)) => {
-                    minus = &minus[1..];
-                    b
-                }
-                (None, None) => break,
-            };
-            ws.scratch.seq.push_batch(
-                i,
-                Rational::from(inst.setup(i)),
-                inst.class_jobs(i)
-                    .iter()
-                    .map(|&j| (j, Rational::from(inst.job(j).time))),
-            );
-        }
-        wrap_append(&ws.scratch.seq, &ws.scratch.runs, inst.setups(), out)
-            .expect("Theorem 7: cheap template capacity suffices");
+        // Cheap classes in sorted class order (two-way merge of the cells),
+        // streamed lazily batch by batch — the wrap consumes the items as
+        // they are produced, nothing is materialized.
+        let merged = SortedMerge {
+            a: ws.cls.ichp_plus.as_slice(),
+            b: ws.cls.ichp_minus.as_slice(),
+        };
+        wrap_iter_append(
+            merged.flat_map(|i| class_batch(inst, i)),
+            &ws.scratch.runs,
+            inst.setups(),
+            out,
+        )
+        .expect("Theorem 7: cheap template capacity suffices");
     }
     if trace.is_enabled() {
         trace.snap(
@@ -238,6 +214,55 @@ pub fn dual_into(
     }
     debug_assert!(out.makespan() <= t + half);
     true
+}
+
+/// All of class `i` as a lazy wrap stream: its setup, then its jobs, read
+/// straight off the instance (no intermediate sequence).
+pub(crate) fn class_batch<'a>(
+    inst: &'a Instance,
+    i: ClassId,
+) -> impl Iterator<Item = SeqItem> + 'a {
+    batch_items(
+        i,
+        Rational::from(inst.setup(i)),
+        inst.class_jobs(i)
+            .iter()
+            .map(|&j| (j, Rational::from(inst.job(j).time))),
+    )
+}
+
+/// Ascending merge of two sorted class lists (partition cells), as a lazy
+/// iterator — the allocation-free replacement for materializing the merged
+/// order.
+struct SortedMerge<'a> {
+    a: &'a [ClassId],
+    b: &'a [ClassId],
+}
+
+impl Iterator for SortedMerge<'_> {
+    type Item = ClassId;
+
+    fn next(&mut self) -> Option<ClassId> {
+        match (self.a.first(), self.b.first()) {
+            (Some(&x), Some(&y)) if x < y => {
+                self.a = &self.a[1..];
+                Some(x)
+            }
+            (Some(_), Some(&y)) => {
+                self.b = &self.b[1..];
+                Some(y)
+            }
+            (Some(&x), None) => {
+                self.a = &self.a[1..];
+                Some(x)
+            }
+            (None, Some(&y)) => {
+                self.b = &self.b[1..];
+                Some(y)
+            }
+            (None, None) => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //!   in `O(n + c log(c+m))`.
 
 mod dual;
+pub(crate) use dual::class_batch;
 mod jumping;
 
 pub use dual::{accepts, accepts_in, dual, dual_in, dual_into, dual_traced, dual_traced_in};

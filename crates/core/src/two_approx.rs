@@ -3,7 +3,7 @@
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::{CompactSchedule, Schedule};
-use bss_wrap::{wrap_append, GapRun};
+use bss_wrap::{wrap_iter_append, GapRun};
 
 use crate::workspace::DualWorkspace;
 use crate::Trace;
@@ -18,9 +18,10 @@ pub fn splittable_two_approx(inst: &Instance) -> CompactSchedule {
     splittable_two_approx_in(&mut DualWorkspace::new(), inst)
 }
 
-/// [`splittable_two_approx`] on a reusable workspace (the `O(n)`-item wrap
-/// sequence and the one-run template are built in the workspace's scratch
-/// buffers; the wrap appends its groups directly to the output).
+/// [`splittable_two_approx`] on a reusable workspace (the one-run template
+/// lives in the workspace's scratch; the batches stream lazily off the
+/// instance and the wrap appends its groups directly to the output — no
+/// `O(n)` wrap sequence is ever materialized).
 #[must_use]
 pub fn splittable_two_approx_in(ws: &mut DualWorkspace, inst: &Instance) -> CompactSchedule {
     let m = inst.machines();
@@ -33,18 +34,10 @@ pub fn splittable_two_approx_in(ws: &mut DualWorkspace, inst: &Instance) -> Comp
         a: smax,
         b: smax + per_machine,
     });
-    for i in 0..inst.num_classes() {
-        ws.scratch.seq.push_batch(
-            i,
-            Rational::from(inst.setup(i)),
-            inst.class_jobs(i)
-                .iter()
-                .map(|&j| (j, Rational::from(inst.job(j).time))),
-        );
-    }
     // Capacity S(ω) = N = L(Q) exactly; Lemma 6 applies.
     let mut out = CompactSchedule::new(m);
-    wrap_append(&ws.scratch.seq, &ws.scratch.runs, inst.setups(), &mut out)
+    let batches = (0..inst.num_classes()).flat_map(|i| crate::splittable::class_batch(inst, i));
+    wrap_iter_append(batches, &ws.scratch.runs, inst.setups(), &mut out)
         .expect("Lemma 8: template capacity equals load");
     out
 }

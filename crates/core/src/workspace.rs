@@ -188,6 +188,10 @@ pub struct DualWorkspace {
     pub(crate) jump_classes: Vec<ClassId>,
     /// Scratch for assembling wrap calls (sequence + gap runs).
     pub(crate) scratch: WrapScratch,
+    /// Sequence-dependent solver scratch (probe orders, finish times); owned
+    /// here so `SeqDepProblem` solves share the one-workspace-per-search
+    /// discipline of the batch-setup paths.
+    pub(crate) seqdep: bss_seqdep::solver::SeqDepScratch,
 }
 
 impl DualWorkspace {

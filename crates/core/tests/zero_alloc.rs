@@ -114,6 +114,7 @@ fn dual_probes_allocate_nothing_after_warmup() {
 
     warm_builds_allocate_only_output(&inst, &mut ws);
     warm_solves_allocate_only_output(&inst, &mut ws);
+    warm_seqdep_solves_allocate_only_output(&mut ws);
 }
 
 /// The *build* path: with the workspace warm and the output buffers
@@ -201,6 +202,52 @@ fn warm_builds_allocate_only_output(inst: &Instance, ws: &mut DualWorkspace) {
     assert!(
         delta <= output_bound,
         "warm splittable build allocated {delta} times (output bound {output_bound})"
+    );
+}
+
+/// The sequence-dependent surface obeys the same discipline: with the
+/// problem constructed once (so the uniform-reduction detection is not
+/// re-paid) and the workspace's seqdep scratch warm, a full solve — probes,
+/// build, `Solution` assembly — allocates only the output schedule's own
+/// storage plus the same small scaffolding budget as the batch-setup paths.
+fn warm_seqdep_solves_allocate_only_output(ws: &mut DualWorkspace) {
+    use bss_core::{solve_problem, SeqDepProblem};
+
+    // General (heuristic-dual) regime: probes and builder run entirely in
+    // workspace scratch.
+    let general = bss_gen::seqdep::triangle_violating(400, 8, 1);
+    let problem = SeqDepProblem::new(&general);
+    assert!(problem.uniform_reduction().is_none());
+    let _ = solve_problem(ws, &problem, Algorithm::ThreeHalves, &mut Trace::disabled());
+
+    let before = allocations();
+    let sol = solve_problem(ws, &problem, Algorithm::ThreeHalves, &mut Trace::disabled());
+    let delta = allocations() - before;
+    // Output storage: the explicit schedule's placement vector grows by
+    // doubling (≤ log2(P) + 1 reallocations) from its fresh `Schedule::new`;
+    // the 64-allocation slack covers the Solution scaffolding without
+    // leaving room for any O(c²) or O(c) per-solve buffer (c = 400 here).
+    assert!(sol.schedule().placements().len() > 400);
+    assert!(
+        delta <= 64,
+        "warm seqdep (general) solve allocated {delta} times"
+    );
+
+    // Uniform regime: the solve routes through the batch-setup reduction
+    // held inside the problem, running Theorem 8's search on the warm
+    // workspace.
+    let uniform = bss_gen::seqdep::uniform_setups(400, 8, 2);
+    let problem = SeqDepProblem::new(&uniform);
+    assert!(problem.uniform_reduction().is_some());
+    let _ = solve_problem(ws, &problem, Algorithm::ThreeHalves, &mut Trace::disabled());
+
+    let before = allocations();
+    let sol = solve_problem(ws, &problem, Algorithm::ThreeHalves, &mut Trace::disabled());
+    let delta = allocations() - before;
+    assert!(sol.schedule().placements().len() >= 400);
+    assert!(
+        delta <= 64,
+        "warm seqdep (uniform/reduction) solve allocated {delta} times"
     );
 }
 

@@ -12,11 +12,17 @@
 //! * [`zipf_classes`] — heavy-tailed class sizes;
 //! * [`wide_delta`] — processing times spanning many orders of magnitude
 //!   (stress for the `O(n log(n + Δ))` non-preemptive search);
-//! * [`paper`] — handcrafted instances shaped like the paper's figures.
+//! * [`all_expensive`] — *every* class setup exceeds the mean load `N/m`,
+//!   so every class is expensive at every guess in the certified window
+//!   (the adversarial regime of the `I_exp` machinery, `c < m` forced);
+//! * [`paper`] — handcrafted instances shaped like the paper's figures;
+//! * [`seqdep`] — sequence-dependent families (uniform special case,
+//!   TSP-path-derived, triangle-inequality-violating).
 //!
 //! All generators are deterministic in their seed.
 
 pub mod paper;
+pub mod seqdep;
 
 use bss_instance::{Instance, InstanceBuilder};
 use rand::rngs::StdRng;
@@ -244,6 +250,54 @@ pub fn contended(jobs: usize, classes: usize, machines: usize, seed: u64) -> Ins
     b.build().expect("generator produces valid instances")
 }
 
+/// Every class setup strictly exceeds the mean load `N/m`: since
+/// `T_min = max(N/m, s_max) ... 2·T_min` brackets the searches and
+/// `s_i > N/m`, every class is *expensive* (`s_i > T/2`) at every guess the
+/// algorithms probe in `[T_min, 2·T_min]` — the all-`I_exp` adversarial
+/// regime, where the builders must place every class by wrapping over its
+/// `β_i` machines and the cheap-class path never fires.
+///
+/// Requires `classes < machines` (otherwise `Σ s_i > c·N/m >= N`, a
+/// contradiction) and, as everywhere, `1 <= classes <= jobs`.
+///
+/// # Panics
+/// Panics when the shape constraints are violated (precondition, as with
+/// [`generate`]).
+#[must_use]
+pub fn all_expensive(jobs: usize, classes: usize, machines: usize, seed: u64) -> Instance {
+    assert!(classes >= 1 && classes <= jobs, "need 1 <= c <= n");
+    assert!(
+        classes < machines,
+        "all-expensive needs c < m (else setups cannot all exceed N/m)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let times: Vec<u64> = (0..jobs).map(|_| rng.gen_range(1..=60u64)).collect();
+    let total_proc: u64 = times.iter().sum();
+    let jitter: Vec<u64> = (0..classes).map(|_| rng.gen_range(0..=20u64)).collect();
+    // Smallest K with K + jitter_i > (Σ(K + jitter) + P)/m for all i: start
+    // at the c = m-1 closed form and double until the strict bound holds
+    // (convergence is immediate; doubling only hardens the margin).
+    let mut base = total_proc / (machines - classes) as u64 + 1;
+    loop {
+        let setup_sum: u64 = jitter.iter().map(|&d| base + d).sum();
+        let n = setup_sum + total_proc;
+        // min setup strictly above N/m  <=>  base * m > N (jitter >= 0).
+        if (base as u128) * machines as u128 > n as u128 {
+            break;
+        }
+        base *= 2;
+    }
+    let mut b = InstanceBuilder::new(machines);
+    for &d in &jitter {
+        b.add_class(base + d);
+    }
+    for (j, &t) in times.iter().enumerate() {
+        let class = if j < classes { j } else { j % classes };
+        b.add_job(class, t);
+    }
+    b.build().expect("generator produces valid instances")
+}
+
 /// Tiny random instances for exact-oracle comparisons (n <= 10, m <= 4).
 #[must_use]
 pub fn tiny(seed: u64) -> Instance {
@@ -311,6 +365,31 @@ mod tests {
     fn expensive_setups_are_expensive() {
         let inst = expensive_setups(60, 4, 5);
         assert!(inst.smax() >= 500);
+    }
+
+    #[test]
+    fn all_expensive_setups_exceed_mean_load() {
+        for seed in 0..20 {
+            let inst = all_expensive(40, 5, 8, seed);
+            let n = inst.total_load_once();
+            let m = inst.machines() as u128;
+            for i in 0..inst.num_classes() {
+                // s_i > N/m, exactly (integer cross-multiplication).
+                assert!(
+                    inst.setup(i) as u128 * m > n as u128,
+                    "seed {seed}: setup {} vs N/m = {}/{}",
+                    inst.setup(i),
+                    n,
+                    m
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "c < m")]
+    fn all_expensive_rejects_c_ge_m() {
+        let _ = all_expensive(40, 8, 8, 0);
     }
 
     #[test]

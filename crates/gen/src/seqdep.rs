@@ -1,0 +1,137 @@
+//! Seeded generators for sequence-dependent instances.
+//!
+//! Three families spanning the bridge's regimes:
+//!
+//! * [`uniform_setups`] — the uniform special case `s(c, c') = s(c')`
+//!   (batch setups in disguise); reduces bit-exactly to a batch-setup
+//!   instance and is the round-trip property-test family;
+//! * [`tsp_path`] — TSP-path-derived: classes are random grid points, the
+//!   switch matrix their (rounded) Euclidean distances — metric, symmetric,
+//!   genuinely sequence-dependent;
+//! * [`triangle_violating`] — asymmetric matrices with planted shortcut
+//!   chains `s(i,k) > s(i,j) + s(j,k)`, the adversarial regime where
+//!   nearest-neighbour chaining pays off and metric reasoning breaks.
+//!
+//! All generators are deterministic in their seed.
+
+use bss_seqdep::SeqDepInstance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The uniform special case: switching into class `j` costs `s_j` from
+/// everywhere (zero diagonal), positive works — exactly the image of
+/// `bss_seqdep::reduce::from_instance`.
+#[must_use]
+pub fn uniform_setups(classes: usize, machines: usize, seed: u64) -> SeqDepInstance {
+    assert!(classes >= 1 && machines >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let setups: Vec<u64> = (0..classes).map(|_| rng.gen_range(1..=50)).collect();
+    let work: Vec<u64> = (0..classes).map(|_| rng.gen_range(1..=120)).collect();
+    let switch: Vec<Vec<u64>> = (0..classes)
+        .map(|i| {
+            (0..classes)
+                .map(|j| if i == j { 0 } else { setups[j] })
+                .collect()
+        })
+        .collect();
+    SeqDepInstance::new(machines, setups, switch, work).expect("generator produces valid instances")
+}
+
+/// TSP-path-derived distances: `cities` random points on a `side × side`
+/// grid, switch costs their Euclidean distances rounded to integers, one
+/// machine, zero work per class (the paper's conclusion reduction).
+#[must_use]
+pub fn tsp_path(cities: usize, seed: u64) -> SeqDepInstance {
+    assert!(cities >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = 1_000i64;
+    let pts: Vec<(i64, i64)> = (0..cities)
+        .map(|_| (rng.gen_range(0..side), rng.gen_range(0..side)))
+        .collect();
+    let dist: Vec<Vec<u64>> = pts
+        .iter()
+        .map(|&(x1, y1)| {
+            pts.iter()
+                .map(|&(x2, y2)| {
+                    let (dx, dy) = ((x1 - x2) as f64, (y1 - y2) as f64);
+                    (dx * dx + dy * dy).sqrt().round() as u64
+                })
+                .collect()
+        })
+        .collect();
+    SeqDepInstance::from_tsp_path(dist).expect("generator produces valid instances")
+}
+
+/// Asymmetric switch costs with planted triangle-inequality violations:
+/// a random base matrix plus a cheap "conveyor" chain
+/// `0 → 1 → … → c-1` of unit switches, while direct links stay expensive —
+/// so `s(i, k) > s(i, j) + s(j, k)` throughout the chain.
+#[must_use]
+pub fn triangle_violating(classes: usize, machines: usize, seed: u64) -> SeqDepInstance {
+    assert!(classes >= 1 && machines >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut switch: Vec<Vec<u64>> = (0..classes)
+        .map(|i| {
+            (0..classes)
+                .map(|j| if i == j { 0 } else { rng.gen_range(60..=120) })
+                .collect()
+        })
+        .collect();
+    // The cheap chain: consecutive classes switch for 1.
+    for i in 0..classes.saturating_sub(1) {
+        switch[i][i + 1] = 1;
+    }
+    let initial: Vec<u64> = (0..classes).map(|_| rng.gen_range(1..=30)).collect();
+    let work: Vec<u64> = (0..classes).map(|_| rng.gen_range(1..=40)).collect();
+    SeqDepInstance::new(machines, initial, switch, work)
+        .expect("generator produces valid instances")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bss_seqdep::reduce;
+
+    #[test]
+    fn uniform_family_is_uniform_and_deterministic() {
+        let a = uniform_setups(8, 3, 7);
+        let b = uniform_setups(8, 3, 7);
+        assert_eq!(a, b);
+        assert!(reduce::is_uniform(&a));
+        let reduced = reduce::to_uniform_instance(&a).unwrap();
+        assert_eq!(reduce::from_instance(&reduced), a);
+    }
+
+    #[test]
+    fn tsp_family_is_symmetric_zero_diagonal() {
+        let inst = tsp_path(12, 3);
+        assert_eq!(inst.machines(), 1);
+        for i in 0..12 {
+            assert_eq!(inst.switch(i, i), 0);
+            assert_eq!(inst.class_proc(i), 0);
+            for j in 0..12 {
+                assert_eq!(inst.switch(i, j), inst.switch(j, i));
+            }
+        }
+        // Genuinely sequence-dependent (almost surely).
+        assert!(!reduce::is_uniform(&inst));
+    }
+
+    #[test]
+    fn triangle_family_plants_violations() {
+        let inst = triangle_violating(10, 3, 5);
+        // Some triple violates the triangle inequality through the chain.
+        let violated = (0..10).any(|i| {
+            (0..10).any(|j| {
+                (0..10).any(|k| {
+                    i != j
+                        && j != k
+                        && i != k
+                        && inst.switch(i, k) > inst.switch(i, j) + inst.switch(j, k)
+                })
+            })
+        });
+        assert!(violated);
+        assert!(!reduce::is_uniform(&inst));
+    }
+}

@@ -3,12 +3,14 @@
 //! scoped-thread parallel sweep harness for the benchmark binaries.
 
 mod gantt;
+mod solution;
 mod stats;
 mod sweep;
 mod table;
 mod timing;
 
 pub use gantt::{render_gantt, GanttOptions};
+pub use solution::{solution_summary, solution_table};
 pub use stats::{fit_loglog, Summary};
 pub use sweep::parallel_map;
 pub use table::Table;

@@ -1,0 +1,90 @@
+//! Rendering of unified-surface [`Solution`]s.
+//!
+//! Every problem on the [`bss_core::Problem`] surface — the three batch-setup
+//! variants *and* sequence-dependent instances — produces the same
+//! [`Solution`] type, so one renderer serves the CLI, the examples and the
+//! repro binaries alike.
+
+use bss_core::Solution;
+
+use crate::Table;
+
+/// A multi-line text block with the solution's guarantees — makespan,
+/// accepted guess, the proven ratio bound, the certified a-posteriori
+/// quality, and the probe count. `problem` labels the first line (a variant
+/// name such as `preemptive` or `seqdep`).
+#[must_use]
+pub fn solution_summary(problem: &str, sol: &Solution) -> String {
+    let mut out = String::new();
+    let mut line = |k: &str, v: String| {
+        out.push_str(&format!("{k:<15}{v}\n"));
+    };
+    line("problem", problem.to_string());
+    line(
+        "makespan",
+        format!("{}  (~{:.2})", sol.makespan, sol.makespan.to_f64()),
+    );
+    line("accepted T", sol.accepted.to_string());
+    line("ratio bound", format!("{} x OPT", sol.ratio_bound));
+    line(
+        "certified",
+        format!(
+            "makespan/OPT <= {:.4}",
+            (sol.makespan / sol.certificate).to_f64()
+        ),
+    );
+    line("dual probes", sol.probes.to_string());
+    out
+}
+
+/// One [`Table`] row per labelled solution — the cross-problem comparison
+/// view (e.g. a batch-setup variant against its sequence-dependent
+/// embedding).
+#[must_use]
+pub fn solution_table<'a>(rows: impl IntoIterator<Item = (&'a str, &'a Solution)>) -> Table {
+    let mut t = Table::new(&[
+        "problem",
+        "makespan",
+        "accepted",
+        "ratio bound",
+        "certified ratio",
+        "probes",
+    ]);
+    for (label, sol) in rows {
+        t.row(&[
+            label.to_string(),
+            format!("{:.2}", sol.makespan.to_f64()),
+            format!("{:.2}", sol.accepted.to_f64()),
+            sol.ratio_bound.to_string(),
+            format!("{:.4}", (sol.makespan / sol.certificate).to_f64()),
+            sol.probes.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bss_core::Algorithm;
+    use bss_instance::Variant;
+
+    #[test]
+    fn summary_and_table_cover_both_problem_kinds() {
+        let inst = bss_gen::uniform(30, 5, 3, 1);
+        let bss = bss_core::solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves);
+        let sd_inst = bss_gen::seqdep::triangle_violating(10, 3, 1);
+        let sd = bss_core::solve_seqdep(&sd_inst, Algorithm::ThreeHalves);
+
+        let text = solution_summary("preemptive", &bss);
+        assert!(text.contains("preemptive"));
+        assert!(text.contains("ratio bound"));
+        let text = solution_summary("seqdep", &sd);
+        assert!(text.contains("seqdep"));
+
+        let table = solution_table([("preemptive", &bss), ("seqdep", &sd)]);
+        assert_eq!(table.len(), 2);
+        let rendered = table.to_aligned();
+        assert!(rendered.contains("seqdep"));
+    }
+}

@@ -1,5 +1,5 @@
 //! Sequence-dependent batch setups — the extension sketched in the paper's
-//! conclusion.
+//! conclusion, grown into a solver crate.
 //!
 //! Setup times are given as a matrix `S ∈ N^{c×c}` of values `s(i1, i2)`:
 //! switching a machine from class `i1` to class `i2` costs `s(i1, i2)`, and a
@@ -9,15 +9,92 @@
 //! *is* the path-version TSP — so the problem is APX-hard in general and this
 //! crate provides:
 //!
-//! * the model and a makespan evaluator ([`SeqDepInstance`]),
+//! * the model and a makespan evaluator ([`SeqDepInstance`]), with
+//!   error-returning constructors and a JSON wire format;
 //! * an exact Held–Karp oracle for one machine and small `c`
-//!   ([`exact_single_machine`]),
+//!   ([`exact_single_machine`]);
 //! * a nearest-neighbour + LPT heuristic for `m` machines
-//!   ([`nearest_neighbor_schedule`]),
+//!   ([`nearest_neighbor_schedule`]);
+//! * a dual-approximation-style solver ([`solver`]): a capacity-bounded
+//!   greedy builder driven by a search over the instance-only lower bound,
+//!   allocation-free on a warm [`solver::SeqDepScratch`] and emitting
+//!   standard [`bss_schedule`] placements through any `PlacementSink`;
+//! * the two reductions bridging this model and the batch-setup model
+//!   ([`reduce`]): batch setups are exactly the *uniform* special case
+//!   `s(c, c') = s(c')` (Jansen–Maack–Mäcker, arXiv:1809.10428);
 //! * the TSP reduction as a constructor ([`SeqDepInstance::from_tsp_path`]),
 //!   used in tests to cross-check the oracle against brute force.
 
+use core::fmt;
+
+use bss_json::{FromJson, JsonError, ToJson, Value};
 use bss_rational::Rational;
+
+pub mod reduce;
+pub mod solver;
+
+/// Upper bound on the *sequential weight* `Σ_j (t_j + max-in_j)` enforced at
+/// construction (the same `2^60` cap as `bss_instance::MAX_TOTAL_LOAD`).
+///
+/// Any single machine's completion time pays, per class it runs, the class's
+/// processing time plus *one* setup into it; bounding the sum of worst-case
+/// entry setups and processing times keeps every `u64` accumulation in
+/// [`SeqDepInstance::machine_time`] overflow-free even on hostile inputs.
+pub const MAX_SEQUENTIAL_WEIGHT: u64 = 1 << 60;
+
+/// Errors detected while building a [`SeqDepInstance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqDepError {
+    /// `m == 0`.
+    NoMachines,
+    /// `c == 0` (empty `initial` / `switch`).
+    NoClasses,
+    /// A `switch` row whose length differs from the class count (ragged or
+    /// non-square matrix).
+    RaggedSwitchRow {
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// The class count it must match.
+        expected: usize,
+    },
+    /// `initial` / `class_proc` / `switch` disagree on the class count.
+    DimensionMismatch {
+        /// Which input is off (`"switch"` or `"class_proc"`).
+        field: &'static str,
+        /// Its length.
+        len: usize,
+        /// The class count (length of `initial`).
+        expected: usize,
+    },
+    /// The sequential weight `Σ_j (t_j + max-in_j)` exceeds
+    /// [`MAX_SEQUENTIAL_WEIGHT`].
+    SequentialWeightTooLarge,
+}
+
+impl fmt::Display for SeqDepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqDepError::NoMachines => write!(f, "instance must have at least one machine"),
+            SeqDepError::NoClasses => write!(f, "instance must have at least one class"),
+            SeqDepError::RaggedSwitchRow { row, len, expected } => write!(
+                f,
+                "switch matrix row {row} has {len} entries, expected {expected} (square c x c)"
+            ),
+            SeqDepError::DimensionMismatch {
+                field,
+                len,
+                expected,
+            } => write!(f, "{field} has length {len}, expected {expected} classes"),
+            SeqDepError::SequentialWeightTooLarge => {
+                write!(f, "sequential weight exceeds 2^60; rescale the instance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeqDepError {}
 
 /// A sequence-dependent batch-setup instance.
 ///
@@ -38,37 +115,71 @@ impl SeqDepInstance {
     /// Builds an instance; `switch` must be a `c×c` matrix and `initial`,
     /// `class_proc` length-`c` vectors.
     ///
-    /// # Panics
-    /// Panics on dimension mismatches or `machines == 0`.
-    #[must_use]
+    /// # Errors
+    /// Returns a [`SeqDepError`] on `machines == 0`, an empty class set, a
+    /// ragged or non-square `switch` matrix, mismatched vector lengths, or a
+    /// sequential weight past [`MAX_SEQUENTIAL_WEIGHT`] — degenerate inputs
+    /// are reported, never panicked on.
     pub fn new(
         machines: usize,
         initial: Vec<u64>,
         switch: Vec<Vec<u64>>,
         class_proc: Vec<u64>,
-    ) -> Self {
+    ) -> Result<Self, SeqDepError> {
         let c = initial.len();
-        assert!(machines > 0, "need at least one machine");
-        assert!(c > 0, "need at least one class");
-        assert_eq!(class_proc.len(), c);
-        assert_eq!(switch.len(), c);
-        for row in &switch {
-            assert_eq!(row.len(), c);
+        if machines == 0 {
+            return Err(SeqDepError::NoMachines);
         }
-        SeqDepInstance {
+        if c == 0 {
+            return Err(SeqDepError::NoClasses);
+        }
+        if switch.len() != c {
+            return Err(SeqDepError::DimensionMismatch {
+                field: "switch",
+                len: switch.len(),
+                expected: c,
+            });
+        }
+        for (row, r) in switch.iter().enumerate() {
+            if r.len() != c {
+                return Err(SeqDepError::RaggedSwitchRow {
+                    row,
+                    len: r.len(),
+                    expected: c,
+                });
+            }
+        }
+        if class_proc.len() != c {
+            return Err(SeqDepError::DimensionMismatch {
+                field: "class_proc",
+                len: class_proc.len(),
+                expected: c,
+            });
+        }
+        let inst = SeqDepInstance {
             machines,
             initial,
             switch,
             class_proc,
+        };
+        let weight: u128 = (0..c)
+            .map(|j| inst.class_proc[j] as u128 + inst.max_in(j) as u128)
+            .sum();
+        if weight > MAX_SEQUENTIAL_WEIGHT as u128 {
+            return Err(SeqDepError::SequentialWeightTooLarge);
         }
+        Ok(inst)
     }
 
     /// The path-TSP reduction of the paper's conclusion: `m = 1`, one
     /// zero-work class per city, `switch = dist`, `initial = 0⁺` (a unit —
     /// the model requires positive initial setups to mark machine starts;
     /// it adds the same constant to every tour).
-    #[must_use]
-    pub fn from_tsp_path(dist: Vec<Vec<u64>>) -> Self {
+    ///
+    /// # Errors
+    /// Returns a [`SeqDepError`] on an empty or ragged/non-square distance
+    /// matrix (or oversized entries), instead of panicking.
+    pub fn from_tsp_path(dist: Vec<Vec<u64>>) -> Result<Self, SeqDepError> {
         let c = dist.len();
         SeqDepInstance::new(1, vec![1; c], dist, vec![0; c])
     }
@@ -85,16 +196,74 @@ impl SeqDepInstance {
         self.machines
     }
 
+    /// Initial setup of class `j` on a fresh machine.
+    #[must_use]
+    pub fn initial(&self, j: usize) -> u64 {
+        self.initial[j]
+    }
+
+    /// Switch-over setup from class `i` to class `j`.
+    #[must_use]
+    pub fn switch(&self, i: usize, j: usize) -> u64 {
+        self.switch[i][j]
+    }
+
+    /// Processing time of class `j`'s batch.
+    #[must_use]
+    pub fn class_proc(&self, j: usize) -> u64 {
+        self.class_proc[j]
+    }
+
+    /// The setup actually paid when a machine whose last class is `last`
+    /// (`None` = fresh) switches to `class`.
+    #[must_use]
+    pub fn setup_into(&self, last: Option<usize>, class: usize) -> u64 {
+        match last {
+            None => self.initial[class],
+            Some(p) => self.switch[p][class],
+        }
+    }
+
+    /// Cheapest way to ever start class `j`: `min(initial_j, min_i s(i, j))`.
+    #[must_use]
+    pub fn min_in(&self, j: usize) -> u64 {
+        (0..self.num_classes())
+            .filter(|&i| i != j)
+            .map(|i| self.switch[i][j])
+            .chain(core::iter::once(self.initial[j]))
+            .min()
+            .expect("c >= 1")
+    }
+
+    /// Most expensive way to start class `j`: `max(initial_j, max_i s(i, j))`.
+    #[must_use]
+    pub fn max_in(&self, j: usize) -> u64 {
+        (0..self.num_classes())
+            .filter(|&i| i != j)
+            .map(|i| self.switch[i][j])
+            .chain(core::iter::once(self.initial[j]))
+            .max()
+            .expect("c >= 1")
+    }
+
+    /// `Σ_j (t_j + max-in_j)`: an upper bound on *any* machine's completion
+    /// time (each class pays one entry setup), hence on the one-machine
+    /// schedule produced by chaining everything. The search seeds its upper
+    /// bracket from half of this.
+    #[must_use]
+    pub fn sequential_weight(&self) -> u64 {
+        (0..self.num_classes())
+            .map(|j| self.class_proc[j] + self.max_in(j))
+            .sum()
+    }
+
     /// Completion time of one machine processing `order` (class sequence).
     #[must_use]
     pub fn machine_time(&self, order: &[usize]) -> u64 {
         let mut t = 0u64;
         let mut prev: Option<usize> = None;
         for &class in order {
-            t += match prev {
-                None => self.initial[class],
-                Some(p) => self.switch[p][class],
-            };
+            t += self.setup_into(prev, class);
             t += self.class_proc[class];
             prev = Some(class);
         }
@@ -105,23 +274,108 @@ impl SeqDepInstance {
     /// sequence. Validates that every class appears exactly once overall.
     ///
     /// # Panics
-    /// Panics if the assignment is not a partition of the classes.
+    /// Panics if the assignment is not a partition of the classes (a caller
+    /// bug, not an input-data problem — use [`SeqDepInstance::check_orders`]
+    /// for data from outside).
     #[must_use]
     pub fn makespan(&self, orders: &[Vec<usize>]) -> u64 {
-        assert!(orders.len() <= self.machines, "too many machines used");
-        let mut seen = vec![false; self.num_classes()];
-        for order in orders {
-            for &class in order {
-                assert!(!seen[class], "class {class} scheduled twice");
-                seen[class] = true;
-            }
+        if let Err(e) = self.check_orders(orders) {
+            panic!("{e}");
         }
-        assert!(seen.iter().all(|&s| s), "some class unscheduled");
         orders
             .iter()
             .map(|o| self.machine_time(o))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Checks that `orders` is a partition of the classes over at most `m`
+    /// machines; `Err` carries a human-readable description.
+    pub fn check_orders(&self, orders: &[Vec<usize>]) -> Result<(), String> {
+        if orders.len() > self.machines {
+            return Err(format!(
+                "too many machines used: {} > {}",
+                orders.len(),
+                self.machines
+            ));
+        }
+        let mut seen = vec![false; self.num_classes()];
+        for order in orders {
+            for &class in order {
+                if class >= self.num_classes() {
+                    return Err(format!("unknown class {class}"));
+                }
+                if seen[class] {
+                    return Err(format!("class {class} scheduled twice"));
+                }
+                seen[class] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("class {missing} unscheduled"));
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for SeqDepInstance {
+    fn to_json_value(&self) -> Value {
+        let ints = |v: &[u64]| Value::Array(v.iter().map(|&x| Value::Int(x.into())).collect());
+        Value::Object(vec![
+            ("machines".into(), Value::Int(self.machines as i128)),
+            ("initial".into(), ints(&self.initial)),
+            (
+                "switch".into(),
+                Value::Array(self.switch.iter().map(|row| ints(row)).collect()),
+            ),
+            ("class_proc".into(), ints(&self.class_proc)),
+        ])
+    }
+}
+
+impl FromJson for SeqDepInstance {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let ints =
+            |v: &Value, what: &str| bss_json::vec_from(v, what, |x| bss_json::int_from(x, "entry"));
+        let machines = bss_json::int_from(bss_json::required(value, "machines")?, "machines")?;
+        let initial = ints(bss_json::required(value, "initial")?, "initial")?;
+        let switch = bss_json::vec_from(bss_json::required(value, "switch")?, "switch", |row| {
+            ints(row, "switch row")
+        })?;
+        let class_proc = ints(bss_json::required(value, "class_proc")?, "class_proc")?;
+        SeqDepInstance::new(machines, initial, switch, class_proc)
+            .map_err(|e| JsonError::new(format!("invalid seqdep instance data: {e}")))
+    }
+}
+
+/// Errors arising while reading a [`SeqDepInstance`] from JSON.
+#[derive(Debug)]
+pub enum SeqDepIoError {
+    /// The JSON was malformed.
+    Json(JsonError),
+}
+
+impl fmt::Display for SeqDepIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqDepIoError::Json(e) => write!(f, "invalid seqdep instance JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqDepIoError {}
+
+impl SeqDepInstance {
+    /// Serializes the instance to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        bss_json::encode_pretty(self)
+    }
+
+    /// Parses and validates an instance from JSON.
+    pub fn from_json(json: &str) -> Result<Self, SeqDepIoError> {
+        let value = bss_json::parse(json).map_err(SeqDepIoError::Json)?;
+        Self::from_json_value(&value).map_err(SeqDepIoError::Json)
     }
 }
 
@@ -176,18 +430,12 @@ pub fn nearest_neighbor_schedule(inst: &SeqDepInstance) -> Vec<Vec<usize>> {
     for class in remaining {
         let (u, _) = (0..m)
             .map(|u| {
-                let setup = match orders[u].last() {
-                    None => inst.initial[class],
-                    Some(&p) => inst.switch[p][class],
-                };
+                let setup = inst.setup_into(orders[u].last().copied(), class);
                 (u, finish[u] + setup + inst.class_proc[class])
             })
             .min_by_key(|&(_, t)| t)
             .expect("m >= 1");
-        let setup = match orders[u].last() {
-            None => inst.initial[class],
-            Some(&p) => inst.switch[p][class],
-        };
+        let setup = inst.setup_into(orders[u].last().copied(), class);
         finish[u] += setup + inst.class_proc[class];
         orders[u].push(class);
     }
@@ -201,16 +449,42 @@ pub fn load_lower_bound(inst: &SeqDepInstance) -> Rational {
     let c = inst.num_classes();
     let mut total: u64 = inst.class_proc.iter().sum();
     for j in 0..c {
-        // Cheapest way to ever reach class j.
-        let min_in = (0..c)
-            .filter(|&i| i != j)
-            .map(|i| inst.switch[i][j])
-            .chain(std::iter::once(inst.initial[j]))
-            .min()
-            .expect("c >= 1");
-        total += min_in;
+        total += inst.min_in(j);
     }
     Rational::from(total) / inst.machines().min(c)
+}
+
+/// `max_j (min-in_j + t_j)`: the machine running class `j` pays at least the
+/// cheapest entry into `j` plus `j`'s work.
+#[must_use]
+pub fn class_lower_bound(inst: &SeqDepInstance) -> u64 {
+    (0..inst.num_classes())
+        .map(|j| inst.min_in(j) + inst.class_proc(j))
+        .max()
+        .expect("c >= 1")
+}
+
+/// `min_j (initial_j + t_j)`: some machine runs a *first* class, paying that
+/// class's initial setup in full — no switch discount applies to it. Catches
+/// instances whose `min-in` bounds vanish (free switches) but whose initial
+/// setups do not.
+#[must_use]
+pub fn first_class_lower_bound(inst: &SeqDepInstance) -> u64 {
+    (0..inst.num_classes())
+        .map(|j| inst.initial(j) + inst.class_proc(j))
+        .min()
+        .expect("c >= 1")
+}
+
+/// The strongest instance-only lower bound on the optimal makespan:
+/// `max(load, class, first-class)` — the search anchor, mirroring the
+/// batch-setup `T_min` of Notes 1–2. Zero exactly when every schedule is
+/// free (`OPT = 0`).
+#[must_use]
+pub fn t_min(inst: &SeqDepInstance) -> Rational {
+    load_lower_bound(inst)
+        .max(Rational::from(class_lower_bound(inst)))
+        .max(Rational::from(first_class_lower_bound(inst)))
 }
 
 #[cfg(test)]
@@ -230,15 +504,84 @@ mod tests {
 
     #[test]
     fn machine_time_accumulates_switches() {
-        let inst = SeqDepInstance::new(1, vec![5, 7], vec![vec![0, 2], vec![3, 0]], vec![10, 20]);
+        let inst =
+            SeqDepInstance::new(1, vec![5, 7], vec![vec![0, 2], vec![3, 0]], vec![10, 20]).unwrap();
         assert_eq!(inst.machine_time(&[0, 1]), 5 + 10 + 2 + 20);
         assert_eq!(inst.machine_time(&[1, 0]), 7 + 20 + 3 + 10);
         assert_eq!(inst.machine_time(&[]), 0);
     }
 
     #[test]
+    fn constructors_reject_degenerate_inputs() {
+        // Zero machines.
+        assert_eq!(
+            SeqDepInstance::new(0, vec![1], vec![vec![0]], vec![1]).unwrap_err(),
+            SeqDepError::NoMachines
+        );
+        // Empty class set.
+        assert_eq!(
+            SeqDepInstance::new(2, vec![], vec![], vec![]).unwrap_err(),
+            SeqDepError::NoClasses
+        );
+        assert_eq!(
+            SeqDepInstance::from_tsp_path(vec![]).unwrap_err(),
+            SeqDepError::NoClasses
+        );
+        // Ragged switch matrix.
+        assert_eq!(
+            SeqDepInstance::from_tsp_path(vec![vec![0, 1], vec![1]]).unwrap_err(),
+            SeqDepError::RaggedSwitchRow {
+                row: 1,
+                len: 1,
+                expected: 2
+            }
+        );
+        // Non-square (too few rows).
+        assert_eq!(
+            SeqDepInstance::new(1, vec![1, 1], vec![vec![0, 1]], vec![1, 1]).unwrap_err(),
+            SeqDepError::DimensionMismatch {
+                field: "switch",
+                len: 1,
+                expected: 2
+            }
+        );
+        // class_proc length mismatch.
+        assert_eq!(
+            SeqDepInstance::new(1, vec![1], vec![vec![0]], vec![1, 2]).unwrap_err(),
+            SeqDepError::DimensionMismatch {
+                field: "class_proc",
+                len: 2,
+                expected: 1
+            }
+        );
+        // Sequential-weight overflow guard.
+        assert_eq!(
+            SeqDepInstance::new(
+                1,
+                vec![u64::MAX / 2, u64::MAX / 2],
+                vec![vec![0, 1], vec![1, 0]],
+                vec![1, 1]
+            )
+            .unwrap_err(),
+            SeqDepError::SequentialWeightTooLarge
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let inst = SeqDepInstance::from_tsp_path(tsp4()).unwrap();
+        let back = SeqDepInstance::from_json(&inst.to_json()).unwrap();
+        assert_eq!(back, inst);
+        // Model violations decoded from JSON are rejected, not panicked on.
+        let bad = r#"{"machines":0,"initial":[1],"switch":[[0]],"class_proc":[1]}"#;
+        assert!(SeqDepInstance::from_json(bad).is_err());
+        let ragged = r#"{"machines":1,"initial":[1,1],"switch":[[0,1],[1]],"class_proc":[1,1]}"#;
+        assert!(SeqDepInstance::from_json(ragged).is_err());
+    }
+
+    #[test]
     fn held_karp_solves_tsp_path() {
-        let inst = SeqDepInstance::from_tsp_path(tsp4());
+        let inst = SeqDepInstance::from_tsp_path(tsp4()).unwrap();
         // best path 0-2-1-3: 2 + 3 + 4 = 9, plus initial 1.
         assert_eq!(exact_single_machine(&inst), 10);
     }
@@ -259,7 +602,7 @@ mod tests {
                 .collect();
             let initial: Vec<u64> = (0..c).map(|_| rng.gen_range(1..10)).collect();
             let work: Vec<u64> = (0..c).map(|_| rng.gen_range(0..20)).collect();
-            let inst = SeqDepInstance::new(1, initial, switch, work);
+            let inst = SeqDepInstance::new(1, initial, switch, work).unwrap();
             // Brute force over all permutations.
             let mut perm: Vec<usize> = (0..c).collect();
             let mut best = u64::MAX;
@@ -300,7 +643,7 @@ mod tests {
             let initial: Vec<u64> = (0..c).map(|_| rng.gen_range(1..20)).collect();
             let work: Vec<u64> = (0..c).map(|_| rng.gen_range(1..50)).collect();
             let initial_sum: u64 = initial.iter().sum();
-            let inst = SeqDepInstance::new(m, initial, switch, work);
+            let inst = SeqDepInstance::new(m, initial, switch, work).unwrap();
             let orders = nearest_neighbor_schedule(&inst);
             let makespan = inst.makespan(&orders); // panics if not a partition
 
@@ -312,7 +655,7 @@ mod tests {
 
     #[test]
     fn single_machine_heuristic_vs_exact_gap() {
-        let inst = SeqDepInstance::from_tsp_path(tsp4());
+        let inst = SeqDepInstance::from_tsp_path(tsp4()).unwrap();
         let orders = nearest_neighbor_schedule(&inst);
         let heuristic = inst.makespan(&orders);
         let exact = exact_single_machine(&inst);
@@ -324,23 +667,50 @@ mod tests {
     }
 
     #[test]
-    fn lower_bound_below_exact() {
-        let inst = SeqDepInstance::from_tsp_path(tsp4());
-        assert!(load_lower_bound(&inst) <= Rational::from(exact_single_machine(&inst)));
+    fn lower_bounds_below_exact() {
+        let inst = SeqDepInstance::from_tsp_path(tsp4()).unwrap();
+        let exact = exact_single_machine(&inst);
+        assert!(load_lower_bound(&inst) <= Rational::from(exact));
+        assert!(class_lower_bound(&inst) <= exact);
+        assert!(t_min(&inst) <= Rational::from(exact));
+        // The sequential weight bounds any chain from above.
+        assert!(inst.sequential_weight() >= exact);
     }
 
     #[test]
     #[should_panic(expected = "scheduled twice")]
     fn makespan_rejects_duplicate_classes() {
-        let inst = SeqDepInstance::from_tsp_path(tsp4());
+        let inst = SeqDepInstance::from_tsp_path(tsp4()).unwrap();
         let _ = inst.makespan(&[vec![0, 1, 2, 3, 0]]);
     }
 
     #[test]
     #[should_panic(expected = "unscheduled")]
     fn makespan_rejects_missing_classes() {
-        let inst = SeqDepInstance::from_tsp_path(tsp4());
+        let inst = SeqDepInstance::from_tsp_path(tsp4()).unwrap();
         let _ = inst.makespan(&[vec![0, 1]]);
+    }
+
+    #[test]
+    fn check_orders_reports_instead_of_panicking() {
+        let inst = SeqDepInstance::from_tsp_path(tsp4()).unwrap();
+        assert!(inst.check_orders(&[vec![0, 1, 2, 3]]).is_ok());
+        assert!(inst
+            .check_orders(&[vec![0, 1]])
+            .unwrap_err()
+            .contains("unscheduled"));
+        assert!(inst
+            .check_orders(&[vec![0, 0, 1, 2, 3]])
+            .unwrap_err()
+            .contains("twice"));
+        assert!(inst
+            .check_orders(&[vec![0, 1, 2, 9]])
+            .unwrap_err()
+            .contains("unknown class"));
+        assert!(inst
+            .check_orders(&[vec![0], vec![1], vec![2], vec![3]])
+            .unwrap_err()
+            .contains("too many machines"));
     }
 
     proptest! {
@@ -361,7 +731,8 @@ mod tests {
             let switch: Vec<Vec<u64>> = (0..c)
                 .map(|i| (0..c).map(|j| if i == j { 0 } else { setups[j] }).collect())
                 .collect();
-            let inst = SeqDepInstance::new(1, setups.to_vec(), switch, work.to_vec());
+            let inst =
+                SeqDepInstance::new(1, setups.to_vec(), switch, work.to_vec()).unwrap();
             let mut order: Vec<usize> = (0..c).collect();
             let base = inst.machine_time(&order);
             let mut rng = StdRng::seed_from_u64(seed);

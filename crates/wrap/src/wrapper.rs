@@ -14,7 +14,7 @@ use bss_schedule::{
     CompactSchedule, ConfigItem, ItemKind, MachineConfig, Placement, PlacementSink,
 };
 
-use crate::{GapRun, SeqKind, Template, WrapSequence};
+use crate::{GapRun, SeqItem, SeqKind, Template, WrapSequence};
 
 /// Structural failures of a wrap. Under Lemma 6's preconditions these never
 /// occur; the dual algorithms treat them as "reject this makespan guess".
@@ -349,20 +349,19 @@ impl<'a, E: WrapEmit> Wrapper<'a, E> {
 }
 
 /// The shared driver behind every public entry point.
+///
+/// Generic over the item *source*: a materialized [`WrapSequence`]'s items
+/// or any lazy iterator (the splittable builders stream their batches
+/// straight from the instance without assembling a sequence first).
 fn run_wrap<E: WrapEmit>(
-    seq: &WrapSequence,
+    items: impl IntoIterator<Item = SeqItem>,
     runs: &[GapRun],
     setups: &[u64],
     emit: E,
 ) -> Result<(), WrapError> {
     Template::check(runs);
     let mut w = Wrapper::new(runs, setups, emit);
-    if !seq.is_empty() && w.exhausted() {
-        return Err(WrapError::OutOfSpace {
-            unplaced: seq.load(),
-        });
-    }
-    for item in seq.items() {
+    for item in items {
         if w.exhausted() {
             return Err(WrapError::OutOfSpace { unplaced: item.len });
         }
@@ -373,6 +372,31 @@ fn run_wrap<E: WrapEmit>(
     }
     w.emit.finish();
     Ok(())
+}
+
+/// One batch as a lazy item stream: the setup of `class` followed by its
+/// pieces (zero-length pieces are dropped, matching
+/// [`WrapSequence::push_batch`]). Chain several of these into
+/// [`wrap_iter_append`] to wrap whole class families without materializing a
+/// sequence.
+pub fn batch_items(
+    class: ClassId,
+    setup: Rational,
+    pieces: impl IntoIterator<Item = (usize, Rational)>,
+) -> impl Iterator<Item = SeqItem> {
+    debug_assert!(setup.is_positive(), "setups have positive length");
+    core::iter::once(SeqItem {
+        class,
+        kind: SeqKind::Setup,
+        len: setup,
+    })
+    .chain(pieces.into_iter().filter_map(move |(job, len)| {
+        len.is_positive().then_some(SeqItem {
+            class,
+            kind: SeqKind::Piece(job),
+            len,
+        })
+    }))
 }
 
 /// Wraps `seq` into `template` (the paper's `Wrap(Q, ω)`).
@@ -410,7 +434,22 @@ pub fn wrap_append(
     setups: &[u64],
     out: &mut CompactSchedule,
 ) -> Result<(), WrapError> {
-    run_wrap(seq, runs, setups, GroupEmit::new(out))
+    wrap_iter_append(seq.items().iter().copied(), runs, setups, out)
+}
+
+/// [`wrap_append`] over a lazy item stream (see [`batch_items`]): wraps the
+/// items without ever materializing a [`WrapSequence`] — the splittable
+/// builders' hot path, where sequence assembly used to dominate the build.
+///
+/// # Errors
+/// As [`wrap_append`]; on error the groups emitted so far remain in `out`.
+pub fn wrap_iter_append(
+    items: impl IntoIterator<Item = SeqItem>,
+    runs: &[GapRun],
+    setups: &[u64],
+    out: &mut CompactSchedule,
+) -> Result<(), WrapError> {
+    run_wrap(items, runs, setups, GroupEmit::new(out))
 }
 
 /// Like [`wrap`], but streams the explicit placements of the wrap straight
@@ -436,7 +475,12 @@ pub fn wrap_into<S: PlacementSink>(
             last.saturating_sub(1),
         );
     }
-    run_wrap(seq, runs, setups, StreamEmit { sink })
+    run_wrap(
+        seq.items().iter().copied(),
+        runs,
+        setups,
+        StreamEmit { sink },
+    )
 }
 
 /// Like [`wrap`], but returns explicit placements (convenience for callers

@@ -59,11 +59,15 @@ pub use bss_wrap as wrap;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use bss_core::{solve, solve_with, Algorithm, DualWorkspace, ScheduleRepr, Solution};
+    pub use bss_core::{
+        solve, solve_problem, solve_seqdep, solve_seqdep_with, solve_with, Algorithm, BssProblem,
+        DualWorkspace, Problem, ScheduleRepr, SeqDepProblem, Solution,
+    };
     pub use bss_instance::{ClassId, Instance, InstanceBuilder, Job, JobId, LowerBounds, Variant};
     pub use bss_rational::Rational;
     pub use bss_schedule::{
         validate, validate_compact, CompactSchedule, ItemKind, Placement, PlacementSink, Schedule,
         ScheduleStats, Violation,
     };
+    pub use bss_seqdep::SeqDepInstance;
 }

@@ -54,11 +54,16 @@ fn expand_into_is_bit_identical_to_expand_then_absorb() {
 
 /// The compact validator accepts exactly when the explicit walk accepts the
 /// expansion — across all variants, on solver outputs of both compact-native
-/// algorithms.
+/// algorithms, including the all-expensive adversarial family (every class
+/// wrapped over its β_i machines; the cheap path never fires).
 #[test]
 fn validators_agree_on_acceptance() {
     for seed in 0..20 {
-        let inst = batch_setup_scheduling::gen::uniform(60, 8, 10, seed);
+        let inst = if seed % 2 == 0 {
+            batch_setup_scheduling::gen::uniform(60, 8, 10, seed)
+        } else {
+            batch_setup_scheduling::gen::all_expensive(60, 4, 10, seed)
+        };
         for algo in [Algorithm::ThreeHalves, Algorithm::TwoApprox] {
             let sol = solve(&inst, Variant::Splittable, algo);
             let compact = sol.compact().expect("splittable is compact");

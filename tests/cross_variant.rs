@@ -27,10 +27,12 @@ fn relaxation_order_of_certified_makespans() {
 }
 
 /// The relaxation chain `split <= pmtn <= nonp` on adversarial families:
-/// Δ-wide instances (processing times spanning many orders of magnitude) and
-/// `c ≈ m` contention (as many classes as machines). Certified lower bounds
-/// of a relaxed variant never exceed upper bounds of a more restricted one,
-/// and the restricted schedules remain feasible under the relaxed rules.
+/// Δ-wide instances (processing times spanning many orders of magnitude),
+/// `c ≈ m` contention (as many classes as machines), and all-expensive
+/// instances (every class setup above the mean load, so every class sits in
+/// `I_exp` at every probed guess). Certified lower bounds of a relaxed
+/// variant never exceed upper bounds of a more restricted one, and the
+/// restricted schedules remain feasible under the relaxed rules.
 #[test]
 fn dominance_on_wide_delta_and_contention_families() {
     let families: Vec<(String, Instance)> = (0..6u64)
@@ -46,6 +48,14 @@ fn dominance_on_wide_delta_and_contention_families() {
             (
                 format!("contended seed {seed}"),
                 batch_setup_scheduling::gen::contended(60, 6, 6, seed),
+            )
+        }))
+        .chain((0..6u64).map(|seed| {
+            // Every class expensive: the dual builders must wrap every
+            // class over its β_i machines; the cheap path never fires.
+            (
+                format!("all_expensive seed {seed}"),
+                batch_setup_scheduling::gen::all_expensive(50, 5, 9, seed),
             )
         }))
         .collect();

@@ -118,17 +118,18 @@ proptest! {
     }
 
     /// Cross-variant dominance `split <= pmtn <= nonp` on the adversarial
-    /// generator families: Δ-wide processing times and `c ≈ m` contention.
+    /// generator families: Δ-wide processing times, `c ≈ m` contention, and
+    /// all-expensive setups (every class setup above the mean load).
     #[test]
     fn dominance_on_adversarial_families(
         seed in 0u64..1_000_000,
-        wide in 0u8..2,
+        family in 0u8..3,
         m in 2usize..8,
     ) {
-        let inst = if wide == 1 {
-            batch_setup_scheduling::gen::wide_delta(60, 8, m, 1 << 16, seed)
-        } else {
-            batch_setup_scheduling::gen::contended(60, m, m, seed)
+        let inst = match family {
+            1 => batch_setup_scheduling::gen::wide_delta(60, 8, m, 1 << 16, seed),
+            2 => batch_setup_scheduling::gen::all_expensive(60, (m + 1) / 2, m + 1, seed),
+            _ => batch_setup_scheduling::gen::contended(60, m, m, seed),
         };
         let split = solve(&inst, Variant::Splittable, Algorithm::ThreeHalves);
         let pmtn = solve(&inst, Variant::Preemptive, Algorithm::ThreeHalves);

@@ -6,11 +6,20 @@
 //! strategies, [`collection::vec()`], [`Just`], the [`proptest!`] macro with an
 //! optional `proptest_config`, and the `prop_assert*`/`prop_assume!` macros.
 //!
-//! Semantics differ from real proptest in one deliberate way: failing cases
-//! are **not shrunk**. Each case is generated from a deterministic seed
-//! derived from the test's module path, name and case index, and a failure
-//! reports that case index, so failures are exactly reproducible by rerunning
-//! the test.
+//! Each case is generated from a deterministic seed derived from the test's
+//! module path, name and case index, and a failure reports that case index,
+//! so failures are exactly reproducible by rerunning the test.
+//!
+//! Failing cases are **shrunk** before reporting, binary-search style:
+//! integer strategies propose their lower bound, the midpoint toward it and
+//! a single decrement; `collection::vec` halves its length toward the
+//! minimum, drops the last element, and shrinks elements in place; tuples
+//! shrink component-wise. A candidate is adopted whenever the test still
+//! *fails* on it (`prop_assume!` rejections count as passing), and the loop
+//! repeats until no candidate fails or a step budget is exhausted. Unlike
+//! real proptest there is no value tree, so `prop_map`/`prop_flat_map`
+//! outputs are opaque and not shrunk — put the raw integer/vec structure in
+//! the test's parameter list when minimization matters.
 
 use core::ops::{Range, RangeInclusive};
 
@@ -145,6 +154,13 @@ pub trait Strategy {
     /// Draws one sample.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly "smaller" candidates for a failing `value`, most
+    /// aggressive first (binary-search style). The default — for opaque
+    /// strategies like [`Strategy::prop_map`] — proposes nothing.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Applies `f` to every generated value.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -212,6 +228,25 @@ where
     }
 }
 
+/// Binary-search shrink candidates for an integer `v` generated from a
+/// range with lower bound `lo`: the bound itself, the midpoint toward it,
+/// and one decrement (exact-minimum last step). Computed in `i128`, so the
+/// arithmetic is overflow-free for every integer type the strategies cover.
+fn int_shrink_candidates(lo: i128, v: i128) -> Vec<i128> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = lo + (v - lo) / 2;
+    if mid != lo && mid != v {
+        out.push(mid);
+    }
+    if v - 1 != lo && Some(&(v - 1)) != out.last() {
+        out.push(v - 1);
+    }
+    out
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty),* $(,)?) => {$(
         impl Strategy for Range<$t> {
@@ -222,6 +257,12 @@ macro_rules! int_range_strategy {
                 let off = rng.below_u128(width);
                 (self.start as i128).wrapping_add(off as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -231,6 +272,12 @@ macro_rules! int_range_strategy {
                 let width = (hi as i128).wrapping_sub(lo as i128) as u128;
                 let off = rng.below_u128(width.wrapping_add(1));
                 (lo as i128).wrapping_add(off as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};
@@ -247,6 +294,14 @@ impl Strategy for Range<i128> {
         let width = self.end.wrapping_sub(self.start) as u128;
         self.start.wrapping_add(rng.below_u128(width) as i128)
     }
+    fn shrink(&self, value: &i128) -> Vec<i128> {
+        // Spans that overflow `i128` subtraction (full-range strategies) are
+        // left unshrunk rather than risking wrap-around.
+        match value.checked_sub(self.start) {
+            Some(_) => int_shrink_candidates(self.start, *value),
+            None => Vec::new(),
+        }
+    }
 }
 
 impl Strategy for RangeInclusive<i128> {
@@ -256,6 +311,12 @@ impl Strategy for RangeInclusive<i128> {
         assert!(lo <= hi, "empty range strategy");
         let width = hi.wrapping_sub(lo) as u128;
         lo.wrapping_add(rng.below_u128(width.wrapping_add(1)) as i128)
+    }
+    fn shrink(&self, value: &i128) -> Vec<i128> {
+        match value.checked_sub(*self.start()) {
+            Some(_) => int_shrink_candidates(*self.start(), *value),
+            None => Vec::new(),
+        }
     }
 }
 
@@ -268,25 +329,39 @@ impl Strategy for Range<f64> {
 }
 
 macro_rules! tuple_strategy {
-    ($(($($name:ident),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     )*};
 }
 
 tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
 }
 
 pub mod collection {
@@ -345,12 +420,37 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi_inclusive - self.size.lo) as u64;
             let len = self.size.lo + rng.below(span + 1) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Length first, binary-search toward the minimum: halve the
+            // excess, then a single pop (exact-minimum last step).
+            if value.len() > self.size.lo {
+                let half = self.size.lo + (value.len() - self.size.lo) / 2;
+                out.push(value[..half].to_vec());
+                if value.len() - 1 > half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            // Then elements in place (the two most aggressive candidates
+            // each; deeper refinement happens across adoption rounds).
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v).into_iter().take(2) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -370,6 +470,67 @@ macro_rules! proptest {
     };
 }
 
+/// Cap on candidate evaluations per failing case — shrinking is a
+/// diagnostic aid, not a license to rerun the test body unboundedly.
+#[doc(hidden)]
+pub const MAX_SHRINK_STEPS: usize = 512;
+
+/// Runs one generated case and, on failure, the shrink loop: adopt any
+/// candidate on which the body still *fails* (rejections count as passing),
+/// restart from it, stop when no candidate fails or the budget is spent.
+/// Panics with the minimized failure.
+#[doc(hidden)]
+pub fn __run_all<S, F>(strategy: &S, test_id: &str, cases: u32, run: F)
+where
+    S: Strategy,
+    S::Value: Clone + core::fmt::Debug,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    for case in 0..cases {
+        __run_case(strategy, test_id, case, cases, &run);
+    }
+}
+
+#[doc(hidden)]
+pub fn __run_case<S: Strategy>(
+    strategy: &S,
+    test_id: &str,
+    case: u32,
+    cases: u32,
+    run: &dyn Fn(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: Clone + core::fmt::Debug,
+{
+    let mut rng = TestRng::deterministic(test_id, case);
+    let value = strategy.generate(&mut rng);
+    let Err(TestCaseError::Fail(mut msg)) = run(&value) else {
+        return;
+    };
+    let mut minimal = value;
+    let mut steps = 0usize;
+    let mut adoptions = 0usize;
+    'minimize: while steps < MAX_SHRINK_STEPS {
+        for cand in strategy.shrink(&minimal) {
+            steps += 1;
+            if let Err(TestCaseError::Fail(m)) = run(&cand) {
+                minimal = cand;
+                msg = m;
+                adoptions += 1;
+                continue 'minimize; // restart from the smaller failure
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break;
+            }
+        }
+        break; // no candidate still fails: minimal is locally minimal
+    }
+    panic!(
+        "{test_id}: case {case}/{cases} failed: {msg}\n\
+         minimal input (after {adoptions} shrink adoptions, {steps} candidates tried): \
+         {minimal:?}"
+    );
+}
+
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_body {
@@ -379,21 +540,14 @@ macro_rules! __proptest_body {
             let config: $crate::ProptestConfig = $cfg;
             let cases = config.effective_cases();
             let test_id = concat!(module_path!(), "::", stringify!($name));
-            for case in 0..cases {
-                let mut rng = $crate::TestRng::deterministic(test_id, case);
-                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
-                    $( let $pat = $crate::Strategy::generate(&($strat), &mut rng); )+
-                    $body
-                    ::core::result::Result::Ok(())
-                })();
-                match outcome {
-                    ::core::result::Result::Ok(()) => {}
-                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
-                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                        panic!("{test_id}: case {case}/{cases} failed: {msg}");
-                    }
-                }
-            }
+            // All parameters fold into one tuple strategy so the shrinker
+            // can minimize them jointly, component by component.
+            let strategy = ($($strat,)+);
+            $crate::__run_all(&strategy, test_id, cases, |__values| {
+                let ($($pat,)+) = ::core::clone::Clone::clone(__values);
+                $body
+                ::core::result::Result::Ok(())
+            });
         }
     )*};
 }
@@ -505,5 +659,88 @@ mod tests {
             prop_assert_eq!(c - c, 0);
             prop_assert_ne!(a, 0);
         }
+    }
+
+    // Deliberately failing properties, defined without #[test] so the
+    // shrinker can be exercised under catch_unwind.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn failing_integer(a in 0u64..1000) {
+            prop_assert!(a < 17, "a = {}", a);
+        }
+
+        fn failing_vec(xs in collection::vec(0u64..100, 0..20)) {
+            prop_assert!(xs.iter().sum::<u64>() < 50, "sum too large");
+        }
+
+        fn failing_pair(a in 0u64..100, b in 0u64..100) {
+            prop_assert!(a + b < 10, "a + b = {}", a + b);
+        }
+
+        fn assume_survives_shrinking(a in 0u64..1000) {
+            // Shrink candidates below 100 are rejected, not treated as
+            // passing failures; the minimum reportable failure is 150.
+            prop_assume!(a >= 100);
+            prop_assert!(a < 150);
+        }
+    }
+
+    fn failure_message(f: fn()) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property must fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload is a string")
+    }
+
+    #[test]
+    fn shrinker_minimizes_integer_to_the_boundary() {
+        let msg = failure_message(failing_integer);
+        assert!(msg.contains("minimal input"), "{msg}");
+        // Binary search toward the range floor lands exactly on the
+        // smallest failing value.
+        assert!(msg.contains("(17,)"), "{msg}");
+        assert!(msg.contains("a = 17"), "{msg}");
+    }
+
+    #[test]
+    fn shrinker_minimizes_vecs() {
+        let msg = failure_message(failing_vec);
+        assert!(msg.contains("minimal input"), "{msg}");
+        // The reported vector is still a failure (sum >= 50) but short:
+        // length shrinking halves to at most a handful of elements.
+        let inner = msg.split("minimal input").nth(1).expect("suffix");
+        let count = inner.matches(',').count();
+        assert!(count <= 4, "expected a short minimal vec: {msg}");
+    }
+
+    #[test]
+    fn shrinker_minimizes_tuples_component_wise() {
+        let msg = failure_message(failing_pair);
+        assert!(msg.contains("minimal input"), "{msg}");
+        // At the fixpoint every decrement passes, so the pair sums to
+        // exactly the boundary.
+        assert!(msg.contains("a + b = 10"), "{msg}");
+    }
+
+    #[test]
+    fn shrinker_respects_assumptions() {
+        let msg = failure_message(assume_survives_shrinking);
+        assert!(msg.contains("minimal input"), "{msg}");
+        // Values below the assumption are rejected (not failing), so the
+        // minimum is the assumption floor + boundary: exactly 150.
+        assert!(msg.contains("(150,)"), "{msg}");
+    }
+
+    #[test]
+    fn passing_properties_stay_silent() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            fn all_good(a in 0u64..5) {
+                prop_assert!(a < 5);
+            }
+        }
+        all_good();
     }
 }
