@@ -1,0 +1,18 @@
+//! The golden repro driver: regenerates **every** paper artifact — the six
+//! studies' deterministic tables and figures into `results/figures/`
+//! (committed and golden-diffed by `tests/golden_repro.rs`) plus a
+//! MANIFEST.json recording grids, seeds and instance-family parameters —
+//! and the machine-dependent timings into the gitignored `target/repro/`.
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p bss-bench --bin repro-all
+//! git diff results/figures   # must be empty on an unchanged tree
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    bss_bench::repro::cli::all_main("results/figures")
+}

@@ -1,75 +1,9 @@
-//! Experiment S2: the `(3/2+ε)`-approximation's `O(n log 1/ε)` trade-off
-//! (Theorem 2). Sweeps `ε = 2^-1 .. 2^-12` at fixed `n` and reports probes,
-//! wall time and the achieved certified ratio.
-//! Output: `bench_output/epsilon.{txt,csv}`.
+//! Experiment S2 (study `epsilon`): the `(3/2+ε)`-approximation's
+//! `O(n log 1/ε)` trade-off (Theorem 2). Thin CLI wrapper over
+//! [`bss_bench::repro`]; see `repro-all` for the full pipeline.
 
-use bss_core::{solve, Algorithm};
-use bss_instance::Variant;
-use bss_report::{parallel_map, time_best_of, Summary, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let n = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(50_000usize);
-    let reps = 5u64;
-    let mut table = Table::new(&[
-        "variant",
-        "suite",
-        "eps",
-        "probes (mean)",
-        "time (ms, median)",
-        "certified ratio (max)",
-    ]);
-    for (suite, make) in [
-        (
-            "uniform",
-            bss_gen::uniform as fn(usize, usize, usize, u64) -> bss_instance::Instance,
-        ),
-        (
-            "contended",
-            bss_gen::contended as fn(usize, usize, usize, u64) -> bss_instance::Instance,
-        ),
-    ] {
-        for variant in Variant::ALL {
-            let cells: Vec<u32> = (1..=12).collect();
-            let rows = parallel_map(cells, None, |eps_log2| {
-                let mut probes = Vec::new();
-                let mut times = Vec::new();
-                let mut ratios = Vec::new();
-                for seed in 0..reps {
-                    let c = if suite == "contended" { 6 } else { n / 20 };
-                    let inst = make(n, c, 8, seed);
-                    let (sol, dt) = time_best_of(2, || {
-                        solve(&inst, variant, Algorithm::EpsilonSearch { eps_log2 })
-                    });
-                    probes.push(sol.probes as f64);
-                    times.push(dt.as_secs_f64() * 1e3);
-                    ratios.push((sol.makespan / sol.certificate).to_f64());
-                }
-                (
-                    eps_log2,
-                    Summary::of(&probes),
-                    Summary::of(&times),
-                    Summary::of(&ratios),
-                )
-            });
-            for (eps_log2, probes, times, ratios) in rows {
-                table.row(&[
-                    variant.to_string(),
-                    suite.to_string(),
-                    format!("2^-{eps_log2}"),
-                    format!("{:.1}", probes.mean),
-                    format!("{:.2}", times.median),
-                    format!("{:.4}", ratios.max),
-                ]);
-            }
-        }
-    }
-    std::fs::create_dir_all("bench_output").expect("create bench_output");
-    std::fs::write("bench_output/epsilon.txt", table.to_aligned()).expect("write");
-    std::fs::write("bench_output/epsilon.csv", table.to_csv()).expect("write");
-    println!("# Theorem 2: probes grow linearly in log(1/eps); ratio tightens toward 1.5");
-    println!();
-    print!("{}", table.to_aligned());
+fn main() -> ExitCode {
+    bss_bench::repro::cli::study_main("epsilon")
 }

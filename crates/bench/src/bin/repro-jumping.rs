@@ -1,65 +1,9 @@
-//! Experiments S3/S4: Class Jumping versus the plain ε-binary-search on the
-//! same duals (Theorems 3 and 6 vs Theorem 2), sweeping the class count `c`
-//! at fixed `n` — the regime where the paper's `c log(c+m)` term matters.
-//! Also reports the ablation: probes needed by each search.
-//! Output: `bench_output/jumping.{txt,csv}`.
+//! Experiments S3/S4 (study `jumping`): Class Jumping versus the plain
+//! ε-binary-search over the class-count sweep. Thin CLI wrapper over
+//! [`bss_bench::repro`]; see `repro-all` for the full pipeline.
 
-use bss_core::{solve, Algorithm};
-use bss_instance::Variant;
-use bss_report::{parallel_map, time_best_of, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let n = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100_000usize);
-    let mut table = Table::new(&[
-        "variant",
-        "c",
-        "jumping time (ms)",
-        "jumping probes",
-        "eps-search time (ms)",
-        "eps probes",
-        "jumping accepted / eps accepted",
-    ]);
-    // m fixed; sweep c through the contended regime: for c in [m/2, m) the
-    // classes are expensive with beta >= 2 at T_min and the searches must
-    // actually search; outside that band T_min is accepted immediately.
-    let m = 1024usize;
-    let cs: Vec<usize> = vec![m / 2, (m * 5) / 8, (m * 3) / 4, (m * 7) / 8, m, 2 * m];
-    for variant in [Variant::Splittable, Variant::Preemptive] {
-        let rows = parallel_map(cs.clone(), None, |c| {
-            let inst = bss_gen::contended(n, c.min(n / 2), m, 11);
-            let (jump, tj) = time_best_of(2, || solve(&inst, variant, Algorithm::ThreeHalves));
-            let (eps, te) = time_best_of(2, || {
-                solve(&inst, variant, Algorithm::EpsilonSearch { eps_log2: 12 })
-            });
-            (
-                c,
-                tj.as_secs_f64() * 1e3,
-                jump.probes,
-                te.as_secs_f64() * 1e3,
-                eps.probes,
-                (jump.accepted / eps.accepted).to_f64(),
-            )
-        });
-        for (c, tj, pj, te, pe, quality) in rows {
-            table.row(&[
-                variant.to_string(),
-                format!("{c}"),
-                format!("{tj:.2}"),
-                format!("{pj}"),
-                format!("{te:.2}"),
-                format!("{pe}"),
-                format!("{quality:.5}"),
-            ]);
-        }
-    }
-    std::fs::create_dir_all("bench_output").expect("create bench_output");
-    std::fs::write("bench_output/jumping.txt", table.to_aligned()).expect("write");
-    std::fs::write("bench_output/jumping.csv", table.to_csv()).expect("write");
-    println!("# Class Jumping vs plain binary search over the same 3/2-duals");
-    println!("# quality <= 1 means jumping found an equal-or-smaller accepted guess");
-    println!();
-    print!("{}", table.to_aligned());
+fn main() -> ExitCode {
+    bss_bench::repro::cli::study_main("jumping")
 }

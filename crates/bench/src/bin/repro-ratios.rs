@@ -1,138 +1,9 @@
-//! Experiments R1–R4: approximation-ratio studies.
-//!
-//! * R1/R2: true ratios against the **exact** non-preemptive optimum on tiny
-//!   instances (for all variants, `OPT_split <= OPT_pmtn <= OPT_nonp`, so
-//!   `accepted <= OPT_nonp` is the hard check for the 3/2 searches).
-//! * R3: the paper's headline — preemptive 3/2 vs the Monma–Potts-style
-//!   wrap-around baseline (ratio `2 − 1/(⌊m/2⌋+1)`), swept over `m`.
-//! * R4: quality of the instance lower bound `T_min` vs exact `OPT`.
-//!
-//! Output: `bench_output/ratios.{txt,csv}`.
+//! Experiments R1–R4 (study `ratios`): exact-OPT certification,
+//! Monma–Potts comparison and lower-bound quality. Thin CLI wrapper over
+//! [`bss_bench::repro`]; see `repro-all` for the full pipeline.
 
-use bss_baselines::{exact_nonpreemptive, monma_potts, ExactLimits};
-use bss_core::{solve, Algorithm};
-use bss_instance::{LowerBounds, Variant};
-use bss_rational::Rational;
-use bss_report::{parallel_map, Summary, Table};
+use std::process::ExitCode;
 
-fn main() {
-    std::fs::create_dir_all("bench_output").expect("create bench_output");
-    let mut table = Table::new(&["experiment", "setting", "metric", "value"]);
-
-    // ---- R1/R2: exact-optimum certification on tiny instances. ----
-    let seeds: Vec<u64> = (0..400).collect();
-    let rows = parallel_map(seeds, None, |seed| {
-        let inst = bss_gen::tiny(seed);
-        let opt = exact_nonpreemptive(&inst, ExactLimits::default())?;
-        let opt = Rational::from(opt);
-        let mut out = Vec::new();
-        for variant in Variant::ALL {
-            for (name, algo) in [
-                ("2-approx", Algorithm::TwoApprox),
-                ("3/2", Algorithm::ThreeHalves),
-            ] {
-                let sol = solve(&inst, variant, algo);
-                // OPT_variant <= OPT_nonp: ratio vs OPT_nonp *underestimates*
-                // the true per-variant ratio for relaxed variants, so only
-                // the non-preemptive number is a true ratio; the others are
-                // sanity ceilings.
-                let ratio = (sol.makespan / opt).to_f64();
-                let guess_ok = sol.accepted <= opt;
-                out.push((variant, name, ratio, guess_ok));
-            }
-        }
-        Some(out)
-    });
-    let mut per_cell: std::collections::BTreeMap<(String, &str), (Vec<f64>, bool)> =
-        Default::default();
-    for row in rows.into_iter().flatten() {
-        for (variant, name, ratio, guess_ok) in row {
-            let e = per_cell
-                .entry((variant.to_string(), name))
-                .or_insert_with(|| (Vec::new(), true));
-            e.0.push(ratio);
-            e.1 &= guess_ok;
-        }
-    }
-    for ((variant, name), (ratios, guesses_ok)) in &per_cell {
-        let s = Summary::of(ratios);
-        table.row(&[
-            "R1/R2".to_string(),
-            format!("{variant} {name} (n={})", s.n),
-            "ratio vs exact OPT_nonp (mean / max)".to_string(),
-            format!("{:.4} / {:.4}", s.mean, s.max),
-        ]);
-        table.row(&[
-            "R1/R2".to_string(),
-            format!("{variant} {name}"),
-            "accepted guess <= OPT everywhere".to_string(),
-            format!("{guesses_ok}"),
-        ]);
-    }
-
-    // ---- R3: preemptive 3/2 vs Monma–Potts, swept over m. ----
-    for m in [2usize, 4, 8, 16, 32] {
-        let seeds: Vec<u64> = (0..20).collect();
-        let rows = parallel_map(seeds, None, |seed| {
-            let inst = bss_gen::uniform(60 * m, 6 * m, m, seed);
-            let ours = solve(&inst, Variant::Preemptive, Algorithm::Portfolio);
-            let mp = monma_potts(&inst);
-            let lb = LowerBounds::of(&inst).tmin(Variant::Preemptive);
-            (
-                (ours.makespan / lb).to_f64(),
-                (mp.makespan() / lb).to_f64(),
-                (mp.makespan() / ours.makespan).to_f64(),
-            )
-        });
-        let ours: Vec<f64> = rows.iter().map(|r| r.0).collect();
-        let mp: Vec<f64> = rows.iter().map(|r| r.1).collect();
-        let gain: Vec<f64> = rows.iter().map(|r| r.2).collect();
-        let mp_bound = 2.0 - 1.0 / ((m / 2) as f64 + 1.0);
-        table.row(&[
-            "R3".to_string(),
-            format!("preemptive m={m}"),
-            "ours (portfolio) / T_min (max)".to_string(),
-            format!("{:.4}  [claim <= 1.5 vs OPT]", Summary::of(&ours).max),
-        ]);
-        table.row(&[
-            "R3".to_string(),
-            format!("preemptive m={m}"),
-            "Monma-Potts / T_min (max)".to_string(),
-            format!(
-                "{:.4}  [claim <= {mp_bound:.4} vs OPT]",
-                Summary::of(&mp).max
-            ),
-        ]);
-        table.row(&[
-            "R3".to_string(),
-            format!("preemptive m={m}"),
-            "MP makespan / our makespan (mean)".to_string(),
-            format!("{:.4}", Summary::of(&gain).mean),
-        ]);
-    }
-
-    // ---- R4: T_min quality vs exact OPT on tiny instances. ----
-    let seeds: Vec<u64> = (0..300).collect();
-    let gaps: Vec<f64> = parallel_map(seeds, None, |seed| {
-        let inst = bss_gen::tiny(seed);
-        let opt = exact_nonpreemptive(&inst, ExactLimits::default())?;
-        let lb = LowerBounds::of(&inst).tmin(Variant::NonPreemptive);
-        Some((Rational::from(opt) / lb).to_f64())
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    let s = Summary::of(&gaps);
-    table.row(&[
-        "R4".to_string(),
-        format!("tiny suite (n={})", s.n),
-        "OPT / T_min (mean / max; paper: <= 2)".to_string(),
-        format!("{:.4} / {:.4}", s.mean, s.max),
-    ]);
-
-    std::fs::write("bench_output/ratios.txt", table.to_aligned()).expect("write");
-    std::fs::write("bench_output/ratios.csv", table.to_csv()).expect("write");
-    println!("# Ratio studies: R1/R2 exact-OPT certification, R3 vs Monma-Potts, R4 bound quality");
-    println!();
-    print!("{}", table.to_aligned());
+fn main() -> ExitCode {
+    bss_bench::repro::cli::study_main("ratios")
 }

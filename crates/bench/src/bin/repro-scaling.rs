@@ -1,140 +1,10 @@
-//! Running-time scaling studies (experiments S1, S4, S5 of DESIGN.md).
-//!
-//! Verifies the paper's complexity claims empirically: the duals and
-//! 2-approximations are `O(n)` (log-log slope ≈ 1), the non-preemptive search
-//! grows only logarithmically with `Δ`, and the preemptive Class-Jumping is
-//! near-linear. Output: `bench_output/scaling.{txt,csv}`.
+//! Experiments S1/S5 (study `scaling`): probe counts and ratios along the
+//! `n` and `Δ` sweeps; wall times and log-log fits go to the timing side.
+//! Thin CLI wrapper over [`bss_bench::repro`]; see `repro-all` for the full
+//! pipeline.
 
-use bss_core::{solve, Algorithm};
-use bss_instance::{Instance, Variant};
-use bss_report::{fit_loglog, parallel_map, time_best_of, Table};
+use std::process::ExitCode;
 
-fn measure(variant: Variant, algo: Algorithm, instances: &[(usize, Instance)]) -> Vec<(f64, f64)> {
-    parallel_map(instances.to_vec(), None, |(n, inst)| {
-        let (_, dt) = time_best_of(3, || solve(&inst, variant, algo));
-        (n as f64, dt.as_secs_f64() * 1e3)
-    })
-}
-
-fn main() {
-    let max_log2 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(17u32);
-    let sizes = bss_bench::suites::n_sweep(10, max_log2);
-    let mut table = Table::new(&[
-        "experiment",
-        "variant",
-        "algorithm",
-        "claimed",
-        "n (or Δ)",
-        "time (ms)",
-        "fitted exponent",
-    ]);
-
-    // S1: n-scaling of the full 3/2 algorithms and 2-approximations.
-    let cases: Vec<(Variant, Algorithm, &str, &str)> = vec![
-        (
-            Variant::Splittable,
-            Algorithm::TwoApprox,
-            "2-approx",
-            "O(n)",
-        ),
-        (
-            Variant::NonPreemptive,
-            Algorithm::TwoApprox,
-            "2-approx",
-            "O(n)",
-        ),
-        (
-            Variant::Splittable,
-            Algorithm::ThreeHalves,
-            "class jumping",
-            "O(n + c log(c+m))",
-        ),
-        (
-            Variant::Preemptive,
-            Algorithm::ThreeHalves,
-            "class jumping",
-            "O(n log(c+m))",
-        ),
-        (
-            Variant::NonPreemptive,
-            Algorithm::ThreeHalves,
-            "integer search",
-            "O(n log(n+Δ))",
-        ),
-    ];
-    for (variant, algo, name, claimed) in cases {
-        let instances: Vec<(usize, Instance)> = sizes
-            .iter()
-            .map(|&n| (n, bss_gen::uniform(n, (n / 20).max(2), 16, 7)))
-            .collect();
-        let pts = measure(variant, algo, &instances);
-        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
-        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
-        let slope = fit_loglog(&xs, &ys).unwrap_or(f64::NAN);
-        for (n, ms) in &pts {
-            table.row(&[
-                "S1".to_string(),
-                variant.to_string(),
-                name.to_string(),
-                claimed.to_string(),
-                format!("{n}"),
-                format!("{ms:.3}"),
-                String::new(),
-            ]);
-        }
-        table.row(&[
-            "S1".to_string(),
-            variant.to_string(),
-            name.to_string(),
-            claimed.to_string(),
-            "(fit)".to_string(),
-            String::new(),
-            format!("{slope:.3}"),
-        ]);
-    }
-
-    // S5: Δ-scaling of the non-preemptive integer search at fixed n.
-    let n = 1usize << 13;
-    let deltas: Vec<u64> = (4..=36).step_by(8).map(|k| 1u64 << k).collect();
-    let instances: Vec<(usize, Instance)> = deltas
-        .iter()
-        .map(|&d| (d as usize, bss_gen::wide_delta(n, n / 20, 16, d, 3)))
-        .collect();
-    let pts = measure(Variant::NonPreemptive, Algorithm::ThreeHalves, &instances);
-    // Time should grow ~ log Δ: fit against log2(Δ) linearly instead.
-    for ((d, ms), delta) in pts.iter().zip(&deltas) {
-        let _ = d;
-        table.row(&[
-            "S5".to_string(),
-            Variant::NonPreemptive.to_string(),
-            "integer search".to_string(),
-            "O(n log(n+Δ))".to_string(),
-            format!("Δ=2^{}", delta.trailing_zeros()),
-            format!("{ms:.3}"),
-            String::new(),
-        ]);
-    }
-    let log_deltas: Vec<f64> = deltas.iter().map(|&d| (d as f64).ln()).collect();
-    let times: Vec<f64> = pts.iter().map(|p| p.1).collect();
-    let slope = fit_loglog(&log_deltas, &times).unwrap_or(f64::NAN);
-    table.row(&[
-        "S5".to_string(),
-        Variant::NonPreemptive.to_string(),
-        "integer search".to_string(),
-        "O(n log(n+Δ))".to_string(),
-        "(fit vs log Δ)".to_string(),
-        String::new(),
-        format!("{slope:.3}"),
-    ]);
-
-    std::fs::create_dir_all("bench_output").expect("create bench_output");
-    std::fs::write("bench_output/scaling.txt", table.to_aligned()).expect("write");
-    std::fs::write("bench_output/scaling.csv", table.to_csv()).expect("write");
-    println!("# Scaling studies: fitted exponent ≈ 1 confirms near-linear time");
-    println!("# (S5 fits time against log Δ; an exponent <= ~1 confirms the log dependence)");
-    println!();
-    print!("{}", table.to_aligned());
+fn main() -> ExitCode {
+    bss_bench::repro::cli::study_main("scaling")
 }

@@ -1,137 +1,10 @@
-//! Regenerates **Table 1** of the paper as an empirical matrix.
-//!
-//! The paper's Table 1 lists, per variant, the approximation ratios and
-//! running times of the new algorithms against prior work. This binary runs
-//! every algorithm on every suite and reports
-//!
-//! * the *certified ratio* `makespan / certificate` (an upper bound on the
-//!   true ratio, since `certificate < OPT`), and
-//! * the measured wall time,
-//!
-//! next to the paper's claimed ratio. Output:
-//! `bench_output/table1.{txt,md,csv}`.
+//! Table 1 reproduction (study `table1`): certified ratios per
+//! variant/algorithm/suite next to the paper's claims, plus the
+//! proven-bounds certification table. Thin CLI wrapper over
+//! [`bss_bench::repro`]; see `repro-all` for the full pipeline.
 
-use bss_core::{solve, Algorithm};
-use bss_instance::Variant;
-use bss_report::{parallel_map, time_best_of, Summary, Table};
+use std::process::ExitCode;
 
-struct Cell {
-    variant: Variant,
-    algo: Algorithm,
-    algo_name: &'static str,
-    claimed: &'static str,
-    claimed_time: &'static str,
-}
-
-fn algorithms(variant: Variant) -> Vec<Cell> {
-    let claimed_three_halves_time = match variant {
-        Variant::Splittable => "O(n + c log(c+m))",
-        Variant::Preemptive => "O(n log(c+m))",
-        Variant::NonPreemptive => "O(n log(n+Δ))",
-    };
-    vec![
-        Cell {
-            variant,
-            algo: Algorithm::TwoApprox,
-            algo_name: "2-approx (Thm 1)",
-            claimed: "2",
-            claimed_time: "O(n)",
-        },
-        Cell {
-            variant,
-            algo: Algorithm::EpsilonSearch { eps_log2: 7 },
-            algo_name: "3/2+eps (Thm 2)",
-            claimed: "1.512",
-            claimed_time: "O(n log 1/eps)",
-        },
-        Cell {
-            variant,
-            algo: Algorithm::ThreeHalves,
-            algo_name: "3/2 (Thm 3/6/8)",
-            claimed: "1.5",
-            claimed_time: claimed_three_halves_time,
-        },
-        Cell {
-            variant,
-            algo: Algorithm::Portfolio,
-            algo_name: "portfolio (ours)",
-            claimed: "1.5",
-            claimed_time: claimed_three_halves_time,
-        },
-    ]
-}
-
-fn main() {
-    let n = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000usize);
-    let reps = 5u64;
-    let suites = bss_bench::suites::table1_suites(n, n / 20, 16, reps);
-
-    let mut cells = Vec::new();
-    for variant in Variant::ALL {
-        for cell in algorithms(variant) {
-            for suite in &suites {
-                cells.push((
-                    cell.variant,
-                    cell.algo,
-                    cell.algo_name,
-                    cell.claimed,
-                    cell.claimed_time,
-                    suite.name,
-                    suite.instances.clone(),
-                ));
-            }
-        }
-    }
-
-    let rows = parallel_map(
-        cells,
-        None,
-        |(variant, algo, name, claimed, claimed_time, suite, instances)| {
-            let mut ratios = Vec::new();
-            let mut times = Vec::new();
-            for inst in &instances {
-                let (sol, dt) = time_best_of(2, || solve(inst, variant, algo));
-                ratios.push((sol.makespan / sol.certificate).to_f64());
-                times.push(dt.as_secs_f64() * 1e3);
-            }
-            let r = Summary::of(&ratios);
-            let t = Summary::of(&times);
-            vec![
-                variant.to_string(),
-                name.to_string(),
-                suite.to_string(),
-                claimed.to_string(),
-                format!("{:.4}", r.mean),
-                format!("{:.4}", r.max),
-                claimed_time.to_string(),
-                format!("{:.2}ms", t.median),
-            ]
-        },
-    );
-
-    let mut table = Table::new(&[
-        "variant",
-        "algorithm",
-        "suite",
-        "claimed ratio",
-        "certified ratio (mean)",
-        "certified ratio (max)",
-        "claimed time",
-        "measured (median)",
-    ]);
-    for row in rows {
-        table.row(&row);
-    }
-
-    std::fs::create_dir_all("bench_output").expect("create bench_output");
-    std::fs::write("bench_output/table1.txt", table.to_aligned()).expect("write");
-    std::fs::write("bench_output/table1.md", table.to_markdown()).expect("write");
-    std::fs::write("bench_output/table1.csv", table.to_csv()).expect("write");
-    println!("# Table 1 reproduction (n = {n}, m = 16, {reps} instances per suite)");
-    println!("# certified ratio = makespan / rejected-guess certificate >= true ratio vs OPT");
-    println!();
-    print!("{}", table.to_aligned());
+fn main() -> ExitCode {
+    bss_bench::repro::cli::study_main("table1")
 }

@@ -1,4 +1,6 @@
-//! Shared helpers for the benchmark harness (see `src/bin/` for the repro
-//! binaries and `benches/` for the Criterion studies).
+//! Shared helpers for the benchmark harness: instance suites, the golden
+//! repro pipeline (see [`repro`]) behind the `repro-*` binaries in
+//! `src/bin/`, and the Criterion studies in `benches/`.
 
+pub mod repro;
 pub mod suites;

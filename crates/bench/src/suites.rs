@@ -1,45 +1,75 @@
-//! Instance suites shared by the Criterion benches and the repro binaries.
+//! Instance suites shared by the Criterion benches and the repro studies.
+//!
+//! A suite is a list of [`FamilySpec`] cells rather than pre-built
+//! instances: the repro pipeline records the specs in its MANIFEST (exact
+//! family parameters and seeds per artifact) and builds instances on demand.
 
+use bss_gen::FamilySpec;
 use bss_instance::Instance;
 
-/// A named family of instances for a sweep cell.
+/// A named family of seeded instance cells for a sweep.
 pub struct Suite {
-    /// Short identifier (used in table rows and file names).
+    /// Short identifier (used in table rows, file names and the MANIFEST).
     pub name: &'static str,
-    /// The instances.
-    pub instances: Vec<Instance>,
+    /// The fully-seeded cells.
+    pub specs: Vec<FamilySpec>,
 }
 
-/// The Table-1 evaluation suites: uniform, small-batch, single-job-batch and
-/// expensive-setup regimes, `reps` instances each.
+impl Suite {
+    /// Builds every cell's instance, in spec order.
+    #[must_use]
+    pub fn instances(&self) -> Vec<Instance> {
+        self.specs.iter().map(FamilySpec::build).collect()
+    }
+}
+
+/// The Table-1 evaluation suites: uniform, small-batch, single-job-batch,
+/// expensive-setup and heavy-tailed regimes, seeds `0..reps` each.
 #[must_use]
 pub fn table1_suites(n: usize, c: usize, m: usize, reps: u64) -> Vec<Suite> {
+    let seeds = |spec: FamilySpec| (0..reps).map(|s| spec.reseeded(s)).collect();
     vec![
         Suite {
             name: "uniform",
-            instances: (0..reps).map(|s| bss_gen::uniform(n, c, m, s)).collect(),
+            specs: seeds(FamilySpec::Uniform {
+                jobs: n,
+                classes: c,
+                machines: m,
+                seed: 0,
+            }),
         },
         Suite {
             name: "small-batches",
-            instances: (0..reps).map(|s| bss_gen::small_batches(n, m, s)).collect(),
+            specs: seeds(FamilySpec::SmallBatches {
+                jobs: n,
+                machines: m,
+                seed: 0,
+            }),
         },
         Suite {
             name: "single-job",
-            instances: (0..reps)
-                .map(|s| bss_gen::single_job_batches(n, m, s))
-                .collect(),
+            specs: seeds(FamilySpec::SingleJob {
+                jobs: n,
+                machines: m,
+                seed: 0,
+            }),
         },
         Suite {
             name: "expensive",
-            instances: (0..reps)
-                .map(|s| bss_gen::expensive_setups(n, m, s))
-                .collect(),
+            specs: seeds(FamilySpec::ExpensiveSetups {
+                jobs: n,
+                machines: m,
+                seed: 0,
+            }),
         },
         Suite {
             name: "zipf",
-            instances: (0..reps)
-                .map(|s| bss_gen::zipf_classes(n, c, m, s))
-                .collect(),
+            specs: seeds(FamilySpec::ZipfClasses {
+                jobs: n,
+                classes: c,
+                machines: m,
+                seed: 0,
+            }),
         },
     ]
 }
@@ -59,9 +89,11 @@ mod tests {
         let suites = table1_suites(40, 6, 3, 4);
         assert_eq!(suites.len(), 5);
         for s in &suites {
-            assert_eq!(s.instances.len(), 4);
-            for inst in &s.instances {
+            assert_eq!(s.specs.len(), 4);
+            for (seed, (spec, inst)) in s.specs.iter().zip(s.instances()).enumerate() {
+                assert_eq!(spec.seed(), seed as u64);
                 assert_eq!(inst.machines(), 3);
+                assert_eq!(spec.build(), inst);
             }
         }
     }

@@ -89,11 +89,10 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
     }
     thresholds.sort_unstable();
     thresholds.dedup();
-    let (l2, h2, p) = refine_right_interval(lo, hi, &thresholds, |t| probe(ws, inst, &probes, t));
+    let (l2, h2) = refine_right_interval(lo, hi, &thresholds, |t| probe(ws, inst, &probes, t));
     ws.thresholds = thresholds;
     lo = l2;
     hi = h2;
-    probes.set(probes.get() + p);
 
     // Partitions are now constant on the open interval; the pinned I⁺_exp
     // classes are copied out of the probe classification (later probes
@@ -128,12 +127,11 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
                 let mut jumps = core::mem::take(&mut ws.jumps);
                 jumps.clear();
                 jumps.extend((w_lo..=w_hi).rev().map(|w| sp2 / w));
-                let (l3, h3, p) =
+                let (l3, h3) =
                     refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
                 ws.jumps = jumps;
                 lo = l3;
                 hi = h3;
-                probes.set(probes.get() + p);
             } else {
                 // Binary search over w (acceptance monotone in T).
                 let (mut a, mut b) = (w_lo, w_hi);
@@ -172,11 +170,10 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
         }
         jumps.sort_unstable();
         jumps.dedup();
-        let (l4, h4, p) = refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
+        let (l4, h4) = refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
         ws.jumps = jumps;
         lo = l4;
         hi = h4;
-        probes.set(probes.get() + p);
     }
     ws.jump_classes = iexp_plus;
 

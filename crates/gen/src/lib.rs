@@ -25,8 +25,275 @@ pub mod paper;
 pub mod seqdep;
 
 use bss_instance::{Instance, InstanceBuilder};
+use bss_json::{ToJson, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A named, fully-seeded instance-family cell: everything needed to rebuild
+/// one generated instance. The repro pipeline records these in its MANIFEST
+/// so every committed artifact names the exact family parameters and seed it
+/// was produced from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilySpec {
+    /// [`uniform`].
+    Uniform {
+        /// Job count `n`.
+        jobs: usize,
+        /// Class count `c`.
+        classes: usize,
+        /// Machine count `m`.
+        machines: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`small_batches`] (the class count is family-derived).
+    SmallBatches {
+        /// Job count `n`.
+        jobs: usize,
+        /// Machine count `m`.
+        machines: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`single_job_batches`] (`c = n`).
+    SingleJob {
+        /// Job count `n` (= class count).
+        jobs: usize,
+        /// Machine count `m`.
+        machines: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`expensive_setups`] (the class count is family-derived).
+    ExpensiveSetups {
+        /// Job count `n`.
+        jobs: usize,
+        /// Machine count `m`.
+        machines: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`zipf_classes`].
+    ZipfClasses {
+        /// Job count `n`.
+        jobs: usize,
+        /// Class count `c`.
+        classes: usize,
+        /// Machine count `m`.
+        machines: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`contended`].
+    Contended {
+        /// Job count `n`.
+        jobs: usize,
+        /// Class count `c`.
+        classes: usize,
+        /// Machine count `m`.
+        machines: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`wide_delta`].
+    WideDelta {
+        /// Job count `n`.
+        jobs: usize,
+        /// Class count `c`.
+        classes: usize,
+        /// Machine count `m`.
+        machines: usize,
+        /// Largest processing time `Δ`.
+        delta: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`all_expensive`].
+    AllExpensive {
+        /// Job count `n`.
+        jobs: usize,
+        /// Class count `c` (must stay below `machines`).
+        classes: usize,
+        /// Machine count `m`.
+        machines: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`tiny`] (all shape parameters are seed-derived).
+    Tiny {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl FamilySpec {
+    /// The family's stable name (manifest / table labels).
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            FamilySpec::Uniform { .. } => "uniform",
+            FamilySpec::SmallBatches { .. } => "small-batches",
+            FamilySpec::SingleJob { .. } => "single-job",
+            FamilySpec::ExpensiveSetups { .. } => "expensive",
+            FamilySpec::ZipfClasses { .. } => "zipf",
+            FamilySpec::Contended { .. } => "contended",
+            FamilySpec::WideDelta { .. } => "wide-delta",
+            FamilySpec::AllExpensive { .. } => "all-expensive",
+            FamilySpec::Tiny { .. } => "tiny",
+        }
+    }
+
+    /// The cell's RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        match *self {
+            FamilySpec::Uniform { seed, .. }
+            | FamilySpec::SmallBatches { seed, .. }
+            | FamilySpec::SingleJob { seed, .. }
+            | FamilySpec::ExpensiveSetups { seed, .. }
+            | FamilySpec::ZipfClasses { seed, .. }
+            | FamilySpec::Contended { seed, .. }
+            | FamilySpec::WideDelta { seed, .. }
+            | FamilySpec::AllExpensive { seed, .. }
+            | FamilySpec::Tiny { seed } => seed,
+        }
+    }
+
+    /// The same cell with a different seed (sweeps hold the shape fixed and
+    /// vary only this).
+    #[must_use]
+    pub fn reseeded(mut self, new_seed: u64) -> Self {
+        match &mut self {
+            FamilySpec::Uniform { seed, .. }
+            | FamilySpec::SmallBatches { seed, .. }
+            | FamilySpec::SingleJob { seed, .. }
+            | FamilySpec::ExpensiveSetups { seed, .. }
+            | FamilySpec::ZipfClasses { seed, .. }
+            | FamilySpec::Contended { seed, .. }
+            | FamilySpec::WideDelta { seed, .. }
+            | FamilySpec::AllExpensive { seed, .. }
+            | FamilySpec::Tiny { seed } => *seed = new_seed,
+        }
+        self
+    }
+
+    /// Builds the instance this cell describes.
+    ///
+    /// # Panics
+    /// Propagates the underlying generator's shape preconditions (e.g.
+    /// `c < m` for [`all_expensive`]) — a spec violating them is a
+    /// programmer error, exactly as calling the generator directly would be.
+    #[must_use]
+    pub fn build(&self) -> Instance {
+        match *self {
+            FamilySpec::Uniform {
+                jobs,
+                classes,
+                machines,
+                seed,
+            } => uniform(jobs, classes, machines, seed),
+            FamilySpec::SmallBatches {
+                jobs,
+                machines,
+                seed,
+            } => small_batches(jobs, machines, seed),
+            FamilySpec::SingleJob {
+                jobs,
+                machines,
+                seed,
+            } => single_job_batches(jobs, machines, seed),
+            FamilySpec::ExpensiveSetups {
+                jobs,
+                machines,
+                seed,
+            } => expensive_setups(jobs, machines, seed),
+            FamilySpec::ZipfClasses {
+                jobs,
+                classes,
+                machines,
+                seed,
+            } => zipf_classes(jobs, classes, machines, seed),
+            FamilySpec::Contended {
+                jobs,
+                classes,
+                machines,
+                seed,
+            } => contended(jobs, classes, machines, seed),
+            FamilySpec::WideDelta {
+                jobs,
+                classes,
+                machines,
+                delta,
+                seed,
+            } => wide_delta(jobs, classes, machines, delta, seed),
+            FamilySpec::AllExpensive {
+                jobs,
+                classes,
+                machines,
+                seed,
+            } => all_expensive(jobs, classes, machines, seed),
+            FamilySpec::Tiny { seed } => tiny(seed),
+        }
+    }
+}
+
+impl ToJson for FamilySpec {
+    fn to_json_value(&self) -> Value {
+        let mut fields = vec![("family".into(), Value::Str(self.family().into()))];
+        let mut push = |key: &str, v: u64| fields.push((key.into(), Value::Int(v as i128)));
+        match *self {
+            FamilySpec::Uniform {
+                jobs,
+                classes,
+                machines,
+                ..
+            }
+            | FamilySpec::ZipfClasses {
+                jobs,
+                classes,
+                machines,
+                ..
+            }
+            | FamilySpec::Contended {
+                jobs,
+                classes,
+                machines,
+                ..
+            }
+            | FamilySpec::AllExpensive {
+                jobs,
+                classes,
+                machines,
+                ..
+            } => {
+                push("jobs", jobs as u64);
+                push("classes", classes as u64);
+                push("machines", machines as u64);
+            }
+            FamilySpec::SmallBatches { jobs, machines, .. }
+            | FamilySpec::SingleJob { jobs, machines, .. }
+            | FamilySpec::ExpensiveSetups { jobs, machines, .. } => {
+                push("jobs", jobs as u64);
+                push("machines", machines as u64);
+            }
+            FamilySpec::WideDelta {
+                jobs,
+                classes,
+                machines,
+                delta,
+                ..
+            } => {
+                push("jobs", jobs as u64);
+                push("classes", classes as u64);
+                push("machines", machines as u64);
+                push("delta", delta);
+            }
+            FamilySpec::Tiny { .. } => {}
+        }
+        push("seed", self.seed());
+        Value::Object(fields)
+    }
+}
 
 /// Configuration for the general-purpose generator [`generate`].
 #[derive(Debug, Clone)]
@@ -399,6 +666,101 @@ mod tests {
             assert!(inst.num_jobs() <= 9);
             assert!(inst.machines() <= 4);
         }
+    }
+
+    #[test]
+    fn family_specs_build_what_the_generators_build() {
+        let cells = [
+            FamilySpec::Uniform {
+                jobs: 80,
+                classes: 9,
+                machines: 4,
+                seed: 3,
+            },
+            FamilySpec::SmallBatches {
+                jobs: 80,
+                machines: 4,
+                seed: 3,
+            },
+            FamilySpec::SingleJob {
+                jobs: 30,
+                machines: 4,
+                seed: 3,
+            },
+            FamilySpec::ExpensiveSetups {
+                jobs: 40,
+                machines: 4,
+                seed: 3,
+            },
+            FamilySpec::ZipfClasses {
+                jobs: 200,
+                classes: 12,
+                machines: 4,
+                seed: 3,
+            },
+            FamilySpec::Contended {
+                jobs: 120,
+                classes: 3,
+                machines: 4,
+                seed: 3,
+            },
+            FamilySpec::WideDelta {
+                jobs: 60,
+                classes: 6,
+                machines: 4,
+                delta: 1 << 20,
+                seed: 3,
+            },
+            FamilySpec::AllExpensive {
+                jobs: 40,
+                classes: 3,
+                machines: 8,
+                seed: 3,
+            },
+            FamilySpec::Tiny { seed: 3 },
+        ];
+        let direct = [
+            uniform(80, 9, 4, 3),
+            small_batches(80, 4, 3),
+            single_job_batches(30, 4, 3),
+            expensive_setups(40, 4, 3),
+            zipf_classes(200, 12, 4, 3),
+            contended(120, 3, 4, 3),
+            wide_delta(60, 6, 4, 1 << 20, 3),
+            all_expensive(40, 3, 8, 3),
+            tiny(3),
+        ];
+        for (spec, want) in cells.iter().zip(&direct) {
+            assert_eq!(&spec.build(), want, "{}", spec.family());
+            assert_eq!(spec.seed(), 3);
+            // Reseeding changes only the seed; the rebuilt instance matches
+            // the generator at the new seed.
+            let reseeded = spec.reseeded(4);
+            assert_eq!(reseeded.seed(), 4);
+            assert_eq!(reseeded.family(), spec.family());
+        }
+    }
+
+    #[test]
+    fn family_spec_json_names_family_and_seed() {
+        use bss_json::ToJson;
+        let spec = FamilySpec::WideDelta {
+            jobs: 60,
+            classes: 6,
+            machines: 4,
+            delta: 1 << 20,
+            seed: 7,
+        };
+        let v = spec.to_json_value();
+        assert_eq!(
+            v.field("family").and_then(bss_json::Value::as_str),
+            Some("wide-delta")
+        );
+        assert_eq!(
+            v.field("delta").and_then(bss_json::Value::as_i128),
+            Some(1 << 20)
+        );
+        assert_eq!(v.field("seed").and_then(bss_json::Value::as_i128), Some(7));
     }
 
     #[test]

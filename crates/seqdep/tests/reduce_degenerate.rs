@@ -1,0 +1,163 @@
+//! Degenerate-shape coverage for `reduce::from_instance` (and its inverse),
+//! the `Instance → SeqDepInstance` embedding whose `O(c²)` switch matrix the
+//! ROADMAP flags as under-tested: single-class instances, the `c = 1` vs
+//! machine-capacity edge, minimal (unit) setups, and the all-zero-setup
+//! seqdep shapes that sit *outside* the embedding's image.
+
+use bss_instance::InstanceBuilder;
+use bss_seqdep::reduce::{from_instance, is_uniform, to_uniform_instance, ReductionError};
+use bss_seqdep::{nearest_neighbor_schedule, t_min, SeqDepInstance};
+
+/// `c = 1`: the switch matrix degenerates to the 1×1 zero matrix and the
+/// entire setup structure lives in `initial`.
+#[test]
+fn single_class_embeds_and_round_trips() {
+    let mut b = InstanceBuilder::new(3);
+    b.add_batch(7, &[4, 9, 2]);
+    let inst = b.build().unwrap();
+
+    let sd = from_instance(&inst);
+    assert_eq!(sd.num_classes(), 1);
+    assert_eq!(sd.machines(), 3);
+    assert_eq!(sd.initial(0), 7);
+    assert_eq!(sd.switch(0, 0), 0);
+    assert_eq!(sd.class_proc(0), 4 + 9 + 2);
+    // min/max entry costs collapse to the initial setup.
+    assert_eq!(sd.min_in(0), 7);
+    assert_eq!(sd.max_in(0), 7);
+
+    // The embedding is uniform by construction and bit-exact under the
+    // reverse reduction: one job per class carrying the aggregated work.
+    assert!(is_uniform(&sd));
+    let back = to_uniform_instance(&sd).unwrap();
+    assert_eq!(back.machines(), 3);
+    assert_eq!(back.num_classes(), 1);
+    assert_eq!(back.setup(0), 7);
+    assert_eq!(back.class_proc(0), 15);
+    assert_eq!(from_instance(&back), sd);
+}
+
+/// `c = 1` with `m > c`: only one machine can ever be used — the capacity
+/// edge where per-machine reasoning must not index past the class count.
+#[test]
+fn single_class_many_machines_capacity_edge() {
+    for m in [1usize, 2, 5, 16] {
+        let mut b = InstanceBuilder::new(m);
+        b.add_batch(3, &[5, 6]);
+        let inst = b.build().unwrap();
+        let sd = from_instance(&inst);
+        assert_eq!(sd.machines(), m);
+
+        let orders = nearest_neighbor_schedule(&sd);
+        sd.check_orders(&orders).unwrap();
+        // All work lands on one machine: setup + both jobs.
+        assert_eq!(sd.makespan(&orders), 3 + 11);
+        // The instance-only lower bound agrees exactly on this shape.
+        assert_eq!(t_min(&sd), bss_rational::Rational::from(14u64));
+    }
+}
+
+/// Unit setups everywhere — the batch-setup model's minimum (`s_i >= 1`),
+/// i.e. the closest representable shape to "free" setups. The embedding
+/// must keep them at exactly 1 off the diagonal and 0 on it.
+#[test]
+fn minimal_unit_setups_stay_exact() {
+    let mut b = InstanceBuilder::new(2);
+    for _ in 0..4 {
+        let class = b.add_class(1);
+        b.add_job(class, 1);
+    }
+    let inst = b.build().unwrap();
+    let sd = from_instance(&inst);
+    for i in 0..4 {
+        assert_eq!(sd.initial(i), 1);
+        assert_eq!(sd.min_in(i), 1);
+        for j in 0..4 {
+            assert_eq!(sd.switch(i, j), u64::from(i != j));
+        }
+    }
+    assert!(is_uniform(&sd));
+    assert_eq!(from_instance(&to_uniform_instance(&sd).unwrap()), sd);
+}
+
+/// All-zero setup matrices are expressible in the sequence-dependent model
+/// but lie outside `from_instance`'s image (the batch-setup model requires
+/// `s_i >= 1`): the reverse reduction must reject them with the precise
+/// error rather than fabricating a zero-setup `Instance`.
+#[test]
+fn all_zero_setups_are_outside_the_embedding_image() {
+    // Zero switches *and* zero-free initials: rejected as ZeroSetup.
+    let sd = SeqDepInstance::new(2, vec![0, 0], vec![vec![0, 0], vec![0, 0]], vec![3, 4]).unwrap();
+    assert_eq!(
+        to_uniform_instance(&sd).unwrap_err(),
+        ReductionError::ZeroSetup { class: 0 }
+    );
+    assert!(!is_uniform(&sd));
+    // The degenerate all-zero instance still has well-defined bounds
+    // (everything is work-driven).
+    assert_eq!(sd.min_in(0), 0);
+    assert!(t_min(&sd) >= bss_rational::Rational::from(4u64));
+
+    // Zero switches under *positive* initials: genuinely sequence-dependent
+    // (switching is free, starting is not) — rejected as NonUniform.
+    let sd = SeqDepInstance::new(2, vec![5, 5], vec![vec![0, 0], vec![0, 0]], vec![3, 4]).unwrap();
+    assert_eq!(
+        to_uniform_instance(&sd).unwrap_err(),
+        // The checker scans target classes outermost, so the first reported
+        // violation is the zero switch *into* class 0.
+        ReductionError::NonUniform { from: 1, to: 0 }
+    );
+}
+
+/// The `O(c²)` materialization at a larger class count: dimensions, entry
+/// values and the bit-exact round trip hold across the whole matrix.
+#[test]
+fn large_class_count_matrix_is_exact() {
+    let c = 300;
+    let mut b = InstanceBuilder::new(8);
+    for i in 0..c {
+        let class = b.add_class((i as u64 % 17) + 1);
+        b.add_job(class, (i as u64 % 5) + 1);
+    }
+    let inst = b.build().unwrap();
+    let sd = from_instance(&inst);
+    assert_eq!(sd.num_classes(), c);
+    for i in 0..c {
+        assert_eq!(sd.initial(i), inst.setup(i));
+        assert_eq!(sd.class_proc(i), inst.class_proc(i));
+        assert_eq!(sd.switch(i, i), 0);
+        // Spot the full row: uniform column values off the diagonal.
+        for j in 0..c {
+            if i != j {
+                assert_eq!(sd.switch(i, j), inst.setup(j));
+            }
+        }
+    }
+    assert!(is_uniform(&sd));
+    let back = to_uniform_instance(&sd).unwrap();
+    assert_eq!(back.num_classes(), c);
+    assert_eq!(from_instance(&back), sd);
+}
+
+/// Jobs aggregate per class: an instance with many jobs per class and the
+/// single-job instance carrying the same per-class totals embed to the
+/// identical seqdep instance (the embedding only sees `P(C_j)`).
+#[test]
+fn embedding_sees_only_class_totals() {
+    let mut a = InstanceBuilder::new(2);
+    let c0 = a.add_class(4);
+    a.add_job(c0, 1);
+    a.add_job(c0, 2);
+    a.add_job(c0, 3);
+    let c1 = a.add_class(9);
+    a.add_job(c1, 5);
+    a.add_job(c1, 5);
+    let a = a.build().unwrap();
+
+    let mut b = InstanceBuilder::new(2);
+    b.add_batch(4, &[6]);
+    b.add_batch(9, &[10]);
+    let b = b.build().unwrap();
+
+    assert_eq!(from_instance(&a), from_instance(&b));
+}
