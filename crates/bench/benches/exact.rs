@@ -1,0 +1,83 @@
+//! Criterion study of the exact certification backend: how much a closed
+//! `OPT` costs, per variant, on oracle-gate-sized instances.
+//!
+//! Groups:
+//! * `exact_root_bounds` — the rational root bounds (the per-node work the
+//!   branch-and-bound repeats);
+//! * `exact_close`       — a full closed solve per variant on a fixed
+//!   oracle-gate cell (n = 12, m = 3, c = 4), the shape the portfolio's
+//!   exact arm and the optgap study pay for;
+//! * `exact_seqdep`      — the class-order branch-and-bound on a c = 6
+//!   sequence-dependent cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bss_exact::{bounds, solve_bss, solve_seqdep, ExactConfig, ExactStatus};
+use bss_instance::{Instance, InstanceBuilder, Variant};
+
+/// The fixed oracle-gate cell: 12 jobs over 4 classes on 3 machines,
+/// deterministic by construction (no RNG — the bench must time the same
+/// search tree on every run).
+fn gate_cell() -> Instance {
+    let mut b = InstanceBuilder::new(3);
+    b.add_batch(7, &[3, 11, 5]);
+    b.add_batch(4, &[8, 2, 6]);
+    b.add_batch(9, &[1, 13, 4]);
+    b.add_batch(2, &[10, 7, 5]);
+    b.build().expect("valid by construction")
+}
+
+fn root_bounds(c: &mut Criterion) {
+    let inst = gate_cell();
+    let coverage = [0b111u32, 0b011, 0b101, 0b110];
+    let mut g = c.benchmark_group("exact_root_bounds");
+    g.bench_function("splittable_root", |b| {
+        b.iter(|| black_box(bounds::splittable_root_bound(black_box(&inst))))
+    });
+    g.bench_function("nonpreemptive_root", |b| {
+        b.iter(|| black_box(bounds::nonpreemptive_root_bound(black_box(&inst))))
+    });
+    g.bench_function("coverage_gale", |b| {
+        b.iter(|| black_box(bounds::coverage_gale_bound(black_box(&inst), &coverage)))
+    });
+    g.finish();
+}
+
+fn close_bss(c: &mut Criterion) {
+    let inst = gate_cell();
+    let cfg = ExactConfig::default();
+    // The bench times *closed* searches; assert once so a regression that
+    // stops closure shows up as a failure, not as a silently faster bench.
+    for variant in Variant::ALL {
+        let ex = solve_bss(&inst, variant, &cfg).expect("gate cell fits the limits");
+        assert_eq!(ex.status, ExactStatus::Closed, "{variant}");
+    }
+    let mut g = c.benchmark_group("exact_close");
+    g.sample_size(10);
+    for variant in Variant::ALL {
+        g.bench_function(format!("{variant}"), |b| {
+            b.iter(|| black_box(solve_bss(black_box(&inst), variant, &cfg).unwrap().upper))
+        });
+    }
+    g.finish();
+}
+
+fn close_seqdep(c: &mut Criterion) {
+    let sd = bss_gen::seqdep::tiny_seqdep(11);
+    let cfg = ExactConfig::default();
+    assert_eq!(
+        solve_seqdep(&sd, &cfg)
+            .expect("tiny fits the limits")
+            .status,
+        ExactStatus::Closed
+    );
+    let mut g = c.benchmark_group("exact_seqdep");
+    g.sample_size(10);
+    g.bench_function("class_order_bnb", |b| {
+        b.iter(|| black_box(solve_seqdep(black_box(&sd), &cfg).unwrap().upper))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, root_bounds, close_bss, close_seqdep);
+criterion_main!(benches);

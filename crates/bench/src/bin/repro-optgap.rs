@@ -1,0 +1,9 @@
+//! Study `optgap`: the empirical-ratio scoreboard against the exact
+//! branch-and-bound optimum of every variant (seqdep included). Thin CLI
+//! wrapper over [`bss_bench::repro`]; see `repro-all` for the full pipeline.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    bss_bench::repro::cli::study_main("optgap")
+}

@@ -1,7 +1,7 @@
 //! The golden repro pipeline: the paper's figures and tables as a
 //! regression suite.
 //!
-//! Each of the six studies behind the historical `repro-*` binaries is a
+//! Each of the seven studies behind the historical `repro-*` binaries is a
 //! pure, seeded function [`Study::run`] returning an [`Artifact`]. An
 //! artifact splits its output into
 //!
@@ -34,6 +34,7 @@ pub mod cli;
 mod epsilon;
 mod figures;
 mod jumping;
+mod optgap;
 mod ratios;
 mod scaling;
 mod table1;
@@ -179,10 +180,10 @@ pub struct Study {
     pub run: fn(&ReproConfig) -> Artifact,
 }
 
-/// The six studies, in the order `repro-all` runs and the MANIFEST lists
+/// The seven studies, in the order `repro-all` runs and the MANIFEST lists
 /// them.
 #[must_use]
-pub fn studies() -> [Study; 6] {
+pub fn studies() -> [Study; 7] {
     [
         Study {
             name: "figures",
@@ -203,6 +204,11 @@ pub fn studies() -> [Study; 6] {
             name: "ratios",
             summary: "R1-R4: exact-OPT certification, Monma-Potts comparison, T_min quality",
             run: ratios::run,
+        },
+        Study {
+            name: "optgap",
+            summary: "Empirical ratio vs the branch-and-bound OPT, per variant (incl. seqdep)",
+            run: optgap::run,
         },
         Study {
             name: "scaling",

@@ -1,0 +1,197 @@
+//! Study `optgap` — the empirical-ratio scoreboard against the exact
+//! branch-and-bound optimum of `bss-exact`.
+//!
+//! Where study `ratios` certifies against the *non-preemptive* exact
+//! baseline only (so relaxed variants underestimate their own ratio), this
+//! study closes the branch-and-bound **per variant** — splittable,
+//! preemptive and non-preemptive each against their own `OPT`, plus the
+//! sequence-dependent model against its exact class-order search. Every
+//! ratio in `optgap.csv` is therefore a true empirical ratio vs `OPT`, not
+//! vs a lower bound.
+//!
+//! All cells are exact-rational ratios of seeded single solves — fully
+//! deterministic; this study has no timing part. The search *must* close
+//! (`ExactStatus::Closed`) on every grid cell: a budget exhaustion or a
+//! sandwich gap would silently turn the scoreboard into a bound table, so
+//! it is a hard error instead.
+
+use bss_core::{solve, solve_seqdep, Algorithm};
+use bss_exact::{solve_bss, solve_seqdep as exact_seqdep, ExactConfig, ExactStatus};
+use bss_gen::seqdep::tiny_seqdep;
+use bss_gen::FamilySpec;
+use bss_instance::Variant;
+use bss_json::Value;
+use bss_rational::Rational;
+use bss_report::{parallel_map, Table};
+
+use super::{fmt_ratio, int_list, Artifact, ArtifactFile, Grid, ReproConfig};
+
+/// The fast seeds are a prefix of the full seeds, so every fast-grid CSV row
+/// appears verbatim in the committed full-grid golden.
+fn seeds(grid: Grid) -> u64 {
+    match grid {
+        Grid::Fast => 8,
+        Grid::Full => 48,
+    }
+}
+
+/// The algorithms on the scoreboard, with their stable CSV names.
+const ALGOS: [(&str, Algorithm); 3] = [
+    ("2-approx", Algorithm::TwoApprox),
+    ("3/2", Algorithm::ThreeHalves),
+    ("portfolio", Algorithm::Portfolio),
+];
+
+/// One scoreboard row: `problem, seed, algorithm, opt, achieved,
+/// ratio_vs_opt` (opt and achieved as exact rationals, the ratio in the
+/// pipeline's fixed 6-decimal rendering).
+fn rows_for(
+    problem: &str,
+    seed: u64,
+    opt: Rational,
+    achieved: &[(Rational, &str)],
+) -> Vec<Vec<String>> {
+    achieved
+        .iter()
+        .map(|(makespan, algo)| {
+            assert!(
+                *makespan >= opt,
+                "{problem} seed {seed}: achieved {makespan} below OPT {opt}"
+            );
+            vec![
+                problem.to_string(),
+                seed.to_string(),
+                (*algo).to_string(),
+                opt.to_string(),
+                makespan.to_string(),
+                fmt_ratio(*makespan / opt),
+            ]
+        })
+        .collect()
+}
+
+/// Runs the study at `cfg`.
+#[must_use]
+pub fn run(cfg: &ReproConfig) -> Artifact {
+    let seed_list: Vec<u64> = (0..seeds(cfg.grid)).collect();
+    let exact_cfg = ExactConfig::default();
+
+    // One parallel cell per seed; each cell contributes four problems'
+    // rows (three batch-setup variants plus the seqdep model), in a fixed
+    // order, so the assembled table is independent of the thread count.
+    let cells = parallel_map(seed_list.clone(), cfg.threads, move |seed| {
+        let mut rows = Vec::new();
+        let inst = FamilySpec::Tiny { seed }.build();
+        for variant in [
+            Variant::Splittable,
+            Variant::Preemptive,
+            Variant::NonPreemptive,
+        ] {
+            let ex = solve_bss(&inst, variant, &exact_cfg)
+                .expect("tiny instances are within the oracle's size limits");
+            assert!(
+                ex.status == ExactStatus::Closed,
+                "{variant} seed {seed}: branch-and-bound did not close"
+            );
+            let opt = ex.upper;
+            let achieved: Vec<(Rational, &str)> = ALGOS
+                .iter()
+                .map(|&(name, algo)| (solve(&inst, variant, algo).makespan, name))
+                .collect();
+            rows.extend(rows_for(&variant.to_string(), seed, opt, &achieved));
+        }
+        let sd = tiny_seqdep(seed);
+        let ex = exact_seqdep(&sd, &exact_cfg)
+            .expect("tiny seqdep instances are within the oracle's size limits");
+        assert!(
+            ex.status == ExactStatus::Closed,
+            "seqdep seed {seed}: branch-and-bound did not close"
+        );
+        let achieved: Vec<(Rational, &str)> = ALGOS
+            .iter()
+            .map(|&(name, algo)| (solve_seqdep(&sd, algo).makespan, name))
+            .collect();
+        rows.extend(rows_for("seqdep", seed, ex.upper, &achieved));
+        rows
+    });
+
+    let mut table = Table::new(&[
+        "problem",
+        "seed",
+        "algorithm",
+        "opt",
+        "achieved",
+        "ratio_vs_opt",
+    ]);
+    // (problem, algorithm) -> (max ratio, sum of ratios, count) for the
+    // summary; keyed in first-seen order, which is fixed by the row order.
+    let mut summary: Vec<(String, String, f64, f64, u64)> = Vec::new();
+    for row in cells.into_iter().flatten() {
+        let ratio: f64 = row[5].parse().expect("fmt_ratio emits parseable decimals");
+        let key = (row[0].clone(), row[2].clone());
+        match summary
+            .iter_mut()
+            .find(|s| (s.0 == key.0) && (s.1 == key.1))
+        {
+            Some(s) => {
+                s.2 = s.2.max(ratio);
+                s.3 += ratio;
+                s.4 += 1;
+            }
+            None => summary.push((key.0, key.1, ratio, ratio, 1)),
+        }
+        table.row(&row);
+    }
+
+    let mut agg = Table::new(&["problem", "algorithm", "max_ratio", "mean_ratio"]);
+    for (problem, algo, max, sum, n) in &summary {
+        agg.row(&[
+            problem.clone(),
+            algo.clone(),
+            super::fmt_f64(*max),
+            super::fmt_f64(*sum / (*n as f64)),
+        ]);
+    }
+
+    let text = format!(
+        "# optgap: empirical ratio vs the exact (branch-and-bound) OPT, per variant\n\
+         # every row certifies OPT <= achieved; the portfolio's oracle closes\n\
+         # these tiny instances, so its ratio is exactly 1.000000\n\n{}\n\
+         # per problem x algorithm: worst and mean empirical ratio\n\n{}",
+        table.to_aligned(),
+        agg.to_aligned()
+    );
+
+    Artifact {
+        study: "optgap",
+        deterministic: vec![
+            ArtifactFile::new("optgap.csv", table.to_csv(), true),
+            ArtifactFile::new("optgap.txt", text, true),
+        ],
+        timing: Vec::new(),
+        params: Value::Object(vec![
+            ("seeds".into(), int_list(seed_list.iter().copied())),
+            (
+                "bss_family".into(),
+                Value::Str("bss_gen::tiny (n <= 9, m <= 4, c <= 4; all three variants)".into()),
+            ),
+            (
+                "seqdep_family".into(),
+                Value::Str("bss_gen::seqdep::tiny_seqdep (c <= 6, m <= 4)".into()),
+            ),
+            (
+                "algorithms".into(),
+                Value::Array(
+                    ALGOS
+                        .iter()
+                        .map(|&(name, _)| Value::Str(name.into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "exact_max_nodes".into(),
+                Value::Int(i128::from(ExactConfig::default().max_nodes)),
+            ),
+        ]),
+    }
+}

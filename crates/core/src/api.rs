@@ -37,6 +37,12 @@ pub enum Algorithm {
     /// 3/2-approximation (the pool contains one), but much better on easy
     /// instances, where the dual builders spend their full `3T/2` budget
     /// while simple wrapping packs near the lower bound. Still `O(n + search)`.
+    ///
+    /// On tiny instances (see [`crate::Problem::exact_oracle`]) the
+    /// portfolio additionally runs the `bss-exact` branch-and-bound: a
+    /// closed search returns the true optimum with `ratio_bound` 1 and
+    /// `certificate = makespan = OPT`; a non-closed search still tightens
+    /// the certificate with its proven lower bound.
     Portfolio,
 }
 

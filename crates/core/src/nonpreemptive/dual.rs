@@ -494,7 +494,16 @@ pub fn dual_into(
                 None
             }
         });
-        let Some(eu) = empty else {
+        // Without an empty machine, any machine with room below 3T/2 for
+        // the item (plus its setup when it is a job) keeps the bound: the
+        // final chain machine is processed last, so the target receives no
+        // further insertions. (The capacity test usually guarantees an
+        // empty machine, but the load can be exactly tight.)
+        let target = empty.or_else(|| {
+            let need = item.len + item.job.map_or(0, |_| inst.setup(item.class));
+            (0..b.used).find(|&u| b.loads[u] + need <= b.t + b.t / 2)
+        });
+        let Some(eu) = target else {
             return false; // defensive: excluded by the load test
         };
         let class = item.class;

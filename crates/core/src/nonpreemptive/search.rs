@@ -35,17 +35,22 @@ pub fn three_halves_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome
     let t_min = LowerBounds::of(inst).tmin(Variant::NonPreemptive).ceil() as u64;
     // Probe with the O(n) accept test; build the schedule once, at the
     // smallest accepted guess. The builder keeps defensive rejection
-    // branches beyond the accept test; if one fires, fall back to the
-    // bracket's top (2·T_min, always acceptable by Theorem 1) instead of
-    // panicking.
+    // branches beyond the accept test; if one fires, climb one guess at a
+    // time to the next value that builds — jumping straight to the
+    // bracket's top would silently forfeit the 3/2-vs-OPT guarantee
+    // whenever OPT lies below it. The climb terminates: 2·T_min is
+    // accepted and builds (Theorem 1).
     let out = integer_search(t_min, 2 * t_min, |t| accepts(inst, t));
-    let (accepted, schedule) = match dual_in(ws, inst, out.accepted, &mut Trace::disabled()) {
-        Some(s) => (out.accepted, s),
-        None => (
-            2 * t_min,
-            dual_in(ws, inst, 2 * t_min, &mut Trace::disabled())
-                .expect("2*T_min is accepted and builds (Theorem 1)"),
-        ),
+    let mut accepted = out.accepted;
+    let schedule = loop {
+        if let Some(s) = dual_in(ws, inst, accepted, &mut Trace::disabled()) {
+            break s;
+        }
+        assert!(
+            accepted < 2 * t_min,
+            "2*T_min is accepted and builds (Theorem 1)"
+        );
+        accepted += 1;
     };
     SearchOutcome {
         accepted: Rational::from(accepted),

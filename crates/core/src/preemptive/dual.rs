@@ -43,14 +43,33 @@ pub(crate) struct Aggregates {
     /// `L_pmtn` including the knapsack zero-set setups (case 3.a).
     pub l_pmtn: RawRational,
     /// `true` iff case 3.a applies (`F < Σ`); then `ws.ck_x` holds the
-    /// knapsack solution aligned with `ws.istar`.
+    /// knapsack solution aligned with `ws.istar` — unless `y` is negative,
+    /// in which case the guess is rejected before the knapsack runs.
     pub case_a: bool,
+    /// In case 3.a, the knapsack capacity `Y = F - L*`. A negative value is
+    /// a rejection (the obligatory pieces alone exceed the free time), but
+    /// it is reported rather than swallowed so the Class-Jumping finishing
+    /// move can locate the `Y = 0` crossing. Zero outside case 3.a.
+    pub y: RawRational,
+    /// `Σ |C*_i|` over `I*_chp` — each obligatory big piece shortens by
+    /// `1/2` per unit of `T`, so this is the slope contribution of `L*` to
+    /// `Y` within a partition-stable bracket.
+    pub big_total: u64,
+}
+
+impl Aggregates {
+    /// The accept test of Theorem 5 at guess `t` on `m` machines.
+    pub(crate) fn feasible(&self, t: Rational, m: usize) -> bool {
+        !(self.case_a && self.y.is_negative()) && self.l_pmtn <= t * m
+    }
 }
 
 /// Computes the accept-test aggregates at `t`, filling `ws.cls`, `ws.counts`,
 /// `ws.istar` and (in case 3.a) `ws.ck_x`. `None` when `t` is structurally
-/// infeasible: below the trivial bound, machine demand `m' > m`, or the
-/// obligatory pieces alone exceed the free time (`Y < 0`).
+/// infeasible: below the trivial bound or machine demand `m' > m`. A
+/// negative knapsack capacity (`Y < 0`, the obligatory pieces alone exceed
+/// the free time) is also a rejection but is reported through
+/// [`Aggregates::y`] so searches can locate its crossing.
 ///
 /// After workspace warm-up this performs zero heap allocations.
 pub(crate) fn aggregates_in(
@@ -127,7 +146,9 @@ pub(crate) fn aggregates_in(
         l_pmtn -= inst.setup(i);
     }
 
+    let big_total: u64 = ws.istar.iter().map(|e| e.big_count).sum();
     let case_a = f_free < istar_full;
+    let mut y = RawRational::ZERO;
     if case_a {
         // ---- Case 3.a: knapsack over I*chp. ----
         // Obligatory outside-load L*_i = P(C*_i) - |C*_i| (T/2 - s_i).
@@ -142,10 +163,21 @@ pub(crate) fn aggregates_in(
                 weight: Rational::from(inst.class_proc(e.class)) - li,
             });
         }
-        let mut y = f_free;
+        y = f_free;
         y -= l_star;
         if y.is_negative() {
-            return None; // even the obligatory pieces cannot fit outside
+            // Even the obligatory pieces cannot fit outside: rejected, with
+            // the deficit reported (`l_pmtn` then lacks the zero-set setups,
+            // which is fine — the guess never builds).
+            return Some(Aggregates {
+                half,
+                f_free,
+                istar_full,
+                l_pmtn,
+                case_a,
+                y,
+                big_total,
+            });
         }
         continuous_knapsack_in(&ws.ck_items, y.reduce(), &mut ws.ck_order, &mut ws.ck_x);
         for (e, x) in ws.istar.iter().zip(&ws.ck_x) {
@@ -161,6 +193,8 @@ pub(crate) fn aggregates_in(
         istar_full,
         l_pmtn,
         case_a,
+        y,
+        big_total,
     })
 }
 
@@ -181,7 +215,7 @@ fn prepare_in(
     mode: CountMode,
 ) -> Option<PlanMeta> {
     let agg = aggregates_in(ws, inst, t, mode)?;
-    if agg.l_pmtn > t * inst.machines() {
+    if !agg.feasible(t, inst.machines()) {
         return None;
     }
     let half = agg.half;
@@ -363,7 +397,7 @@ pub fn accepts(inst: &Instance, t: Rational, mode: CountMode) -> bool {
 #[must_use]
 pub fn accepts_in(ws: &mut DualWorkspace, inst: &Instance, t: Rational, mode: CountMode) -> bool {
     match aggregates_in(ws, inst, t, mode) {
-        Some(agg) => agg.l_pmtn <= t * inst.machines(),
+        Some(agg) => agg.feasible(t, inst.machines()),
         None => false,
     }
 }

@@ -194,29 +194,81 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
 /// iteration for the knapsack wobble. The load evaluation `L_pmtn(T)` is the
 /// probe's own aggregate computation ([`aggregates_in`]), so the logic exists
 /// exactly once.
+///
+/// Inside the jump-free bracket the reject constraints are piecewise linear
+/// in `T`, so the accept boundary is one of three crossings:
+///
+/// * the load bound `L_pmtn(T) <= m T` (constant `L_pmtn` up to the
+///   knapsack zero-set, hence the fixed-point iteration);
+/// * the case-3.a capacity `Y(T) = F - L* >= 0`, with slope
+///   `(m - l) + |C*|/2`;
+/// * the case-3.a membership flip itself, where `F(T)` (slope `m - l`)
+///   crosses `Σ_{I*chp} (s_i + P(C_i))` — below it the capacity constraint
+///   re-engages, so the plain load crossing is only valid above it.
+///
+/// Each round evaluates the structure at the bracket midpoint, takes the
+/// largest in-bracket crossing as the candidate, and probes it: accepted
+/// candidates are returned (the boundary, up to zero-set wobble), rejected
+/// ones shrink the bracket from the left. When every locally visible
+/// constraint clears the bracket yet `lo` is rejected, the structure flips
+/// somewhere below the midpoint and the bracket bisects instead.
 fn finishing_move(
     ws: &mut DualWorkspace,
     inst: &Instance,
     mut lo: Rational,
-    hi: Rational,
+    mut hi: Rational,
     probes: &Cell<usize>,
 ) -> Rational {
     let m = inst.machines();
     for _ in 0..32 {
         let mid = (lo + hi).half();
-        // `None` covers both structural infeasibility and `m < m'` — the
-        // bracket's right end is the answer either way.
+        // The crossing candidates reduce to structure-sized denominators,
+        // but the bisection branch doubles `mid`'s denominator each round —
+        // and a fine guess compounds downstream (the knapsack fraction and
+        // the split-piece lengths cube it). Cap it well inside `i128`
+        // headroom; `hi` is accepted, and an optimum wedged less than
+        // 2^-12 of the bracket above a rejected `lo` would need a larger
+        // denominator than any schedule of these integral instances has.
+        if mid.denom() > 1 << 12 {
+            return hi;
+        }
+        // `None` here means `m < m'` or below the trivial bound — both
+        // constant on the bracket, so the right end is the answer.
         let Some(agg) = aggregates_in(ws, inst, mid, MODE) else {
             return hi;
         };
-        let t_new = agg.l_pmtn.reduce() / m;
-        if t_new >= hi || t_new <= lo {
+        let l = ws.cls.iexp_zero.len();
+        let mut t_new = agg.l_pmtn.reduce() / m;
+        if agg.case_a {
+            let slope =
+                Rational::from((m - l) as u64) + Rational::new(i128::from(agg.big_total), 2);
+            if slope.is_positive() {
+                t_new = t_new.max(mid - agg.y.reduce() / slope);
+            } else if agg.y.is_negative() {
+                return hi; // Y < 0 and non-increasing: the bracket rejects
+            }
+        } else if m > l {
+            let t_a = mid
+                - (agg.f_free.reduce() - agg.istar_full.reduce()) / Rational::from((m - l) as u64);
+            t_new = t_new.max(t_a);
+        }
+        if t_new >= hi {
             return hi;
+        }
+        if t_new <= lo {
+            // Locally everything above `lo` accepts, yet `lo` was rejected:
+            // a structure flip hides below `mid`; bisect toward it.
+            if probe(ws, inst, probes, mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            continue;
         }
         if probe(ws, inst, probes, t_new) {
             return t_new;
         }
-        // The load at t_new differs (zero-set moved): shrink and retry.
+        // The structure at t_new differs (zero-set moved): shrink and retry.
         lo = t_new;
     }
     hi

@@ -104,6 +104,16 @@ pub trait Problem {
     /// Class Jumping, the exact integer search, or — for problems without a
     /// specialized search — a fine ε-search over the dual.
     fn direct_search(&self, ws: &mut DualWorkspace, trace: &mut Trace) -> DirectSolve;
+
+    /// The exact branch-and-bound oracle, for problems small enough that it
+    /// is worth running ([`Algorithm::Portfolio`] only). `None` — the
+    /// default — skips the oracle entirely; a [`bss_exact::ExactStatus::
+    /// Closed`] result certifies `OPT` exactly (guarantee 1), and a
+    /// non-closed result still donates its certified lower bound and
+    /// anytime incumbent.
+    fn exact_oracle(&self) -> Option<bss_exact::ExactSolve> {
+        None
+    }
 }
 
 /// Drives any [`Problem`] through the chosen [`Algorithm`] on a reusable
@@ -137,7 +147,41 @@ pub fn solve_problem<P: Problem + ?Sized>(
             best.ratio_bound = ratio;
             best.certificate = best.certificate.max(other.certificate);
             best.probes += other.probes;
-            best
+            // Tiny instances afford the exact oracle: a closed search *is*
+            // the optimum (guarantee 1); a non-closed search still donates
+            // its certified lower bound, and its anytime incumbent when
+            // that schedule beats both members.
+            match problem.exact_oracle() {
+                Some(ex) if ex.status == bss_exact::ExactStatus::Closed => {
+                    let opt = ex.upper;
+                    finish(
+                        ScheduleRepr::Explicit(ex.schedule),
+                        opt,
+                        Rational::ONE,
+                        opt,
+                        best.probes,
+                    )
+                }
+                Some(ex) => {
+                    best.certificate = best.certificate.max(ex.lower);
+                    let incumbent = ex.schedule.makespan();
+                    if incumbent < best.makespan {
+                        let mut sol = finish(
+                            ScheduleRepr::Explicit(ex.schedule),
+                            best.accepted,
+                            best.ratio_bound,
+                            best.certificate,
+                            best.probes,
+                        );
+                        debug_assert_eq!(sol.makespan, incumbent);
+                        sol.certificate = sol.certificate.min(sol.makespan);
+                        sol
+                    } else {
+                        best
+                    }
+                }
+                None => best,
+            }
         }
         Algorithm::TwoApprox => {
             let (repr, ratio) = problem.fallback(ws, trace);
@@ -335,6 +379,15 @@ impl Problem for BssProblem<'_> {
                 }
             }
         }
+    }
+
+    fn exact_oracle(&self) -> Option<bss_exact::ExactSolve> {
+        // Gate well inside the oracle's comfort zone so the portfolio's
+        // asymptotics are untouched on real workloads.
+        if self.inst.num_jobs() > 12 || self.inst.machines() > 4 || self.inst.num_classes() > 6 {
+            return None;
+        }
+        bss_exact::solve_bss(self.inst, self.variant, &bss_exact::ExactConfig::default()).ok()
     }
 }
 

@@ -24,7 +24,7 @@
 use bss_instance::Instance;
 use bss_rational::Rational;
 use bss_schedule::Schedule;
-use bss_seqdep::{reduce, solver, SeqDepInstance};
+use bss_seqdep::{solver, SeqDepInstance};
 
 use crate::api::{Algorithm, ScheduleRepr, Solution};
 use crate::problem::{BssProblem, DirectSolve, Problem};
@@ -35,17 +35,21 @@ use crate::{solve_problem, Trace};
 #[derive(Debug)]
 pub struct SeqDepProblem<'a> {
     inst: &'a SeqDepInstance,
-    /// The bit-exact batch-setup reduction, when the instance is uniform.
-    uniform: Option<Instance>,
+    /// The bit-exact batch-setup reduction, when the instance is uniform —
+    /// borrowed from the instance's own memo, so re-building the bridge
+    /// never re-pays the `O(c²)` uniformity scan.
+    uniform: Option<&'a Instance>,
 }
 
 impl<'a> SeqDepProblem<'a> {
-    /// Wraps `inst`; detects the uniform special case once, up front.
+    /// Wraps `inst`; the uniform special case is detected once per
+    /// *instance* (memoized on [`SeqDepInstance::uniform_reduction`]), not
+    /// once per construction.
     #[must_use]
     pub fn new(inst: &'a SeqDepInstance) -> Self {
         SeqDepProblem {
             inst,
-            uniform: reduce::to_uniform_instance(inst).ok(),
+            uniform: inst.uniform_reduction(),
         }
     }
 
@@ -53,7 +57,7 @@ impl<'a> SeqDepProblem<'a> {
     /// instance is the uniform special case.
     #[must_use]
     pub fn uniform_reduction(&self) -> Option<&Instance> {
-        self.uniform.as_ref()
+        self.uniform
     }
 
     /// Emits `orders` as an explicit schedule through the solver's single
@@ -127,7 +131,7 @@ impl Problem for SeqDepProblem<'_> {
     }
 
     fn direct_search(&self, ws: &mut DualWorkspace, trace: &mut Trace) -> DirectSolve {
-        if let Some(reduced) = &self.uniform {
+        if let Some(reduced) = self.uniform {
             // Uniform special case: the optima coincide, so Theorem 8's
             // search on the reduction is a genuine 3/2-approximation here,
             // rejection certificates included.
@@ -160,6 +164,15 @@ impl Problem for SeqDepProblem<'_> {
             ratio: self.dual_ratio() * (eps + 1u64),
         }
     }
+
+    fn exact_oracle(&self) -> Option<bss_exact::ExactSolve> {
+        // The seqdep oracle branches on classes, not jobs; keep it to
+        // shapes the class-order search finishes comfortably.
+        if self.inst.num_classes() > 8 || self.inst.machines() > 4 {
+            return None;
+        }
+        bss_exact::solve_seqdep(self.inst, &bss_exact::ExactConfig::default()).ok()
+    }
 }
 
 /// Solves a sequence-dependent instance through the unified surface.
@@ -186,6 +199,7 @@ pub fn solve_seqdep_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bss_seqdep::reduce;
 
     fn general_instance(seed: u64, c: usize, m: usize) -> SeqDepInstance {
         use rand::rngs::StdRng;

@@ -1,0 +1,240 @@
+//! Exact non-preemptive optima: dominance-pruned assignment search.
+//!
+//! Non-preemptively, each job runs whole on one machine, and WLOG a machine
+//! groups its jobs class-contiguously with one setup per class it touches
+//! (merging batches drops setups, reordering runs is free). A machine's
+//! completion time is therefore determined by the *set* of jobs assigned to
+//! it, so the search branches on job → machine assignments, longest job
+//! first, with
+//!
+//! * the suffix average bound (remaining work spread perfectly),
+//! * first-empty-machine symmetry breaking,
+//! * dominance memoization on `(depth, sorted (load, class-mask) multiset)`
+//!   — two prefixes reaching the same machine profile explore the same
+//!   subtree, and the first visit had the weaker incumbent, so revisits are
+//!   pruned exactly.
+
+use std::collections::HashSet;
+
+use bss_instance::Instance;
+use bss_rational::Rational;
+use bss_schedule::Schedule;
+
+use crate::bounds;
+use crate::{ExactSolve, ExactStatus, NodeBudget};
+
+/// Past this many memo entries the table stops growing (still exact — only
+/// the pruning weakens).
+const MEMO_CAP: usize = 500_000;
+
+struct Search<'a> {
+    inst: &'a Instance,
+    /// Job ids, longest first.
+    order: Vec<usize>,
+    /// `suffix[k]` = total processing time of `order[k..]`.
+    suffix: Vec<u64>,
+    loads: Vec<u64>,
+    masks: Vec<u32>,
+    assign: Vec<usize>,
+    best: u64,
+    best_assign: Vec<usize>,
+    memo: HashSet<(usize, Vec<(u64, u32)>)>,
+    root_lb: u64,
+}
+
+impl Search<'_> {
+    fn machine_key(&self) -> Vec<(u64, u32)> {
+        let mut key: Vec<(u64, u32)> = self
+            .loads
+            .iter()
+            .copied()
+            .zip(self.masks.iter().copied())
+            .collect();
+        key.sort_unstable();
+        key
+    }
+
+    fn dfs(&mut self, depth: usize, budget: &mut NodeBudget) {
+        if !budget.tick() || self.best == self.root_lb {
+            return;
+        }
+        if depth == self.order.len() {
+            let makespan = self.loads.iter().copied().max().unwrap_or(0);
+            if makespan < self.best {
+                self.best = makespan;
+                self.best_assign = self.assign.clone();
+            }
+            return;
+        }
+        // Suffix average bound: even perfectly spread, the remaining work
+        // cannot push the maximum below this.
+        let current_max = self.loads.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.loads.iter().sum::<u64>() + self.suffix[depth];
+        let avg = total.div_ceil(self.loads.len() as u64);
+        if current_max.max(avg) >= self.best {
+            return;
+        }
+        if self.memo.len() < MEMO_CAP {
+            let key = (depth, self.machine_key());
+            if !self.memo.insert(key) {
+                return;
+            }
+        }
+        let job = self.order[depth];
+        let (class, time) = (self.inst.job(job).class, self.inst.job(job).time);
+        let mut opened_empty = false;
+        for u in 0..self.loads.len() {
+            if self.loads[u] == 0 {
+                // Machines are identical: trying one empty machine covers
+                // all of them.
+                if opened_empty {
+                    continue;
+                }
+                opened_empty = true;
+            }
+            let had = self.masks[u] & (1 << class) != 0;
+            let add = time + if had { 0 } else { self.inst.setup(class) };
+            if self.loads[u] + add >= self.best {
+                continue;
+            }
+            self.loads[u] += add;
+            self.masks[u] |= 1 << class;
+            self.assign[job] = u;
+            self.dfs(depth + 1, budget);
+            self.loads[u] -= add;
+            if !had {
+                self.masks[u] &= !(1 << class);
+            }
+            if budget.exhausted() {
+                return;
+            }
+        }
+    }
+}
+
+/// Greedy LPT incumbent: longest job first onto the machine with the least
+/// resulting load (setup included when the class is new there).
+fn greedy_assign(inst: &Instance, order: &[usize]) -> Vec<usize> {
+    let m = inst.machines();
+    let mut loads = vec![0u64; m];
+    let mut masks = vec![0u32; m];
+    let mut assign = vec![0usize; inst.num_jobs()];
+    for &job in order {
+        let (class, time) = (inst.job(job).class, inst.job(job).time);
+        let u = (0..m)
+            .min_by_key(|&u| {
+                let add = time
+                    + if masks[u] & (1 << class) != 0 {
+                        0
+                    } else {
+                        inst.setup(class)
+                    };
+                (loads[u] + add, u)
+            })
+            .expect("at least one machine");
+        let add = time
+            + if masks[u] & (1 << class) != 0 {
+                0
+            } else {
+                inst.setup(class)
+            };
+        loads[u] += add;
+        masks[u] |= 1 << class;
+        assign[job] = u;
+    }
+    assign
+}
+
+fn assignment_makespan(inst: &Instance, assign: &[usize]) -> u64 {
+    let m = inst.machines();
+    let mut loads = vec![0u64; m];
+    let mut masks = vec![0u32; m];
+    for (job, &u) in assign.iter().enumerate() {
+        let (class, time) = (inst.job(job).class, inst.job(job).time);
+        if masks[u] & (1 << class) == 0 {
+            masks[u] |= 1 << class;
+            loads[u] += inst.setup(class);
+        }
+        loads[u] += time;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+/// Emits the class-contiguous schedule of an assignment: per machine,
+/// ascending classes, one setup then that class's jobs back to back.
+pub(crate) fn realize(inst: &Instance, assign: &[usize]) -> Schedule {
+    let m = inst.machines();
+    let mut out = Schedule::new(m);
+    for u in 0..m {
+        let mut cursor = Rational::ZERO;
+        for class in 0..inst.num_classes() {
+            let jobs: Vec<usize> = inst
+                .class_jobs(class)
+                .iter()
+                .copied()
+                .filter(|&j| assign[j] == u)
+                .collect();
+            if jobs.is_empty() {
+                continue;
+            }
+            let s = Rational::from(inst.setup(class));
+            out.push_setup(u, cursor, s, class);
+            cursor += s;
+            for job in jobs {
+                let len = Rational::from(inst.job(job).time);
+                out.push_piece(u, cursor, len, job, class);
+                cursor += len;
+            }
+        }
+    }
+    out
+}
+
+/// Exact non-preemptive solve: closes on every instance the size limits
+/// admit unless the node budget runs out first.
+pub(crate) fn solve(inst: &Instance, budget: &mut NodeBudget) -> ExactSolve {
+    let mut order: Vec<usize> = (0..inst.num_jobs()).collect();
+    order.sort_by_key(|&j| std::cmp::Reverse((inst.job(j).time, j)));
+    let mut suffix = vec![0u64; order.len() + 1];
+    for k in (0..order.len()).rev() {
+        suffix[k] = suffix[k + 1] + inst.job(order[k]).time;
+    }
+    let greedy = greedy_assign(inst, &order);
+    let n = inst.num_jobs();
+    let root_lb_rat = bounds::nonpreemptive_root_bound(inst);
+    // All data is integral and non-preemptive schedules left-shift onto the
+    // integer grid, so the optimum is an integer: round the root bound up.
+    let root_lb = root_lb_rat.ceil().max(0) as u64;
+    let mut search = Search {
+        inst,
+        suffix,
+        loads: vec![0; inst.machines()],
+        masks: vec![0; inst.machines()],
+        assign: vec![0; n],
+        best: assignment_makespan(inst, &greedy),
+        best_assign: greedy,
+        memo: HashSet::new(),
+        root_lb,
+        order,
+    };
+    search.dfs(0, budget);
+    let closed = !budget.exhausted();
+    let schedule = realize(inst, &search.best_assign);
+    let upper = Rational::from(search.best);
+    debug_assert_eq!(schedule.makespan(), upper);
+    ExactSolve {
+        lower: if closed {
+            upper
+        } else {
+            Rational::from(root_lb).min(upper)
+        },
+        upper,
+        nodes: budget.used(),
+        status: if closed {
+            ExactStatus::Closed
+        } else {
+            ExactStatus::Budget
+        },
+        schedule,
+    }
+}

@@ -87,6 +87,27 @@ pub fn triangle_violating(classes: usize, machines: usize, seed: u64) -> SeqDepI
         .expect("generator produces valid instances")
 }
 
+/// Tiny general instances for exact-oracle comparisons (c <= 6, m <= 4):
+/// fully random asymmetric switch matrices with small entries — no planted
+/// structure, so the oracle sees the unvarnished search space.
+#[must_use]
+pub fn tiny_seqdep(seed: u64) -> SeqDepInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = rng.gen_range(2..=6usize);
+    let machines = rng.gen_range(1..=4);
+    let initial: Vec<u64> = (0..classes).map(|_| rng.gen_range(1..=12)).collect();
+    let work: Vec<u64> = (0..classes).map(|_| rng.gen_range(1..=15)).collect();
+    let switch: Vec<Vec<u64>> = (0..classes)
+        .map(|i| {
+            (0..classes)
+                .map(|j| if i == j { 0 } else { rng.gen_range(1..=12) })
+                .collect()
+        })
+        .collect();
+    SeqDepInstance::new(machines, initial, switch, work)
+        .expect("generator produces valid instances")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

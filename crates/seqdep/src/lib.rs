@@ -96,6 +96,37 @@ impl fmt::Display for SeqDepError {
 
 impl std::error::Error for SeqDepError {}
 
+/// Instance-lifetime memo of the `O(c²)` uniformity reduction
+/// ([`reduce::to_uniform_instance`]), plus a counter of how many times the
+/// scan actually ran — the accounting hook the hotspot regression test
+/// asserts on. The memo is deliberately invisible to the instance's *value*:
+/// clones start cold, equality and the JSON round trip ignore it.
+#[derive(Default)]
+struct UniformMemo {
+    cell: std::sync::OnceLock<Option<bss_instance::Instance>>,
+    checks: std::sync::atomic::AtomicUsize,
+}
+
+impl Clone for UniformMemo {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for UniformMemo {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for UniformMemo {}
+
+impl fmt::Debug for UniformMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("UniformMemo")
+    }
+}
+
 /// A sequence-dependent batch-setup instance.
 ///
 /// Classes are `0..c`; `switch[i][j]` is the setup paid when a machine moves
@@ -109,6 +140,7 @@ pub struct SeqDepInstance {
     initial: Vec<u64>,
     switch: Vec<Vec<u64>>,
     class_proc: Vec<u64>,
+    uniform: UniformMemo,
 }
 
 impl SeqDepInstance {
@@ -161,6 +193,7 @@ impl SeqDepInstance {
             initial,
             switch,
             class_proc,
+            uniform: UniformMemo::default(),
         };
         let weight: u128 = (0..c)
             .map(|j| inst.class_proc[j] as u128 + inst.max_in(j) as u128)
@@ -169,6 +202,33 @@ impl SeqDepInstance {
             return Err(SeqDepError::SequentialWeightTooLarge);
         }
         Ok(inst)
+    }
+
+    /// The batch-setup reduction of this instance if it is *uniform*
+    /// (`switch(i, j) = initial(j)` for all `i ≠ j`, with positive setups
+    /// and work), computed at most once per instance and memoized: repeated
+    /// bridge constructions over the same instance reuse the cached result
+    /// instead of re-paying the `O(c²)` matrix scan.
+    pub fn uniform_reduction(&self) -> Option<&bss_instance::Instance> {
+        self.uniform
+            .cell
+            .get_or_init(|| {
+                self.uniform
+                    .checks
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                reduce::to_uniform_instance(self).ok()
+            })
+            .as_ref()
+    }
+
+    /// How many times the `O(c²)` uniformity scan actually ran on this
+    /// instance: `0` before the first [`Self::uniform_reduction`] call and
+    /// `1` ever after, however many times the bridge is re-built. The
+    /// hotspot regression test pins this counter.
+    pub fn uniformity_checks(&self) -> usize {
+        self.uniform
+            .checks
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The path-TSP reduction of the paper's conclusion: `m = 1`, one

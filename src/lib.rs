@@ -48,6 +48,7 @@
 
 pub use bss_baselines as baselines;
 pub use bss_core as core;
+pub use bss_exact as exact;
 pub use bss_gen as gen;
 pub use bss_instance as instance;
 pub use bss_knapsack as knapsack;
