@@ -56,14 +56,18 @@ pub fn usage(what: &str) -> String {
         .join("\n");
     format!(
         "{what} — regenerates paper-reproduction artifacts\n\n\
-         USAGE:\n  {what} [--grid fast|full] [--threads N] [--no-timing] [--out DIR]\n\n\
+         USAGE:\n  {what} [--grid fast|full] [--threads N] [--no-timing] [--out DIR]\n\
+         \x20            [--deadline-ms MS] [--budget CELLS]\n\n\
          OPTIONS:\n\
          \x20 --grid fast|full  sweep budget (default: $BSS_REPRO_GRID, else full;\n\
          \x20                   fast is the row-subset grid the CI job checks)\n\
          \x20 --threads N       worker threads for the sweeps (default: all cores)\n\
          \x20 --no-timing       skip wall-time measurement (deterministic part only)\n\
          \x20 --out DIR         output root (default: {DEFAULT_OUT}; repro-all\n\
-         \x20                   defaults to results/figures for the committed goldens)\n\n\
+         \x20                   defaults to results/figures for the committed goldens)\n\
+         \x20 --deadline-ms MS  per-sweep wall-clock deadline; skipped cells are\n\
+         \x20                   dropped from the artifact with a warning\n\
+         \x20 --budget CELLS    per-sweep cell budget (deterministic truncation)\n\n\
          STUDIES:\n{list}"
     )
 }
@@ -97,6 +101,20 @@ pub fn parse(args: &[String], default_out: &str) -> Result<Invocation, String> {
                 cfg.threads = Some(n);
             }
             "--no-timing" => cfg.timing = false,
+            "--deadline-ms" => {
+                let v = it
+                    .next()
+                    .ok_or("--deadline-ms needs a value (milliseconds)")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
+                cfg.deadline_ms = Some(ms);
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value (sweep cells)")?;
+                let cells: u64 = v.parse().map_err(|_| format!("bad --budget value `{v}`"))?;
+                cfg.work_budget = Some(cells);
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
                 out = PathBuf::from(v);
@@ -252,6 +270,10 @@ mod tests {
                 "--no-timing",
                 "--out",
                 "x",
+                "--deadline-ms",
+                "1500",
+                "--budget",
+                "40",
             ]),
             DEFAULT_OUT,
         )
@@ -262,6 +284,8 @@ mod tests {
         assert_eq!(run.cfg.threads, Some(3));
         assert!(!run.cfg.timing);
         assert_eq!(run.out, PathBuf::from("x"));
+        assert_eq!(run.cfg.deadline_ms, Some(1500));
+        assert_eq!(run.cfg.work_budget, Some(40));
     }
 
     #[test]
@@ -271,6 +295,9 @@ mod tests {
             vec!["--grid", "medium"],
             vec!["--threads", "zero"],
             vec!["--threads", "0"],
+            vec!["--deadline-ms"],
+            vec!["--deadline-ms", "soon"],
+            vec!["--budget", "-3"],
             vec!["--out"],
             vec!["--frobnicate"],
             vec!["17"], // the historical positional n is gone

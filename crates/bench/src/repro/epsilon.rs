@@ -9,7 +9,7 @@ use bss_core::{solve, Algorithm};
 use bss_gen::FamilySpec;
 use bss_instance::Variant;
 use bss_json::{ToJson, Value};
-use bss_report::{parallel_map, time_best_of, Table};
+use bss_report::{time_best_of, Table};
 
 use super::{fmt_ms, fmt_ratio, int, int_list, Artifact, ArtifactFile, Grid, ReproConfig};
 
@@ -72,7 +72,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
     }
 
     let timing = cfg.timing;
-    let rows = parallel_map(cells, cfg.threads, |(suite, spec, variant, eps_log2)| {
+    let rows = super::sweep(cfg, "epsilon", cells, |(suite, spec, variant, eps_log2)| {
         let inst = spec.build();
         let algo = Algorithm::EpsilonSearch { eps_log2 };
         // Solves are deterministic (proven by tests/repro_determinism.rs),
@@ -109,7 +109,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
         "makespan/accepted",
     ]);
     let mut times = Table::new(&["suite", "variant", "eps", "seed", "time (ms, best of 2)"]);
-    for (row, ms) in rows {
+    for (row, ms) in rows.into_iter().flatten() {
         if let Some(ms) = ms {
             times.row(&[&row[0], &row[1], &row[2], &row[3], &ms]);
         }

@@ -12,7 +12,7 @@ use bss_core::{solve, Algorithm};
 use bss_gen::FamilySpec;
 use bss_instance::Variant;
 use bss_json::{ToJson, Value};
-use bss_report::{parallel_map, time_best_of, Table};
+use bss_report::{time_best_of, Table};
 
 use super::{fmt_ms, fmt_ratio, int, int_list, Artifact, ArtifactFile, Grid, ReproConfig};
 
@@ -42,7 +42,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
         }
     }
     let timing = cfg.timing;
-    let rows = parallel_map(cells, cfg.threads, |(variant, c)| {
+    let rows = super::sweep(cfg, "jumping", cells, |(variant, c)| {
         // The swept `c` is the instance's class count verbatim — the CSV and
         // MANIFEST must describe exactly what was built.
         assert!(c <= JOBS, "class sweep exceeds the job count");
@@ -87,7 +87,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
         "jumping makespan/certificate",
     ]);
     let mut times = Table::new(&["variant", "c", "jumping (ms)", "eps-search (ms)"]);
-    for (row, t) in rows {
+    for (row, t) in rows.into_iter().flatten() {
         if let Some((tj, te)) = t {
             times.row(&[&row[0], &row[1], &tj, &te]);
         }

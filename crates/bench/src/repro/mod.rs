@@ -90,6 +90,16 @@ pub struct ReproConfig {
     /// disabled in the golden tests, where only the deterministic part
     /// matters and timed re-solves would be wasted work.
     pub timing: bool,
+    /// Per-sweep wall-clock deadline in milliseconds (`--deadline-ms`).
+    /// `None` = unlimited: the default run is bit-identical to the
+    /// pre-anytime pipeline. Under a deadline a sweep loses the tail of its
+    /// grid (skipped cells are dropped from the artifact, with a warning),
+    /// never the rows already computed.
+    pub deadline_ms: Option<u64>,
+    /// Per-sweep cell budget (`--budget`): at most this many sweep cells are
+    /// computed before the rest are skipped. Deterministic, unlike the
+    /// deadline. `None` = unlimited.
+    pub work_budget: Option<u64>,
 }
 
 impl ReproConfig {
@@ -100,6 +110,8 @@ impl ReproConfig {
             grid: Grid::Full,
             threads: None,
             timing: true,
+            deadline_ms: None,
+            work_budget: None,
         }
     }
 
@@ -110,6 +122,8 @@ impl ReproConfig {
             grid: Grid::Fast,
             threads: None,
             timing: false,
+            deadline_ms: None,
+            work_budget: None,
         }
     }
 
@@ -126,8 +140,52 @@ impl ReproConfig {
             grid,
             threads: None,
             timing: true,
+            deadline_ms: None,
+            work_budget: None,
         })
     }
+
+    /// The anytime budget one sweep runs under: unlimited unless
+    /// `--deadline-ms` / `--budget` was given (each sweep gets its own
+    /// deadline window, measured from the sweep's start).
+    #[must_use]
+    pub fn sweep_budget(&self) -> bss_budget::SolveBudget {
+        let mut budget = bss_budget::SolveBudget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(cells) = self.work_budget {
+            budget = budget.with_work_limit(cells);
+        }
+        budget
+    }
+}
+
+/// [`bss_report::parallel_map`] under the config's anytime budget: each
+/// finished cell spends one unit of `--budget`, and once the budget trips
+/// (deadline or cell count) the remaining cells come back as `None` — a
+/// deadline loses the tail of a sweep, never the rows already computed.
+/// With neither flag set this is the plain sweep: every cell is `Some` and
+/// the artifact is bit-identical to the pre-anytime pipeline.
+pub(crate) fn sweep<T, R, F>(cfg: &ReproConfig, label: &str, items: Vec<T>, f: F) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let budget = cfg.sweep_budget();
+    let n = items.len();
+    let (results, interrupt) =
+        bss_report::parallel_map_budgeted(items, cfg.threads, &budget, |item| {
+            let out = f(item);
+            let _ = budget.charge_work(1);
+            out
+        });
+    if let Some(i) = interrupt {
+        let kept = results.iter().filter(|r| r.is_some()).count();
+        eprintln!("warning: {label}: sweep interrupted ({i}); kept {kept}/{n} cells");
+    }
+    results
 }
 
 /// One output file of a study.
@@ -532,6 +590,8 @@ mod tests {
             grid: Grid::Fast,
             threads: Some(1),
             timing: false,
+            deadline_ms: None,
+            work_budget: None,
         };
         let artifacts = vec![Artifact {
             study: "demo",

@@ -22,7 +22,7 @@ use bss_gen::FamilySpec;
 use bss_instance::Variant;
 use bss_json::Value;
 use bss_rational::Rational;
-use bss_report::{parallel_map, Table};
+use bss_report::Table;
 
 use super::{fmt_ratio, int_list, Artifact, ArtifactFile, Grid, ReproConfig};
 
@@ -79,7 +79,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
     // One parallel cell per seed; each cell contributes four problems'
     // rows (three batch-setup variants plus the seqdep model), in a fixed
     // order, so the assembled table is independent of the thread count.
-    let cells = parallel_map(seed_list.clone(), cfg.threads, move |seed| {
+    let cells = super::sweep(cfg, "optgap", seed_list.clone(), move |seed| {
         let mut rows = Vec::new();
         let inst = FamilySpec::Tiny { seed }.build();
         for variant in [
@@ -126,7 +126,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
     // (problem, algorithm) -> (max ratio, sum of ratios, count) for the
     // summary; keyed in first-seen order, which is fixed by the row order.
     let mut summary: Vec<(String, String, f64, f64, u64)> = Vec::new();
-    for row in cells.into_iter().flatten() {
+    for row in cells.into_iter().flatten().flatten() {
         let ratio: f64 = row[5].parse().expect("fmt_ratio emits parseable decimals");
         let key = (row[0].clone(), row[2].clone());
         match summary

@@ -19,7 +19,7 @@ use bss_gen::FamilySpec;
 use bss_instance::{LowerBounds, Variant};
 use bss_json::Value;
 use bss_rational::Rational;
-use bss_report::{parallel_map, Table};
+use bss_report::Table;
 
 use super::{fmt_f64, fmt_ratio, int, int_list, Artifact, ArtifactFile, Grid, ReproConfig};
 
@@ -49,7 +49,7 @@ fn r3_seeds(grid: Grid) -> u64 {
 pub fn run(cfg: &ReproConfig) -> Artifact {
     // ---- R1/R2 + R4: exact-optimum certification on tiny instances. ----
     let seeds: Vec<u64> = (0..tiny_seeds(cfg.grid)).collect();
-    let cells = parallel_map(seeds.clone(), cfg.threads, |seed| {
+    let cells = super::sweep(cfg, "ratios/r12", seeds.clone(), |seed| {
         let inst = FamilySpec::Tiny { seed }.build();
         let opt = exact_nonpreemptive(&inst, ExactLimits::default())?;
         let opt = Rational::from(opt);
@@ -75,7 +75,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
 
     let mut r12 = Table::new(&["seed", "variant", "algorithm", "ratio_vs_opt", "guess_ok"]);
     let mut r4 = Table::new(&["seed", "opt_over_tmin"]);
-    for cell in cells.into_iter().flatten() {
+    for cell in cells.into_iter().flatten().flatten() {
         for row in cell.0 {
             r12.row(&row);
         }
@@ -91,7 +91,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
             r3_cells.push((m, seed));
         }
     }
-    let r3_rows = parallel_map(r3_cells, cfg.threads, |(m, seed)| {
+    let r3_rows = super::sweep(cfg, "ratios/r3", r3_cells, |(m, seed)| {
         let inst = FamilySpec::Uniform {
             jobs: 60 * m,
             classes: 6 * m,
@@ -120,7 +120,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
         "mp_claimed_bound",
         "mp_over_ours",
     ]);
-    for row in r3_rows {
+    for row in r3_rows.into_iter().flatten() {
         r3.row(&row);
     }
 

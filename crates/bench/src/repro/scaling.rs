@@ -12,7 +12,7 @@ use bss_core::{solve, Algorithm};
 use bss_gen::FamilySpec;
 use bss_instance::Variant;
 use bss_json::{ToJson, Value};
-use bss_report::{fit_loglog, parallel_map, time_best_of, Table};
+use bss_report::{fit_loglog, time_best_of, Table};
 
 use super::{fmt_ratio, int_list, Artifact, ArtifactFile, Grid, ReproConfig};
 
@@ -109,9 +109,10 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
         ));
     }
 
-    let rows = parallel_map(
+    let rows = super::sweep(
+        cfg,
+        "scaling",
         cells,
-        cfg.threads,
         |(experiment, variant, algo, name, claimed, spec, x)| {
             let inst = spec.build();
             // Solves are deterministic, so a timed run doubles as the
@@ -167,7 +168,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
     // ("2-approx", "class jumping"), so the variant is part of the key.
     type Series<'a> = (&'a str, String, &'a str, Vec<f64>, Vec<f64>);
     let mut series: Vec<Series<'_>> = Vec::new();
-    for (experiment, variant, name, x, ms, row) in rows {
+    for (experiment, variant, name, x, ms, row) in rows.into_iter().flatten() {
         if let Some(ms) = ms {
             let variant = variant.to_string();
             times.row(&[

@@ -21,7 +21,7 @@ use bss_core::{solve, solve_seqdep, Algorithm};
 use bss_instance::Variant;
 use bss_json::{ToJson, Value};
 use bss_rational::Rational;
-use bss_report::{parallel_map, time_best_of, Table};
+use bss_report::{time_best_of, Table};
 
 use crate::suites::{table1_suites, Suite};
 
@@ -99,9 +99,10 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
     }
 
     let timing = cfg.timing;
-    let rows = parallel_map(
+    let rows = super::sweep(
+        cfg,
+        "table1",
         cells,
-        cfg.threads,
         |(variant, algo, algo_name, claimed, claimed_time, suite, spec)| {
             let inst = spec.build();
             // Solves are deterministic, so a timed run doubles as the
@@ -147,7 +148,7 @@ pub fn run(cfg: &ReproConfig) -> Artifact {
         "seed",
         "time (ms, best of 2)",
     ]);
-    for (row, ms) in rows {
+    for (row, ms) in rows.into_iter().flatten() {
         if let Some(ms) = ms {
             times.row(&[&row[0], &row[1], &row[2], &row[3], &ms]);
         }

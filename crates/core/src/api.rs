@@ -7,13 +7,15 @@
 //! and [`Solution`] are shared by *every* problem on that surface
 //! (sequence-dependent instances included) rather than duplicated per model.
 
+use core::fmt;
 use std::sync::OnceLock;
 
+use bss_budget::{Interrupt, SolveBudget};
 use bss_instance::{Instance, Variant};
 use bss_rational::Rational;
 use bss_schedule::{CompactSchedule, Schedule};
 
-use crate::problem::{solve_problem, BssProblem};
+use crate::problem::{solve_problem, solve_problem_budgeted, BssProblem};
 use crate::workspace::DualWorkspace;
 use crate::Trace;
 
@@ -45,6 +47,105 @@ pub enum Algorithm {
     /// the certificate with its proven lower bound.
     Portfolio,
 }
+
+/// How far a solve got before returning — the anytime contract's status,
+/// mirroring the exact crate's `ExactStatus` sandwich.
+///
+/// Under an unlimited [`SolveBudget`] every solve is [`Completion::Full`]
+/// and bit-identical to the unbudgeted entry points (guarded by equivalence
+/// tests). Interrupted solves still return a *valid* schedule with honest
+/// accounting: `makespan <= ratio_bound · accepted` always holds, and the
+/// certificate only reflects genuinely probed rejections — but the accepted
+/// guess may sit above `OPT`, which is exactly what the widened
+/// `ratio_bound` of a degraded solve prices in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The search ran to completion; all documented guarantees hold
+    /// unchanged.
+    Full,
+    /// The deadline or work budget expired mid-search; the solution is the
+    /// best certified one held at that point (the search's right bracket,
+    /// or the `O(n)` safety-net fallback when that is better).
+    Degraded(Interrupt),
+    /// The [`bss_budget::CancelToken`] fired; degradation semantics are the
+    /// same as [`Completion::Degraded`], kept distinct so callers can tell
+    /// an abandoned request from an overrunning one.
+    Cancelled,
+}
+
+impl Completion {
+    /// Maps a search interrupt onto the completion status.
+    #[must_use]
+    pub fn of(interrupt: Option<Interrupt>) -> Self {
+        match interrupt {
+            None => Completion::Full,
+            Some(Interrupt::Cancelled) => Completion::Cancelled,
+            Some(i) => Completion::Degraded(i),
+        }
+    }
+
+    /// Whether the solve ran to completion.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        matches!(self, Completion::Full)
+    }
+}
+
+impl fmt::Display for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Completion::Full => write!(f, "full"),
+            Completion::Degraded(i) => write!(f, "degraded ({i})"),
+            Completion::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A solver failure isolated at the API boundary — the budgeted entry
+/// points catch panics (`catch_unwind`), reset the workspace, and return
+/// this typed error instead of unwinding into the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// Exact rational arithmetic left `i128` headroom (astronomically
+    /// scaled inputs); the solve cannot represent its intermediate values.
+    Overflow {
+        /// The overflow site's panic message.
+        message: String,
+    },
+    /// Any other panic escaping a solver — a bug, or an injected chaos
+    /// fault. The workspace has been reset and is safe to reuse.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl SolveError {
+    /// Classifies a caught panic payload.
+    pub(crate) fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        if message.contains("overflow") {
+            SolveError::Overflow { message }
+        } else {
+            SolveError::Panicked { message }
+        }
+    }
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Overflow { message } => write!(f, "arithmetic overflow: {message}"),
+            SolveError::Panicked { message } => write!(f, "solver panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
 
 /// The schedule representation a solver produced natively.
 ///
@@ -82,6 +183,9 @@ pub struct Solution {
     pub certificate: Rational,
     /// Dual-test probes performed by the search (0 for direct algorithms).
     pub probes: usize,
+    /// How far the solve got before returning ([`Completion::Full`] for
+    /// every unbudgeted solve).
+    pub completion: Completion,
 }
 
 impl Solution {
@@ -178,6 +282,53 @@ pub fn solve_traced_with(
     solve_problem(ws, &BssProblem::new(inst, variant), algo, trace)
 }
 
+/// [`solve`] under a cooperative [`SolveBudget`]: the anytime entry point.
+///
+/// On deadline expiry, work-budget exhaustion or cancellation the solve
+/// *degrades instead of failing* — the returned [`Solution`] carries the
+/// best certified schedule held at the interrupt (tagged by
+/// [`Solution::completion`]) with an honestly widened
+/// [`Solution::ratio_bound`]. Solver panics are isolated at this boundary
+/// into a typed [`SolveError`]; the transient workspace is discarded either
+/// way.
+///
+/// Under [`SolveBudget::unlimited`] the result is bit-identical to
+/// [`solve`].
+///
+/// # Errors
+/// [`SolveError`] when the solver panicked (a bug or an injected chaos
+/// fault) — never because a budget expired.
+pub fn solve_budgeted(
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+    budget: &SolveBudget,
+) -> Result<Solution, SolveError> {
+    solve_budgeted_with(&mut DualWorkspace::new(), inst, variant, algo, budget)
+}
+
+/// [`solve_budgeted`] on a reusable [`DualWorkspace`]. After an error the
+/// workspace has been epoch-reset and is safe to reuse (guarded by the
+/// poisoning regression suite).
+///
+/// # Errors
+/// See [`solve_budgeted`].
+pub fn solve_budgeted_with(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+    budget: &SolveBudget,
+) -> Result<Solution, SolveError> {
+    solve_problem_budgeted(
+        ws,
+        &BssProblem::new(inst, variant),
+        algo,
+        budget,
+        &mut Trace::disabled(),
+    )
+}
+
 pub(crate) fn finish(
     repr: ScheduleRepr,
     accepted: Rational,
@@ -197,6 +348,7 @@ pub(crate) fn finish(
         ratio_bound,
         certificate,
         probes,
+        completion: Completion::Full,
     }
 }
 

@@ -20,6 +20,38 @@
 //! All internal arithmetic is exact ([`bss_rational::Rational`]); every
 //! algorithm's output is checked against the strict validators of
 //! [`bss_schedule`] in this crate's tests.
+//!
+//! # Anytime solving
+//!
+//! Every solve can run under a [`SolveBudget`] — a wall-clock deadline, a
+//! probe budget, and/or a cooperative [`CancelToken`] — through
+//! [`solve_budgeted`] (and the `_budgeted` variants of the other entry
+//! points). An interrupted solve degrades gracefully: it returns the best
+//! certified solution reachable at wind-down (the search's current accepted
+//! bracket, or the `O(n)` Theorem-1 fallback) with an honestly widened
+//! [`Solution::ratio_bound`] and a [`Completion`] saying what happened.
+//! Solver panics are caught at the `_budgeted` boundaries and surface as
+//! typed [`SolveError`]s; an unlimited budget is bit-identical to the plain
+//! entry points.
+//!
+//! # Error contract
+//!
+//! Audited policy for every `unwrap`/`expect`/`panic!` reachable from the
+//! public `solve*` surface:
+//!
+//! * **Input-dependent failures** are typed, never panics. The only such
+//!   family in this crate is [`bss_rational::Rational`] overflow on
+//!   astronomically scaled inputs; its panic messages all contain
+//!   `overflow`, which the `_budgeted` boundaries map to
+//!   [`SolveError::Overflow`].
+//! * **Proof-backed invariants** (an `expect` citing the theorem that makes
+//!   the case impossible, e.g. *"Theorem 7: expensive template capacity
+//!   suffices"* or *"2·T_min is accepted (Theorem 1)"*) stay as panics: a
+//!   violation is a solver bug, not a caller error. The `_budgeted` entry
+//!   points isolate them via `catch_unwind`, reset the workspace so no
+//!   poisoned state leaks into the next solve, and report
+//!   [`SolveError::Panicked`] — the fault-injection suite in `bss-chaos`
+//!   checks both the isolation and the workspace reset.
 
 pub mod classify;
 pub mod nonpreemptive;
@@ -35,9 +67,17 @@ mod trace;
 mod workspace;
 
 pub use api::{
-    solve, solve_traced, solve_traced_with, solve_with, Algorithm, ScheduleRepr, Solution,
+    solve, solve_budgeted, solve_budgeted_with, solve_traced, solve_traced_with, solve_with,
+    Algorithm, Completion, ScheduleRepr, Solution, SolveError,
 };
-pub use problem::{solve_problem, BssProblem, DirectSolve, Problem};
-pub use seqdep_bridge::{solve_seqdep, solve_seqdep_with, SeqDepProblem};
+pub use bss_budget::{CancelToken, Interrupt, SolveBudget};
+pub use problem::{
+    solve_problem, solve_problem_budgeted, solve_problem_with_budget, BssProblem, DirectSolve,
+    Problem,
+};
+pub use seqdep_bridge::{
+    solve_seqdep, solve_seqdep_budgeted, solve_seqdep_budgeted_with, solve_seqdep_with,
+    SeqDepProblem,
+};
 pub use trace::Trace;
 pub use workspace::DualWorkspace;

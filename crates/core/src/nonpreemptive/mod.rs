@@ -10,4 +10,4 @@ mod dual;
 mod search;
 
 pub use dual::{accepts, dual, dual_in, dual_into};
-pub use search::{three_halves, three_halves_in};
+pub use search::{three_halves, three_halves_budgeted_in, three_halves_in};

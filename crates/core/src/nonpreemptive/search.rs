@@ -1,10 +1,11 @@
 //! Theorem 8: the non-preemptive 3/2-approximation in `O(n log(n + Δ))`.
 
+use bss_budget::{Interrupt, SolveBudget};
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
 
-use crate::search::{integer_search, SearchOutcome};
+use crate::search::{integer_search_budgeted, SearchOutcome};
 use crate::workspace::DualWorkspace;
 use crate::Trace;
 
@@ -29,8 +30,21 @@ pub fn three_halves(inst: &Instance) -> SearchOutcome<Schedule> {
 /// the workspace's repair buffers.
 #[must_use]
 pub fn three_halves_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome<Schedule> {
+    three_halves_budgeted_in(ws, inst, &SolveBudget::unlimited()).0
+}
+
+/// [`three_halves_in`] under a cooperative [`SolveBudget`]: bit-identical
+/// when the budget never trips; on interruption the integer search stops at
+/// its current (still accepted) right bracket — `2·⌈T_min⌉` at worst, which
+/// Theorem 1 guarantees builds — and the interrupt is reported alongside.
+#[must_use]
+pub fn three_halves_budgeted_in(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    budget: &SolveBudget,
+) -> (SearchOutcome<Schedule>, Option<Interrupt>) {
     if inst.machines() >= inst.num_jobs() {
-        return trivial_one_job_per_machine(inst);
+        return (trivial_one_job_per_machine(inst), None);
     }
     let t_min = LowerBounds::of(inst).tmin(Variant::NonPreemptive).ceil() as u64;
     // Probe with the O(n) accept test; build the schedule once, at the
@@ -40,7 +54,8 @@ pub fn three_halves_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome
     // bracket's top would silently forfeit the 3/2-vs-OPT guarantee
     // whenever OPT lies below it. The climb terminates: 2·T_min is
     // accepted and builds (Theorem 1).
-    let out = integer_search(t_min, 2 * t_min, |t| accepts(inst, t));
+    let budgeted = integer_search_budgeted(t_min, 2 * t_min, budget, |t| accepts(inst, t));
+    let out = budgeted.outcome;
     let mut accepted = out.accepted;
     let schedule = loop {
         if let Some(s) = dual_in(ws, inst, accepted, &mut Trace::disabled()) {
@@ -52,12 +67,15 @@ pub fn three_halves_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome
         );
         accepted += 1;
     };
-    SearchOutcome {
-        accepted: Rational::from(accepted),
-        schedule,
-        rejected: out.rejected.map(Rational::from),
-        probes: out.probes,
-    }
+    (
+        SearchOutcome {
+            accepted: Rational::from(accepted),
+            schedule,
+            rejected: out.rejected.map(Rational::from),
+            probes: out.probes,
+        },
+        budgeted.interrupt,
+    )
 }
 
 /// `m >= n`: one machine per job is optimal (`makespan = max_i (s_i +

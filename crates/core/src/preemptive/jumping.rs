@@ -19,12 +19,13 @@
 
 use std::cell::Cell;
 
+use bss_budget::{Interrupt, SolveBudget};
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
 
 use crate::classify::{classify_into, gamma};
-use crate::search::{refine_right_interval, SearchOutcome};
+use crate::search::{refine_right_interval_opt, SearchOutcome};
 use crate::workspace::DualWorkspace;
 use crate::Trace;
 
@@ -33,12 +34,28 @@ use super::CountMode;
 
 const MODE: CountMode = CountMode::Gamma;
 
-/// One dual-test probe: bumps the shared counter, then runs the accept test.
-/// Call sites wrap this in short-lived closures so the workspace borrow stays
-/// local to each search step.
-fn probe(ws: &mut DualWorkspace, inst: &Instance, probes: &Cell<usize>, t: Rational) -> bool {
+/// One budgeted dual-test probe: charges the budget, bumps the shared
+/// counter, then runs the accept test. `None` means the budget interrupted
+/// before the test ran (`stop` latched, counter untouched); call sites wrap
+/// this in short-lived closures so the workspace borrow stays local to each
+/// search step.
+fn probe(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    probes: &Cell<usize>,
+    stop: &Cell<Option<Interrupt>>,
+    budget: &SolveBudget,
+    t: Rational,
+) -> Option<bool> {
+    if stop.get().is_some() {
+        return None;
+    }
+    if let Err(i) = budget.charge_probe() {
+        stop.set(Some(i));
+        return None;
+    }
     probes.set(probes.get() + 1);
-    accepts_in(ws, inst, t, MODE)
+    Some(accepts_in(ws, inst, t, MODE))
 }
 
 /// Runs preemptive Class Jumping; the schedule's makespan is
@@ -52,20 +69,57 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<Schedule> {
 /// one allocation footprint.
 #[must_use]
 pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome<Schedule> {
+    class_jumping_budgeted_in(ws, inst, &SolveBudget::unlimited()).0
+}
+
+/// [`class_jumping_in`] under a cooperative [`SolveBudget`]: bit-identical
+/// when the budget never trips; on interruption the search winds down to
+/// its current (still accepted) right bracket, builds there and reports the
+/// interrupt — same contract as the splittable search.
+#[must_use]
+pub fn class_jumping_budgeted_in(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    budget: &SolveBudget,
+) -> (SearchOutcome<Schedule>, Option<Interrupt>) {
     if inst.machines() >= inst.num_jobs() {
-        return trivial(inst);
+        return (trivial(inst), None);
     }
     let probes = Cell::new(0usize);
+    let stop = Cell::new(None::<Interrupt>);
 
     let t_min = LowerBounds::of(inst).tmin(Variant::Preemptive);
-    if probe(ws, inst, &probes, t_min) {
-        let schedule = dual_in(ws, inst, t_min, MODE, &mut Trace::disabled()).expect("accepted");
-        return SearchOutcome {
-            accepted: t_min,
-            schedule,
-            rejected: None,
-            probes: probes.get(),
-        };
+    match probe(ws, inst, &probes, &stop, budget, t_min) {
+        Some(true) => {
+            let schedule =
+                dual_in(ws, inst, t_min, MODE, &mut Trace::disabled()).expect("accepted");
+            return (
+                SearchOutcome {
+                    accepted: t_min,
+                    schedule,
+                    rejected: None,
+                    probes: probes.get(),
+                },
+                None,
+            );
+        }
+        Some(false) => {}
+        None => {
+            // Interrupted before anything was learned: Theorem 1's window
+            // top is accepted unconditionally; build there, certify nothing.
+            let hi = t_min * 2u64;
+            let schedule = dual_in(ws, inst, hi, MODE, &mut Trace::disabled())
+                .expect("2·T_min is accepted (Theorem 1)");
+            return (
+                SearchOutcome {
+                    accepted: hi,
+                    schedule,
+                    rejected: None,
+                    probes: probes.get(),
+                },
+                stop.get(),
+            );
+        }
     }
     let mut lo = t_min;
     let mut hi = t_min * 2u64;
@@ -89,7 +143,9 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
     }
     thresholds.sort_unstable();
     thresholds.dedup();
-    let (l2, h2) = refine_right_interval(lo, hi, &thresholds, |t| probe(ws, inst, &probes, t));
+    let (l2, h2) = refine_right_interval_opt(lo, hi, &thresholds, |t| {
+        probe(ws, inst, &probes, &stop, budget, t)
+    });
     ws.thresholds = thresholds;
     lo = l2;
     hi = h2;
@@ -103,7 +159,7 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
     iexp_plus.clear();
     iexp_plus.extend_from_slice(&ws.cls.iexp_plus);
 
-    if !iexp_plus.is_empty() {
+    if stop.get().is_none() && !iexp_plus.is_empty() {
         // Step 3: fastest jumping class f = argmax (s_f + P_f).
         let f = *iexp_plus
             .iter()
@@ -127,8 +183,9 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
                 let mut jumps = core::mem::take(&mut ws.jumps);
                 jumps.clear();
                 jumps.extend((w_lo..=w_hi).rev().map(|w| sp2 / w));
-                let (l3, h3) =
-                    refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
+                let (l3, h3) = refine_right_interval_opt(lo, hi, &jumps, |t| {
+                    probe(ws, inst, &probes, &stop, budget, t)
+                });
                 ws.jumps = jumps;
                 lo = l3;
                 hi = h3;
@@ -138,56 +195,78 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
                 let mut best: Option<i128> = None;
                 while a <= b {
                     let wm = a + (b - a) / 2;
-                    if probe(ws, inst, &probes, sp2 / wm) {
-                        best = Some(wm);
-                        a = wm + 1;
-                    } else {
-                        b = wm - 1;
+                    match probe(ws, inst, &probes, &stop, budget, sp2 / wm) {
+                        Some(true) => {
+                            best = Some(wm);
+                            a = wm + 1;
+                        }
+                        Some(false) => b = wm - 1,
+                        None => break,
                     }
                 }
-                match best {
-                    Some(w) => {
-                        hi = sp2 / w;
-                        if w < w_hi {
-                            lo = sp2 / (w + 1);
+                if stop.get().is_none() {
+                    match best {
+                        Some(w) => {
+                            hi = sp2 / w;
+                            if w < w_hi {
+                                lo = sp2 / (w + 1);
+                            }
                         }
+                        None => lo = sp2 / w_lo,
                     }
-                    None => lo = sp2 / w_lo,
+                } else if let Some(w) = best {
+                    // Interrupted mid-bisection: the largest accepted jump
+                    // tightens `hi` (genuinely probed); `lo` must not move —
+                    // the unprobed region may still hold accepted guesses.
+                    hi = sp2 / w;
                 }
             }
         }
 
-        // Steps 5–6: each class jumps at most once inside one f-gap
-        // (Lemma 5); collect and pin those jumps.
-        let mut jumps = core::mem::take(&mut ws.jumps);
-        jumps.clear();
-        for &i in &iexp_plus {
-            let g = gamma(inst, hi, i);
-            let cand = Rational::from(2 * (inst.setup(i) + inst.class_proc(i))) / (g + 2) as u64;
-            if lo < cand && cand < hi {
-                jumps.push(cand);
+        if stop.get().is_none() {
+            // Steps 5–6: each class jumps at most once inside one f-gap
+            // (Lemma 5); collect and pin those jumps.
+            let mut jumps = core::mem::take(&mut ws.jumps);
+            jumps.clear();
+            for &i in &iexp_plus {
+                let g = gamma(inst, hi, i);
+                let cand =
+                    Rational::from(2 * (inst.setup(i) + inst.class_proc(i))) / (g + 2) as u64;
+                if lo < cand && cand < hi {
+                    jumps.push(cand);
+                }
             }
+            jumps.sort_unstable();
+            jumps.dedup();
+            let (l4, h4) = refine_right_interval_opt(lo, hi, &jumps, |t| {
+                probe(ws, inst, &probes, &stop, budget, t)
+            });
+            ws.jumps = jumps;
+            lo = l4;
+            hi = h4;
         }
-        jumps.sort_unstable();
-        jumps.dedup();
-        let (l4, h4) = refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
-        ws.jumps = jumps;
-        lo = l4;
-        hi = h4;
     }
     ws.jump_classes = iexp_plus;
 
     // Step 7: finishing move with a bounded fixed-point iteration on the
-    // load (the knapsack zero-set may still move inside the bracket).
-    let chosen = finishing_move(ws, inst, lo, hi, &probes);
+    // load (the knapsack zero-set may still move inside the bracket). Under
+    // an interrupt it degenerates to `hi` immediately (its probes no-op).
+    let chosen = if stop.get().is_some() {
+        hi
+    } else {
+        finishing_move(ws, inst, lo, hi, &probes, &stop, budget)
+    };
     let schedule = dual_in(ws, inst, chosen, MODE, &mut Trace::disabled())
         .expect("finishing move returns an accepted guess");
-    SearchOutcome {
-        accepted: chosen,
-        schedule,
-        rejected: Some(lo),
-        probes: probes.get(),
-    }
+    (
+        SearchOutcome {
+            accepted: chosen,
+            schedule,
+            rejected: Some(lo),
+            probes: probes.get(),
+        },
+        stop.get(),
+    )
 }
 
 /// The finishing case analysis (step 9 analogue) with a bounded fixed-point
@@ -218,6 +297,8 @@ fn finishing_move(
     mut lo: Rational,
     mut hi: Rational,
     probes: &Cell<usize>,
+    stop: &Cell<Option<Interrupt>>,
+    budget: &SolveBudget,
 ) -> Rational {
     let m = inst.machines();
     for _ in 0..32 {
@@ -258,18 +339,19 @@ fn finishing_move(
         if t_new <= lo {
             // Locally everything above `lo` accepts, yet `lo` was rejected:
             // a structure flip hides below `mid`; bisect toward it.
-            if probe(ws, inst, probes, mid) {
-                hi = mid;
-            } else {
-                lo = mid;
+            match probe(ws, inst, probes, stop, budget, mid) {
+                Some(true) => hi = mid,
+                Some(false) => lo = mid,
+                None => return hi, // interrupted: the right end is accepted
             }
             continue;
         }
-        if probe(ws, inst, probes, t_new) {
-            return t_new;
+        match probe(ws, inst, probes, stop, budget, t_new) {
+            Some(true) => return t_new,
+            // The structure at t_new differs (zero-set moved): shrink, retry.
+            Some(false) => lo = t_new,
+            None => return hi, // interrupted: the right end is accepted
         }
-        // The structure at t_new differs (zero-set moved): shrink and retry.
-        lo = t_new;
     }
     hi
 }

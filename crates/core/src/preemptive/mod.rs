@@ -13,5 +13,5 @@ mod jumping;
 pub(crate) mod nice;
 
 pub use dual::{accepts, accepts_in, dual, dual_in, dual_into};
-pub use jumping::{class_jumping, class_jumping_in};
+pub use jumping::{class_jumping, class_jumping_budgeted_in, class_jumping_in};
 pub use nice::{is_nice, nice_dual, CountMode};

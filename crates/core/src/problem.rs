@@ -32,11 +32,14 @@
 //! by the primary's), takes the best makespan, and merges certificates by
 //! maximum — the same accounting for every problem.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bss_budget::{Interrupt, SolveBudget};
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 
-use crate::api::{finish, Algorithm, ScheduleRepr, Solution};
-use crate::search::epsilon_search_between;
+use crate::api::{finish, Algorithm, Completion, ScheduleRepr, Solution, SolveError};
+use crate::search::epsilon_search_between_budgeted;
 use crate::workspace::DualWorkspace;
 use crate::{nonpreemptive, preemptive, splittable, two_approx, Trace};
 
@@ -105,6 +108,33 @@ pub trait Problem {
     /// specialized search — a fine ε-search over the dual.
     fn direct_search(&self, ws: &mut DualWorkspace, trace: &mut Trace) -> DirectSolve;
 
+    /// [`Problem::direct_search`] under a cooperative [`SolveBudget`]. The
+    /// default ignores the budget and always completes — correct, if not
+    /// deadline-respecting; interruptible problems override it with their
+    /// budgeted searches (bit-identical under an unlimited budget). On
+    /// interruption the returned [`DirectSolve`] must still be *valid*:
+    /// `repr` realized at an accepted `accepted`, `certificate` restricted
+    /// to genuinely certified rejections.
+    fn direct_search_budgeted(
+        &self,
+        ws: &mut DualWorkspace,
+        budget: &SolveBudget,
+        trace: &mut Trace,
+    ) -> (DirectSolve, Option<Interrupt>) {
+        let _ = budget;
+        (self.direct_search(ws, trace), None)
+    }
+
+    /// [`Problem::exact_oracle`] under a shared [`SolveBudget`]: the
+    /// portfolio's exact arm draws its nodes from the *same* budget as the
+    /// probe ladders (no double-accounting of wall-clock or work). The
+    /// default ignores the budget; problems backing onto `bss-exact`
+    /// override it.
+    fn exact_oracle_budgeted(&self, budget: &SolveBudget) -> Option<bss_exact::ExactSolve> {
+        let _ = budget;
+        self.exact_oracle()
+    }
+
     /// The exact branch-and-bound oracle, for problems small enough that it
     /// is worth running ([`Algorithm::Portfolio`] only). `None` — the
     /// default — skips the oracle entirely; a [`bss_exact::ExactStatus::
@@ -126,16 +156,70 @@ pub fn solve_problem<P: Problem + ?Sized>(
     algo: Algorithm,
     trace: &mut Trace,
 ) -> Solution {
+    solve_problem_with_budget(ws, problem, algo, &SolveBudget::unlimited(), trace)
+}
+
+/// [`solve_problem`] at the safe API boundary: the solve runs under `budget`
+/// and behind [`catch_unwind`], so a solver panic (arithmetic overflow on an
+/// adversarial instance, a violated internal invariant, injected chaos)
+/// surfaces as a typed [`SolveError`] instead of unwinding through the
+/// caller. On panic the workspace is [reset](DualWorkspace::reset) — buffers
+/// abandoned mid-probe may hold arbitrary partial state — so the same
+/// workspace is safe (and bit-identical to fresh) for the next solve.
+/// Ordinary interrupts (deadline, budget, cancel) are *not* errors: they
+/// return `Ok` with a degraded [`Completion`] and honest accounting.
+pub fn solve_problem_budgeted<P: Problem + ?Sized>(
+    ws: &mut DualWorkspace,
+    problem: &P,
+    algo: Algorithm,
+    budget: &SolveBudget,
+    trace: &mut Trace,
+) -> Result<Solution, SolveError> {
+    let result = {
+        let ws = &mut *ws;
+        let trace = &mut *trace;
+        catch_unwind(AssertUnwindSafe(move || {
+            solve_problem_with_budget(ws, problem, algo, budget, trace)
+        }))
+    };
+    match result {
+        Ok(sol) => Ok(sol),
+        Err(payload) => {
+            ws.reset();
+            Err(SolveError::from_panic(payload.as_ref()))
+        }
+    }
+}
+
+/// The budgeted driver core: panics propagate (prefer
+/// [`solve_problem_budgeted`] at API boundaries). Bit-identical to
+/// [`solve_problem`] under [`SolveBudget::unlimited`]; under a limited
+/// budget, an interruption degrades gracefully — the search's current right
+/// bracket (always a genuinely accepted guess) is built, the `O(n)` fallback
+/// is merged in as a safety net, the `ratio_bound` is honestly widened
+/// against the certified lower bound, and [`Solution::completion`] reports
+/// what happened.
+#[must_use]
+pub fn solve_problem_with_budget<P: Problem + ?Sized>(
+    ws: &mut DualWorkspace,
+    problem: &P,
+    algo: Algorithm,
+    budget: &SolveBudget,
+    trace: &mut Trace,
+) -> Solution {
     let t_min = problem.t_min();
     let mut sol = match algo {
         Algorithm::Portfolio => {
-            let a = solve_problem(ws, problem, Algorithm::ThreeHalves, trace);
-            let b = solve_problem(ws, problem, Algorithm::TwoApprox, trace);
+            let a = solve_problem_with_budget(ws, problem, Algorithm::ThreeHalves, budget, trace);
+            let b = solve_problem_with_budget(ws, problem, Algorithm::TwoApprox, budget, trace);
             // The primary member's guarantee carries over: even when the
             // fallback's schedule wins on makespan, it is bounded by the
             // primary's makespan, so `a.ratio_bound * a.accepted` still
             // dominates. Keep that pair so the documented invariant
-            // `makespan <= ratio_bound * accepted` holds.
+            // `makespan <= ratio_bound * accepted` holds. (When the primary
+            // was interrupted, its pair is already the honestly widened
+            // one, so no further widening happens here.)
+            let completion = a.completion;
             let accepted = a.accepted;
             let ratio = a.ratio_bound;
             let (mut best, other) = if a.makespan <= b.makespan {
@@ -150,8 +234,31 @@ pub fn solve_problem<P: Problem + ?Sized>(
             // Tiny instances afford the exact oracle: a closed search *is*
             // the optimum (guarantee 1); a non-closed search still donates
             // its certified lower bound, and its anytime incumbent when
-            // that schedule beats both members.
-            match problem.exact_oracle() {
+            // that schedule beats both members. An interrupted or exhausted
+            // budget skips the oracle — the remaining time belongs to the
+            // caller, not to branch-and-bound — and the skip (or an oracle
+            // cut short mid-search) is reported as degradation: `Full` must
+            // keep meaning "bit-identical to the unbudgeted solve".
+            let mut oracle_interrupt = None;
+            let oracle = if completion.is_full() {
+                match budget.poll() {
+                    Ok(()) => {
+                        let ex = problem.exact_oracle_budgeted(budget);
+                        if let Err(i) = budget.poll() {
+                            oracle_interrupt = Some(i);
+                        }
+                        ex
+                    }
+                    Err(i) => {
+                        oracle_interrupt = Some(i);
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            let closed = matches!(&oracle, Some(ex) if ex.status == bss_exact::ExactStatus::Closed);
+            let mut merged = match oracle {
                 Some(ex) if ex.status == bss_exact::ExactStatus::Closed => {
                     let opt = ex.upper;
                     finish(
@@ -181,17 +288,35 @@ pub fn solve_problem<P: Problem + ?Sized>(
                     }
                 }
                 None => best,
-            }
+            };
+            // A closed oracle *is* the full answer even if the budget tripped
+            // between closing and reporting; otherwise a skipped or cut-short
+            // oracle degrades the portfolio honestly.
+            merged.completion = if closed {
+                Completion::Full
+            } else if let Some(i) = oracle_interrupt {
+                Completion::of(Some(i))
+            } else {
+                completion
+            };
+            merged
         }
         Algorithm::TwoApprox => {
+            // The `O(n)` fallback is the floor everything else degrades to;
+            // it runs to completion regardless of the budget.
             let (repr, ratio) = problem.fallback(ws, trace);
             finish(repr, t_min, ratio, t_min, 0)
         }
         Algorithm::EpsilonSearch { eps_log2 } => {
             let eps = Rational::new(1, 1 << eps_log2.min(60));
-            let out = epsilon_search_between(t_min, problem.search_hi(), eps * t_min, |t| {
-                problem.probe(ws, t)
-            });
+            let budgeted = epsilon_search_between_budgeted(
+                t_min,
+                problem.search_hi(),
+                eps * t_min,
+                budget,
+                |t| problem.probe(ws, t),
+            );
+            let out = budgeted.outcome;
             // The builders keep defensive rejection branches beyond the
             // accept test; if one fires at the accepted guess, fall back to
             // the problem's safe guess instead of panicking.
@@ -212,23 +337,25 @@ pub fn solve_problem<P: Problem + ?Sized>(
             } else {
                 t_min
             };
-            finish(
+            let sol = finish(
                 repr,
                 accepted,
                 problem.dual_ratio() * (eps + 1u64),
                 cert,
                 out.probes,
-            )
+            );
+            degraded(ws, problem, sol, budgeted.interrupt, trace)
         }
         Algorithm::ThreeHalves => {
-            let d = problem.direct_search(ws, trace);
-            finish(
+            let (d, interrupt) = problem.direct_search_budgeted(ws, budget, trace);
+            let sol = finish(
                 d.repr,
                 d.accepted,
                 d.ratio,
                 d.certificate.max(t_min),
                 d.probes,
-            )
+            );
+            degraded(ws, problem, sol, interrupt, trace)
         }
     };
     // Heuristic problems may floor their `t_min` above the true optimum of
@@ -238,6 +365,51 @@ pub fn solve_problem<P: Problem + ?Sized>(
     if !problem.probe_certifies() {
         sol.certificate = sol.certificate.min(sol.makespan);
     }
+    sol
+}
+
+/// Applies graceful degradation to an interrupted search result (no-op when
+/// `interrupt` is `None`):
+///
+/// 1. **Honest widening.** A completed certifying search proves `makespan <=
+///    ratio · OPT` because it drove `accepted` down to (within ε of) a
+///    certified rejection. An interrupted one only knows `makespan <= ratio ·
+///    accepted` and `OPT > certificate`, so the tightest honest claim versus
+///    `OPT` is `ratio · accepted / certificate` — wider, and exactly as wide
+///    as the unfinished bracket. Heuristic problems
+///    (`!probe_certifies`) skip this: their `ratio_bound` is constructive
+///    versus `accepted`, never a claim versus `OPT`.
+/// 2. **Safety net.** The `O(n)` fallback is built and merged
+///    portfolio-style — each arm keeps its own coherent `(accepted,
+///    ratio_bound)` pair, the better makespan wins, certificates merge by
+///    maximum — so even an instantly-expiring budget returns the
+///    Theorem-1 2-approximation rather than the bracket top alone.
+/// 3. The [`Completion`] records the interrupt.
+fn degraded<P: Problem + ?Sized>(
+    ws: &mut DualWorkspace,
+    problem: &P,
+    mut sol: Solution,
+    interrupt: Option<Interrupt>,
+    trace: &mut Trace,
+) -> Solution {
+    let Some(interrupt) = interrupt else {
+        return sol;
+    };
+    if problem.probe_certifies() && sol.certificate.is_positive() && sol.accepted > sol.certificate
+    {
+        sol.ratio_bound = sol.ratio_bound * sol.accepted / sol.certificate;
+    }
+    let t_min = problem.t_min();
+    let (repr, ratio) = problem.fallback(ws, trace);
+    let net = finish(repr, t_min, ratio, t_min, 0);
+    let cert = sol.certificate.max(net.certificate);
+    if net.makespan < sol.makespan {
+        let probes = sol.probes;
+        sol = net;
+        sol.probes = probes;
+    }
+    sol.certificate = cert;
+    sol.completion = Completion::of(Some(interrupt));
     sol
 }
 
@@ -344,50 +516,80 @@ impl Problem for BssProblem<'_> {
         (repr, Rational::from(2u64))
     }
 
-    fn direct_search(&self, ws: &mut DualWorkspace, _trace: &mut Trace) -> DirectSolve {
+    fn direct_search(&self, ws: &mut DualWorkspace, trace: &mut Trace) -> DirectSolve {
+        self.direct_search_budgeted(ws, &SolveBudget::unlimited(), trace)
+            .0
+    }
+
+    fn direct_search_budgeted(
+        &self,
+        ws: &mut DualWorkspace,
+        budget: &SolveBudget,
+        _trace: &mut Trace,
+    ) -> (DirectSolve, Option<Interrupt>) {
         let t_min = self.t_min();
         let three_halves = Rational::new(3, 2);
         match self.variant {
             Variant::Splittable => {
-                let out = splittable::class_jumping_in(ws, self.inst);
-                DirectSolve {
-                    repr: ScheduleRepr::Compact(out.schedule),
-                    accepted: out.accepted,
-                    certificate: out.rejected.unwrap_or(t_min).max(t_min),
-                    probes: out.probes,
-                    ratio: three_halves,
-                }
+                let (out, interrupt) = splittable::class_jumping_budgeted_in(ws, self.inst, budget);
+                (
+                    DirectSolve {
+                        repr: ScheduleRepr::Compact(out.schedule),
+                        accepted: out.accepted,
+                        certificate: out.rejected.unwrap_or(t_min).max(t_min),
+                        probes: out.probes,
+                        ratio: three_halves,
+                    },
+                    interrupt,
+                )
             }
             Variant::Preemptive => {
-                let out = preemptive::class_jumping_in(ws, self.inst);
-                DirectSolve {
-                    repr: ScheduleRepr::Explicit(out.schedule),
-                    accepted: out.accepted,
-                    certificate: out.rejected.unwrap_or(t_min).max(t_min),
-                    probes: out.probes,
-                    ratio: three_halves,
-                }
+                let (out, interrupt) = preemptive::class_jumping_budgeted_in(ws, self.inst, budget);
+                (
+                    DirectSolve {
+                        repr: ScheduleRepr::Explicit(out.schedule),
+                        accepted: out.accepted,
+                        certificate: out.rejected.unwrap_or(t_min).max(t_min),
+                        probes: out.probes,
+                        ratio: three_halves,
+                    },
+                    interrupt,
+                )
             }
             Variant::NonPreemptive => {
-                let out = nonpreemptive::three_halves_in(ws, self.inst);
-                DirectSolve {
-                    repr: ScheduleRepr::Explicit(out.schedule),
-                    accepted: out.accepted,
-                    certificate: out.rejected.unwrap_or(t_min).max(t_min),
-                    probes: out.probes,
-                    ratio: three_halves,
-                }
+                let (out, interrupt) =
+                    nonpreemptive::three_halves_budgeted_in(ws, self.inst, budget);
+                (
+                    DirectSolve {
+                        repr: ScheduleRepr::Explicit(out.schedule),
+                        accepted: out.accepted,
+                        certificate: out.rejected.unwrap_or(t_min).max(t_min),
+                        probes: out.probes,
+                        ratio: three_halves,
+                    },
+                    interrupt,
+                )
             }
         }
     }
 
     fn exact_oracle(&self) -> Option<bss_exact::ExactSolve> {
+        self.exact_oracle_budgeted(&SolveBudget::unlimited())
+    }
+
+    fn exact_oracle_budgeted(&self, budget: &SolveBudget) -> Option<bss_exact::ExactSolve> {
         // Gate well inside the oracle's comfort zone so the portfolio's
         // asymptotics are untouched on real workloads.
         if self.inst.num_jobs() > 12 || self.inst.machines() > 4 || self.inst.num_classes() > 6 {
             return None;
         }
-        bss_exact::solve_bss(self.inst, self.variant, &bss_exact::ExactConfig::default()).ok()
+        bss_exact::solve_bss_budgeted(
+            self.inst,
+            self.variant,
+            &bss_exact::ExactConfig::default(),
+            budget,
+        )
+        .ok()
     }
 }
 

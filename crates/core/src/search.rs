@@ -13,6 +13,7 @@
 //! * Class Jumping (in the per-variant modules) replaces the geometric search
 //!   with a jump-structure search for the splittable and preemptive variants.
 
+use bss_budget::{Interrupt, SolveBudget};
 use bss_rational::{gcd, Rational};
 
 /// Outcome of a dual-approximation search.
@@ -172,6 +173,22 @@ pub fn epsilon_search(
     epsilon_search_between(t_min, t_min * 2u64, eps * t_min, accepts)
 }
 
+/// Outcome of a budgeted probe search: the (possibly early-stopped) bracket
+/// plus the interrupt that stopped it, if any.
+///
+/// When `interrupt` is `Some`, the search wound down early; `accepted` is
+/// still a guess the builder is guaranteed to realize (the current right
+/// bracket, maintained accepted throughout), and `rejected` carries only
+/// *genuinely certified* rejections — an interrupted search never
+/// extrapolates its certificate from unprobed guesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetedProbe<T> {
+    /// The search bracket as of completion or interruption.
+    pub outcome: ProbeOutcome<T>,
+    /// Why the search stopped early, if it did.
+    pub interrupt: Option<Interrupt>,
+}
+
 /// [`epsilon_search`] over an explicit bracket `[t_lo, t_hi]` with absolute
 /// termination gap `gap` — the generic driver for problems whose guaranteed
 /// upper seed is not `2·T_min` (heuristic duals seed with their own safe
@@ -183,27 +200,75 @@ pub fn epsilon_search_between(
     t_lo: Rational,
     t_hi: Rational,
     gap: Rational,
-    mut accepts: impl FnMut(Rational) -> bool,
+    accepts: impl FnMut(Rational) -> bool,
 ) -> ProbeOutcome<Rational> {
+    epsilon_search_between_budgeted(t_lo, t_hi, gap, &SolveBudget::unlimited(), accepts).outcome
+}
+
+/// [`epsilon_search_between`] under a cooperative [`SolveBudget`]: one work
+/// unit is charged *before* each probe, and an exceeded budget stops the
+/// search at its current bracket instead of narrowing further.
+///
+/// Under an unlimited budget the probe sequence (and thus the outcome) is
+/// bit-identical to [`epsilon_search_between`] — the plain driver is this
+/// function. On interruption the returned `accepted` is the current right
+/// bracket (the precondition seed `t_hi` when nothing was probed yet), which
+/// the caller's builder is guaranteed to realize.
+pub fn epsilon_search_between_budgeted(
+    t_lo: Rational,
+    t_hi: Rational,
+    gap: Rational,
+    budget: &SolveBudget,
+    mut accepts: impl FnMut(Rational) -> bool,
+) -> BudgetedProbe<Rational> {
     assert!(t_lo.is_positive() && gap.is_positive() && t_lo <= t_hi);
-    let mut probes = 1;
+    let mut probes = 0;
+    if let Err(i) = budget.charge_probe() {
+        return BudgetedProbe {
+            outcome: ProbeOutcome {
+                accepted: t_hi,
+                rejected: None,
+                probes,
+            },
+            interrupt: Some(i),
+        };
+    }
+    probes = 1;
     if accepts(t_lo) {
         // t_lo <= OPT, so a build here is even a clean ρ-approximation.
-        return ProbeOutcome {
-            accepted: t_lo,
-            rejected: None,
-            probes,
+        return BudgetedProbe {
+            outcome: ProbeOutcome {
+                accepted: t_lo,
+                rejected: None,
+                probes,
+            },
+            interrupt: None,
         };
     }
     // lo rejected; hi accepted by precondition.
     let mut bracket = Bracket::new(t_lo, t_hi, gap);
+    if let Err(i) = budget.charge_probe() {
+        return BudgetedProbe {
+            outcome: ProbeOutcome {
+                accepted: t_hi,
+                rejected: Some(t_lo),
+                probes,
+            },
+            interrupt: Some(i),
+        };
+    }
     probes += 1;
     assert!(
         accepts(bracket.hi_rational()),
         "the search's upper seed must be accepted"
     );
+    let mut interrupt = None;
     while bracket.is_wide() {
         let mid = bracket.split();
+        if let Err(i) = budget.charge_probe() {
+            interrupt = Some(i);
+            break;
+        }
         probes += 1;
         if accepts(mid) {
             bracket.accept_mid();
@@ -211,10 +276,13 @@ pub fn epsilon_search_between(
             bracket.reject_mid();
         }
     }
-    ProbeOutcome {
-        accepted: bracket.hi_rational(),
-        rejected: Some(bracket.lo_rational()),
-        probes,
+    BudgetedProbe {
+        outcome: ProbeOutcome {
+            accepted: bracket.hi_rational(),
+            rejected: Some(bracket.lo_rational()),
+            probes,
+        },
+        interrupt,
     }
 }
 
@@ -224,26 +292,64 @@ pub fn epsilon_search_between(
 /// holds. Maintains the invariant "`lo` rejected ⇒ `OPT >= lo + 1`", so the
 /// returned `accepted` is `<= OPT` and a ρ-dual schedule built there a clean
 /// ρ-approximation.
-pub fn integer_search(
+pub fn integer_search(t_lo: u64, t_hi: u64, accepts: impl FnMut(u64) -> bool) -> ProbeOutcome<u64> {
+    integer_search_budgeted(t_lo, t_hi, &SolveBudget::unlimited(), accepts).outcome
+}
+
+/// [`integer_search`] under a cooperative [`SolveBudget`] — same contract as
+/// [`epsilon_search_between_budgeted`]: bit-identical when unlimited, stops
+/// at the current (still accepted) right bracket on interruption, and the
+/// certificate only ever reflects genuinely probed rejections.
+pub fn integer_search_budgeted(
     t_lo: u64,
     t_hi: u64,
+    budget: &SolveBudget,
     mut accepts: impl FnMut(u64) -> bool,
-) -> ProbeOutcome<u64> {
+) -> BudgetedProbe<u64> {
     assert!(t_lo <= t_hi);
-    let mut probes = 1;
+    let mut probes = 0;
+    if let Err(i) = budget.charge_probe() {
+        return BudgetedProbe {
+            outcome: ProbeOutcome {
+                accepted: t_hi,
+                rejected: None,
+                probes,
+            },
+            interrupt: Some(i),
+        };
+    }
+    probes = 1;
     if accepts(t_lo) {
-        return ProbeOutcome {
-            accepted: t_lo,
-            rejected: None,
-            probes,
+        return BudgetedProbe {
+            outcome: ProbeOutcome {
+                accepted: t_lo,
+                rejected: None,
+                probes,
+            },
+            interrupt: None,
         };
     }
     let mut lo = t_lo; // rejected
     let mut hi = t_hi;
+    if let Err(i) = budget.charge_probe() {
+        return BudgetedProbe {
+            outcome: ProbeOutcome {
+                accepted: hi,
+                rejected: Some(lo),
+                probes,
+            },
+            interrupt: Some(i),
+        };
+    }
     probes += 1;
     assert!(accepts(hi), "upper bound must be accepted");
+    let mut interrupt = None;
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
+        if let Err(i) = budget.charge_probe() {
+            interrupt = Some(i);
+            break;
+        }
         probes += 1;
         if accepts(mid) {
             hi = mid;
@@ -251,10 +357,13 @@ pub fn integer_search(
             lo = mid;
         }
     }
-    ProbeOutcome {
-        accepted: hi,
-        rejected: Some(lo),
-        probes,
+    BudgetedProbe {
+        outcome: ProbeOutcome {
+            accepted: hi,
+            rejected: Some(lo),
+            probes,
+        },
+        interrupt,
     }
 }
 
@@ -269,10 +378,30 @@ pub fn integer_search(
 /// so the two can never be added together again (the double-counting bug
 /// the repro goldens flushed out).
 pub fn refine_right_interval(
+    lo: Rational,
+    hi: Rational,
+    candidates: &[Rational],
+    mut accepts: impl FnMut(Rational) -> bool,
+) -> (Rational, Rational) {
+    refine_right_interval_opt(lo, hi, candidates, |t| Some(accepts(t)))
+}
+
+/// [`refine_right_interval`] with an *interruptible* probe: a `None` from
+/// `accepts` (the budgeted probes' "budget exceeded" signal) stops the
+/// refinement immediately. The bracket then reflects exactly the probes that
+/// genuinely ran — `lo` moves only past candidates whose rejection the
+/// binary-search invariant certifies (probed, or below a probed rejection),
+/// and `hi` only onto candidates probed accepted — so the right-bracket
+/// invariant (`lo` certified rejected, `hi` accepted) survives interruption.
+///
+/// When `accepts` never returns `None` the probe sequence and result are
+/// bit-identical to [`refine_right_interval`] (which is implemented on this
+/// driver).
+pub fn refine_right_interval_opt(
     mut lo: Rational,
     mut hi: Rational,
     candidates: &[Rational],
-    mut accepts: impl FnMut(Rational) -> bool,
+    mut accepts: impl FnMut(Rational) -> Option<bool>,
 ) -> (Rational, Rational) {
     debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "sorted unique");
     // Candidates strictly inside (lo, hi).
@@ -289,24 +418,24 @@ pub fn refine_right_interval(
     let mut leftmost_accept: Option<usize> = None;
     while l < r {
         let mid = l + (r - l) / 2;
-        if accepts(cands[mid]) {
-            leftmost_accept = Some(mid);
-            r = mid;
-        } else {
-            l = mid + 1;
+        match accepts(cands[mid]) {
+            Some(true) => {
+                leftmost_accept = Some(mid);
+                r = mid;
+            }
+            Some(false) => l = mid + 1,
+            None => break,
         }
     }
-    match leftmost_accept {
-        Some(idx) => {
-            if idx > 0 {
-                lo = cands[idx - 1];
-            }
-            hi = cands[idx];
-        }
-        None => {
-            // All candidates rejected; the bracket shrinks from the left.
-            lo = *cands.last().expect("non-empty");
-        }
+    // Finalize from the binary-search invariants alone; they hold both at
+    // completion (l == r) and at an interruption (l < r): `cands[..l]` are
+    // certified rejected (monotone acceptance below the probed rejection at
+    // `l - 1`), `leftmost_accept` was probed accepted.
+    if l > 0 {
+        lo = cands[l - 1];
+    }
+    if let Some(idx) = leftmost_accept {
+        hi = cands[idx];
     }
     (lo, hi)
 }

@@ -21,13 +21,14 @@
 //!   the instance-only `T_min` — `makespan / certificate` is the honest
 //!   a-posteriori quality statement.
 
+use bss_budget::{Interrupt, SolveBudget};
 use bss_instance::Instance;
 use bss_rational::Rational;
 use bss_schedule::Schedule;
 use bss_seqdep::{solver, SeqDepInstance};
 
-use crate::api::{Algorithm, ScheduleRepr, Solution};
-use crate::problem::{BssProblem, DirectSolve, Problem};
+use crate::api::{Algorithm, ScheduleRepr, Solution, SolveError};
+use crate::problem::{solve_problem_budgeted, BssProblem, DirectSolve, Problem};
 use crate::workspace::DualWorkspace;
 use crate::{solve_problem, Trace};
 
@@ -131,20 +132,34 @@ impl Problem for SeqDepProblem<'_> {
     }
 
     fn direct_search(&self, ws: &mut DualWorkspace, trace: &mut Trace) -> DirectSolve {
+        self.direct_search_budgeted(ws, &SolveBudget::unlimited(), trace)
+            .0
+    }
+
+    fn direct_search_budgeted(
+        &self,
+        ws: &mut DualWorkspace,
+        budget: &SolveBudget,
+        trace: &mut Trace,
+    ) -> (DirectSolve, Option<Interrupt>) {
         if let Some(reduced) = self.uniform {
             // Uniform special case: the optima coincide, so Theorem 8's
             // search on the reduction is a genuine 3/2-approximation here,
             // rejection certificates included.
             return BssProblem::new(reduced, bss_instance::Variant::NonPreemptive)
-                .direct_search(ws, trace);
+                .direct_search_budgeted(ws, budget, trace);
         }
         // General case: a fine ε-search over the heuristic dual.
         let t_min = self.t_min();
         let eps = Rational::new(1, 1024);
-        let out =
-            crate::search::epsilon_search_between(t_min, self.search_hi(), eps * t_min, |t| {
-                self.probe(ws, t)
-            });
+        let budgeted = crate::search::epsilon_search_between_budgeted(
+            t_min,
+            self.search_hi(),
+            eps * t_min,
+            budget,
+            |t| self.probe(ws, t),
+        );
+        let out = budgeted.outcome;
         let (accepted, repr) = match self.build(ws, out.accepted, trace) {
             Some(r) => (out.accepted, r),
             None => {
@@ -156,22 +171,29 @@ impl Problem for SeqDepProblem<'_> {
                 )
             }
         };
-        DirectSolve {
-            repr,
-            accepted,
-            certificate: t_min,
-            probes: out.probes,
-            ratio: self.dual_ratio() * (eps + 1u64),
-        }
+        (
+            DirectSolve {
+                repr,
+                accepted,
+                certificate: t_min,
+                probes: out.probes,
+                ratio: self.dual_ratio() * (eps + 1u64),
+            },
+            budgeted.interrupt,
+        )
     }
 
     fn exact_oracle(&self) -> Option<bss_exact::ExactSolve> {
+        self.exact_oracle_budgeted(&SolveBudget::unlimited())
+    }
+
+    fn exact_oracle_budgeted(&self, budget: &SolveBudget) -> Option<bss_exact::ExactSolve> {
         // The seqdep oracle branches on classes, not jobs; keep it to
         // shapes the class-order search finishes comfortably.
         if self.inst.num_classes() > 8 || self.inst.machines() > 4 {
             return None;
         }
-        bss_exact::solve_seqdep(self.inst, &bss_exact::ExactConfig::default()).ok()
+        bss_exact::solve_seqdep_budgeted(self.inst, &bss_exact::ExactConfig::default(), budget).ok()
     }
 }
 
@@ -194,6 +216,42 @@ pub fn solve_seqdep_with(
     algo: Algorithm,
 ) -> Solution {
     solve_problem(ws, &SeqDepProblem::new(inst), algo, &mut Trace::disabled())
+}
+
+/// [`solve_seqdep`] under a [`SolveBudget`] at the safe API boundary:
+/// interrupts degrade gracefully (see [`crate::Completion`]), panics
+/// surface as typed [`SolveError`]s.
+///
+/// # Errors
+/// [`SolveError`] when the solver panicked; interruption is **not** an
+/// error.
+pub fn solve_seqdep_budgeted(
+    inst: &SeqDepInstance,
+    algo: Algorithm,
+    budget: &SolveBudget,
+) -> Result<Solution, SolveError> {
+    solve_seqdep_budgeted_with(&mut DualWorkspace::new(), inst, algo, budget)
+}
+
+/// [`solve_seqdep_budgeted`] on a reusable workspace (reset automatically
+/// if a panic is caught, so it stays safe to reuse).
+///
+/// # Errors
+/// [`SolveError`] when the solver panicked; interruption is **not** an
+/// error.
+pub fn solve_seqdep_budgeted_with(
+    ws: &mut DualWorkspace,
+    inst: &SeqDepInstance,
+    algo: Algorithm,
+    budget: &SolveBudget,
+) -> Result<Solution, SolveError> {
+    solve_problem_budgeted(
+        ws,
+        &SeqDepProblem::new(inst),
+        algo,
+        budget,
+        &mut Trace::disabled(),
+    )
 }
 
 #[cfg(test)]

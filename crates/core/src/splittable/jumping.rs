@@ -11,22 +11,39 @@
 
 use std::cell::Cell;
 
+use bss_budget::{Interrupt, SolveBudget};
 use bss_instance::{Instance, LowerBounds, Variant};
 use bss_rational::Rational;
 use bss_schedule::CompactSchedule;
 
 use crate::classify::{beta, classify_into};
-use crate::search::{refine_right_interval, SearchOutcome};
+use crate::search::{refine_right_interval_opt, SearchOutcome};
 use crate::workspace::DualWorkspace;
 
 use super::{accepts_in, dual_in};
 
-/// One dual-test probe: bumps the shared counter, then runs the accept test.
-/// Call sites wrap this in short-lived closures so the workspace borrow stays
-/// local to each search step.
-fn probe(ws: &mut DualWorkspace, inst: &Instance, probes: &Cell<usize>, t: Rational) -> bool {
+/// One budgeted dual-test probe: charges the budget, bumps the shared
+/// counter, then runs the accept test. `None` means the budget interrupted
+/// *before* the test ran (the counter is untouched and `stop` latched);
+/// call sites wrap this in short-lived closures so the workspace borrow
+/// stays local to each search step.
+fn probe(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    probes: &Cell<usize>,
+    stop: &Cell<Option<Interrupt>>,
+    budget: &SolveBudget,
+    t: Rational,
+) -> Option<bool> {
+    if stop.get().is_some() {
+        return None;
+    }
+    if let Err(i) = budget.charge_probe() {
+        stop.set(Some(i));
+        return None;
+    }
     probes.set(probes.get() + 1);
-    accepts_in(ws, inst, t)
+    Some(accepts_in(ws, inst, t))
 }
 
 /// Runs Class Jumping; returns the accepted guess (`<= OPT`), the compact
@@ -41,17 +58,56 @@ pub fn class_jumping(inst: &Instance) -> SearchOutcome<CompactSchedule> {
 /// allocation footprint.
 #[must_use]
 pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcome<CompactSchedule> {
+    class_jumping_budgeted_in(ws, inst, &SolveBudget::unlimited()).0
+}
+
+/// [`class_jumping_in`] under a cooperative [`SolveBudget`].
+///
+/// Bit-identical to the unbudgeted search when the budget never trips. On
+/// interruption the search winds down to its current right bracket `hi` —
+/// accepted throughout by the search invariant — builds there, and reports
+/// the interrupt alongside: the result is a valid 3/2-dual schedule whose
+/// `accepted` may merely sit above `OPT`. `rejected` stays restricted to
+/// genuinely certified rejections, so the certificate never lies.
+#[must_use]
+pub fn class_jumping_budgeted_in(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    budget: &SolveBudget,
+) -> (SearchOutcome<CompactSchedule>, Option<Interrupt>) {
     let probes = Cell::new(0usize);
+    let stop = Cell::new(None::<Interrupt>);
 
     let t_min = LowerBounds::of(inst).tmin(Variant::Splittable);
-    if probe(ws, inst, &probes, t_min) {
-        let schedule = dual_in(ws, inst, t_min).expect("probe accepted");
-        return SearchOutcome {
-            accepted: t_min,
-            schedule,
-            rejected: None,
-            probes: probes.get(),
-        };
+    match probe(ws, inst, &probes, &stop, budget, t_min) {
+        Some(true) => {
+            let schedule = dual_in(ws, inst, t_min).expect("probe accepted");
+            return (
+                SearchOutcome {
+                    accepted: t_min,
+                    schedule,
+                    rejected: None,
+                    probes: probes.get(),
+                },
+                None,
+            );
+        }
+        Some(false) => {}
+        None => {
+            // Interrupted before anything was learned: Theorem 1's window
+            // top is accepted unconditionally; build there, certify nothing.
+            let hi = t_min * 2u64;
+            let schedule = dual_in(ws, inst, hi).expect("2·T_min is accepted (Theorem 1)");
+            return (
+                SearchOutcome {
+                    accepted: hi,
+                    schedule,
+                    rejected: None,
+                    probes: probes.get(),
+                },
+                stop.get(),
+            );
+        }
     }
     let mut lo = t_min; // rejected
     let mut hi = t_min * 2u64; // accepted (Theorem 1: OPT <= 2 T_min)
@@ -63,13 +119,17 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
     // Step 4: pin the expensive/cheap partition — no boundary 2·s̃_i strictly
     // inside (lo, hi). The candidate buffer is workspace-owned; it is taken
     // out for the probe loop (probes borrow the whole workspace) and put
-    // back afterwards, so warm searches reuse its allocation.
+    // back afterwards, so warm searches reuse its allocation. An interrupt
+    // inside any refinement stops it at the certified sub-bracket (probes
+    // return `None` from then on, so later stages fall through to `hi`).
     let mut boundaries = core::mem::take(&mut ws.thresholds);
     boundaries.clear();
     boundaries.extend(inst.setups().iter().map(|&s| Rational::from(2 * s)));
     boundaries.sort_unstable();
     boundaries.dedup();
-    let (l2, h2) = refine_right_interval(lo, hi, &boundaries, |t| probe(ws, inst, &probes, t));
+    let (l2, h2) = refine_right_interval_opt(lo, hi, &boundaries, |t| {
+        probe(ws, inst, &probes, &stop, budget, t)
+    });
     ws.thresholds = boundaries;
     lo = l2;
     hi = h2;
@@ -86,10 +146,12 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
     iexp.extend_from_slice(&ws.cls.iexp_minus);
     iexp.sort_unstable();
 
-    let chosen = if iexp.is_empty() {
+    let chosen = if stop.get().is_some() {
+        hi
+    } else if iexp.is_empty() {
         // No expensive classes: L_split is constant on the interval.
         let l_const = Rational::from(inst.total_load_once());
-        finishing_move(ws, inst, lo, hi, 0, l_const, &probes)
+        finishing_move(ws, inst, lo, hi, 0, l_const, &probes, &stop, budget)
     } else {
         // Step 5: fastest jumping class f (largest P_f).
         let f = *iexp
@@ -123,84 +185,111 @@ pub fn class_jumping_in(ws: &mut DualWorkspace, inst: &Instance) -> SearchOutcom
                 let mut best: Option<i128> = None;
                 while a <= b {
                     let zm = a + (b - a) / 2;
-                    if probe(ws, inst, &probes, pf2 / zm) {
-                        best = Some(zm);
-                        a = zm + 1;
-                    } else {
-                        b = zm - 1;
+                    match probe(ws, inst, &probes, &stop, budget, pf2 / zm) {
+                        Some(true) => {
+                            best = Some(zm);
+                            a = zm + 1;
+                        }
+                        Some(false) => b = zm - 1,
+                        None => break,
                     }
                 }
-                match best {
-                    Some(z) => {
-                        hi = pf2 / z;
-                        if z < z_hi {
-                            lo = pf2 / (z + 1);
+                if stop.get().is_none() {
+                    match best {
+                        Some(z) => {
+                            hi = pf2 / z;
+                            if z < z_hi {
+                                lo = pf2 / (z + 1);
+                            }
                         }
+                        None => lo = pf2 / z_lo,
                     }
-                    None => lo = pf2 / z_lo,
+                } else if let Some(z) = best {
+                    // Interrupted mid-bisection: the largest accepted jump
+                    // tightens `hi` (genuinely probed), but `lo` must not
+                    // move — the unprobed region may still hold accepted
+                    // guesses, so `pf2 / (z + 1)` is not certified rejected.
+                    hi = pf2 / z;
                 }
             }
             if !jumps.is_empty() {
-                let (l3, h3) =
-                    refine_right_interval(lo, hi, &jumps, |t| probe(ws, inst, &probes, t));
+                let (l3, h3) = refine_right_interval_opt(lo, hi, &jumps, |t| {
+                    probe(ws, inst, &probes, &stop, budget, t)
+                });
                 lo = l3;
                 hi = h3;
             }
             ws.jumps = jumps;
         }
 
-        // Step 7+8: inside one f-gap each class jumps at most once (Lemma 3).
-        let mut other_jumps = core::mem::take(&mut ws.jumps);
-        other_jumps.clear();
-        for &i in &iexp {
-            let z = beta(inst, hi, i); // β_i at the right end
-            let cand = Rational::from(2 * inst.class_proc(i)) / z as u64;
-            if lo < cand && cand < hi {
-                other_jumps.push(cand);
+        if stop.get().is_some() {
+            hi
+        } else {
+            // Step 7+8: inside one f-gap each class jumps at most once
+            // (Lemma 3).
+            let mut other_jumps = core::mem::take(&mut ws.jumps);
+            other_jumps.clear();
+            for &i in &iexp {
+                let z = beta(inst, hi, i); // β_i at the right end
+                let cand = Rational::from(2 * inst.class_proc(i)) / z as u64;
+                if lo < cand && cand < hi {
+                    other_jumps.push(cand);
+                }
+            }
+            other_jumps.sort_unstable();
+            other_jumps.dedup();
+            let (l4, h4) = refine_right_interval_opt(lo, hi, &other_jumps, |t| {
+                probe(ws, inst, &probes, &stop, budget, t)
+            });
+            ws.jumps = other_jumps;
+            lo = l4;
+            hi = h4;
+
+            if stop.get().is_some() {
+                hi
+            } else {
+                // Step 9: the load is constant on the open interval (lo, hi).
+                let m2 = (lo + hi).half();
+                classify_into(inst, m2, &mut ws.cls);
+                let mut m_exp = 0usize;
+                let mut l_open = Rational::from(inst.total_proc());
+                for &i in ws
+                    .cls
+                    .iexp_plus
+                    .iter()
+                    .chain(&ws.cls.iexp_zero)
+                    .chain(&ws.cls.iexp_minus)
+                {
+                    let b = beta(inst, m2, i);
+                    m_exp += b;
+                    l_open += Rational::from(inst.setup(i) * b as u64);
+                }
+                for &i in ws.cls.ichp_plus.iter().chain(&ws.cls.ichp_minus) {
+                    l_open += Rational::from(inst.setup(i));
+                }
+                finishing_move(ws, inst, lo, hi, m_exp, l_open, &probes, &stop, budget)
             }
         }
-        other_jumps.sort_unstable();
-        other_jumps.dedup();
-        let (l4, h4) = refine_right_interval(lo, hi, &other_jumps, |t| probe(ws, inst, &probes, t));
-        ws.jumps = other_jumps;
-        lo = l4;
-        hi = h4;
-
-        // Step 9: the load is constant on the open interval (lo, hi).
-        let m2 = (lo + hi).half();
-        classify_into(inst, m2, &mut ws.cls);
-        let mut m_exp = 0usize;
-        let mut l_open = Rational::from(inst.total_proc());
-        for &i in ws
-            .cls
-            .iexp_plus
-            .iter()
-            .chain(&ws.cls.iexp_zero)
-            .chain(&ws.cls.iexp_minus)
-        {
-            let b = beta(inst, m2, i);
-            m_exp += b;
-            l_open += Rational::from(inst.setup(i) * b as u64);
-        }
-        for &i in ws.cls.ichp_plus.iter().chain(&ws.cls.ichp_minus) {
-            l_open += Rational::from(inst.setup(i));
-        }
-        finishing_move(ws, inst, lo, hi, m_exp, l_open, &probes)
     };
     ws.jump_classes = iexp;
 
     let schedule = dual_in(ws, inst, chosen).expect("chosen guess must be accepted");
-    SearchOutcome {
-        accepted: chosen,
-        schedule,
-        rejected: Some(lo),
-        probes: probes.get(),
-    }
+    (
+        SearchOutcome {
+            accepted: chosen,
+            schedule,
+            rejected: Some(lo),
+            probes: probes.get(),
+        },
+        stop.get(),
+    )
 }
 
 /// The final case analysis of Algorithm 1, step 9: on a jump-free right
 /// interval with open-interval machine demand `m_exp` and load `l_open`,
-/// return the smallest certified-acceptable guess.
+/// return the smallest certified-acceptable guess. An interrupted probe
+/// falls into the defensive `hi` branch — the right end stays accepted.
+#[allow(clippy::too_many_arguments)]
 fn finishing_move(
     ws: &mut DualWorkspace,
     inst: &Instance,
@@ -209,6 +298,8 @@ fn finishing_move(
     m_exp: usize,
     l_open: Rational,
     probes: &Cell<usize>,
+    stop: &Cell<Option<Interrupt>>,
+    budget: &SolveBudget,
 ) -> Rational {
     if inst.machines() < m_exp {
         // The whole open interval is machine-infeasible: OPT >= hi.
@@ -219,7 +310,7 @@ fn finishing_move(
         // Everything below hi is load-infeasible: OPT >= hi.
         return hi;
     }
-    if t_new > lo && probe(ws, inst, probes, t_new) {
+    if t_new > lo && probe(ws, inst, probes, stop, budget, t_new) == Some(true) {
         t_new
     } else {
         // Defensive: fall back to the known-accepted right end.

@@ -12,4 +12,4 @@ pub(crate) use dual::class_batch;
 mod jumping;
 
 pub use dual::{accepts, accepts_in, dual, dual_in, dual_into, dual_traced, dual_traced_in};
-pub use jumping::{class_jumping, class_jumping_in};
+pub use jumping::{class_jumping, class_jumping_budgeted_in, class_jumping_in};

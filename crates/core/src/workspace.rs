@@ -201,6 +201,19 @@ impl DualWorkspace {
         DualWorkspace::default()
     }
 
+    /// Restores the workspace to its freshly-constructed state.
+    ///
+    /// The budgeted solve boundary calls this after catching a solver panic
+    /// mid-probe, when buffers may hold arbitrary partial state: a reset
+    /// workspace is guaranteed bit-identical to a fresh one (guarded by the
+    /// poisoning regression suite). This is a cold path — it drops the
+    /// warmed-up capacities; ordinary interrupted solves (deadline, cancel)
+    /// need no reset, because `prepare_for` re-establishes every per-probe
+    /// invariant at the next solve anyway.
+    pub fn reset(&mut self) {
+        *self = DualWorkspace::default();
+    }
+
     /// Clears all probe/plan state and reserves capacities sized from
     /// `inst`, so every subsequent push this probe stays within capacity.
     /// Idempotent: after the first call for a given instance size this is a

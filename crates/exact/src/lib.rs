@@ -25,6 +25,7 @@
 
 use core::fmt;
 
+use bss_budget::SolveBudget;
 use bss_instance::{Instance, Variant};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
@@ -178,26 +179,66 @@ impl ExactSolve {
 }
 
 /// The shared node budget threaded through every search layer.
+///
+/// Optionally mirrors a caller's [`SolveBudget`] (the anytime portfolio
+/// passes its own, so both arms draw from one budget with no
+/// double-accounting): every [`NodeBudget::POLL_STRIDE`] nodes the shared
+/// budget is polled, and an interrupt — deadline, cancellation, work
+/// exhausted upstream — reads as budget exhaustion here, winding the search
+/// down to its certified anytime incumbent exactly as if `max_nodes` ran
+/// out.
 #[derive(Debug)]
-pub(crate) struct NodeBudget {
+pub(crate) struct NodeBudget<'a> {
     used: u64,
     max: u64,
+    shared: Option<&'a SolveBudget>,
+    interrupted: bool,
 }
 
-impl NodeBudget {
+impl<'a> NodeBudget<'a> {
+    /// Poll the shared budget once every this many nodes: expanding a node
+    /// is orders of magnitude cheaper than a dual probe, so reading the
+    /// clock per node would dominate the search.
+    const POLL_STRIDE: u64 = 64;
+
+    /// A standalone node budget (tests drive the variant modules directly;
+    /// the public entry points always carry a shared [`SolveBudget`]).
+    #[cfg(test)]
     pub(crate) fn new(max: u64) -> Self {
-        NodeBudget { used: 0, max }
+        NodeBudget {
+            used: 0,
+            max,
+            shared: None,
+            interrupted: false,
+        }
+    }
+
+    pub(crate) fn with_shared(max: u64, shared: &'a SolveBudget) -> Self {
+        NodeBudget {
+            used: 0,
+            max,
+            shared: Some(shared),
+            interrupted: false,
+        }
     }
 
     /// Spends one node; `false` once the budget is exhausted (the caller
     /// must wind down to its incumbent).
     pub(crate) fn tick(&mut self) -> bool {
         self.used = self.used.saturating_add(1);
-        self.used <= self.max
+        if let Some(shared) = self.shared {
+            if !self.interrupted
+                && self.used.is_multiple_of(Self::POLL_STRIDE)
+                && shared.poll().is_err()
+            {
+                self.interrupted = true;
+            }
+        }
+        !self.exhausted()
     }
 
     pub(crate) fn exhausted(&self) -> bool {
-        self.used > self.max
+        self.interrupted || self.used > self.max
     }
 
     pub(crate) fn used(&self) -> u64 {
@@ -238,8 +279,26 @@ pub fn solve_bss(
     variant: Variant,
     cfg: &ExactConfig,
 ) -> Result<ExactSolve, ExactError> {
+    solve_bss_budgeted(inst, variant, cfg, &SolveBudget::unlimited())
+}
+
+/// [`solve_bss`] drawing from a caller's shared [`SolveBudget`] alongside
+/// the node cap: when the shared budget trips (deadline, cancellation, work
+/// exhausted by another arm), the search winds down to its certified
+/// anytime incumbent and reports [`ExactStatus::Budget`]. Bit-identical to
+/// [`solve_bss`] under [`SolveBudget::unlimited`].
+///
+/// # Errors
+/// Returns an [`ExactError`] when the instance exceeds the configured size
+/// limits; never panics on any instance the workspace's builders accept.
+pub fn solve_bss_budgeted(
+    inst: &Instance,
+    variant: Variant,
+    cfg: &ExactConfig,
+    shared: &SolveBudget,
+) -> Result<ExactSolve, ExactError> {
     check_limits(inst, cfg)?;
-    let mut budget = NodeBudget::new(cfg.max_nodes);
+    let mut budget = NodeBudget::with_shared(cfg.max_nodes, shared);
     Ok(match variant {
         Variant::Splittable => splittable::solve(inst, &mut budget),
         Variant::Preemptive => preemptive::solve(inst, &mut budget),
@@ -255,6 +314,21 @@ pub fn solve_bss(
 /// configured limits; never panics on any instance
 /// [`SeqDepInstance::new`] accepts.
 pub fn solve_seqdep(sd: &SeqDepInstance, cfg: &ExactConfig) -> Result<ExactSolve, ExactError> {
+    solve_seqdep_budgeted(sd, cfg, &SolveBudget::unlimited())
+}
+
+/// [`solve_seqdep`] drawing from a caller's shared [`SolveBudget`] alongside
+/// the node cap — same contract as [`solve_bss_budgeted`].
+///
+/// # Errors
+/// Returns an [`ExactError`] when the class or machine count exceeds the
+/// configured limits; never panics on any instance
+/// [`SeqDepInstance::new`] accepts.
+pub fn solve_seqdep_budgeted(
+    sd: &SeqDepInstance,
+    cfg: &ExactConfig,
+    shared: &SolveBudget,
+) -> Result<ExactSolve, ExactError> {
     if sd.num_classes() > cfg.max_classes {
         return Err(ExactError::TooManyClasses {
             actual: sd.num_classes(),
@@ -267,6 +341,6 @@ pub fn solve_seqdep(sd: &SeqDepInstance, cfg: &ExactConfig) -> Result<ExactSolve
             limit: cfg.max_machines,
         });
     }
-    let mut budget = NodeBudget::new(cfg.max_nodes);
+    let mut budget = NodeBudget::with_shared(cfg.max_nodes, shared);
     Ok(seqdep::solve(sd, &mut budget))
 }

@@ -54,7 +54,7 @@ impl Search<'_> {
         key
     }
 
-    fn dfs(&mut self, depth: usize, budget: &mut NodeBudget) {
+    fn dfs(&mut self, depth: usize, budget: &mut NodeBudget<'_>) {
         if !budget.tick() || self.best == self.root_lb {
             return;
         }
@@ -192,7 +192,7 @@ pub(crate) fn realize(inst: &Instance, assign: &[usize]) -> Schedule {
 
 /// Exact non-preemptive solve: closes on every instance the size limits
 /// admit unless the node budget runs out first.
-pub(crate) fn solve(inst: &Instance, budget: &mut NodeBudget) -> ExactSolve {
+pub(crate) fn solve(inst: &Instance, budget: &mut NodeBudget<'_>) -> ExactSolve {
     let mut order: Vec<usize> = (0..inst.num_jobs()).collect();
     order.sort_by_key(|&j| std::cmp::Reverse((inst.job(j).time, j)));
     let mut suffix = vec![0u64; order.len() + 1];

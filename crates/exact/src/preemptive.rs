@@ -115,7 +115,7 @@ fn pattern_feasible(
     inst: &Instance,
     coverage: &[u32],
     t: Rational,
-    budget: &mut NodeBudget,
+    budget: &mut NodeBudget<'_>,
 ) -> bool {
     let m = inst.machines();
     let mut base = vec![0u64; m];
@@ -256,7 +256,7 @@ fn pattern_threshold(
     coverage: &[u32],
     lo: Rational,
     hi: Rational,
-    budget: &mut NodeBudget,
+    budget: &mut NodeBudget<'_>,
 ) -> Rational {
     if pattern_feasible(inst, coverage, lo, budget) {
         return lo;
@@ -278,14 +278,14 @@ fn pattern_threshold(
 /// `min_U max(gale(U), jobcap(U))` over complete coverages, by the same
 /// depth-first enumeration as the splittable search (the partial Gale bound
 /// under-estimates both terms, so pruning against the incumbent is sound).
-fn coverage_lb(inst: &Instance, budget: &mut NodeBudget) -> Rational {
+fn coverage_lb(inst: &Instance, budget: &mut NodeBudget<'_>) -> Rational {
     struct Search<'a> {
         inst: &'a Instance,
         active: Vec<usize>,
         best: Rational,
     }
     impl Search<'_> {
-        fn dfs(&mut self, coverage: &mut Vec<u32>, depth: usize, budget: &mut NodeBudget) {
+        fn dfs(&mut self, coverage: &mut Vec<u32>, depth: usize, budget: &mut NodeBudget<'_>) {
             if !budget.tick() {
                 return;
             }
@@ -346,7 +346,7 @@ fn coverage_lb(inst: &Instance, budget: &mut NodeBudget) -> Rational {
     search.best
 }
 
-pub(crate) fn solve(inst: &Instance, budget: &mut NodeBudget) -> ExactSolve {
+pub(crate) fn solve(inst: &Instance, budget: &mut NodeBudget<'_>) -> ExactSolve {
     let lower = coverage_lb(inst, budget).max(bounds::setup_job_bound(inst));
     let nonp = nonpreemptive::solve(inst, budget);
     let mut upper = nonp.upper;
@@ -402,7 +402,7 @@ pub(crate) fn solve(inst: &Instance, budget: &mut NodeBudget) -> ExactSolve {
 }
 
 /// Tries to build a feasible preemptive schedule of makespan exactly `t`.
-fn realize_at(inst: &Instance, t: Rational, budget: &mut NodeBudget) -> Option<Schedule> {
+fn realize_at(inst: &Instance, t: Rational, budget: &mut NodeBudget<'_>) -> Option<Schedule> {
     for coverage in splittable::coverages_within(inst, t, budget, COVERAGE_CAP) {
         let Some(x) = splittable::transportation(inst, &coverage, t, budget) else {
             continue;
@@ -437,7 +437,7 @@ fn try_orders(
     machine: usize,
     chosen: &mut Vec<Vec<(usize, Rational)>>,
     tried: &mut usize,
-    budget: &mut NodeBudget,
+    budget: &mut NodeBudget<'_>,
 ) -> Option<Schedule> {
     if machine == runs.len() {
         *tried += 1;
@@ -455,7 +455,7 @@ fn try_orders(
         from: usize,
         chosen: &mut Vec<Vec<(usize, Rational)>>,
         tried: &mut usize,
-        budget: &mut NodeBudget,
+        budget: &mut NodeBudget<'_>,
     ) -> Option<Schedule> {
         if *tried >= ORDER_CAP || budget.exhausted() {
             return None;
@@ -504,7 +504,7 @@ fn assign_pieces(
     inst: &Instance,
     t: Rational,
     layout: &[Vec<(usize, Rational)>],
-    budget: &mut NodeBudget,
+    budget: &mut NodeBudget<'_>,
 ) -> Option<Schedule> {
     // Compute each class's windows from the run layout.
     let mut windows: Vec<Vec<Window>> = vec![Vec::new(); inst.num_classes()];
@@ -554,7 +554,7 @@ fn assign_class(
     class: usize,
     windows: &[Window],
     out: &mut Schedule,
-    budget: &mut NodeBudget,
+    budget: &mut NodeBudget<'_>,
 ) -> bool {
     budget.tick();
     let jobs = inst.class_jobs(class);

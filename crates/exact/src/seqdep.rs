@@ -70,7 +70,7 @@ impl Search<'_> {
         floor: usize,
         done_max: u64,
         done_sum: u64,
-        budget: &mut NodeBudget,
+        budget: &mut NodeBudget<'_>,
     ) {
         if !budget.tick() || self.best == self.root_lb {
             return;
@@ -165,7 +165,7 @@ impl Search<'_> {
 
 /// Exact seqdep solve: closes on every instance within the size limits
 /// unless the node budget runs out first.
-pub(crate) fn solve(sd: &SeqDepInstance, budget: &mut NodeBudget) -> ExactSolve {
+pub(crate) fn solve(sd: &SeqDepInstance, budget: &mut NodeBudget<'_>) -> ExactSolve {
     let c = sd.num_classes();
     let mut order: Vec<usize> = (0..c).collect();
     let entry: Vec<u64> = (0..c).map(|i| sd.min_in(i) + sd.class_proc(i)).collect();

@@ -83,7 +83,7 @@ struct Search<'a> {
 }
 
 impl Search<'_> {
-    fn dfs(&mut self, coverage: &mut Vec<u32>, depth: usize, budget: &mut NodeBudget) {
+    fn dfs(&mut self, coverage: &mut Vec<u32>, depth: usize, budget: &mut NodeBudget<'_>) {
         if !budget.tick() {
             return;
         }
@@ -114,7 +114,7 @@ impl Search<'_> {
 }
 
 /// Exact splittable solve: always closes unless the node budget runs out.
-pub(crate) fn solve(inst: &Instance, budget: &mut NodeBudget) -> ExactSolve {
+pub(crate) fn solve(inst: &Instance, budget: &mut NodeBudget<'_>) -> ExactSolve {
     let active = active_classes(inst);
     if active.is_empty() {
         return ExactSolve {
@@ -173,7 +173,7 @@ pub(crate) fn solve(inst: &Instance, budget: &mut NodeBudget) -> ExactSolve {
 pub(crate) fn coverages_within(
     inst: &Instance,
     t: Rational,
-    budget: &mut NodeBudget,
+    budget: &mut NodeBudget<'_>,
     cap: usize,
 ) -> Vec<Vec<u32>> {
     let active = active_classes(inst);
@@ -185,7 +185,7 @@ pub(crate) fn coverages_within(
         coverage: &mut Vec<u32>,
         depth: usize,
         t: Rational,
-        budget: &mut NodeBudget,
+        budget: &mut NodeBudget<'_>,
         cap: usize,
         out: &mut Vec<Vec<u32>>,
     ) {
@@ -221,7 +221,7 @@ pub(crate) fn transportation(
     inst: &Instance,
     coverage: &[u32],
     t: Rational,
-    budget: &mut NodeBudget,
+    budget: &mut NodeBudget<'_>,
 ) -> Option<Vec<Vec<Rational>>> {
     budget.tick();
     let (c, m) = (inst.num_classes(), inst.machines());

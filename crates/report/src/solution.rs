@@ -34,6 +34,11 @@ pub fn solution_summary(problem: &str, sol: &Solution) -> String {
         ),
     );
     line("dual probes", sol.probes.to_string());
+    // Only degraded solves carry the line: the everyday full solve renders
+    // exactly as before the anytime layer existed.
+    if !sol.completion.is_full() {
+        line("completion", sol.completion.to_string());
+    }
     out
 }
 

@@ -16,6 +16,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use bss_budget::{Interrupt, SolveBudget};
+
 /// How many chunks each worker gets on average; >1 so that a handful of
 /// expensive cells cannot serialize the sweep behind one worker.
 const CHUNKS_PER_WORKER: usize = 8;
@@ -36,9 +38,40 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    let (results, interrupt) = parallel_map_budgeted(items, threads, &SolveBudget::unlimited(), f);
+    debug_assert!(interrupt.is_none(), "unlimited budget never interrupts");
+    results
+        .into_iter()
+        .map(|r| r.expect("all chunks processed"))
+        .collect()
+}
+
+/// [`parallel_map`] under a cooperative [`SolveBudget`]: the budget is
+/// polled before every item, and once it trips (deadline, cancellation,
+/// work exhausted by the solves inside `f`) the remaining items are
+/// *skipped*, coming back as `None` alongside the interrupt that stopped
+/// the sweep. Finished items keep their results — a deadline on a study
+/// loses the tail of the grid, not the rows already computed.
+///
+/// `f` must be `Sync` because workers share it.
+///
+/// # Panics
+/// Same contract as [`parallel_map`]: a panicking item is re-raised on the
+/// calling thread after the workers drain.
+pub fn parallel_map_budgeted<T, R, F>(
+    items: Vec<T>,
+    threads: Option<usize>,
+    budget: &SolveBudget,
+    f: F,
+) -> (Vec<Option<R>>, Option<Interrupt>)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), None);
     }
     let workers = threads
         .unwrap_or_else(|| {
@@ -48,7 +81,21 @@ where
         })
         .clamp(1, n);
     if workers == 1 {
-        return items.into_iter().map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        let mut interrupt = None;
+        for item in items {
+            if interrupt.is_none() {
+                match budget.poll() {
+                    Ok(()) => {
+                        out.push(Some(f(item)));
+                        continue;
+                    }
+                    Err(i) => interrupt = Some(i),
+                }
+            }
+            out.push(None);
+        }
+        return (out, interrupt);
     }
 
     // Striped chunk layout: ⌈n / (workers · CHUNKS_PER_WORKER)⌉ items per
@@ -79,6 +126,8 @@ where
     let aborted = AtomicBool::new(false);
     // First panic wins: (item index, panic payload).
     let failure: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    // First interrupt wins; later items are skipped via `aborted`.
+    let interrupted: Mutex<Option<Interrupt>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -100,6 +149,14 @@ where
                     .zip(result_chunk.iter_mut())
                     .enumerate()
                 {
+                    if let Err(i) = budget.poll() {
+                        let mut slot = interrupted.lock().expect("interrupt lock");
+                        if slot.is_none() {
+                            *slot = Some(i);
+                        }
+                        aborted.store(true, Ordering::Relaxed);
+                        return;
+                    }
                     let item = slot.take().expect("chunk items taken once");
                     match catch_unwind(AssertUnwindSafe(|| f(item))) {
                         Ok(r) => *result = Some(r),
@@ -121,10 +178,8 @@ where
         eprintln!("parallel_map: worker panicked on item {idx}; propagating");
         resume_unwind(payload);
     }
-    result_slots
-        .into_iter()
-        .map(|r| r.expect("all chunks processed"))
-        .collect()
+    let interrupt = interrupted.into_inner().expect("interrupt lock");
+    (result_slots, interrupt)
 }
 
 #[cfg(test)]
@@ -187,6 +242,55 @@ mod tests {
         let n = 8 * super::CHUNKS_PER_WORKER * 3 + 5;
         let out = parallel_map((0..n as i64).collect(), Some(8), |x| x * 2);
         assert_eq!(out, (0..n as i64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn budgeted_cancel_skips_remaining_items() {
+        let token = bss_budget::CancelToken::new();
+        let budget = SolveBudget::unlimited().with_cancel(&token);
+        let done = AtomicUsize::new(0);
+        let (out, interrupt) =
+            parallel_map_budgeted((0..64).collect(), Some(4), &budget, |x: i32| {
+                if done.fetch_add(1, Ordering::Relaxed) >= 7 {
+                    token.cancel();
+                }
+                x * x
+            });
+        assert_eq!(interrupt, Some(Interrupt::Cancelled));
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().any(Option::is_none), "tail items skipped");
+        for (i, r) in out.iter().enumerate() {
+            if let Some(v) = r {
+                assert_eq!(*v, (i * i) as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_single_thread_cancel() {
+        let token = bss_budget::CancelToken::new();
+        let budget = SolveBudget::unlimited().with_cancel(&token);
+        let (out, interrupt) =
+            parallel_map_budgeted(vec![1, 2, 3, 4], Some(1), &budget, |x: i32| {
+                if x == 2 {
+                    token.cancel();
+                }
+                x
+            });
+        assert_eq!(interrupt, Some(Interrupt::Cancelled));
+        assert_eq!(out, vec![Some(1), Some(2), None, None]);
+    }
+
+    #[test]
+    fn budgeted_unlimited_completes_everything() {
+        let (out, interrupt) = parallel_map_budgeted(
+            (0..40).collect(),
+            Some(4),
+            &SolveBudget::unlimited(),
+            |x: i32| x + 1,
+        );
+        assert_eq!(interrupt, None);
+        assert!(out.iter().all(Option::is_some));
     }
 
     #[test]

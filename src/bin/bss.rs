@@ -47,11 +47,16 @@ USAGE:
                [--jobs N] [--classes C] [--machines M] [--seed S]
   bss bounds   <instance.json> [--variant V]
   bss solve    <instance.json> [--variant V] [--algorithm A] [--render]
-               [--schedule-out FILE]
+               [--schedule-out FILE] [--deadline-ms MS] [--budget PROBES]
   bss validate <instance.json> <schedule.json> [--variant V]
 
   V: non-preemptive | preemptive | splittable | seqdep (default: non-preemptive)
   A: two-approx | eps:<log2> | three-halves | portfolio (default: three-halves)
+
+  `--deadline-ms` / `--budget` solve under an anytime budget (wall-clock
+  milliseconds / dual-probe count): on expiry the best certified solution so
+  far is returned with an honestly widened ratio bound, and the summary gains
+  a `completion` line saying which limit tripped.
 
   `--variant seqdep` reads a sequence-dependent instance (switch-cost matrix
   wire format); uniform instances route through the batch-setup reduction
@@ -106,6 +111,34 @@ fn parse_algorithm(args: &[String]) -> Result<Algorithm, String> {
             .map_err(|_| format!("bad epsilon exponent in `{a}`")),
         Some(a) => Err(format!("unknown algorithm `{a}`")),
     }
+}
+
+/// Parses the anytime-budget flags. `None` when neither flag is given —
+/// callers then take the plain (bit-identical to pre-anytime) solve path.
+fn parse_budget(args: &[String]) -> Result<Option<SolveBudget>, String> {
+    let deadline_ms: Option<u64> = flag(args, "--deadline-ms")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("bad --deadline-ms `{v}` (expected milliseconds)"))
+        })
+        .transpose()?;
+    let work: Option<u64> = flag(args, "--budget")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("bad --budget `{v}` (expected a probe count)"))
+        })
+        .transpose()?;
+    if deadline_ms.is_none() && work.is_none() {
+        return Ok(None);
+    }
+    let mut budget = SolveBudget::unlimited();
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(w) = work {
+        budget = budget.with_work_limit(w);
+    }
+    Ok(Some(budget))
 }
 
 fn load_instance(path: &str) -> Result<Instance, String> {
@@ -228,8 +261,13 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         Target::SeqDep => cmd_solve_seqdep(path, algo, args),
         Target::Bss(variant) => {
             let inst = load_instance(path)?;
+            let budget = parse_budget(args)?;
             let start = std::time::Instant::now();
-            let sol = solve(&inst, variant, algo);
+            let sol = match &budget {
+                Some(b) => solve_budgeted(&inst, variant, algo, b)
+                    .map_err(|e| format!("solve failed: {e}"))?,
+                None => solve(&inst, variant, algo),
+            };
             let elapsed = start.elapsed();
             let violations = validate(sol.schedule(), &inst, variant);
             if !violations.is_empty() {
@@ -255,8 +293,13 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
 fn cmd_solve_seqdep(path: &str, algo: Algorithm, args: &[String]) -> Result<(), String> {
     let inst = load_seqdep(path)?;
     let problem = batch_setup_scheduling::core::SeqDepProblem::new(&inst);
+    let budget = parse_budget(args)?;
     let start = std::time::Instant::now();
-    let sol = batch_setup_scheduling::core::solve_seqdep(&inst, algo);
+    let sol = match &budget {
+        Some(b) => batch_setup_scheduling::core::solve_seqdep_budgeted(&inst, algo, b)
+            .map_err(|e| format!("solve failed: {e}"))?,
+        None => batch_setup_scheduling::core::solve_seqdep(&inst, algo),
+    };
     let elapsed = start.elapsed();
     match problem.uniform_reduction() {
         Some(reduced) => {

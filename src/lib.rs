@@ -61,8 +61,10 @@ pub use bss_wrap as wrap;
 /// Most-used items in one import.
 pub mod prelude {
     pub use bss_core::{
-        solve, solve_problem, solve_seqdep, solve_seqdep_with, solve_with, Algorithm, BssProblem,
-        DualWorkspace, Problem, ScheduleRepr, SeqDepProblem, Solution,
+        solve, solve_budgeted, solve_problem, solve_seqdep, solve_seqdep_budgeted,
+        solve_seqdep_with, solve_with, Algorithm, BssProblem, CancelToken, Completion,
+        DualWorkspace, Interrupt, Problem, ScheduleRepr, SeqDepProblem, Solution, SolveBudget,
+        SolveError,
     };
     pub use bss_instance::{ClassId, Instance, InstanceBuilder, Job, JobId, LowerBounds, Variant};
     pub use bss_rational::Rational;
