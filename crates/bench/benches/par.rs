@@ -1,0 +1,122 @@
+//! Criterion studies of the many-core solve engine.
+//!
+//! Groups:
+//! * `par_epsilon_search` — one ε-search-dominated solve at thread counts
+//!   {1, 2, 4, 8} through `solve_par_with`; bit-identical answers, so any
+//!   delta is pure wall-clock.
+//! * `par_batch` — `SolvePool::solve_batch` throughput over a 64-instance
+//!   batch at the same thread counts (warm per-worker workspaces).
+//! * `par_reduce` — the streamed `from_instance` embedding at `c = 2500`
+//!   (the former 74 ms / 50 MB hotspot, now `O(c)`).
+//!
+//! Wall-clock speedups require physical cores; on a single-core runner the
+//! numbers collapse to ≈1×. The *deterministic* critical-path model —
+//! committed bisection levels per speculative round, reported by
+//! `ParSearchStats` and printed by this binary — is machine-independent:
+//! `probes / rounds` is the parallel search's model speedup, which the
+//! multi-core section of `results/BASELINES.md` records alongside honest
+//! measured walls.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bss_budget::SolveBudget;
+use bss_core::{
+    epsilon_search_between_par_stats, solve_par_with, Algorithm, BssProblem, DualWorkspace, Problem,
+};
+use bss_instance::Variant;
+use bss_par::SolvePool;
+use bss_seqdep::reduce;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn par_epsilon_search(c: &mut Criterion) {
+    // Non-preemptive: its T_min is genuinely rejected here, so the ε-search
+    // runs a full ~eps_log2-probe ladder (preemptive/splittable duals accept
+    // these uniform instances at T_min outright — no ladder to parallelize).
+    let inst = bss_gen::uniform(50_000, 2_500, 32, 1);
+    let algo = Algorithm::EpsilonSearch { eps_log2: 10 };
+    let mut ws = DualWorkspace::new();
+    let mut g = c.benchmark_group("par_epsilon_search");
+    g.sample_size(10);
+    for threads in THREADS {
+        g.bench_with_input(
+            BenchmarkId::new("uniform_50k_eps10", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(solve_par_with(
+                        &mut ws,
+                        &inst,
+                        Variant::NonPreemptive,
+                        algo,
+                        threads,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // The machine-independent accounting: committed levels per round.
+    let problem = BssProblem::new(&inst, Variant::NonPreemptive);
+    let t_min = problem.t_min();
+    let gap = t_min / (1u64 << 10);
+    for threads in THREADS {
+        let mut ws = DualWorkspace::new();
+        let (probe, stats) = epsilon_search_between_par_stats(
+            t_min,
+            problem.search_hi(),
+            gap,
+            threads,
+            &SolveBudget::unlimited(),
+            &mut ws,
+            |w, t| problem.probe(w, t),
+        );
+        let probes = probe.outcome.probes;
+        // threads=1 is the sequential search (no rounds); its model speedup
+        // is 1x by definition.
+        let model = if threads <= 1 {
+            1.0
+        } else {
+            probes as f64 / stats.rounds.max(1) as f64
+        };
+        eprintln!(
+            "par_epsilon_search: threads={threads} probes={probes} rounds={} \
+             speculated={} inline={} model-speedup={model:.2}x",
+            stats.rounds, stats.speculated, stats.inline,
+        );
+    }
+}
+
+fn par_batch(c: &mut Criterion) {
+    let batch: Vec<_> = (0..64)
+        .map(|seed| bss_gen::uniform(2_000, 120, 16, seed))
+        .collect();
+    let mut g = c.benchmark_group("par_batch");
+    g.sample_size(10);
+    for threads in THREADS {
+        let mut pool = SolvePool::with_threads(threads);
+        g.bench_with_input(
+            BenchmarkId::new("solve_batch_64x2k", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    black_box(pool.solve_batch(&batch, Variant::Preemptive, Algorithm::ThreeHalves))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn par_reduce(c: &mut Criterion) {
+    let bss = bss_gen::uniform(50_000, 2_500, 32, 1);
+    let mut g = c.benchmark_group("par_reduce");
+    g.bench_function("from_instance_streamed_2500c", |b| {
+        b.iter(|| black_box(reduce::from_instance(black_box(&bss))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, par_epsilon_search, par_batch, par_reduce);
+criterion_main!(benches);

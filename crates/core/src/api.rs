@@ -15,7 +15,10 @@ use bss_instance::{Instance, Variant};
 use bss_rational::Rational;
 use bss_schedule::{CompactSchedule, Schedule};
 
-use crate::problem::{solve_problem, solve_problem_budgeted, BssProblem};
+use crate::problem::{
+    solve_problem, solve_problem_budgeted, solve_problem_par, solve_problem_par_budgeted,
+    BssProblem,
+};
 use crate::workspace::DualWorkspace;
 use crate::Trace;
 
@@ -324,6 +327,81 @@ pub fn solve_budgeted_with(
         ws,
         &BssProblem::new(inst, variant),
         algo,
+        budget,
+        &mut Trace::disabled(),
+    )
+}
+
+/// [`solve`] with `threads` threads of speculative parallelism on the probe
+/// ladders (see [`crate::par`]). Bit-identical to [`solve`] at every thread
+/// count — parallelism buys wall-clock, never different answers — so
+/// `threads` is a pure performance knob: `1` is the sequential solver,
+/// values above the instance's probe-ladder depth saturate.
+#[must_use]
+pub fn solve_par(inst: &Instance, variant: Variant, algo: Algorithm, threads: usize) -> Solution {
+    solve_par_with(&mut DualWorkspace::new(), inst, variant, algo, threads)
+}
+
+/// [`solve_par`] on a reusable [`DualWorkspace`] (the committed search path
+/// probes on `ws`; each speculative worker owns a transient workspace).
+#[must_use]
+pub fn solve_par_with(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+    threads: usize,
+) -> Solution {
+    solve_problem_par(
+        ws,
+        &BssProblem::new(inst, variant),
+        algo,
+        threads,
+        &mut Trace::disabled(),
+    )
+}
+
+/// [`solve_budgeted`] with speculative parallel probing: the committed
+/// search charges the budget in exactly the sequential order (worker
+/// threads poll without charging), so work-limit interruption points are
+/// deterministic and identical to the sequential solve.
+///
+/// # Errors
+/// See [`solve_budgeted`].
+pub fn solve_par_budgeted(
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+    threads: usize,
+    budget: &SolveBudget,
+) -> Result<Solution, SolveError> {
+    solve_par_budgeted_with(
+        &mut DualWorkspace::new(),
+        inst,
+        variant,
+        algo,
+        threads,
+        budget,
+    )
+}
+
+/// [`solve_par_budgeted`] on a reusable [`DualWorkspace`].
+///
+/// # Errors
+/// See [`solve_budgeted`].
+pub fn solve_par_budgeted_with(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+    threads: usize,
+    budget: &SolveBudget,
+) -> Result<Solution, SolveError> {
+    solve_problem_par_budgeted(
+        ws,
+        &BssProblem::new(inst, variant),
+        algo,
+        threads,
         budget,
         &mut Trace::disabled(),
     )

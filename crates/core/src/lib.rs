@@ -55,6 +55,7 @@
 
 pub mod classify;
 pub mod nonpreemptive;
+pub mod par;
 pub mod preemptive;
 pub mod search;
 pub mod splittable;
@@ -67,17 +68,23 @@ mod trace;
 mod workspace;
 
 pub use api::{
-    solve, solve_budgeted, solve_budgeted_with, solve_traced, solve_traced_with, solve_with,
+    solve, solve_budgeted, solve_budgeted_with, solve_par, solve_par_budgeted,
+    solve_par_budgeted_with, solve_par_with, solve_traced, solve_traced_with, solve_with,
     Algorithm, Completion, ScheduleRepr, Solution, SolveError,
 };
 pub use bss_budget::{CancelToken, Interrupt, SolveBudget};
+pub use par::{
+    epsilon_search_between_par, epsilon_search_between_par_budgeted,
+    epsilon_search_between_par_stats, epsilon_search_par, integer_search_par,
+    integer_search_par_budgeted, ParSearchStats,
+};
 pub use problem::{
-    solve_problem, solve_problem_budgeted, solve_problem_with_budget, BssProblem, DirectSolve,
-    Problem,
+    solve_problem, solve_problem_budgeted, solve_problem_par, solve_problem_par_budgeted,
+    solve_problem_par_with_budget, solve_problem_with_budget, BssProblem, DirectSolve, Problem,
 };
 pub use seqdep_bridge::{
-    solve_seqdep, solve_seqdep_budgeted, solve_seqdep_budgeted_with, solve_seqdep_with,
-    SeqDepProblem,
+    solve_seqdep, solve_seqdep_budgeted, solve_seqdep_budgeted_with, solve_seqdep_par,
+    solve_seqdep_par_budgeted, solve_seqdep_with, SeqDepProblem,
 };
 pub use trace::Trace;
 pub use workspace::DualWorkspace;

@@ -10,4 +10,6 @@ mod dual;
 mod search;
 
 pub use dual::{accepts, dual, dual_in, dual_into};
-pub use search::{three_halves, three_halves_budgeted_in, three_halves_in};
+pub use search::{
+    three_halves, three_halves_budgeted_in, three_halves_in, three_halves_par_budgeted_in,
+};

@@ -78,6 +78,53 @@ pub fn three_halves_budgeted_in(
     )
 }
 
+/// [`three_halves_budgeted_in`] with speculative parallel probing: the
+/// integer bisection runs as wavefronts on `threads` worker threads (see
+/// [`crate::par`]), with bit-identical bracket, probe accounting and
+/// interruption points at every thread count (`threads <= 1` *is* the
+/// sequential search). The trivial `m >= n` path and the climb-one-guess
+/// builder loop are untouched — only the probe ladder goes wide.
+#[must_use]
+pub fn three_halves_par_budgeted_in(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    threads: usize,
+    budget: &SolveBudget,
+) -> (SearchOutcome<Schedule>, Option<Interrupt>) {
+    if threads <= 1 {
+        return three_halves_budgeted_in(ws, inst, budget);
+    }
+    if inst.machines() >= inst.num_jobs() {
+        return (trivial_one_job_per_machine(inst), None);
+    }
+    let t_min = LowerBounds::of(inst).tmin(Variant::NonPreemptive).ceil() as u64;
+    let budgeted =
+        crate::par::integer_search_par_budgeted(t_min, 2 * t_min, threads, budget, ws, |_, t| {
+            accepts(inst, t)
+        });
+    let out = budgeted.outcome;
+    let mut accepted = out.accepted;
+    let schedule = loop {
+        if let Some(s) = dual_in(ws, inst, accepted, &mut Trace::disabled()) {
+            break s;
+        }
+        assert!(
+            accepted < 2 * t_min,
+            "2*T_min is accepted and builds (Theorem 1)"
+        );
+        accepted += 1;
+    };
+    (
+        SearchOutcome {
+            accepted: Rational::from(accepted),
+            schedule,
+            rejected: out.rejected.map(Rational::from),
+            probes: out.probes,
+        },
+        budgeted.interrupt,
+    )
+}
+
 /// `m >= n`: one machine per job is optimal (`makespan = max_i (s_i +
 /// t^(i)_max)`, matching the lower bound of Note 2).
 fn trivial_one_job_per_machine(inst: &Instance) -> SearchOutcome<Schedule> {

@@ -1,0 +1,907 @@
+//! Speculative parallel search drivers: the sequential bisections of
+//! [`crate::search`], executed as wavefronts of speculative probes on worker
+//! threads — **bit-identical** outcome and probe accounting to the
+//! sequential searches at every thread count.
+//!
+//! # How determinism survives parallelism
+//!
+//! A binary search is a path through a decision tree: each probed midpoint
+//! has exactly two successors (the midpoints after an accept and after a
+//! reject), and the sequential search walks one root-to-leaf path. The
+//! parallel driver exploits that the *whole tree* is known in advance:
+//!
+//! 1. **Plan.** From the current bracket it expands the next `k` tree nodes
+//!    in BFS order (`k` = thread count), each node carrying the exact
+//!    midpoint the sequential search would probe on that path, plus a link
+//!    to its parent and the parent outcome that leads to it.
+//! 2. **Speculate.** Worker threads — each owning its own
+//!    [`DualWorkspace`] — claim nodes through an atomic cursor and probe
+//!    them. A node whose already-published ancestor outcome contradicts its
+//!    path is dead (the sequential search can never reach it) and is
+//!    skipped at claim time; when the committed walk retires a wavefront
+//!    early, its [`CancelToken`] kills the remaining losers the same way.
+//! 3. **Commit.** The coordinator replays the *sequential* search verbatim
+//!    against the published results: it charges the [`SolveBudget`] in
+//!    exactly the sequential probe order, consumes each needed result (or
+//!    recomputes it inline on the caller's workspace when a worker had to
+//!    skip), and steps the master bracket. Only committed probes are
+//!    charged or counted — speculative work is free by construction, so
+//!    brackets, probe counts, interrupt points and even panic behaviour
+//!    match the sequential search bit for bit.
+//!
+//! The win is wall-clock: with `k` threads a full wavefront resolves
+//! `⌊log₂(k+1)⌋` committed bisection levels per probe round (plus one more
+//! whenever the committed path stays on the wavefront's deepest planned
+//! node), so an ε-search-dominated solve contracts from `L` sequential
+//! probe times to roughly `L / log₂(k+1)` rounds. [`ParSearchStats`]
+//! reports that critical path, machine-independently.
+//!
+//! Worker probe panics are *not* propagated eagerly: a speculative loser is
+//! a probe the sequential search never runs, so its panic must not surface.
+//! A panicking node is recorded as skipped; if the committed walk actually
+//! consumes it, the inline recomputation re-raises the panic on the calling
+//! thread — exactly where the sequential search would have panicked.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use bss_budget::{CancelToken, SolveBudget};
+use bss_rational::Rational;
+
+use crate::search::{Bracket, BudgetedProbe, ProbeOutcome};
+use crate::workspace::DualWorkspace;
+
+/// Wavefront accounting of one parallel search — the deterministic
+/// critical-path metric the benches report (independent of how many cores
+/// the host actually has).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParSearchStats {
+    /// Speculative wavefronts published (each costs one probe wall-time
+    /// when every worker has a core).
+    pub rounds: usize,
+    /// Speculative probe slots issued across all wavefronts (committed +
+    /// losers).
+    pub speculated: usize,
+    /// Probes the coordinator recomputed inline because a worker had to
+    /// skip the node (budget trip observed worker-side, or a caught panic).
+    pub inline: usize,
+}
+
+/// The sequential bisection state a wavefront is planned from — implemented
+/// by the rational ε-bracket and the Theorem-8 integer bracket, so one
+/// driver serves both searches.
+trait Bisect: Clone {
+    type Guess: Copy + PartialEq + Send + Sync + core::fmt::Debug;
+    fn is_wide(&self) -> bool;
+    /// The committed split: panics on overflow exactly as the sequential
+    /// search does.
+    fn split(&mut self) -> Self::Guess;
+    /// The planning split: `None` instead of a panic (a speculative path
+    /// must not fail where the committed path might never go).
+    fn try_split(&mut self) -> Option<Self::Guess>;
+    fn accept_mid(&mut self);
+    fn reject_mid(&mut self);
+    fn lo_guess(&self) -> Self::Guess;
+    fn hi_guess(&self) -> Self::Guess;
+}
+
+impl Bisect for Bracket {
+    type Guess = Rational;
+    fn is_wide(&self) -> bool {
+        Bracket::is_wide(self)
+    }
+    fn split(&mut self) -> Rational {
+        Bracket::split(self)
+    }
+    fn try_split(&mut self) -> Option<Rational> {
+        Bracket::try_split(self)
+    }
+    fn accept_mid(&mut self) {
+        Bracket::accept_mid(self);
+    }
+    fn reject_mid(&mut self) {
+        Bracket::reject_mid(self);
+    }
+    fn lo_guess(&self) -> Rational {
+        self.lo_rational()
+    }
+    fn hi_guess(&self) -> Rational {
+        self.hi_rational()
+    }
+}
+
+/// The integer bracket of [`crate::search::integer_search_budgeted`]:
+/// `lo` rejected, `hi` accepted, loop while `hi - lo > 1`.
+#[derive(Clone)]
+struct IntBracket {
+    lo: u64,
+    hi: u64,
+    mid: u64,
+}
+
+impl Bisect for IntBracket {
+    type Guess = u64;
+    fn is_wide(&self) -> bool {
+        self.hi - self.lo > 1
+    }
+    fn split(&mut self) -> u64 {
+        self.mid = self.lo + (self.hi - self.lo) / 2;
+        self.mid
+    }
+    fn try_split(&mut self) -> Option<u64> {
+        Some(self.split())
+    }
+    fn accept_mid(&mut self) {
+        self.hi = self.mid;
+    }
+    fn reject_mid(&mut self) {
+        self.lo = self.mid;
+    }
+    fn lo_guess(&self) -> u64 {
+        self.lo
+    }
+    fn hi_guess(&self) -> u64 {
+        self.hi
+    }
+}
+
+const NONE: usize = usize::MAX;
+
+// A node's published result.
+const PENDING: u8 = 0;
+const ACCEPT: u8 = 1;
+const REJECT: u8 = 2;
+const SKIP: u8 = 3;
+
+/// One planned speculative probe: the exact guess the sequential search
+/// probes on this decision-tree path.
+struct SpecNode<G> {
+    guess: G,
+    /// Index of the node whose outcome leads here (`NONE` for roots).
+    parent: usize,
+    /// Which parent outcome leads here: `true` = parent accepted.
+    expect_accept: bool,
+    /// `children[0]` = on-accept successor, `children[1]` = on-reject
+    /// (`NONE` when unplanned) — lets the committed walk stay on the
+    /// wavefront without searching.
+    children: [usize; 2],
+}
+
+/// One published wavefront.
+struct Round<G> {
+    nodes: Vec<SpecNode<G>>,
+    results: Vec<AtomicU8>,
+    cursor: AtomicUsize,
+    /// Cancelled when the committed walk retires this round — unclaimed
+    /// losers are skipped instead of probed.
+    abort: CancelToken,
+}
+
+/// Coordinator ↔ worker handoff: the current round plus lifecycle flags.
+struct Handoff<G> {
+    epoch: u64,
+    shutdown: bool,
+    round: Option<Arc<Round<G>>>,
+}
+
+struct Engine<'a, G, F> {
+    probe: &'a F,
+    budget: &'a SolveBudget,
+    state: Mutex<Handoff<G>>,
+    /// Workers wait here for a new round (or shutdown).
+    work_cv: Condvar,
+    /// The coordinator waits here for results it needs.
+    done_cv: Condvar,
+}
+
+impl<'a, G, F> Engine<'a, G, F>
+where
+    G: Copy + Send + Sync,
+    F: Fn(&mut DualWorkspace, G) -> bool + Sync,
+{
+    fn new(probe: &'a F, budget: &'a SolveBudget) -> Self {
+        Engine {
+            probe,
+            budget,
+            state: Mutex::new(Handoff {
+                epoch: 0,
+                shutdown: false,
+                round: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes a new wavefront and wakes the workers.
+    fn publish(&self, nodes: Vec<SpecNode<G>>) -> Arc<Round<G>> {
+        let round = Arc::new(Round {
+            results: nodes.iter().map(|_| AtomicU8::new(PENDING)).collect(),
+            nodes,
+            cursor: AtomicUsize::new(0),
+            abort: CancelToken::new(),
+        });
+        let mut h = self.state.lock().expect("engine lock");
+        h.epoch += 1;
+        h.round = Some(Arc::clone(&round));
+        drop(h);
+        self.work_cv.notify_all();
+        round
+    }
+
+    /// Blocks until node `i` has a published result.
+    fn await_result(&self, round: &Round<G>, i: usize) -> u8 {
+        let r = round.results[i].load(Ordering::Acquire);
+        if r != PENDING {
+            return r;
+        }
+        let mut h = self.state.lock().expect("engine lock");
+        loop {
+            let r = round.results[i].load(Ordering::Acquire);
+            if r != PENDING {
+                return r;
+            }
+            h = self.done_cv.wait(h).expect("engine lock");
+        }
+    }
+
+    /// Consumes node `i`'s result for the committed walk; a skipped node is
+    /// recomputed inline on the caller's workspace (re-raising any panic
+    /// exactly where the sequential search would).
+    fn consume(
+        &self,
+        round: &Round<G>,
+        i: usize,
+        ws: &mut DualWorkspace,
+        stats: &mut ParSearchStats,
+    ) -> bool {
+        match self.await_result(round, i) {
+            ACCEPT => true,
+            REJECT => false,
+            _ => {
+                stats.inline += 1;
+                (self.probe)(ws, round.nodes[i].guess)
+            }
+        }
+    }
+
+    fn worker(&self) {
+        let mut ws = DualWorkspace::new();
+        let mut seen = 0u64;
+        loop {
+            let round = {
+                let mut h = self.state.lock().expect("engine lock");
+                loop {
+                    if h.shutdown {
+                        return;
+                    }
+                    if h.epoch != seen {
+                        seen = h.epoch;
+                        if let Some(r) = &h.round {
+                            break Arc::clone(r);
+                        }
+                    }
+                    h = self.work_cv.wait(h).expect("engine lock");
+                }
+            };
+            loop {
+                let i = round.cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= round.nodes.len() {
+                    break;
+                }
+                let res = if round.abort.is_cancelled()
+                    || !viable(&round, i)
+                    || self.budget.poll().is_err()
+                {
+                    SKIP
+                } else {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        (self.probe)(&mut ws, round.nodes[i].guess)
+                    })) {
+                        Ok(true) => ACCEPT,
+                        Ok(false) => REJECT,
+                        Err(_) => {
+                            // A speculative panic must not surface unless the
+                            // committed path consumes this node — then the
+                            // inline recomputation re-raises it. Reset the
+                            // workspace: buffers abandoned mid-probe hold
+                            // arbitrary partial state.
+                            ws.reset();
+                            SKIP
+                        }
+                    }
+                };
+                round.results[i].store(res, Ordering::Release);
+                // Publish under the lock so a coordinator between its check
+                // and its wait cannot miss the wakeup.
+                let _h = self.state.lock().expect("engine lock");
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Dead-path pruning: a node whose already-published ancestor outcome
+/// contradicts the path leading here can never be consumed.
+fn viable<G>(round: &Round<G>, mut i: usize) -> bool {
+    loop {
+        let parent = round.nodes[i].parent;
+        if parent == NONE {
+            return true;
+        }
+        let published = round.results[parent].load(Ordering::Acquire);
+        let expect = if round.nodes[i].expect_accept {
+            ACCEPT
+        } else {
+            REJECT
+        };
+        // PENDING and SKIP leave the direction open; only a contradicting
+        // probed outcome kills the path.
+        if published == ACCEPT || published == REJECT {
+            if published != expect {
+                return false;
+            }
+        }
+        i = parent;
+    }
+}
+
+/// Expands the bisection tree from `state` in BFS order (shallow nodes
+/// first — they are claimed first and are most likely committed), hanging
+/// the root off `(root_parent, root_expect)`, until `capacity` nodes exist.
+fn push_tree<B: Bisect>(
+    nodes: &mut Vec<SpecNode<B::Guess>>,
+    state: &B,
+    root_parent: usize,
+    root_expect: bool,
+    capacity: usize,
+) {
+    let mut queue: VecDeque<(B, usize, bool)> = VecDeque::new();
+    queue.push_back((state.clone(), root_parent, root_expect));
+    while nodes.len() < capacity {
+        let Some((mut s, parent, expect)) = queue.pop_front() else {
+            break;
+        };
+        if !s.is_wide() {
+            continue;
+        }
+        let Some(guess) = s.try_split() else {
+            continue;
+        };
+        let idx = nodes.len();
+        nodes.push(SpecNode {
+            guess,
+            parent,
+            expect_accept: expect,
+            children: [NONE, NONE],
+        });
+        if parent != NONE {
+            nodes[parent].children[usize::from(!expect)] = idx;
+        }
+        let mut acc = s.clone();
+        acc.accept_mid();
+        queue.push_back((acc, idx, true));
+        let mut rej = s;
+        rej.reject_mid();
+        queue.push_back((rej, idx, false));
+    }
+}
+
+/// Sets the shutdown flag when the coordinator leaves the scope — normally
+/// or by unwinding (an assert or re-raised probe panic) — so the workers
+/// always drain and `thread::scope` can join.
+struct ShutdownGuard<'s, 'a, G, F>(&'s Engine<'a, G, F>);
+
+impl<G, F> Drop for ShutdownGuard<'_, '_, G, F> {
+    fn drop(&mut self) {
+        let mut h = self.0.state.lock().expect("engine lock");
+        h.shutdown = true;
+        if let Some(r) = &h.round {
+            r.abort.cancel();
+        }
+        drop(h);
+        self.0.work_cv.notify_all();
+    }
+}
+
+/// The shared driver: seeds (`t_lo`, then `t_hi`) and the bisection loop,
+/// replayed in the exact sequential order against speculative results.
+///
+/// `planned` is the bracket used for wavefront planning (`None` when its
+/// construction would overflow — the committed path then recreates it with
+/// the sequential panic behaviour, *after* the `t_lo` probe, exactly as the
+/// sequential search does). `make_master` builds the committed bracket.
+#[allow(clippy::too_many_arguments)]
+fn search_par<B, F>(
+    t_lo: B::Guess,
+    t_hi: B::Guess,
+    threads: usize,
+    budget: &SolveBudget,
+    ws: &mut DualWorkspace,
+    probe: &F,
+    planned: Option<B>,
+    make_master: impl FnOnce() -> B,
+    seed_msg: &'static str,
+    stats: &mut ParSearchStats,
+) -> BudgetedProbe<B::Guess>
+where
+    B: Bisect,
+    F: Fn(&mut DualWorkspace, B::Guess) -> bool + Sync,
+{
+    debug_assert!(threads > 1);
+    let engine = Engine::new(probe, budget);
+    let mut result = None;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| engine.worker());
+        }
+        let _guard = ShutdownGuard(&engine);
+
+        // Round 0: both seed probes plus the first speculative tree. The
+        // tree hangs off the `t_hi` node (committed only after `t_lo`
+        // rejected and `t_hi` accepted — the same order the sequential
+        // search discovers them in).
+        let mut nodes = vec![
+            SpecNode {
+                guess: t_lo,
+                parent: NONE,
+                expect_accept: false,
+                children: [NONE, NONE],
+            },
+            SpecNode {
+                guess: t_hi,
+                parent: 0,
+                expect_accept: false,
+                children: [NONE, NONE],
+            },
+        ];
+        if let Some(state) = &planned {
+            // Seeds resolve in the same wavefront as the first tree levels,
+            // so round 0 gets the full `threads` of tree capacity on top.
+            push_tree(&mut nodes, state, 1, true, threads + 2);
+        }
+        stats.rounds += 1;
+        stats.speculated += nodes.len();
+        let mut round = engine.publish(nodes);
+
+        // --- Sequential replay begins: identical charge/probe order. ---
+        let mut probes = 0usize;
+        if let Err(i) = budget.charge_probe() {
+            result = Some(BudgetedProbe {
+                outcome: ProbeOutcome {
+                    accepted: t_hi,
+                    rejected: None,
+                    probes,
+                },
+                interrupt: Some(i),
+            });
+            return;
+        }
+        probes = 1;
+        if engine.consume(&round, 0, ws, stats) {
+            result = Some(BudgetedProbe {
+                outcome: ProbeOutcome {
+                    accepted: t_lo,
+                    rejected: None,
+                    probes,
+                },
+                interrupt: None,
+            });
+            return;
+        }
+        // lo rejected; hi accepted by precondition.
+        let mut state = make_master();
+        if let Err(i) = budget.charge_probe() {
+            result = Some(BudgetedProbe {
+                outcome: ProbeOutcome {
+                    accepted: t_hi,
+                    rejected: Some(t_lo),
+                    probes,
+                },
+                interrupt: Some(i),
+            });
+            return;
+        }
+        probes += 1;
+        assert!(engine.consume(&round, 1, ws, stats), "{}", seed_msg);
+        let mut cur = follow(&round, 1, true);
+        let mut interrupt = None;
+        while state.is_wide() {
+            if cur.is_none() {
+                // Walked off the planned wavefront: retire it (killing its
+                // unclaimed losers) and speculate a fresh tree rooted at the
+                // current bracket's next midpoint.
+                round.abort.cancel();
+                let mut nodes = Vec::new();
+                push_tree(&mut nodes, &state, NONE, false, threads);
+                if !nodes.is_empty() {
+                    stats.rounds += 1;
+                    stats.speculated += nodes.len();
+                    round = engine.publish(nodes);
+                    cur = Some(0);
+                }
+                // Planning overflow leaves `cur` unset: the walk continues
+                // inline, with the sequential panic behaviour.
+            }
+            let mid = state.split();
+            if let Err(i) = budget.charge_probe() {
+                interrupt = Some(i);
+                break;
+            }
+            probes += 1;
+            let accepted = match cur {
+                Some(i) => {
+                    debug_assert!(round.nodes[i].guess == mid, "planned guess diverged");
+                    engine.consume(&round, i, ws, stats)
+                }
+                None => (engine.probe)(ws, mid),
+            };
+            if accepted {
+                state.accept_mid();
+            } else {
+                state.reject_mid();
+            }
+            cur = cur.and_then(|i| follow(&round, i, accepted));
+        }
+        round.abort.cancel();
+        result = Some(BudgetedProbe {
+            outcome: ProbeOutcome {
+                accepted: state.hi_guess(),
+                rejected: Some(state.lo_guess()),
+                probes,
+            },
+            interrupt,
+        });
+    });
+    result.expect("coordinator always sets the result")
+}
+
+/// The planned successor of node `i` after outcome `accepted`, if any.
+fn follow<G>(round: &Round<G>, i: usize, accepted: bool) -> Option<usize> {
+    let child = round.nodes[i].children[usize::from(!accepted)];
+    (child != NONE).then_some(child)
+}
+
+/// Parallel [`crate::search::epsilon_search`]: binary search on
+/// `[t_min, 2·t_min]` to gap `ε·t_min` (Theorem 2), with speculative
+/// wavefronts on `threads` workers. Bit-identical outcome and probe count
+/// to the sequential search at every thread count; `threads <= 1` *is* the
+/// sequential search.
+///
+/// `probe` receives the workspace of whichever thread runs it — workers own
+/// one each, the committed path uses `ws`.
+pub fn epsilon_search_par<F>(
+    t_min: Rational,
+    eps: Rational,
+    threads: usize,
+    ws: &mut DualWorkspace,
+    probe: F,
+) -> ProbeOutcome<Rational>
+where
+    F: Fn(&mut DualWorkspace, Rational) -> bool + Sync,
+{
+    assert!(t_min.is_positive() && eps.is_positive());
+    epsilon_search_between_par_budgeted(
+        t_min,
+        t_min * 2u64,
+        eps * t_min,
+        threads,
+        &SolveBudget::unlimited(),
+        ws,
+        probe,
+    )
+    .outcome
+}
+
+/// Parallel [`crate::search::epsilon_search_between`] (explicit bracket and
+/// absolute gap).
+pub fn epsilon_search_between_par<F>(
+    t_lo: Rational,
+    t_hi: Rational,
+    gap: Rational,
+    threads: usize,
+    ws: &mut DualWorkspace,
+    probe: F,
+) -> ProbeOutcome<Rational>
+where
+    F: Fn(&mut DualWorkspace, Rational) -> bool + Sync,
+{
+    epsilon_search_between_par_budgeted(
+        t_lo,
+        t_hi,
+        gap,
+        threads,
+        &SolveBudget::unlimited(),
+        ws,
+        probe,
+    )
+    .outcome
+}
+
+/// Parallel [`crate::search::epsilon_search_between_budgeted`]: the full
+/// budget-aware driver. Only committed probes are charged, in exactly the
+/// sequential order, so work-limit interruption points are deterministic
+/// and identical to the sequential search; workers poll (without charging)
+/// so deadlines and cancellation stop speculation promptly.
+pub fn epsilon_search_between_par_budgeted<F>(
+    t_lo: Rational,
+    t_hi: Rational,
+    gap: Rational,
+    threads: usize,
+    budget: &SolveBudget,
+    ws: &mut DualWorkspace,
+    probe: F,
+) -> BudgetedProbe<Rational>
+where
+    F: Fn(&mut DualWorkspace, Rational) -> bool + Sync,
+{
+    epsilon_search_between_par_stats(t_lo, t_hi, gap, threads, budget, ws, probe).0
+}
+
+/// [`epsilon_search_between_par_budgeted`] that also reports the wavefront
+/// accounting — the deterministic critical-path metric of `benches/par.rs`.
+pub fn epsilon_search_between_par_stats<F>(
+    t_lo: Rational,
+    t_hi: Rational,
+    gap: Rational,
+    threads: usize,
+    budget: &SolveBudget,
+    ws: &mut DualWorkspace,
+    probe: F,
+) -> (BudgetedProbe<Rational>, ParSearchStats)
+where
+    F: Fn(&mut DualWorkspace, Rational) -> bool + Sync,
+{
+    assert!(t_lo.is_positive() && gap.is_positive() && t_lo <= t_hi);
+    let mut stats = ParSearchStats::default();
+    if threads <= 1 {
+        let ws = &mut *ws;
+        let out = crate::search::epsilon_search_between_budgeted(t_lo, t_hi, gap, budget, |t| {
+            probe(ws, t)
+        });
+        return (out, stats);
+    }
+    let out = search_par(
+        t_lo,
+        t_hi,
+        threads,
+        budget,
+        ws,
+        &probe,
+        Bracket::try_new(t_lo, t_hi, gap),
+        || Bracket::new(t_lo, t_hi, gap),
+        "the search's upper seed must be accepted",
+        &mut stats,
+    );
+    (out, stats)
+}
+
+/// Parallel [`crate::search::integer_search`] (Theorem 8's exact integral
+/// search). Same determinism contract as [`epsilon_search_par`].
+pub fn integer_search_par<F>(
+    t_lo: u64,
+    t_hi: u64,
+    threads: usize,
+    ws: &mut DualWorkspace,
+    probe: F,
+) -> ProbeOutcome<u64>
+where
+    F: Fn(&mut DualWorkspace, u64) -> bool + Sync,
+{
+    integer_search_par_budgeted(t_lo, t_hi, threads, &SolveBudget::unlimited(), ws, probe).outcome
+}
+
+/// Parallel [`crate::search::integer_search_budgeted`].
+pub fn integer_search_par_budgeted<F>(
+    t_lo: u64,
+    t_hi: u64,
+    threads: usize,
+    budget: &SolveBudget,
+    ws: &mut DualWorkspace,
+    probe: F,
+) -> BudgetedProbe<u64>
+where
+    F: Fn(&mut DualWorkspace, u64) -> bool + Sync,
+{
+    assert!(t_lo <= t_hi);
+    if threads <= 1 {
+        let ws = &mut *ws;
+        return crate::search::integer_search_budgeted(t_lo, t_hi, budget, |t| probe(ws, t));
+    }
+    let mut stats = ParSearchStats::default();
+    search_par(
+        t_lo,
+        t_hi,
+        threads,
+        budget,
+        ws,
+        &probe,
+        Some(IntBracket {
+            lo: t_lo,
+            hi: t_hi,
+            mid: 0,
+        }),
+        || IntBracket {
+            lo: t_lo,
+            hi: t_hi,
+            mid: 0,
+        },
+        "upper bound must be accepted",
+        &mut stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{epsilon_search_between_budgeted, integer_search_budgeted};
+
+    fn r(v: i128) -> Rational {
+        Rational::from_int(v)
+    }
+
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+    #[test]
+    fn epsilon_par_matches_sequential_bitwise() {
+        for denom in [3i128, 7, 64, 1000] {
+            for num in [301i128, 399, 555, 599] {
+                let threshold = Rational::new(num, denom);
+                let seq = epsilon_search_between_budgeted(
+                    r(100),
+                    r(200),
+                    Rational::new(1, 128),
+                    &SolveBudget::unlimited(),
+                    |t| t >= threshold,
+                );
+                for threads in THREADS {
+                    let mut ws = DualWorkspace::new();
+                    let par = epsilon_search_between_par_budgeted(
+                        r(100),
+                        r(200),
+                        Rational::new(1, 128),
+                        threads,
+                        &SolveBudget::unlimited(),
+                        &mut ws,
+                        |_, t| t >= threshold,
+                    );
+                    assert_eq!(par, seq, "threads={threads} threshold={threshold}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_par_immediate_accept() {
+        for threads in THREADS {
+            let mut ws = DualWorkspace::new();
+            let out = epsilon_search_par(r(100), Rational::new(1, 10), threads, &mut ws, |_, t| {
+                t >= r(50)
+            });
+            assert_eq!(out.accepted, r(100));
+            assert_eq!(out.rejected, None);
+            assert_eq!(out.probes, 1);
+        }
+    }
+
+    #[test]
+    fn integer_par_matches_sequential_bitwise() {
+        for threshold in [101u64, 137, 199, 200, 777, 1000] {
+            let seq =
+                integer_search_budgeted(100, 1000, &SolveBudget::unlimited(), |t| t >= threshold);
+            for threads in THREADS {
+                let mut ws = DualWorkspace::new();
+                let par = integer_search_par_budgeted(
+                    100,
+                    1000,
+                    threads,
+                    &SolveBudget::unlimited(),
+                    &mut ws,
+                    |_, t| t >= threshold,
+                );
+                assert_eq!(par, seq, "threads={threads} threshold={threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn work_limit_interruption_points_are_deterministic() {
+        // Sweep every work-limit: the interrupted bracket must match the
+        // sequential search's at the same limit, at every thread count.
+        let threshold = 137u64;
+        for limit in 0..12 {
+            let seq_budget = SolveBudget::unlimited().with_work_limit(limit);
+            let seq = integer_search_budgeted(100, 1000, &seq_budget, |t| t >= threshold);
+            for threads in THREADS {
+                let par_budget = SolveBudget::unlimited().with_work_limit(limit);
+                let mut ws = DualWorkspace::new();
+                let par = integer_search_par_budgeted(
+                    100,
+                    1000,
+                    threads,
+                    &par_budget,
+                    &mut ws,
+                    |_, t| t >= threshold,
+                );
+                assert_eq!(par, seq, "threads={threads} limit={limit}");
+                assert_eq!(seq_budget.work_used(), par_budget.work_used());
+            }
+        }
+    }
+
+    #[test]
+    fn committed_panic_propagates_loser_panic_does_not() {
+        // Probe panics at one loser guess the committed path never visits:
+        // the parallel search must still match the sequential one.
+        let threshold = 137u64;
+        let seq = integer_search_budgeted(100, 1000, &SolveBudget::unlimited(), |t| t >= threshold);
+        let mut ws = DualWorkspace::new();
+        let par = integer_search_par_budgeted(
+            100,
+            1000,
+            8,
+            &SolveBudget::unlimited(),
+            &mut ws,
+            |_, t| {
+                // 775 = mid of (550, 1000], a reject-side path the committed
+                // walk (which accepts at 550's level) never takes.
+                assert!(t != 775, "loser probe");
+                t >= threshold
+            },
+        );
+        assert_eq!(par, seq);
+
+        // A panic at a guess the committed path *does* probe propagates.
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut ws = DualWorkspace::new();
+            integer_search_par_budgeted(100, 1000, 8, &SolveBudget::unlimited(), &mut ws, |_, t| {
+                assert!(t != 550, "committed probe");
+                t >= threshold
+            })
+        }));
+        assert!(caught.is_err(), "committed-path panic must propagate");
+    }
+
+    #[test]
+    fn cancellation_stops_the_search() {
+        let token = CancelToken::new();
+        let budget = SolveBudget::unlimited().with_cancel(&token);
+        token.cancel();
+        let mut ws = DualWorkspace::new();
+        let par = integer_search_par_budgeted(100, 1000, 4, &budget, &mut ws, |_, t| t >= 137);
+        // Identical to the sequential search under a pre-cancelled budget:
+        // nothing probed, bracket untouched.
+        let seq = integer_search_budgeted(100, 1000, &budget, |t| t >= 137);
+        assert_eq!(par, seq);
+        assert!(par.interrupt.is_some());
+    }
+
+    #[test]
+    fn stats_report_the_wavefront_critical_path() {
+        let threshold = Rational::new(555, 4);
+        let mut ws = DualWorkspace::new();
+        let (par, stats) = epsilon_search_between_par_stats(
+            r(100),
+            r(200),
+            Rational::new(1, 1 << 16),
+            8,
+            &SolveBudget::unlimited(),
+            &mut ws,
+            |_, t| t >= threshold,
+        );
+        assert!(par.interrupt.is_none());
+        assert!(stats.rounds >= 1);
+        assert!(stats.speculated >= par.outcome.probes);
+        // The whole point: the wavefront critical path is much shorter than
+        // the sequential probe ladder. 8 threads commit >= 3 levels/round.
+        assert!(
+            stats.rounds <= 1 + par.outcome.probes.div_ceil(3),
+            "rounds {} vs probes {}",
+            stats.rounds,
+            par.outcome.probes
+        );
+        assert_eq!(stats.inline, 0, "no skips under an unlimited budget");
+    }
+}

@@ -125,6 +125,26 @@ pub trait Problem {
         (self.direct_search(ws, trace), None)
     }
 
+    /// [`Problem::direct_search_budgeted`] with `threads` worker threads
+    /// available for speculative probing (see [`crate::par`]). Must be
+    /// bit-identical to the sequential search at every thread count. The
+    /// default ignores the threads — correct for searches with no parallel
+    /// form (Class Jumping's probe ladder is sequentially dependent);
+    /// problems whose direct search is a bisection override it.
+    fn direct_search_par_budgeted(
+        &self,
+        ws: &mut DualWorkspace,
+        threads: usize,
+        budget: &SolveBudget,
+        trace: &mut Trace,
+    ) -> (DirectSolve, Option<Interrupt>)
+    where
+        Self: Sync,
+    {
+        let _ = threads;
+        self.direct_search_budgeted(ws, budget, trace)
+    }
+
     /// [`Problem::exact_oracle`] under a shared [`SolveBudget`]: the
     /// portfolio's exact arm draws its nodes from the *same* budget as the
     /// probe ladders (no double-accounting of wall-clock or work). The
@@ -149,14 +169,33 @@ pub trait Problem {
 /// Drives any [`Problem`] through the chosen [`Algorithm`] on a reusable
 /// workspace. All four modes share the guarantee accounting documented on
 /// the module; the result is a standard [`Solution`].
+///
+/// (`P: Sync` because the same driver backs the parallel entry points,
+/// where probes run on worker threads; both implementors in this workspace
+/// are plain borrows of immutable instances.)
 #[must_use]
-pub fn solve_problem<P: Problem + ?Sized>(
+pub fn solve_problem<P: Problem + Sync + ?Sized>(
     ws: &mut DualWorkspace,
     problem: &P,
     algo: Algorithm,
     trace: &mut Trace,
 ) -> Solution {
     solve_problem_with_budget(ws, problem, algo, &SolveBudget::unlimited(), trace)
+}
+
+/// [`solve_problem`] with `threads` threads of speculative parallelism on
+/// the probe ladders (see [`crate::par`]): bit-identical results and probe
+/// accounting at every thread count, `threads <= 1` *is* the sequential
+/// driver.
+#[must_use]
+pub fn solve_problem_par<P: Problem + Sync + ?Sized>(
+    ws: &mut DualWorkspace,
+    problem: &P,
+    algo: Algorithm,
+    threads: usize,
+    trace: &mut Trace,
+) -> Solution {
+    solve_problem_par_with_budget(ws, problem, algo, threads, &SolveBudget::unlimited(), trace)
 }
 
 /// [`solve_problem`] at the safe API boundary: the solve runs under `budget`
@@ -168,10 +207,29 @@ pub fn solve_problem<P: Problem + ?Sized>(
 /// workspace is safe (and bit-identical to fresh) for the next solve.
 /// Ordinary interrupts (deadline, budget, cancel) are *not* errors: they
 /// return `Ok` with a degraded [`Completion`] and honest accounting.
-pub fn solve_problem_budgeted<P: Problem + ?Sized>(
+pub fn solve_problem_budgeted<P: Problem + Sync + ?Sized>(
     ws: &mut DualWorkspace,
     problem: &P,
     algo: Algorithm,
+    budget: &SolveBudget,
+    trace: &mut Trace,
+) -> Result<Solution, SolveError> {
+    solve_problem_par_budgeted(ws, problem, algo, 1, budget, trace)
+}
+
+/// [`solve_problem_budgeted`] with `threads` threads of speculative
+/// parallelism — the safe boundary of the parallel driver. Panics caught
+/// here include those re-raised from speculative workers along the
+/// committed path (losers' panics never surface; see [`crate::par`]).
+///
+/// # Errors
+/// [`SolveError`] when the solver panicked; interruption is **not** an
+/// error.
+pub fn solve_problem_par_budgeted<P: Problem + Sync + ?Sized>(
+    ws: &mut DualWorkspace,
+    problem: &P,
+    algo: Algorithm,
+    threads: usize,
     budget: &SolveBudget,
     trace: &mut Trace,
 ) -> Result<Solution, SolveError> {
@@ -179,7 +237,7 @@ pub fn solve_problem_budgeted<P: Problem + ?Sized>(
         let ws = &mut *ws;
         let trace = &mut *trace;
         catch_unwind(AssertUnwindSafe(move || {
-            solve_problem_with_budget(ws, problem, algo, budget, trace)
+            solve_problem_par_with_budget(ws, problem, algo, threads, budget, trace)
         }))
     };
     match result {
@@ -200,18 +258,49 @@ pub fn solve_problem_budgeted<P: Problem + ?Sized>(
 /// against the certified lower bound, and [`Solution::completion`] reports
 /// what happened.
 #[must_use]
-pub fn solve_problem_with_budget<P: Problem + ?Sized>(
+pub fn solve_problem_with_budget<P: Problem + Sync + ?Sized>(
     ws: &mut DualWorkspace,
     problem: &P,
     algo: Algorithm,
     budget: &SolveBudget,
     trace: &mut Trace,
 ) -> Solution {
+    solve_problem_par_with_budget(ws, problem, algo, 1, budget, trace)
+}
+
+/// The parallel driver core — [`solve_problem_with_budget`] is this with
+/// `threads = 1`. Panics propagate (prefer [`solve_problem_par_budgeted`]
+/// at API boundaries). The search arms dispatch to the speculative drivers
+/// of [`crate::par`] when `threads > 1`; results are bit-identical to the
+/// sequential driver either way (guarded by the `par_determinism` suite).
+#[must_use]
+pub fn solve_problem_par_with_budget<P: Problem + Sync + ?Sized>(
+    ws: &mut DualWorkspace,
+    problem: &P,
+    algo: Algorithm,
+    threads: usize,
+    budget: &SolveBudget,
+    trace: &mut Trace,
+) -> Solution {
     let t_min = problem.t_min();
     let mut sol = match algo {
         Algorithm::Portfolio => {
-            let a = solve_problem_with_budget(ws, problem, Algorithm::ThreeHalves, budget, trace);
-            let b = solve_problem_with_budget(ws, problem, Algorithm::TwoApprox, budget, trace);
+            let a = solve_problem_par_with_budget(
+                ws,
+                problem,
+                Algorithm::ThreeHalves,
+                threads,
+                budget,
+                trace,
+            );
+            let b = solve_problem_par_with_budget(
+                ws,
+                problem,
+                Algorithm::TwoApprox,
+                threads,
+                budget,
+                trace,
+            );
             // The primary member's guarantee carries over: even when the
             // fallback's schedule wins on makespan, it is bounded by the
             // primary's makespan, so `a.ratio_bound * a.accepted` still
@@ -309,13 +398,25 @@ pub fn solve_problem_with_budget<P: Problem + ?Sized>(
         }
         Algorithm::EpsilonSearch { eps_log2 } => {
             let eps = Rational::new(1, 1 << eps_log2.min(60));
-            let budgeted = epsilon_search_between_budgeted(
-                t_min,
-                problem.search_hi(),
-                eps * t_min,
-                budget,
-                |t| problem.probe(ws, t),
-            );
+            let budgeted = if threads > 1 {
+                crate::par::epsilon_search_between_par_budgeted(
+                    t_min,
+                    problem.search_hi(),
+                    eps * t_min,
+                    threads,
+                    budget,
+                    ws,
+                    |w, t| problem.probe(w, t),
+                )
+            } else {
+                epsilon_search_between_budgeted(
+                    t_min,
+                    problem.search_hi(),
+                    eps * t_min,
+                    budget,
+                    |t| problem.probe(ws, t),
+                )
+            };
             let out = budgeted.outcome;
             // The builders keep defensive rejection branches beyond the
             // accept test; if one fires at the accepted guess, fall back to
@@ -347,7 +448,11 @@ pub fn solve_problem_with_budget<P: Problem + ?Sized>(
             degraded(ws, problem, sol, budgeted.interrupt, trace)
         }
         Algorithm::ThreeHalves => {
-            let (d, interrupt) = problem.direct_search_budgeted(ws, budget, trace);
+            let (d, interrupt) = if threads > 1 {
+                problem.direct_search_par_budgeted(ws, threads, budget, trace)
+            } else {
+                problem.direct_search_budgeted(ws, budget, trace)
+            };
             let sol = finish(
                 d.repr,
                 d.accepted,
@@ -570,6 +675,37 @@ impl Problem for BssProblem<'_> {
                     interrupt,
                 )
             }
+        }
+    }
+
+    fn direct_search_par_budgeted(
+        &self,
+        ws: &mut DualWorkspace,
+        threads: usize,
+        budget: &SolveBudget,
+        trace: &mut Trace,
+    ) -> (DirectSolve, Option<Interrupt>) {
+        match self.variant {
+            // Theorem 8's integer bisection parallelizes speculatively.
+            Variant::NonPreemptive if threads > 1 => {
+                let t_min = self.t_min();
+                let (out, interrupt) =
+                    nonpreemptive::three_halves_par_budgeted_in(ws, self.inst, threads, budget);
+                (
+                    DirectSolve {
+                        repr: ScheduleRepr::Explicit(out.schedule),
+                        accepted: out.accepted,
+                        certificate: out.rejected.unwrap_or(t_min).max(t_min),
+                        probes: out.probes,
+                        ratio: Rational::new(3, 2),
+                    },
+                    interrupt,
+                )
+            }
+            // Class Jumping (splittable, preemptive) walks a jump structure
+            // whose next probe depends on the previous outcome in a way the
+            // wavefront planner cannot enumerate; it stays sequential.
+            _ => self.direct_search_budgeted(ws, budget, trace),
         }
     }
 

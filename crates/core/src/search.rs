@@ -41,7 +41,8 @@ pub struct SearchOutcome<S> {
 /// once per iteration; when that would leave the `i128` headroom the bracket
 /// renormalizes by the common gcd, matching the overflow discipline (and
 /// panic behaviour) of [`Rational`] itself.
-struct Bracket {
+#[derive(Clone)]
+pub(crate) struct Bracket {
     lo: i128,
     hi: i128,
     gap: i128,
@@ -50,37 +51,45 @@ struct Bracket {
 }
 
 impl Bracket {
-    fn new(lo: Rational, hi: Rational, gap: Rational) -> Bracket {
-        let den = lcm(lo.denom(), hi.denom())
-            .and_then(|d| lcm(d, gap.denom()))
-            .expect("Rational overflow in search bracket");
-        let scale = |r: Rational| {
-            r.numer()
-                .checked_mul(den / r.denom())
-                .expect("Rational overflow in search bracket")
-        };
-        Bracket {
-            lo: scale(lo),
-            hi: scale(hi),
-            gap: scale(gap),
+    pub(crate) fn new(lo: Rational, hi: Rational, gap: Rational) -> Bracket {
+        Self::try_new(lo, hi, gap).expect("Rational overflow in search bracket")
+    }
+
+    /// [`Bracket::new`] without the overflow panic — the speculative planner
+    /// must not fail on brackets the committed search might never construct.
+    pub(crate) fn try_new(lo: Rational, hi: Rational, gap: Rational) -> Option<Bracket> {
+        let den = lcm(lo.denom(), hi.denom()).and_then(|d| lcm(d, gap.denom()))?;
+        let scale = |r: Rational| r.numer().checked_mul(den / r.denom());
+        Some(Bracket {
+            lo: scale(lo)?,
+            hi: scale(hi)?,
+            gap: scale(gap)?,
             den,
             mid: 0,
-        }
+        })
     }
 
     /// `hi - lo > gap` — the loop condition, a pure integer comparison.
-    fn is_wide(&self) -> bool {
+    pub(crate) fn is_wide(&self) -> bool {
         self.hi - self.lo > self.gap
     }
 
     /// Computes the midpoint, remembers it for [`Bracket::accept_mid`] /
     /// [`Bracket::reject_mid`], and exposes it as a reduced [`Rational`].
-    fn split(&mut self) -> Rational {
+    pub(crate) fn split(&mut self) -> Rational {
+        self.try_split()
+            .expect("Rational overflow in search bracket")
+    }
+
+    /// [`Bracket::split`] without the overflow panic (again for the
+    /// speculative planner; the committed walk keeps the panicking form so
+    /// its behaviour matches the sequential search exactly).
+    pub(crate) fn try_split(&mut self) -> Option<Rational> {
         loop {
             if let Some(sum) = self.lo.checked_add(self.hi) {
                 if sum % 2 == 0 {
                     self.mid = sum / 2;
-                    return Rational::new(self.mid, self.den);
+                    return Some(Rational::new(self.mid, self.den));
                 }
                 // Odd sum: double every component so the midpoint is exact.
                 if let (Some(d), Some(l), Some(h), Some(g)) = (
@@ -94,41 +103,45 @@ impl Bracket {
                     self.hi = h;
                     self.gap = g;
                     self.mid = sum; // (2·lo + 2·hi) / 2
-                    return Rational::new(self.mid, self.den);
+                    return Some(Rational::new(self.mid, self.den));
                 }
             }
-            self.renormalize();
+            if !self.renormalize() {
+                return None;
+            }
         }
     }
 
-    fn accept_mid(&mut self) {
+    pub(crate) fn accept_mid(&mut self) {
         self.hi = self.mid;
     }
 
-    fn reject_mid(&mut self) {
+    pub(crate) fn reject_mid(&mut self) {
         self.lo = self.mid;
     }
 
-    fn lo_rational(&self) -> Rational {
+    pub(crate) fn lo_rational(&self) -> Rational {
         Rational::new(self.lo, self.den)
     }
 
-    fn hi_rational(&self) -> Rational {
+    pub(crate) fn hi_rational(&self) -> Rational {
         Rational::new(self.hi, self.den)
     }
 
-    /// Divides every component by their common gcd to regain headroom.
-    ///
-    /// # Panics
-    /// Panics when the components share no factor — the exact value genuinely
-    /// leaves `i128`, exactly as plain [`Rational`] arithmetic would.
-    fn renormalize(&mut self) {
+    /// Divides every component by their common gcd to regain headroom;
+    /// `false` when the components share no factor — the exact value
+    /// genuinely leaves `i128`, exactly as plain [`Rational`] arithmetic
+    /// would (callers turn that into the panic or a planning stop).
+    fn renormalize(&mut self) -> bool {
         let g = gcd(gcd(self.lo, self.hi), gcd(self.gap, self.den));
-        assert!(g > 1, "Rational overflow in search bracket");
+        if g <= 1 {
+            return false;
+        }
         self.lo /= g;
         self.hi /= g;
         self.gap /= g;
         self.den /= g;
+        true
     }
 }
 

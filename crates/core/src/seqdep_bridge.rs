@@ -68,6 +68,42 @@ impl<'a> SeqDepProblem<'a> {
         solver::emit_orders(self.inst, orders, &mut out);
         ScheduleRepr::Explicit(out)
     }
+
+    /// The shared tail of the general-regime direct search: build at the
+    /// accepted guess (falling back to `t_safe` on a defensive rejection)
+    /// and assemble the [`DirectSolve`] — identical for the sequential and
+    /// parallel probe ladders.
+    fn general_direct_finish(
+        &self,
+        ws: &mut DualWorkspace,
+        trace: &mut Trace,
+        eps: Rational,
+        budgeted: crate::search::BudgetedProbe<Rational>,
+    ) -> (DirectSolve, Option<Interrupt>) {
+        let t_min = self.t_min();
+        let out = budgeted.outcome;
+        let (accepted, repr) = match self.build(ws, out.accepted, trace) {
+            Some(r) => (out.accepted, r),
+            None => {
+                let hi = self.t_safe();
+                (
+                    hi,
+                    self.build(ws, hi, trace)
+                        .expect("t_safe is accepted and builds"),
+                )
+            }
+        };
+        (
+            DirectSolve {
+                repr,
+                accepted,
+                certificate: t_min,
+                probes: out.probes,
+                ratio: self.dual_ratio() * (eps + 1u64),
+            },
+            budgeted.interrupt,
+        )
+    }
 }
 
 impl Problem for SeqDepProblem<'_> {
@@ -159,28 +195,38 @@ impl Problem for SeqDepProblem<'_> {
             budget,
             |t| self.probe(ws, t),
         );
-        let out = budgeted.outcome;
-        let (accepted, repr) = match self.build(ws, out.accepted, trace) {
-            Some(r) => (out.accepted, r),
-            None => {
-                let hi = self.t_safe();
-                (
-                    hi,
-                    self.build(ws, hi, trace)
-                        .expect("t_safe is accepted and builds"),
-                )
-            }
-        };
-        (
-            DirectSolve {
-                repr,
-                accepted,
-                certificate: t_min,
-                probes: out.probes,
-                ratio: self.dual_ratio() * (eps + 1u64),
-            },
-            budgeted.interrupt,
-        )
+        self.general_direct_finish(ws, trace, eps, budgeted)
+    }
+
+    fn direct_search_par_budgeted(
+        &self,
+        ws: &mut DualWorkspace,
+        threads: usize,
+        budget: &SolveBudget,
+        trace: &mut Trace,
+    ) -> (DirectSolve, Option<Interrupt>) {
+        if threads <= 1 {
+            return self.direct_search_budgeted(ws, budget, trace);
+        }
+        if let Some(reduced) = self.uniform {
+            // The reduction's Theorem-8 integer bisection goes wide.
+            return BssProblem::new(reduced, bss_instance::Variant::NonPreemptive)
+                .direct_search_par_budgeted(ws, threads, budget, trace);
+        }
+        // General case: the same fine ε-search, speculative wavefronts on
+        // the heuristic dual (each worker probes on its own workspace).
+        let t_min = self.t_min();
+        let eps = Rational::new(1, 1024);
+        let budgeted = crate::par::epsilon_search_between_par_budgeted(
+            t_min,
+            self.search_hi(),
+            eps * t_min,
+            threads,
+            budget,
+            ws,
+            |w, t| self.probe(w, t),
+        );
+        self.general_direct_finish(ws, trace, eps, budgeted)
     }
 
     fn exact_oracle(&self) -> Option<bss_exact::ExactSolve> {
@@ -249,6 +295,43 @@ pub fn solve_seqdep_budgeted_with(
         ws,
         &SeqDepProblem::new(inst),
         algo,
+        budget,
+        &mut Trace::disabled(),
+    )
+}
+
+/// [`solve_seqdep`] with `threads` threads of speculative parallelism on
+/// the probe ladders (bit-identical to [`solve_seqdep`] at every thread
+/// count; see [`crate::par`]). The uniform regime parallelizes the
+/// reduction's Theorem-8 integer search; the general regime the heuristic
+/// dual's ε-search.
+#[must_use]
+pub fn solve_seqdep_par(inst: &SeqDepInstance, algo: Algorithm, threads: usize) -> Solution {
+    crate::problem::solve_problem_par(
+        &mut DualWorkspace::new(),
+        &SeqDepProblem::new(inst),
+        algo,
+        threads,
+        &mut Trace::disabled(),
+    )
+}
+
+/// [`solve_seqdep_budgeted`] with speculative parallel probing.
+///
+/// # Errors
+/// [`SolveError`] when the solver panicked; interruption is **not** an
+/// error.
+pub fn solve_seqdep_par_budgeted(
+    inst: &SeqDepInstance,
+    algo: Algorithm,
+    threads: usize,
+    budget: &SolveBudget,
+) -> Result<Solution, SolveError> {
+    crate::problem::solve_problem_par_budgeted(
+        &mut DualWorkspace::new(),
+        &SeqDepProblem::new(inst),
+        algo,
+        threads,
         budget,
         &mut Trace::disabled(),
     )

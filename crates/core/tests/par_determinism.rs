@@ -1,0 +1,212 @@
+//! Property suite pinning the speculative parallel search to its
+//! sequential twin, bit for bit.
+//!
+//! The contract of `crate::par` is *determinism*: at every thread count the
+//! parallel search commits exactly the probe sequence the sequential search
+//! would run — same accepted bracket, same rejection certificate, same
+//! probe count, same solution bytes, and (because only the committed path
+//! charges the budget, in sequential order) the same interruption point for
+//! every work limit. These properties sweep random instances, algorithms,
+//! thread counts and budget cut points to hold that line.
+//!
+//! Case count scales with `BSS_PROPTEST_CASES` (the nightly CI raises it);
+//! `BSS_PAR_THREADS=N` restricts the thread sweep to `{N}` so CI can pin
+//! specific counts per job.
+
+use bss_budget::SolveBudget;
+use bss_core::search::{epsilon_search_between_budgeted, integer_search_budgeted};
+use bss_core::{
+    epsilon_search_between_par_budgeted, integer_search_par_budgeted, solve_budgeted_with,
+    solve_par_budgeted_with, solve_with, Algorithm, BssProblem, DualWorkspace, Problem, Solution,
+};
+use bss_instance::{LowerBounds, Variant};
+use proptest::prelude::*;
+
+/// The thread counts every property sweeps (each compared against the
+/// sequential search). `BSS_PAR_THREADS=N` pins the sweep to `{N}`.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("BSS_PAR_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => vec![n],
+        _ => vec![1, 2, 4, 8],
+    }
+}
+
+fn algorithm(idx: u8, eps_log2: u32) -> Algorithm {
+    match idx % 3 {
+        0 => Algorithm::EpsilonSearch { eps_log2 },
+        1 => Algorithm::ThreeHalves,
+        _ => Algorithm::Portfolio,
+    }
+}
+
+fn assert_solutions_identical(label: &str, a: &Solution, b: &Solution) {
+    assert_eq!(a.makespan, b.makespan, "{label}: makespan");
+    assert_eq!(a.accepted, b.accepted, "{label}: accepted");
+    assert_eq!(a.ratio_bound, b.ratio_bound, "{label}: ratio_bound");
+    assert_eq!(a.certificate, b.certificate, "{label}: certificate");
+    assert_eq!(a.probes, b.probes, "{label}: probes");
+    assert_eq!(a.completion, b.completion, "{label}: completion");
+    assert_eq!(
+        a.schedule().placements(),
+        b.schedule().placements(),
+        "{label}: placements"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full-solve bit-identity: `solve_par` ≡ `solve` for every variant,
+    /// search-bearing algorithm and thread count.
+    #[test]
+    fn solve_par_is_bit_identical_to_solve(
+        n in 20usize..70,
+        c in 2usize..8,
+        m in 2usize..6,
+        seed in 0u64..10_000,
+        eps_log2 in 2u32..8,
+        variant_idx in 0usize..3,
+    ) {
+        let inst = bss_gen::uniform(n, c, m, seed);
+        let variant = Variant::ALL[variant_idx];
+        // Derived from the seed to stay within the macro's parameter arity.
+        let algo = algorithm((seed % 3) as u8, eps_log2);
+        let mut ws = DualWorkspace::new();
+        let want = solve_with(&mut ws, &inst, variant, algo);
+        for threads in thread_counts() {
+            let got = solve_par_budgeted_with(
+                &mut ws,
+                &inst,
+                variant,
+                algo,
+                threads,
+                &SolveBudget::unlimited(),
+            )
+            .expect("unbudgeted solves do not panic");
+            assert_solutions_identical(
+                &format!("{variant} {algo:?} t={threads} seed={seed}"),
+                &got,
+                &want,
+            );
+        }
+    }
+
+    /// Work-limit interruption points are deterministic: for *every* cut
+    /// point `w` up to the solve's full probe count, the parallel solve
+    /// degrades at exactly the same place as the sequential one — same
+    /// completion tag, same (partial) certificate, same work accounting.
+    #[test]
+    fn work_limit_interruption_points_match(
+        n in 20usize..60,
+        c in 2usize..7,
+        m in 2usize..5,
+        seed in 0u64..10_000,
+        eps_log2 in 3u32..8,
+        variant_idx in 0usize..3,
+    ) {
+        let inst = bss_gen::uniform(n, c, m, seed);
+        let variant = Variant::ALL[variant_idx];
+        let algo = Algorithm::EpsilonSearch { eps_log2 };
+        let mut ws = DualWorkspace::new();
+        let full = solve_with(&mut ws, &inst, variant, algo);
+        for w in 0..=(full.probes as u64 + 1) {
+            let seq_budget = SolveBudget::unlimited().with_work_limit(w);
+            let want = solve_budgeted_with(&mut ws, &inst, variant, algo, &seq_budget)
+                .expect("budget expiry degrades, never errors");
+            for threads in thread_counts() {
+                let par_budget = SolveBudget::unlimited().with_work_limit(w);
+                let got = solve_par_budgeted_with(
+                    &mut ws, &inst, variant, algo, threads, &par_budget,
+                )
+                .expect("budget expiry degrades, never errors");
+                assert_solutions_identical(
+                    &format!("{variant} w={w} t={threads} seed={seed}"),
+                    &got,
+                    &want,
+                );
+                prop_assert_eq!(
+                    par_budget.work_used(),
+                    seq_budget.work_used(),
+                    "work accounting diverged at w={} t={}",
+                    w,
+                    threads
+                );
+            }
+        }
+    }
+
+    /// Raw ε-search equivalence on real dual probes: accepted bracket,
+    /// rejection certificate and probe count all match, per thread count.
+    #[test]
+    fn epsilon_search_par_matches_on_real_duals(
+        n in 20usize..60,
+        c in 2usize..7,
+        m in 2usize..5,
+        seed in 0u64..10_000,
+        eps_log2 in 2u32..9,
+        variant_idx in 0usize..3,
+    ) {
+        let inst = bss_gen::uniform(n, c, m, seed);
+        let variant = Variant::ALL[variant_idx];
+        let problem = BssProblem::new(&inst, variant);
+        let t_min = problem.t_min();
+        prop_assume!(t_min.is_positive());
+        let t_hi = problem.search_hi();
+        let gap = t_min / (1u64 << eps_log2);
+        let mut ws = DualWorkspace::new();
+        let want = {
+            let (ws, problem) = (&mut ws, &problem);
+            epsilon_search_between_budgeted(
+                t_min,
+                t_hi,
+                gap,
+                &SolveBudget::unlimited(),
+                |t| problem.probe(ws, t),
+            )
+        };
+        for threads in thread_counts() {
+            let got = epsilon_search_between_par_budgeted(
+                t_min,
+                t_hi,
+                gap,
+                threads,
+                &SolveBudget::unlimited(),
+                &mut ws,
+                |w, t| problem.probe(w, t),
+            );
+            prop_assert_eq!(got, want, "t={} seed={}", threads, seed);
+        }
+    }
+
+    /// Raw integer-search equivalence on the non-preemptive 3/2-dual.
+    #[test]
+    fn integer_search_par_matches_on_real_duals(
+        n in 20usize..60,
+        c in 2usize..7,
+        m in 2usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let inst = bss_gen::uniform(n, c, m, seed);
+        prop_assume!(inst.machines() < inst.num_jobs());
+        let t_min = LowerBounds::of(&inst)
+            .tmin(Variant::NonPreemptive)
+            .ceil() as u64;
+        let accepts = |t: u64| bss_core::nonpreemptive::accepts(&inst, t);
+        let want = integer_search_budgeted(t_min, 2 * t_min, &SolveBudget::unlimited(), accepts);
+        let mut ws = DualWorkspace::new();
+        for threads in thread_counts() {
+            let got = integer_search_par_budgeted(
+                t_min,
+                2 * t_min,
+                threads,
+                &SolveBudget::unlimited(),
+                &mut ws,
+                |_, t| bss_core::nonpreemptive::accepts(&inst, t),
+            );
+            prop_assert_eq!(got, want, "t={} seed={}", threads, seed);
+        }
+    }
+}

@@ -22,6 +22,53 @@ use bss_budget::{Interrupt, SolveBudget};
 /// expensive cells cannot serialize the sweep behind one worker.
 const CHUNKS_PER_WORKER: usize = 8;
 
+/// Minimum items per chunk before it is worth splitting work across an
+/// extra claim of the cursor. Utilization still wins when the input is
+/// smaller than the grain would allow: `chunk_plan` shrinks the grain
+/// rather than idling workers.
+const MIN_GRAIN: usize = 2;
+
+/// A chunked work-stealing layout for `items` units of work on up to
+/// `threads` workers, as computed by [`chunk_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Number of worker threads to spawn. Always `>= 1` and `<= items`
+    /// (when `items > 0`), so tiny inputs never spawn idle threads.
+    pub workers: usize,
+    /// Items per chunk (the last chunk may be partial). Always `>= 1`.
+    pub chunk_len: usize,
+    /// Total number of chunks: `ceil(items / chunk_len)`.
+    pub chunks: usize,
+}
+
+/// Sizes chunks and workers for `items` units of work on up to `threads`
+/// workers.
+///
+/// The base grain is `ceil(items / threads)` split `CHUNKS_PER_WORKER` (8)
+/// ways so uneven costs balance, floored at `MIN_GRAIN` (2) so trivial items
+/// don't pay a cursor claim each — except when honouring the grain would
+/// leave workers idle, in which case the grain shrinks (utilization beats
+/// amortization on tiny inputs). Guarantees `workers <= chunks <= items`:
+/// a 3-item sweep on a 64-thread box spawns 3 workers, not 64.
+///
+/// # Panics
+/// If `items == 0` or `threads == 0`; callers handle the empty sweep before
+/// planning it.
+#[must_use]
+pub fn chunk_plan(items: usize, threads: usize) -> ChunkPlan {
+    assert!(items > 0, "chunk_plan needs work to plan");
+    assert!(threads > 0, "chunk_plan needs at least one worker");
+    let per_worker = items.div_ceil(threads);
+    let fine = items.div_ceil(threads * CHUNKS_PER_WORKER);
+    let chunk_len = fine.max(MIN_GRAIN.min(per_worker));
+    let chunks = items.div_ceil(chunk_len);
+    ChunkPlan {
+        workers: threads.min(chunks),
+        chunk_len,
+        chunks,
+    }
+}
+
 /// Applies `f` to every item on `threads` worker threads (defaults to the
 /// available parallelism), preserving input order.
 ///
@@ -73,13 +120,15 @@ where
     if n == 0 {
         return (Vec::new(), None);
     }
-    let workers = threads
+    let requested = threads
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4)
         })
-        .clamp(1, n);
+        .max(1);
+    let plan = chunk_plan(n, requested);
+    let workers = plan.workers;
     if workers == 1 {
         let mut out = Vec::with_capacity(n);
         let mut interrupt = None;
@@ -98,11 +147,11 @@ where
         return (out, interrupt);
     }
 
-    // Striped chunk layout: ⌈n / (workers · CHUNKS_PER_WORKER)⌉ items per
-    // chunk, claimed via one atomic cursor. Items and results travel as
-    // disjoint slices, so workers write results without locks; the per-chunk
-    // mutex is taken exactly once, to move the slices out.
-    let chunk_len = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    // Striped chunk layout from the shared plan, claimed via one atomic
+    // cursor. Items and results travel as disjoint slices, so workers write
+    // results without locks; the per-chunk mutex is taken exactly once, to
+    // move the slices out.
+    let chunk_len = plan.chunk_len;
     let mut item_slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
     let mut result_slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     type Chunk<'a, T, R> = (usize, &'a mut [Option<T>], &'a mut [Option<R>]);
@@ -291,6 +340,64 @@ mod tests {
         );
         assert_eq!(interrupt, None);
         assert!(out.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn chunk_plan_never_overspawns_tiny_inputs() {
+        for items in 1..=6usize {
+            for threads in 1..=64usize {
+                let plan = chunk_plan(items, threads);
+                assert!(plan.workers >= 1);
+                assert!(
+                    plan.workers <= items,
+                    "{items} items, {threads} threads -> {} workers",
+                    plan.workers
+                );
+                assert!(plan.workers <= threads);
+                assert!(plan.workers <= plan.chunks);
+                assert_eq!(plan.chunks, items.div_ceil(plan.chunk_len));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_plan_keeps_all_workers_busy_on_large_inputs() {
+        // Plenty of work: every requested thread gets several chunks.
+        let plan = chunk_plan(10_000, 8);
+        assert_eq!(plan.workers, 8);
+        assert!(plan.chunks >= 8 * 4, "chunks = {}", plan.chunks);
+        // And the grain holds: no 1-item chunks when there is slack.
+        assert!(plan.chunk_len >= super::MIN_GRAIN);
+    }
+
+    #[test]
+    fn chunk_plan_shrinks_grain_before_idling_workers() {
+        // 3 items on 8 threads: the grain yields so all 3 items can run
+        // concurrently rather than pairing two behind one worker.
+        let plan = chunk_plan(3, 8);
+        assert_eq!(plan.chunk_len, 1);
+        assert_eq!(plan.workers, 3);
+    }
+
+    #[test]
+    fn tiny_sweep_uses_at_most_one_thread_per_item() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        for n in 1..=4usize {
+            let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+            let out = parallel_map((0..n as i32).collect(), Some(16), |x| {
+                seen.lock()
+                    .expect("seen lock")
+                    .insert(std::thread::current().id());
+                x + 1
+            });
+            assert_eq!(out, (1..=n as i32).collect::<Vec<_>>());
+            let distinct = seen.into_inner().expect("seen lock").len();
+            assert!(
+                distinct <= n,
+                "{n} items ran on {distinct} distinct threads"
+            );
+        }
     }
 
     #[test]

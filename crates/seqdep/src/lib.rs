@@ -127,6 +127,29 @@ impl fmt::Debug for UniformMemo {
     }
 }
 
+/// Storage behind the `c×c` switch matrix.
+///
+/// The *uniform* special case (`switch(i, j) = initial(j)` for `i ≠ j`,
+/// zero diagonal) is exactly the image of the batch-setup embedding
+/// [`reduce::from_instance`]; materializing its `c²` identical rows is pure
+/// waste — 50 MB and tens of milliseconds at `c = 2500`. The uniform
+/// backing streams every entry from the length-`c` `initial` vector
+/// instead, making the embedding `O(c)` in time and memory. Genuinely
+/// sequence-dependent instances keep the dense matrix.
+///
+/// The backing is a representation detail, invisible to the instance's
+/// *value*: equality is semantic (a dense matrix that happens to be uniform
+/// equals its streamed twin) and the JSON wire format is always the dense
+/// matrix.
+#[derive(Debug, Clone)]
+enum SwitchBacking {
+    /// An explicit `c×c` matrix.
+    Dense(Vec<Vec<u64>>),
+    /// `switch(i, j) = initial[j]` for `i ≠ j`, `0` on the diagonal —
+    /// derived on the fly from the instance's `initial` vector.
+    UniformFromInitial,
+}
+
 /// A sequence-dependent batch-setup instance.
 ///
 /// Classes are `0..c`; `switch[i][j]` is the setup paid when a machine moves
@@ -134,14 +157,40 @@ impl fmt::Debug for UniformMemo {
 /// and `initial[j]` is the setup paid when a fresh machine starts with class
 /// `j`. All jobs of a class are processed together (batch scheduling), so
 /// only the class *order* per machine matters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SeqDepInstance {
     machines: usize,
     initial: Vec<u64>,
-    switch: Vec<Vec<u64>>,
+    switch: SwitchBacking,
     class_proc: Vec<u64>,
     uniform: UniformMemo,
 }
+
+impl PartialEq for SeqDepInstance {
+    fn eq(&self, other: &Self) -> bool {
+        if self.machines != other.machines
+            || self.initial != other.initial
+            || self.class_proc != other.class_proc
+        {
+            return false;
+        }
+        // Semantic equality across backings: the switch *values* decide.
+        match (&self.switch, &other.switch) {
+            (SwitchBacking::Dense(a), SwitchBacking::Dense(b)) => a == b,
+            (SwitchBacking::UniformFromInitial, SwitchBacking::UniformFromInitial) => true,
+            (SwitchBacking::Dense(d), SwitchBacking::UniformFromInitial)
+            | (SwitchBacking::UniformFromInitial, SwitchBacking::Dense(d)) => {
+                d.iter().enumerate().all(|(i, row)| {
+                    row.iter()
+                        .enumerate()
+                        .all(|(j, &v)| v == if i == j { 0 } else { self.initial[j] })
+                })
+            }
+        }
+    }
+}
+
+impl Eq for SeqDepInstance {}
 
 impl SeqDepInstance {
     /// Builds an instance; `switch` must be a `c×c` matrix and `initial`,
@@ -191,7 +240,7 @@ impl SeqDepInstance {
         let inst = SeqDepInstance {
             machines,
             initial,
-            switch,
+            switch: SwitchBacking::Dense(switch),
             class_proc,
             uniform: UniformMemo::default(),
         };
@@ -202,6 +251,63 @@ impl SeqDepInstance {
             return Err(SeqDepError::SequentialWeightTooLarge);
         }
         Ok(inst)
+    }
+
+    /// Builds a *uniform* instance — `switch(i, j) = initial[j]` for
+    /// `i ≠ j`, zero diagonal — without materializing the `c×c` matrix:
+    /// `O(c)` time and memory, versus the `O(c²)` of spelling the matrix
+    /// out for [`SeqDepInstance::new`]. Equal (`==`) to the dense spelling.
+    ///
+    /// This is the constructor behind [`reduce::from_instance`], keeping the
+    /// batch-setup embedding linear in the class count.
+    ///
+    /// # Errors
+    /// Returns a [`SeqDepError`] on `machines == 0`, an empty class set,
+    /// mismatched vector lengths, or a sequential weight past
+    /// [`MAX_SEQUENTIAL_WEIGHT`].
+    pub fn uniform(
+        machines: usize,
+        initial: Vec<u64>,
+        class_proc: Vec<u64>,
+    ) -> Result<Self, SeqDepError> {
+        let c = initial.len();
+        if machines == 0 {
+            return Err(SeqDepError::NoMachines);
+        }
+        if c == 0 {
+            return Err(SeqDepError::NoClasses);
+        }
+        if class_proc.len() != c {
+            return Err(SeqDepError::DimensionMismatch {
+                field: "class_proc",
+                len: class_proc.len(),
+                expected: c,
+            });
+        }
+        // Under the uniform backing every entry into class j — initial or
+        // switch — costs initial[j], so max-in is initial[j] directly.
+        let weight: u128 = (0..c)
+            .map(|j| class_proc[j] as u128 + initial[j] as u128)
+            .sum();
+        if weight > MAX_SEQUENTIAL_WEIGHT as u128 {
+            return Err(SeqDepError::SequentialWeightTooLarge);
+        }
+        Ok(SeqDepInstance {
+            machines,
+            initial,
+            switch: SwitchBacking::UniformFromInitial,
+            class_proc,
+            uniform: UniformMemo::default(),
+        })
+    }
+
+    /// Whether the instance *stores* its switch matrix in the streamed
+    /// uniform backing (`O(c)` memory). Note this is about representation:
+    /// a dense instance whose matrix happens to be uniform reports `false`
+    /// here while still satisfying [`reduce::is_uniform`].
+    #[must_use]
+    pub fn has_uniform_backing(&self) -> bool {
+        matches!(self.switch, SwitchBacking::UniformFromInitial)
     }
 
     /// The batch-setup reduction of this instance if it is *uniform*
@@ -265,7 +371,17 @@ impl SeqDepInstance {
     /// Switch-over setup from class `i` to class `j`.
     #[must_use]
     pub fn switch(&self, i: usize, j: usize) -> u64 {
-        self.switch[i][j]
+        match &self.switch {
+            SwitchBacking::Dense(m) => m[i][j],
+            SwitchBacking::UniformFromInitial => {
+                assert!(i < self.initial.len(), "class {i} out of range");
+                if i == j {
+                    0
+                } else {
+                    self.initial[j]
+                }
+            }
+        }
     }
 
     /// Processing time of class `j`'s batch.
@@ -280,30 +396,39 @@ impl SeqDepInstance {
     pub fn setup_into(&self, last: Option<usize>, class: usize) -> u64 {
         match last {
             None => self.initial[class],
-            Some(p) => self.switch[p][class],
+            Some(p) => self.switch(p, class),
         }
     }
 
     /// Cheapest way to ever start class `j`: `min(initial_j, min_i s(i, j))`.
+    /// `O(1)` on the uniform backing (every entry into `j` is `initial_j`),
+    /// `O(c)` on a dense matrix.
     #[must_use]
     pub fn min_in(&self, j: usize) -> u64 {
-        (0..self.num_classes())
-            .filter(|&i| i != j)
-            .map(|i| self.switch[i][j])
-            .chain(core::iter::once(self.initial[j]))
-            .min()
-            .expect("c >= 1")
+        match &self.switch {
+            SwitchBacking::UniformFromInitial => self.initial[j],
+            SwitchBacking::Dense(m) => (0..self.num_classes())
+                .filter(|&i| i != j)
+                .map(|i| m[i][j])
+                .chain(core::iter::once(self.initial[j]))
+                .min()
+                .expect("c >= 1"),
+        }
     }
 
     /// Most expensive way to start class `j`: `max(initial_j, max_i s(i, j))`.
+    /// `O(1)` on the uniform backing, `O(c)` on a dense matrix.
     #[must_use]
     pub fn max_in(&self, j: usize) -> u64 {
-        (0..self.num_classes())
-            .filter(|&i| i != j)
-            .map(|i| self.switch[i][j])
-            .chain(core::iter::once(self.initial[j]))
-            .max()
-            .expect("c >= 1")
+        match &self.switch {
+            SwitchBacking::UniformFromInitial => self.initial[j],
+            SwitchBacking::Dense(m) => (0..self.num_classes())
+                .filter(|&i| i != j)
+                .map(|i| m[i][j])
+                .chain(core::iter::once(self.initial[j]))
+                .max()
+                .expect("c >= 1"),
+        }
     }
 
     /// `Σ_j (t_j + max-in_j)`: an upper bound on *any* machine's completion
@@ -381,13 +506,24 @@ impl SeqDepInstance {
 impl ToJson for SeqDepInstance {
     fn to_json_value(&self) -> Value {
         let ints = |v: &[u64]| Value::Array(v.iter().map(|&x| Value::Int(x.into())).collect());
+        // The wire format is always the dense matrix, whatever the backing:
+        // readers never have to know about the streamed representation.
+        let c = self.num_classes();
+        let switch = Value::Array(
+            (0..c)
+                .map(|i| {
+                    Value::Array(
+                        (0..c)
+                            .map(|j| Value::Int(self.switch(i, j).into()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
         Value::Object(vec![
             ("machines".into(), Value::Int(self.machines as i128)),
             ("initial".into(), ints(&self.initial)),
-            (
-                "switch".into(),
-                Value::Array(self.switch.iter().map(|row| ints(row)).collect()),
-            ),
+            ("switch".into(), switch),
             ("class_proc".into(), ints(&self.class_proc)),
         ])
     }
@@ -449,7 +585,7 @@ pub fn exact_single_machine(inst: &SeqDepInstance) -> u64 {
     // best[mask][last] = minimal time to process `mask` ending in `last`.
     let mut best = vec![vec![u64::MAX; c]; full + 1];
     for j in 0..c {
-        best[1 << j][j] = inst.initial[j] + inst.class_proc[j];
+        best[1 << j][j] = inst.initial(j) + inst.class_proc(j);
     }
     for mask in 1..=full {
         for last in 0..c {
@@ -461,7 +597,7 @@ pub fn exact_single_machine(inst: &SeqDepInstance) -> u64 {
                 if mask & (1 << next) != 0 {
                     continue;
                 }
-                let cand = cur + inst.switch[last][next] + inst.class_proc[next];
+                let cand = cur + inst.switch(last, next) + inst.class_proc(next);
                 let slot = &mut best[mask | (1 << next)][next];
                 if cand < *slot {
                     *slot = cand;

@@ -115,8 +115,12 @@ pub fn is_uniform(inst: &SeqDepInstance) -> bool {
 /// not representable in the batch-setup model (`s, t >= 1`).
 pub fn to_uniform_instance(inst: &SeqDepInstance) -> Result<Instance, ReductionError> {
     let c = inst.num_classes();
+    // The streamed uniform backing is uniform with a zero diagonal *by
+    // construction*: only the per-class positivity checks remain, and the
+    // `O(c²)` matrix scan is skipped entirely.
+    let scan_matrix = !inst.has_uniform_backing();
     for j in 0..c {
-        if inst.switch(j, j) != 0 {
+        if scan_matrix && inst.switch(j, j) != 0 {
             return Err(ReductionError::NonZeroDiagonal { class: j });
         }
         if inst.initial(j) == 0 {
@@ -125,9 +129,11 @@ pub fn to_uniform_instance(inst: &SeqDepInstance) -> Result<Instance, ReductionE
         if inst.class_proc(j) == 0 {
             return Err(ReductionError::ZeroWork { class: j });
         }
-        for i in 0..c {
-            if i != j && inst.switch(i, j) != inst.initial(j) {
-                return Err(ReductionError::NonUniform { from: i, to: j });
+        if scan_matrix {
+            for i in 0..c {
+                if i != j && inst.switch(i, j) != inst.initial(j) {
+                    return Err(ReductionError::NonUniform { from: i, to: j });
+                }
             }
         }
     }
@@ -147,19 +153,16 @@ pub fn to_uniform_instance(inst: &SeqDepInstance) -> Result<Instance, ReductionE
 /// split into several batches — so seqdep-side makespans are upper bounds on
 /// the non-preemptive batch-setup optimum, which is what makes it useful as
 /// a heuristic cross-check.
+///
+/// Runs in `O(c)` time and memory: the uniform switch matrix is *streamed*
+/// from the setup vector ([`SeqDepInstance::uniform`]), never materialized —
+/// at `c = 2500` that is two length-`c` vectors instead of a 50 MB matrix.
 #[must_use]
 pub fn from_instance(inst: &Instance) -> SeqDepInstance {
     let c = inst.num_classes();
     let initial: Vec<u64> = (0..c).map(|j| inst.setup(j)).collect();
-    let switch: Vec<Vec<u64>> = (0..c)
-        .map(|i| {
-            (0..c)
-                .map(|j| if i == j { 0 } else { inst.setup(j) })
-                .collect()
-        })
-        .collect();
     let class_proc: Vec<u64> = (0..c).map(|j| inst.class_proc(j)).collect();
-    SeqDepInstance::new(inst.machines(), initial, switch, class_proc)
+    SeqDepInstance::uniform(inst.machines(), initial, class_proc)
         .expect("a valid Instance embeds within the seqdep caps (same 2^60 budget)")
 }
 

@@ -1,12 +1,51 @@
 //! Degenerate-shape coverage for `reduce::from_instance` (and its inverse),
-//! the `Instance → SeqDepInstance` embedding whose `O(c²)` switch matrix the
-//! ROADMAP flags as under-tested: single-class instances, the `c = 1` vs
-//! machine-capacity edge, minimal (unit) setups, and the all-zero-setup
-//! seqdep shapes that sit *outside* the embedding's image.
+//! the `Instance → SeqDepInstance` embedding: single-class instances, the
+//! `c = 1` vs machine-capacity edge, minimal (unit) setups, the
+//! all-zero-setup seqdep shapes that sit *outside* the embedding's image —
+//! and the hotspot guard pinning the embedding to its streamed `O(c)`
+//! backing (no `c×c` matrix materialization at large class counts).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bss_instance::InstanceBuilder;
 use bss_seqdep::reduce::{from_instance, is_uniform, to_uniform_instance, ReductionError};
 use bss_seqdep::{nearest_neighbor_schedule, t_min, SeqDepInstance};
+
+/// Byte-counting allocator: the hotspot guard asserts `from_instance` stays
+/// `O(c)` in *allocated bytes*, which a reintroduced dense matrix (50 MB at
+/// `c = 2500`) cannot hide from, however fast the machine.
+struct CountingAllocator;
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
 
 /// `c = 1`: the switch matrix degenerates to the 1×1 zero matrix and the
 /// entire setup structure lives in `initial`.
@@ -109,7 +148,69 @@ fn all_zero_setups_are_outside_the_embedding_image() {
     );
 }
 
-/// The `O(c²)` materialization at a larger class count: dimensions, entry
+/// The hotspot guard: at `c = 2500` the embedding must stream its uniform
+/// switch matrix (`O(c)` vectors), not materialize the `c²` entries the old
+/// implementation spent 50 MB and ~74 ms on.
+#[test]
+fn from_instance_streams_without_materializing_the_matrix() {
+    let c = 2_500usize;
+    let mut b = InstanceBuilder::new(16);
+    for i in 0..c {
+        let class = b.add_class((i as u64 % 97) + 1);
+        b.add_job(class, (i as u64 % 13) + 1);
+    }
+    let inst = b.build().unwrap();
+
+    let before = allocated_bytes();
+    let sd = from_instance(&inst);
+    let grew = allocated_bytes() - before;
+    // Streamed backing: a few length-c vectors (~60 KB). The dense matrix
+    // would be c² × 8 = 50 MB; the bound is generous only to absorb
+    // allocator noise from concurrently running tests in this binary.
+    assert!(
+        grew < 4_000_000,
+        "from_instance allocated {grew} bytes at c = {c}: the switch matrix \
+         is being materialized again"
+    );
+    assert!(sd.has_uniform_backing());
+    assert_eq!(sd.num_classes(), c);
+    // The streamed entries are exactly the dense embedding's values...
+    for i in [0usize, 1, c / 2, c - 1] {
+        assert_eq!(sd.switch(i, i), 0);
+        for j in [0usize, 3, c / 3, c - 1] {
+            if i != j {
+                assert_eq!(sd.switch(i, j), inst.setup(j));
+            }
+        }
+        // ...and the entry-cost bounds are O(1) per class, honest anyway.
+        assert_eq!(sd.min_in(i), inst.setup(i));
+        assert_eq!(sd.max_in(i), inst.setup(i));
+    }
+    // The reverse reduction recognizes the backing without the O(c²) scan
+    // and the round trip stays bit-exact.
+    let back = to_uniform_instance(&sd).unwrap();
+    assert_eq!(back.num_classes(), c);
+    assert_eq!(from_instance(&back), sd);
+
+    // Timing sanity (not golden-diffed): the streamed embedding is
+    // micro-seconds; even a loaded CI machine finishes far under the old
+    // 74 ms materialization. Best-of-three to shrug off scheduler noise.
+    let best = (0..3)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            let sd = from_instance(&inst);
+            assert!(sd.has_uniform_backing());
+            t.elapsed()
+        })
+        .min()
+        .expect("three runs");
+    assert!(
+        best < std::time::Duration::from_millis(60),
+        "from_instance took {best:?} at c = {c}"
+    );
+}
+
+/// The uniform embedding at a larger class count: dimensions, entry
 /// values and the bit-exact round trip hold across the whole matrix.
 #[test]
 fn large_class_count_matrix_is_exact() {

@@ -21,6 +21,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -48,6 +49,9 @@ USAGE:
   bss bounds   <instance.json> [--variant V]
   bss solve    <instance.json> [--variant V] [--algorithm A] [--render]
                [--schedule-out FILE] [--deadline-ms MS] [--budget PROBES]
+               [--threads N]
+  bss batch    <instance.json>... [--variant V] [--algorithm A] [--threads N]
+               [--deadline-ms MS] [--budget PROBES]
   bss validate <instance.json> <schedule.json> [--variant V]
 
   V: non-preemptive | preemptive | splittable | seqdep (default: non-preemptive)
@@ -57,6 +61,14 @@ USAGE:
   milliseconds / dual-probe count): on expiry the best certified solution so
   far is returned with an honestly widened ratio bound, and the summary gains
   a `completion` line saying which limit tripped.
+
+  `--threads N` (default: the machine's available parallelism) runs `solve`
+  with speculative parallel probing — bit-identical answers at every N — and
+  sizes `batch`'s per-core workspace pool. N must be at least 1.
+
+  `batch` solves many batch-setup instances on one warm workspace pool,
+  one result line per file; a budget covers the whole batch (finished items
+  keep their results, the tail is skipped).
 
   `--variant seqdep` reads a sequence-dependent instance (switch-cost matrix
   wire format); uniform instances route through the batch-setup reduction
@@ -139,6 +151,19 @@ fn parse_budget(args: &[String]) -> Result<Option<SolveBudget>, String> {
         budget = budget.with_work_limit(w);
     }
     Ok(Some(budget))
+}
+
+/// Parses `--threads`. Defaults to the machine's available parallelism
+/// (1 when the runtime cannot tell); zero is rejected — a solve needs at
+/// least the committed search thread.
+fn parse_threads(args: &[String]) -> Result<usize, String> {
+    match flag(args, "--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("bad --threads `{v}` (expected a count >= 1)")),
+        },
+        None => Ok(std::thread::available_parallelism().map_or(1, |n| n.get())),
+    }
 }
 
 fn load_instance(path: &str) -> Result<Instance, String> {
@@ -262,11 +287,12 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         Target::Bss(variant) => {
             let inst = load_instance(path)?;
             let budget = parse_budget(args)?;
+            let threads = parse_threads(args)?;
             let start = std::time::Instant::now();
             let sol = match &budget {
-                Some(b) => solve_budgeted(&inst, variant, algo, b)
+                Some(b) => solve_par_budgeted(&inst, variant, algo, threads, b)
                     .map_err(|e| format!("solve failed: {e}"))?,
-                None => solve(&inst, variant, algo),
+                None => solve_par(&inst, variant, algo, threads),
             };
             let elapsed = start.elapsed();
             let violations = validate(sol.schedule(), &inst, variant);
@@ -274,6 +300,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
                 return Err(format!("internal error: infeasible output: {violations:?}"));
             }
             print!("{}", solution_summary(&variant.to_string(), &sol));
+            println!("threads        {threads}");
             println!("solve time     {elapsed:.2?}");
             if has_flag(args, "--render") {
                 let opts = GanttOptions {
@@ -294,11 +321,12 @@ fn cmd_solve_seqdep(path: &str, algo: Algorithm, args: &[String]) -> Result<(), 
     let inst = load_seqdep(path)?;
     let problem = batch_setup_scheduling::core::SeqDepProblem::new(&inst);
     let budget = parse_budget(args)?;
+    let threads = parse_threads(args)?;
     let start = std::time::Instant::now();
     let sol = match &budget {
-        Some(b) => batch_setup_scheduling::core::solve_seqdep_budgeted(&inst, algo, b)
+        Some(b) => batch_setup_scheduling::core::solve_seqdep_par_budgeted(&inst, algo, threads, b)
             .map_err(|e| format!("solve failed: {e}"))?,
-        None => batch_setup_scheduling::core::solve_seqdep(&inst, algo),
+        None => batch_setup_scheduling::core::solve_seqdep_par(&inst, algo, threads),
     };
     let elapsed = start.elapsed();
     match problem.uniform_reduction() {
@@ -360,6 +388,7 @@ fn cmd_solve_seqdep(path: &str, algo: Algorithm, args: &[String]) -> Result<(), 
         }
     }
     print!("{}", solution_summary("seqdep", &sol));
+    println!("threads        {threads}");
     println!("solve time     {elapsed:.2?}");
     if has_flag(args, "--render") {
         // The seqdep schedule is a standard explicit schedule; render it
@@ -374,6 +403,70 @@ fn cmd_solve_seqdep(path: &str, algo: Algorithm, args: &[String]) -> Result<(), 
         }
     }
     write_schedule_out(args, &sol)
+}
+
+/// `bss batch` — solve many batch-setup instances on one warm
+/// [`SolvePool`]. Paths come first, flags after; a budget covers the whole
+/// batch (finished items keep their results, the unstarted tail is skipped).
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (paths, opts) = args.split_at(split);
+    if paths.is_empty() {
+        return Err("missing instance paths (list the files before any flags)".into());
+    }
+    let variant = parse_variant(opts)?;
+    let algo = parse_algorithm(opts)?;
+    let threads = parse_threads(opts)?;
+    let budget = parse_budget(opts)?;
+    let instances = paths
+        .iter()
+        .map(|p| load_instance(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut pool = SolvePool::with_threads(threads);
+    let start = std::time::Instant::now();
+    let (results, interrupt) = match &budget {
+        Some(b) => {
+            let out = pool.solve_batch_budgeted(&instances, variant, algo, b);
+            (out.results, out.interrupt)
+        }
+        None => {
+            let full = pool.solve_batch(&instances, variant, algo);
+            (full.into_iter().map(Some).collect(), None)
+        }
+    };
+    let elapsed = start.elapsed();
+    let mut solved = 0usize;
+    for (path, res) in paths.iter().zip(&results) {
+        match res {
+            Some(Ok(sol)) => {
+                solved += 1;
+                let completion = match sol.completion {
+                    Completion::Full => String::new(),
+                    ref other => format!(", completion = {other}"),
+                };
+                println!(
+                    "{path}: makespan = {}, accepted T = {}, ratio <= {}, probes = {}{completion}",
+                    sol.makespan, sol.accepted, sol.ratio_bound, sol.probes
+                );
+            }
+            Some(Err(e)) => println!("{path}: error: {e}"),
+            None => println!("{path}: skipped (batch budget exhausted before this item)"),
+        }
+    }
+    if let Some(i) = interrupt {
+        println!("interrupt      {i}");
+    }
+    println!(
+        "batch          {solved}/{} solved on {threads} thread(s) in {elapsed:.2?}",
+        paths.len()
+    );
+    if solved < paths.len() {
+        return Err(format!("{} item(s) did not finish", paths.len() - solved));
+    }
+    Ok(())
 }
 
 fn write_schedule_out(args: &[String], sol: &Solution) -> Result<(), String> {

@@ -52,6 +52,7 @@ pub use bss_exact as exact;
 pub use bss_gen as gen;
 pub use bss_instance as instance;
 pub use bss_knapsack as knapsack;
+pub use bss_par as par;
 pub use bss_rational as rational;
 pub use bss_report as report;
 pub use bss_schedule as schedule;
@@ -61,12 +62,13 @@ pub use bss_wrap as wrap;
 /// Most-used items in one import.
 pub mod prelude {
     pub use bss_core::{
-        solve, solve_budgeted, solve_problem, solve_seqdep, solve_seqdep_budgeted,
-        solve_seqdep_with, solve_with, Algorithm, BssProblem, CancelToken, Completion,
-        DualWorkspace, Interrupt, Problem, ScheduleRepr, SeqDepProblem, Solution, SolveBudget,
-        SolveError,
+        solve, solve_budgeted, solve_par, solve_par_budgeted, solve_problem, solve_seqdep,
+        solve_seqdep_budgeted, solve_seqdep_par, solve_seqdep_par_budgeted, solve_seqdep_with,
+        solve_with, Algorithm, BssProblem, CancelToken, Completion, DualWorkspace, Interrupt,
+        Problem, ScheduleRepr, SeqDepProblem, Solution, SolveBudget, SolveError,
     };
     pub use bss_instance::{ClassId, Instance, InstanceBuilder, Job, JobId, LowerBounds, Variant};
+    pub use bss_par::{BatchOutcome, SolvePool};
     pub use bss_rational::Rational;
     pub use bss_schedule::{
         validate, validate_compact, CompactSchedule, ItemKind, Placement, PlacementSink, Schedule,

@@ -137,7 +137,6 @@ fn arb_oracle_seqdep() -> impl Strategy<Value = SeqDepInstance> {
             proptest::collection::vec(1u64..25, c..=c),
         )
             .prop_map(|(m, initial, mut switch, work)| {
-                let c = initial.len();
                 for (i, row) in switch.iter_mut().enumerate() {
                     row[i] = 0;
                 }
