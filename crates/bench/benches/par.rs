@@ -17,7 +17,7 @@
 //! multi-core section of `results/BASELINES.md` records alongside honest
 //! measured walls.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 
 use bss_budget::SolveBudget;
 use bss_core::{
@@ -119,4 +119,18 @@ fn par_reduce(c: &mut Criterion) {
 }
 
 criterion_group!(benches, par_epsilon_search, par_batch, par_reduce);
-criterion_main!(benches);
+
+fn main() {
+    // Measured multi-thread walls are meaningless without real cores; the
+    // model speedups printed above stay valid either way. See the PR 8
+    // section of `results/BASELINES.md`, whose 1-CPU-runner walls are
+    // model-only for exactly this reason.
+    if std::thread::available_parallelism().map_or(1, |n| n.get()) == 1 {
+        eprintln!(
+            "warning: available_parallelism() == 1 — multi-thread wall-clock numbers \
+             below measure oversubscription, not speedup; trust only the \
+             machine-independent model-speedup lines"
+        );
+    }
+    benches();
+}

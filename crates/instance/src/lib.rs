@@ -20,10 +20,12 @@
 //! anchor its searches (`T_min`, Notes 1–2, `N/m`, `s_max`) in [`LowerBounds`].
 
 mod bounds;
+mod hash;
 mod io;
 mod model;
 
 pub use bounds::{tmin, LowerBounds};
+pub use hash::ContentHasher;
 pub use io::IoError;
 pub use model::{
     ClassId, Instance, InstanceBuilder, InstanceError, Job, JobId, MAX_MACHINES, MAX_TOTAL_LOAD,

@@ -11,6 +11,12 @@
 //! an `i128` (covering `u64` times and `i128` rational components); anything
 //! else parses as `f64`.
 //!
+//! For *network* input (the `bss-serve` wire protocol) the parser can be
+//! bounded: [`parse_with_limits`] enforces a maximum payload size and a
+//! maximum nesting depth with typed errors ([`JsonError::kind`]) instead of
+//! unbounded allocation, and the [`frame`] module provides the
+//! length-prefixed transport framing with the same size discipline.
+//!
 //! ```
 //! use bss_json::{parse, to_string_pretty, Value};
 //!
@@ -93,19 +99,51 @@ impl Value {
     }
 }
 
+/// What class of failure a [`JsonError`] reports — lets network code map
+/// hostile input onto typed protocol replies instead of string-matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JsonErrorKind {
+    /// Malformed JSON text (unexpected character, bad escape, ...).
+    Syntax,
+    /// The input exceeds the configured [`ParseLimits::max_bytes`].
+    TooLarge,
+    /// Nesting exceeds the configured [`ParseLimits::max_depth`].
+    TooDeep,
+    /// Well-formed JSON whose shape or values a [`FromJson`] impl rejected.
+    Decode,
+}
+
 /// Error from [`parse`] or from [`FromJson`] decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     message: String,
+    kind: JsonErrorKind,
 }
 
 impl JsonError {
-    /// Creates an error with the given message.
+    /// Creates a decode-kind error with the given message (the constructor
+    /// every hand-written [`FromJson`] impl uses).
     #[must_use]
     pub fn new(message: impl Into<String>) -> Self {
         JsonError {
             message: message.into(),
+            kind: JsonErrorKind::Decode,
         }
+    }
+
+    /// Creates an error with an explicit kind.
+    #[must_use]
+    pub fn with_kind(message: impl Into<String>, kind: JsonErrorKind) -> Self {
+        JsonError {
+            message: message.into(),
+            kind,
+        }
+    }
+
+    /// The failure class.
+    #[must_use]
+    pub fn kind(&self) -> JsonErrorKind {
+        self.kind
     }
 }
 
@@ -294,11 +332,53 @@ fn write_string(out: &mut String, s: &str) {
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Bounds on what [`parse_with_limits`] will accept — the guard rails for
+/// parsing untrusted network input.
+///
+/// The default (used by the plain [`parse`]) keeps the historical behavior:
+/// no byte limit (trusted local files) and a 128-level depth bound that
+/// protects the recursive parser's stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Largest accepted input, in bytes ([`usize::MAX`] = unlimited).
+    pub max_bytes: usize,
+    /// Deepest accepted array/object nesting.
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: usize::MAX,
+            max_depth: MAX_DEPTH,
+        }
+    }
+}
+
 /// Parses a complete JSON document (trailing garbage is an error).
 pub fn parse(text: &str) -> Result<Value, JsonError> {
+    parse_with_limits(text, &ParseLimits::default())
+}
+
+/// [`parse`] with explicit [`ParseLimits`]; the entry point for untrusted
+/// input. Oversized input is rejected *before* any parsing work
+/// ([`JsonErrorKind::TooLarge`]); nesting beyond the depth bound aborts with
+/// [`JsonErrorKind::TooDeep`] instead of deep recursion.
+pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Value, JsonError> {
+    if text.len() > limits.max_bytes {
+        return Err(JsonError::with_kind(
+            format!(
+                "JSON payload of {} bytes exceeds the {}-byte limit",
+                text.len(),
+                limits.max_bytes
+            ),
+            JsonErrorKind::TooLarge,
+        ));
+    }
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        max_depth: limits.max_depth,
     };
     p.skip_ws();
     let value = p.parse_value(0)?;
@@ -314,11 +394,15 @@ const MAX_DEPTH: usize = 128;
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_> {
     fn error(&self, message: &str) -> JsonError {
-        JsonError::new(format!("{message} at byte {}", self.pos))
+        JsonError::with_kind(
+            format!("{message} at byte {}", self.pos),
+            JsonErrorKind::Syntax,
+        )
     }
 
     fn peek(&self) -> Option<u8> {
@@ -340,13 +424,32 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_value(&mut self, depth: usize) -> Result<Value, JsonError> {
-        if depth > MAX_DEPTH {
-            return Err(self.error("nesting too deep"));
+    /// `depth` counts the containers enclosing the value about to start, so
+    /// a document whose deepest nesting is `max_depth` containers is
+    /// accepted and one level more is rejected.
+    fn check_depth(&self, depth: usize) -> Result<(), JsonError> {
+        if depth >= self.max_depth {
+            return Err(JsonError::with_kind(
+                format!(
+                    "nesting deeper than {} levels at byte {}",
+                    self.max_depth, self.pos
+                ),
+                JsonErrorKind::TooDeep,
+            ));
         }
+        Ok(())
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, JsonError> {
         match self.peek() {
-            Some(b'{') => self.parse_object(depth),
-            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => {
+                self.check_depth(depth)?;
+                self.parse_object(depth)
+            }
+            Some(b'[') => {
+                self.check_depth(depth)?;
+                self.parse_array(depth)
+            }
             Some(b'"') => Ok(Value::Str(self.parse_string()?)),
             Some(b't') => self.parse_keyword("true", Value::Bool(true)),
             Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
@@ -533,6 +636,126 @@ impl Parser<'_> {
                 .map(Value::Int)
                 .map_err(|_| self.error("integer out of range"))
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Length-prefixed framing
+// ---------------------------------------------------------------------------
+
+/// Length-prefixed framing for JSON documents over a byte stream.
+///
+/// The `bss-serve` wire protocol sends each JSON document as one *frame*: a
+/// 4-byte big-endian payload length followed by that many bytes of UTF-8
+/// JSON. The reader enforces a caller-chosen maximum payload size *before*
+/// allocating, so a hostile peer cannot trigger an unbounded allocation by
+/// declaring a huge length.
+pub mod frame {
+    use std::io::{self, Read, Write};
+
+    /// Size of the length prefix in bytes.
+    pub const HEADER_LEN: usize = 4;
+
+    /// Errors from [`read_frame`] / [`write_frame`].
+    #[derive(Debug)]
+    pub enum FrameError {
+        /// The underlying stream failed.
+        Io(io::Error),
+        /// The peer declared (or asked us to send) a payload larger than the
+        /// configured maximum. The stream is desynchronized after this —
+        /// close the connection rather than reading on.
+        TooLarge {
+            /// The declared payload length.
+            len: usize,
+            /// The configured maximum.
+            max: usize,
+        },
+        /// The payload was not valid UTF-8.
+        Utf8,
+        /// The stream ended mid-frame (a clean close *between* frames is
+        /// reported as `Ok(None)` by [`read_frame`] instead).
+        Truncated,
+    }
+
+    impl core::fmt::Display for FrameError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+                FrameError::TooLarge { len, max } => {
+                    write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+                }
+                FrameError::Utf8 => write!(f, "frame payload is not valid UTF-8"),
+                FrameError::Truncated => write!(f, "stream closed mid-frame"),
+            }
+        }
+    }
+
+    impl std::error::Error for FrameError {}
+
+    impl From<io::Error> for FrameError {
+        fn from(e: io::Error) -> Self {
+            FrameError::Io(e)
+        }
+    }
+
+    /// Writes one frame: 4-byte big-endian length, then the payload bytes.
+    ///
+    /// # Errors
+    /// [`FrameError::TooLarge`] when the payload exceeds `max_len` (also the
+    /// hard `u32` prefix range), otherwise any underlying I/O error.
+    pub fn write_frame(
+        w: &mut impl Write,
+        payload: &str,
+        max_len: usize,
+    ) -> Result<(), FrameError> {
+        let len = payload.len();
+        if len > max_len || len > u32::MAX as usize {
+            return Err(FrameError::TooLarge {
+                len,
+                max: max_len.min(u32::MAX as usize),
+            });
+        }
+        w.write_all(&(len as u32).to_be_bytes())?;
+        w.write_all(payload.as_bytes())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads one frame, returning `Ok(None)` on a clean end-of-stream at a
+    /// frame boundary.
+    ///
+    /// The declared length is checked against `max_len` *before* the payload
+    /// buffer is allocated.
+    ///
+    /// # Errors
+    /// See [`FrameError`].
+    pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<String>, FrameError> {
+        let mut header = [0u8; HEADER_LEN];
+        let mut filled = 0;
+        while filled < HEADER_LEN {
+            match r.read(&mut header[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        let len = u32::from_be_bytes(header) as usize;
+        if len > max_len {
+            return Err(FrameError::TooLarge { len, max: max_len });
+        }
+        let mut payload = vec![0u8; len];
+        match r.read_exact(&mut payload) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(FrameError::Truncated)
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+        String::from_utf8(payload)
+            .map(Some)
+            .map_err(|_| FrameError::Utf8)
     }
 }
 

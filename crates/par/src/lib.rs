@@ -235,11 +235,101 @@ impl SolvePool {
         }
     }
 
+    /// Solves a *heterogeneous* batch — per-item variant, algorithm and
+    /// (optional) budget — on the same warm per-worker workspaces.
+    ///
+    /// This is the service entry point: `bss-serve`'s dispatcher drains its
+    /// request queue into one `solve_items` call, so queued requests that
+    /// arrived together are solved together across the pool (micro-batching)
+    /// while each keeps its own deadline. Items without a budget run
+    /// unlimited. Per item the result is bit-identical to a standalone
+    /// [`bss_core::solve_budgeted_with`] under the same budget, at every
+    /// thread count, and a panicking item is isolated exactly as in
+    /// [`SolvePool::solve_batch`].
+    ///
+    /// Unlike [`SolvePool::solve_batch_budgeted`] there is no batch-wide
+    /// interrupt: every item is always attempted (admission control and
+    /// shedding happen *before* items reach the pool).
+    pub fn solve_items(&mut self, items: &[SolveItem<'_>]) -> Vec<Result<Solution, SolveError>> {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let unlimited = SolveBudget::unlimited();
+        let solve_one = |ws: &mut DualWorkspace, item: &SolveItem<'_>| {
+            let budget = item.budget.unwrap_or(&unlimited);
+            solve_budgeted_with(ws, item.instance, item.variant, item.algo, budget)
+        };
+        let plan = chunk_plan(n, self.threads);
+        self.ensure_workspaces(plan.workers);
+        if plan.workers == 1 {
+            let ws = &mut self.workspaces[0];
+            return items.iter().map(|item| solve_one(ws, item)).collect();
+        }
+
+        let mut result_slots: Vec<Option<Result<Solution, SolveError>>> =
+            (0..n).map(|_| None).collect();
+        type Slot = Option<Result<Solution, SolveError>>;
+        let chunks: Vec<Mutex<Option<&mut [Slot]>>> = {
+            let mut out = Vec::with_capacity(plan.chunks);
+            let mut rest = result_slots.as_mut_slice();
+            while !rest.is_empty() {
+                let take = plan.chunk_len.min(rest.len());
+                let (chunk, tail) = rest.split_at_mut(take);
+                out.push(Mutex::new(Some(chunk)));
+                rest = tail;
+            }
+            out
+        };
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            let chunks = &chunks;
+            let cursor = &cursor;
+            let solve_one = &solve_one;
+            for ws in &mut self.workspaces[..plan.workers] {
+                scope.spawn(move || loop {
+                    let chunk_idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk_idx >= chunks.len() {
+                        break;
+                    }
+                    let Some(result_chunk) = chunks[chunk_idx].lock().expect("chunk lock").take()
+                    else {
+                        continue;
+                    };
+                    let base = chunk_idx * plan.chunk_len;
+                    for (off, slot) in result_chunk.iter_mut().enumerate() {
+                        *slot = Some(solve_one(ws, &items[base + off]));
+                    }
+                });
+            }
+        });
+
+        result_slots
+            .into_iter()
+            .map(|slot| slot.expect("every chunk is claimed and filled"))
+            .collect()
+    }
+
     fn ensure_workspaces(&mut self, k: usize) {
         while self.workspaces.len() < k {
             self.workspaces.push(DualWorkspace::new());
         }
     }
+}
+
+/// One item of a heterogeneous [`SolvePool::solve_items`] batch.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveItem<'a> {
+    /// The instance to solve.
+    pub instance: &'a Instance,
+    /// The problem variant.
+    pub variant: Variant,
+    /// The algorithm to run.
+    pub algo: Algorithm,
+    /// This item's own budget (`None` = unlimited). Deadlines stay honest
+    /// per request even when many requests share one pool batch.
+    pub budget: Option<&'a SolveBudget>,
 }
 
 impl Default for SolvePool {
@@ -434,5 +524,86 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_is_rejected() {
         let _ = SolvePool::with_threads(0);
+    }
+
+    #[test]
+    fn heterogeneous_items_match_standalone_solves() {
+        let insts = batch(0..6);
+        // A mixed service queue: every (instance, variant, algo) cell
+        // different from its neighbours.
+        let items: Vec<SolveItem<'_>> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| SolveItem {
+                instance: inst,
+                variant: Variant::ALL[i % 3],
+                algo: ALGOS[i % ALGOS.len()],
+                budget: None,
+            })
+            .collect();
+        let mut ws = DualWorkspace::new();
+        let reference: Vec<Solution> = items
+            .iter()
+            .map(|it| bss_core::solve_with(&mut ws, it.instance, it.variant, it.algo))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let mut pool = SolvePool::with_threads(threads);
+            let got = pool.solve_items(&items);
+            assert_eq!(got.len(), reference.len());
+            for (i, (g, want)) in got.iter().zip(&reference).enumerate() {
+                assert_bit_identical(
+                    &format!("items t={threads} item {i}"),
+                    g.as_ref().expect("no panics here"),
+                    want,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_item_budgets_are_independent() {
+        let insts = batch(0..4);
+        // Item 1 gets a starved budget; its neighbours run unlimited and
+        // must come back Full and bit-identical to standalone solves.
+        let starved = SolveBudget::unlimited().with_work_limit(0);
+        let items: Vec<SolveItem<'_>> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| SolveItem {
+                instance: inst,
+                variant: Variant::NonPreemptive,
+                algo: Algorithm::EpsilonSearch { eps_log2: 8 },
+                budget: (i == 1).then_some(&starved),
+            })
+            .collect();
+        for threads in [1, 4] {
+            let mut pool = SolvePool::with_threads(threads);
+            let got = pool.solve_items(&items);
+            let mut ws = DualWorkspace::new();
+            for (i, g) in got.iter().enumerate() {
+                let sol = g.as_ref().expect("starvation degrades, never errors");
+                if i == 1 {
+                    assert!(
+                        !sol.completion.is_full(),
+                        "t={threads}: the starved item must degrade"
+                    );
+                } else {
+                    let want = bss_core::solve_with(
+                        &mut ws,
+                        &insts[i],
+                        Variant::NonPreemptive,
+                        Algorithm::EpsilonSearch { eps_log2: 8 },
+                    );
+                    assert_bit_identical(&format!("t={threads} unbudgeted item {i}"), sol, &want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_items_batch() {
+        let mut pool = SolvePool::with_threads(4);
+        assert!(pool.solve_items(&[]).is_empty());
+        assert!(pool.workspaces.is_empty());
     }
 }

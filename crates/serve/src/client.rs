@@ -1,0 +1,294 @@
+//! A blocking client for the `bss-serve` protocol.
+//!
+//! One [`Client`] owns one connection and issues one request at a time
+//! (request ids are assigned internally and checked on every response).
+//! The load generator opens one client per simulated connection.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use bss_core::Algorithm;
+use bss_instance::{Instance, Variant};
+use bss_json::frame::{read_frame, write_frame, FrameError};
+use bss_json::JsonError;
+
+use crate::protocol::{
+    ErrorCode, Request, Response, ServerStats, SolveRequest, WireSolution, PROTOCOL_VERSION,
+};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Framing failure (truncated, oversized, or non-UTF-8 frame).
+    Frame(FrameError),
+    /// The server's response did not decode.
+    Protocol(JsonError),
+    /// The server closed the connection before answering.
+    Disconnected,
+    /// The server answered with a typed error.
+    Server {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The response id or status did not match the request.
+    Mismatch(String),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            ClientError::Mismatch(what) => write!(f, "response mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<JsonError> for ClientError {
+    fn from(e: JsonError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Per-solve knobs beyond the instance itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveOptions {
+    /// Wall-clock deadline, measured from arrival at the server.
+    pub deadline_ms: Option<u64>,
+    /// Work-unit budget.
+    pub work_budget: Option<u64>,
+    /// Ask for the full explicit schedule in the response.
+    pub want_schedule: bool,
+}
+
+/// The two non-error outcomes of a solve request.
+#[derive(Debug, Clone)]
+pub enum SolveOutcome {
+    /// The server solved (or cache-served) the request.
+    Solved {
+        /// Whether the answer came from the solve cache.
+        cached: bool,
+        /// The solution payload.
+        solution: WireSolution,
+    },
+    /// Admission control refused the request; retry later.
+    Shed {
+        /// Queue depth at refusal.
+        queued: u64,
+        /// Configured queue capacity.
+        capacity: u64,
+    },
+}
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // One small frame per request: disable Nagle so the write is not
+        // held hostage to the peer's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame_bytes: 32 << 20,
+            next_id: 1,
+        })
+    }
+
+    /// Round-trips one request.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let text = bss_json::encode_pretty(request);
+        write_frame(&mut self.stream, &text, self.max_frame_bytes)?;
+        let payload =
+            read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or(ClientError::Disconnected)?;
+        Ok(bss_json::decode::<Response>(&payload)?)
+    }
+
+    fn check_id(&self, got: u64, want: u64) -> Result<(), ClientError> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(ClientError::Mismatch(format!(
+                "response id {got}, expected {want} (protocol v{PROTOCOL_VERSION})"
+            )))
+        }
+    }
+
+    /// Solves `instance` on the server.
+    ///
+    /// # Errors
+    /// Any [`ClientError`]; a shed is a *success* ([`SolveOutcome::Shed`]),
+    /// not an error.
+    pub fn solve(
+        &mut self,
+        instance: &Instance,
+        variant: Variant,
+        algo: Algorithm,
+        opts: SolveOptions,
+    ) -> Result<SolveOutcome, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request::Solve(Box::new(SolveRequest {
+            id,
+            instance: instance.clone(),
+            variant,
+            algo,
+            deadline_ms: opts.deadline_ms,
+            work_budget: opts.work_budget,
+            want_schedule: opts.want_schedule,
+        }));
+        match self.call(&request)? {
+            Response::Solved {
+                id: rid,
+                cached,
+                solution,
+            } => {
+                self.check_id(rid, id)?;
+                Ok(SolveOutcome::Solved { cached, solution })
+            }
+            Response::Shed {
+                id: rid,
+                queued,
+                capacity,
+            } => {
+                self.check_id(rid, id)?;
+                Ok(SolveOutcome::Shed { queued, capacity })
+            }
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Mismatch(format!(
+                "unexpected response to solve: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.call(&Request::Ping { id })? {
+            Response::Pong { id: rid } => self.check_id(rid, id),
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Mismatch(format!(
+                "unexpected response to ping: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's counter snapshot.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.call(&Request::Stats { id })? {
+            Response::Stats { id: rid, stats } => {
+                self.check_id(rid, id)?;
+                Ok(stats)
+            }
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Mismatch(format!(
+                "unexpected response to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Test instrumentation: occupy the server's dispatcher for `ms`
+    /// milliseconds (requires `allow_test_ops` server-side). Blocks until
+    /// the sleep completes.
+    ///
+    /// # Errors
+    /// Any [`ClientError`]; [`ClientError::Server`] with
+    /// [`ErrorCode::BadRequest`] when the server refuses test ops. A shed
+    /// sleep reports [`ClientError::Mismatch`].
+    pub fn sleep(&mut self, ms: u64) -> Result<(), ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.call(&Request::Sleep { id, ms })? {
+            Response::Pong { id: rid } => self.check_id(rid, id),
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Mismatch(format!(
+                "unexpected response to sleep: {other:?}"
+            ))),
+        }
+    }
+
+    /// Like [`Client::sleep`] but surfaces a shed as [`SolveOutcome::Shed`]
+    /// — the overload tests need to observe shedding on the sleep path.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn try_sleep(&mut self, ms: u64) -> Result<Option<(u64, u64)>, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.call(&Request::Sleep { id, ms })? {
+            Response::Pong { id: rid } => {
+                self.check_id(rid, id)?;
+                Ok(None)
+            }
+            Response::Shed {
+                id: rid,
+                queued,
+                capacity,
+            } => {
+                self.check_id(rid, id)?;
+                Ok(Some((queued, capacity)))
+            }
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Mismatch(format!(
+                "unexpected response to sleep: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down (the response is `bye`).
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.call(&Request::Shutdown { id })? {
+            Response::Bye { id: rid } => self.check_id(rid, id),
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Mismatch(format!(
+                "unexpected response to shutdown: {other:?}"
+            ))),
+        }
+    }
+}

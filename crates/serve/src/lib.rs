@@ -1,0 +1,45 @@
+//! The solver as a long-lived service: a thread-per-core TCP daemon with a
+//! content-hash solve cache, request micro-batching, typed overload
+//! shedding, and a load generator for measuring it.
+//!
+//! The batch-setup scheduling algorithms in this workspace run in
+//! near-linear time — fast enough that for service workloads the cost of a
+//! solve is comparable to the cost of *delivering* one. This crate makes
+//! the delivery path a first-class, measured artifact:
+//!
+//! * [`server`] — the daemon. Length-prefixed JSON frames over TCP
+//!   ([`bss_json::frame`]), parsed under hardened size/depth limits; a
+//!   bounded request queue with typed [`protocol::Response::Shed`] replies
+//!   at capacity; a dispatcher that drains queued requests into
+//!   [`bss_par::SolvePool::solve_items`] micro-batches, so concurrent
+//!   requests are solved across all cores on warm per-worker workspaces.
+//! * [`cache`] — the bounded solve cache, keyed on
+//!   [`bss_instance::Instance::content_hash`] plus variant and algorithm. A
+//!   hit returns the bit-identical cached [`bss_core::Solution`]; full
+//!   instance equality is re-checked on every hit, so an FNV collision can
+//!   cause a miss but never a wrong answer.
+//! * [`protocol`] — the versioned request/response envelopes, with typed
+//!   error codes for malformed, oversized, and over-deep input.
+//! * [`client`] — a blocking client speaking the protocol.
+//! * [`loadgen`] — seeded open- and closed-loop load generation with a
+//!   latency histogram; the `throughput` bench and the CLI `loadgen`
+//!   subcommand are thin wrappers over it.
+//!
+//! Per-request [`bss_core::SolveBudget`] deadlines are measured from
+//! arrival at the server, so queueing delay counts against them and
+//! overloaded servers answer `degraded` honestly instead of late.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, SolveCache};
+pub use client::{Client, ClientError, SolveOptions, SolveOutcome};
+pub use loadgen::{LatencyHistogram, LoadMode, LoadReport, LoadgenConfig};
+pub use protocol::{ErrorCode, Request, Response, ServerStats, WireSolution};
+pub use server::{spawn, ServeConfig, ServerHandle};

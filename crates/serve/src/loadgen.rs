@@ -1,0 +1,346 @@
+//! The load generator: seeded request mixes, open- and closed-loop driving,
+//! and a latency histogram.
+//!
+//! Closed-loop mode sends requests back-to-back per connection — it
+//! measures the server's sustained capacity (each in-flight request gates
+//! the next). Open-loop mode paces each connection at a fixed request rate
+//! and measures latency from the *scheduled* send time, so a slow server
+//! accumulates queueing delay into the reported latencies instead of
+//! silently slowing the generator (the coordinated-omission trap).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use bss_core::Algorithm;
+use bss_instance::{Instance, Variant};
+
+use crate::client::{Client, ClientError, SolveOptions, SolveOutcome};
+
+/// How the generator paces requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Back-to-back requests per connection (capacity measurement).
+    Closed,
+    /// Fixed per-connection request rate, latency from scheduled send time.
+    Open {
+        /// Requests per second, per connection.
+        rate_per_conn: u32,
+    },
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Number of distinct instances in the request pool. Requests cycle
+    /// through the pool, so `distinct < requests` produces cache hits
+    /// (ratio ≈ `1 - distinct/requests` at steady state); `distinct >=
+    /// requests` makes every request a cold solve.
+    pub distinct: usize,
+    /// Jobs per generated instance.
+    pub jobs: usize,
+    /// Setup classes per generated instance.
+    pub classes: usize,
+    /// Machines per generated instance.
+    pub machines: usize,
+    /// Generator seed; the request pool is a pure function of the seed and
+    /// shape parameters.
+    pub seed: u64,
+    /// Problem variant for every request.
+    pub variant: Variant,
+    /// Algorithm for every request.
+    pub algo: Algorithm,
+    /// Per-request deadline forwarded to the server.
+    pub deadline_ms: Option<u64>,
+    /// Pacing mode.
+    pub mode: LoadMode,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7341".into(),
+            connections: 4,
+            requests: 400,
+            distinct: 100,
+            jobs: 64,
+            classes: 8,
+            machines: 4,
+            seed: 0xB55,
+            variant: Variant::NonPreemptive,
+            algo: Algorithm::Portfolio,
+            deadline_ms: None,
+            mode: LoadMode::Closed,
+        }
+    }
+}
+
+/// An exact-sample latency recorder (nanosecond resolution).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_ns
+            .push(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Absorbs another histogram's samples.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+    }
+
+    /// Sample count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank), `None` when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, sorted.len()) - 1;
+        Some(Duration::from_nanos(sorted[idx]))
+    }
+
+    /// Mean latency, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples_ns.iter().map(|&ns| u128::from(ns)).sum();
+        Some(Duration::from_nanos(
+            (total / self.samples_ns.len() as u128) as u64,
+        ))
+    }
+}
+
+/// The outcome of one load-generation run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests answered with a solution (cold or cached).
+    pub solved: u64,
+    /// Of those, answered from the cache.
+    pub cached: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests that failed (connection or server errors).
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Latency of every solved request.
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Sustained solves per second over the run.
+    #[must_use]
+    pub fn solves_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.solved as f64 / secs
+        }
+    }
+
+    /// A human-readable multi-line summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let pct = |p: f64| {
+            self.latency.percentile(p).map_or_else(
+                || "n/a".into(),
+                |d| format!("{:.3} ms", d.as_secs_f64() * 1e3),
+            )
+        };
+        let mean = self.latency.mean().map_or_else(
+            || "n/a".into(),
+            |d| format!("{:.3} ms", d.as_secs_f64() * 1e3),
+        );
+        format!(
+            "solved {} ({} cached), shed {}, errors {} in {:.3} s\n\
+             throughput: {:.1} solves/s\n\
+             latency: mean {}  p50 {}  p90 {}  p99 {}",
+            self.solved,
+            self.cached,
+            self.shed,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.solves_per_sec(),
+            mean,
+            pct(50.0),
+            pct(90.0),
+            pct(99.0),
+        )
+    }
+}
+
+/// Builds the deterministic request pool for a config.
+#[must_use]
+pub fn request_pool(config: &LoadgenConfig) -> Vec<Instance> {
+    (0..config.distinct.max(1))
+        .map(|i| {
+            bss_gen::uniform(
+                config.jobs,
+                config.classes,
+                config.machines,
+                config.seed.wrapping_add(i as u64),
+            )
+        })
+        .collect()
+}
+
+/// Runs the load against a server and collects the report.
+///
+/// # Errors
+/// [`ClientError`] when no connection could be established at all;
+/// per-request failures are *counted* in the report instead.
+pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
+    let pool = request_pool(config);
+    // Fail fast (and typed) if the server is unreachable, before spawning.
+    Client::connect(&config.addr)?.ping()?;
+
+    let next = AtomicUsize::new(0);
+    let solved = AtomicU64::new(0);
+    let cached = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let latency = Mutex::new(LatencyHistogram::new());
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..config.connections.max(1) {
+            scope.spawn(|| {
+                let Ok(mut client) = Client::connect(&config.addr) else {
+                    // Connection-level failure: account every request this
+                    // thread would have issued as an error and bail.
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let mut local = LatencyHistogram::new();
+                let conn_started = Instant::now();
+                let mut sent_on_conn: u32 = 0;
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= config.requests {
+                        break;
+                    }
+                    let instance = &pool[k % pool.len()];
+                    // Open loop: latency is measured from the *scheduled*
+                    // send time; sleeping only until that time keeps the
+                    // offered rate independent of server speed.
+                    let scheduled = match config.mode {
+                        LoadMode::Closed => Instant::now(),
+                        LoadMode::Open { rate_per_conn } => {
+                            let gap = Duration::from_secs(1) / rate_per_conn.max(1);
+                            let at = conn_started + gap * sent_on_conn;
+                            if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            at
+                        }
+                    };
+                    sent_on_conn += 1;
+                    let outcome = client.solve(
+                        instance,
+                        config.variant,
+                        config.algo,
+                        SolveOptions {
+                            deadline_ms: config.deadline_ms,
+                            work_budget: None,
+                            want_schedule: false,
+                        },
+                    );
+                    match outcome {
+                        Ok(SolveOutcome::Solved {
+                            cached: was_cached, ..
+                        }) => {
+                            solved.fetch_add(1, Ordering::Relaxed);
+                            if was_cached {
+                                cached.fetch_add(1, Ordering::Relaxed);
+                            }
+                            local.record(scheduled.elapsed());
+                        }
+                        Ok(SolveOutcome::Shed { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latency.lock().expect("latency lock").merge(&local);
+            });
+        }
+    });
+
+    Ok(LoadReport {
+        solved: solved.load(Ordering::Relaxed),
+        cached: cached.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        latency: latency.into_inner().expect("latency lock"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.percentile(50.0), Some(Duration::from_millis(5)));
+        assert_eq!(h.percentile(90.0), Some(Duration::from_millis(9)));
+        assert_eq!(h.percentile(99.0), Some(Duration::from_millis(10)));
+        assert_eq!(h.percentile(100.0), Some(Duration::from_millis(10)));
+        assert_eq!(h.mean(), Some(Duration::from_micros(5500)));
+        assert!(LatencyHistogram::new().percentile(50.0).is_none());
+    }
+
+    #[test]
+    fn request_pool_is_deterministic() {
+        let config = LoadgenConfig {
+            distinct: 5,
+            ..LoadgenConfig::default()
+        };
+        let a = request_pool(&config);
+        let b = request_pool(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        // Distinct seeds produce distinct instances.
+        assert_ne!(a[0], a[1]);
+    }
+}

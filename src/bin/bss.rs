@@ -24,6 +24,8 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -53,6 +55,11 @@ USAGE:
   bss batch    <instance.json>... [--variant V] [--algorithm A] [--threads N]
                [--deadline-ms MS] [--budget PROBES]
   bss validate <instance.json> <schedule.json> [--variant V]
+  bss serve    [--addr HOST:PORT] [--threads N] [--cache N] [--queue N]
+               [--batch-max N]
+  bss loadgen  --addr HOST:PORT [--connections N] [--requests N] [--distinct N]
+               [--jobs N] [--classes C] [--machines M] [--seed S]
+               [--variant V] [--algorithm A] [--deadline-ms MS] [--rate R]
 
   V: non-preemptive | preemptive | splittable | seqdep (default: non-preemptive)
   A: two-approx | eps:<log2> | three-halves | portfolio (default: three-halves)
@@ -72,7 +79,14 @@ USAGE:
 
   `--variant seqdep` reads a sequence-dependent instance (switch-cost matrix
   wire format); uniform instances route through the batch-setup reduction
-  with the proven 3/2 bound, general ones through the heuristic dual.";
+  with the proven 3/2 bound, general ones through the heuristic dual.
+
+  `serve` runs the solver as a long-lived TCP daemon (length-prefixed JSON
+  frames, see bss-serve): thread-per-core solving with warm workspaces, a
+  content-hash solve cache, request micro-batching, and typed shedding once
+  the bounded queue fills. `loadgen` drives a running server with a seeded
+  request mix — closed-loop by default, open-loop at `--rate R` requests/s
+  per connection — and prints sustained solves/s with p50/p90/p99 latency.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -466,6 +480,75 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     if solved < paths.len() {
         return Err(format!("{} item(s) did not finish", paths.len() - solved));
     }
+    Ok(())
+}
+
+/// `bss serve` — run the solve service until killed.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let parse_opt = |name: &str, default: usize| -> Result<usize, String> {
+        match flag(args, name) {
+            Some(v) => v.parse().map_err(|_| format!("bad {name} `{v}`")),
+            None => Ok(default),
+        }
+    };
+    let defaults = batch_setup_scheduling::serve::ServeConfig::default();
+    let config = batch_setup_scheduling::serve::ServeConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7341".into()),
+        workers: parse_opt("--threads", 0)?,
+        cache_capacity: parse_opt("--cache", defaults.cache_capacity)?,
+        queue_capacity: parse_opt("--queue", defaults.queue_capacity)?,
+        batch_max: parse_opt("--batch-max", defaults.batch_max)?,
+        ..defaults
+    };
+    let server =
+        batch_setup_scheduling::serve::spawn(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("bss-serve listening on {}", server.addr());
+    println!("stop with a {{\"v\":1,\"id\":0,\"kind\":\"shutdown\"}} request or SIGKILL");
+    server.join();
+    Ok(())
+}
+
+/// `bss loadgen` — drive a running server and report throughput/latency.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use batch_setup_scheduling::serve::{LoadMode, LoadgenConfig};
+    let addr = flag(args, "--addr").ok_or("missing --addr (the server to drive)")?;
+    let parse_opt = |name: &str, default: usize| -> Result<usize, String> {
+        match flag(args, name) {
+            Some(v) => v.parse().map_err(|_| format!("bad {name} `{v}`")),
+            None => Ok(default),
+        }
+    };
+    let defaults = LoadgenConfig::default();
+    let mode = match flag(args, "--rate") {
+        None => LoadMode::Closed,
+        Some(v) => LoadMode::Open {
+            rate_per_conn: v.parse().map_err(|_| format!("bad --rate `{v}`"))?,
+        },
+    };
+    let deadline_ms = flag(args, "--deadline-ms")
+        .map(|v| v.parse().map_err(|_| format!("bad --deadline-ms `{v}`")))
+        .transpose()?;
+    let seed = flag(args, "--seed")
+        .map(|v| v.parse().map_err(|_| format!("bad --seed `{v}`")))
+        .transpose()?
+        .unwrap_or(defaults.seed);
+    let config = LoadgenConfig {
+        addr,
+        connections: parse_opt("--connections", defaults.connections)?,
+        requests: parse_opt("--requests", defaults.requests)?,
+        distinct: parse_opt("--distinct", defaults.distinct)?,
+        jobs: parse_opt("--jobs", defaults.jobs)?,
+        classes: parse_opt("--classes", defaults.classes)?,
+        machines: parse_opt("--machines", defaults.machines)?,
+        seed,
+        variant: parse_variant(args)?,
+        algo: parse_algorithm(args)?,
+        deadline_ms,
+        mode,
+    };
+    let report = batch_setup_scheduling::serve::loadgen::run(&config)
+        .map_err(|e| format!("load generation failed: {e}"))?;
+    println!("{}", report.render());
     Ok(())
 }
 

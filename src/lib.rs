@@ -57,6 +57,7 @@ pub use bss_rational as rational;
 pub use bss_report as report;
 pub use bss_schedule as schedule;
 pub use bss_seqdep as seqdep;
+pub use bss_serve as serve;
 pub use bss_wrap as wrap;
 
 /// Most-used items in one import.
@@ -75,4 +76,5 @@ pub mod prelude {
         ScheduleStats, Violation,
     };
     pub use bss_seqdep::SeqDepInstance;
+    pub use bss_serve::{Client, ServeConfig, SolveOptions, SolveOutcome};
 }
