@@ -2,11 +2,15 @@
 //! compact-first pipeline, the dual *build* path — is allocation-free once a
 //! [`DualWorkspace`] is warmed up.
 //!
-//! The whole check lives in a single `#[test]` so no concurrent test in this
-//! binary can pollute the global allocation counter.
+//! The whole check lives in a single `#[test]`, and the counter is
+//! *thread-local*: only allocations made by the measuring thread count.
+//! A process-wide counter would race against libtest's main thread, which
+//! lazily allocates its mpsc parking context the first time it blocks
+//! waiting for a test result — at a nondeterministic point that can land
+//! inside the measured window.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use bss_core::{nonpreemptive, preemptive, splittable, Algorithm, DualWorkspace, Trace};
 use bss_instance::{Instance, LowerBounds, Variant};
@@ -15,21 +19,33 @@ use bss_schedule::{CompactSchedule, Schedule};
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    // `const` initialisation gives the slot a plain TLS block entry: reading
+    // or writing it never allocates, so the hooks below cannot recurse into
+    // themselves. `Cell<u64>` has no destructor, so no TLS dtor is
+    // registered either.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with` instead of `with`: allocations during thread teardown (after
+    // TLS destruction) must pass through uncounted, not panic the allocator.
+    let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -41,8 +57,9 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// Allocations made by *this thread* since it started.
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(|count| count.get())
 }
 
 /// Probe guesses spanning accepted and rejected outcomes (and, in the

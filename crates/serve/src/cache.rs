@@ -5,7 +5,10 @@
 //! cannot distinguish a cached answer from a fresh one except by latency.
 //! Safety against FNV collisions: the full instance is kept alongside each
 //! entry and re-checked for structural equality on every hit — a colliding
-//! key is a miss, never a wrong answer.
+//! key is a miss, never a wrong answer. The insert path enforces the same
+//! invariant: a key already occupied by a *different* instance is left
+//! untouched (the collider is simply uncacheable), so a resident entry can
+//! never end up paired with another instance's solution.
 //!
 //! Only [`Completion::Full`] solutions are cached. Degraded solutions are
 //! artifacts of one request's budget; replaying them to a later caller with
@@ -127,7 +130,11 @@ impl SolveCache {
     /// Inserts a freshly solved entry, evicting the oldest entry when full.
     /// Degraded or cancelled solutions are refused (see the module docs);
     /// re-inserting an existing key refreshes the solution in place without
-    /// touching the FIFO order.
+    /// touching the FIFO order. An insert whose key collides with a
+    /// *different* cached `(instance, variant, algo)` is dropped: replacing
+    /// the resident solution while keeping the resident instance would let
+    /// a later lookup of that instance pass the equality re-check and
+    /// return this solution — a wrong answer.
     pub fn insert(
         &mut self,
         hash: u64,
@@ -142,7 +149,10 @@ impl SolveCache {
         let key = key_of(hash, variant, algo);
         match self.map.entry(key) {
             Entry::Occupied(mut occupied) => {
-                occupied.get_mut().solution = Arc::clone(solution);
+                let entry = occupied.get_mut();
+                if entry.variant == variant && entry.algo == algo && entry.instance == *instance {
+                    entry.solution = Arc::clone(solution);
+                }
             }
             Entry::Vacant(vacant) => {
                 vacant.insert(CacheEntry {
@@ -247,6 +257,34 @@ mod tests {
             .lookup(h, &b, Variant::Splittable, Algorithm::ThreeHalves)
             .is_none());
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn insert_over_a_colliding_key_does_not_poison_the_entry() {
+        let mut cache = SolveCache::new(4);
+        let a = inst(7);
+        let b = inst(8);
+        assert_ne!(a, b);
+        let sol_a = solved(&a);
+        let sol_b = solved(&b);
+        let h = a.content_hash();
+        cache.insert(h, &a, Variant::Splittable, Algorithm::ThreeHalves, &sol_a);
+        // Simulate an FNV collision: insert `b` under `a`'s hash. The
+        // insert must be dropped — overwriting in place would pair `a`'s
+        // instance with `b`'s solution, and a later lookup(a) would pass
+        // the equality re-check and return the wrong answer.
+        cache.insert(h, &b, Variant::Splittable, Algorithm::ThreeHalves, &sol_b);
+        let hit = cache
+            .lookup(h, &a, Variant::Splittable, Algorithm::ThreeHalves)
+            .expect("the resident entry must survive a colliding insert");
+        assert!(
+            Arc::ptr_eq(&hit, &sol_a),
+            "colliding insert replaced the resident solution"
+        );
+        // The collider itself is simply not cached.
+        assert!(cache
+            .lookup(h, &b, Variant::Splittable, Algorithm::ThreeHalves)
+            .is_none());
     }
 
     #[test]

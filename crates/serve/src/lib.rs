@@ -41,5 +41,5 @@ pub mod server;
 pub use cache::{CacheStats, SolveCache};
 pub use client::{Client, ClientError, SolveOptions, SolveOutcome};
 pub use loadgen::{LatencyHistogram, LoadMode, LoadReport, LoadgenConfig};
-pub use protocol::{ErrorCode, Request, Response, ServerStats, WireSolution};
+pub use protocol::{ErrorCode, Request, RequestError, Response, ServerStats, WireSolution};
 pub use server::{spawn, ServeConfig, ServerHandle};

@@ -23,7 +23,7 @@
 //! (shutdown acknowledged).
 
 use bss_core::{Algorithm, Completion, Solution};
-use bss_instance::{Instance, Variant};
+use bss_instance::{Instance, IoError, Variant};
 use bss_json::{FromJson, JsonError, JsonErrorKind, ToJson, Value};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
@@ -148,6 +148,34 @@ impl core::fmt::Display for ErrorCode {
     }
 }
 
+/// A request-decode failure that already carries its protocol error class —
+/// built structurally at each decode site (version check, instance
+/// validation, envelope shape), never by inspecting error message text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The protocol error class to answer with.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    fn bad(err: &JsonError) -> Self {
+        RequestError {
+            code: ErrorCode::BadRequest,
+            message: err.to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 /// The solution payload of a [`Response::Solved`] — every certified metric
 /// of a [`Solution`], plus the explicit schedule when the request asked for
 /// it.
@@ -250,6 +278,21 @@ pub enum Response {
         /// Echoed request id.
         id: u64,
     },
+}
+
+impl Response {
+    /// The echoed request id this response carries.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Solved { id, .. }
+            | Response::Shed { id, .. }
+            | Response::Error { id, .. }
+            | Response::Pong { id }
+            | Response::Stats { id, .. }
+            | Response::Bye { id } => *id,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -373,47 +416,86 @@ pub fn peek_id(value: &Value) -> u64 {
     envelope_id(value).unwrap_or(0)
 }
 
-impl FromJson for Request {
-    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
-        check_version(value)?;
-        let id = envelope_id(value)?;
-        let kind = bss_json::required(value, "kind")?
+impl Request {
+    /// Decodes a request envelope with a typed protocol error class:
+    /// version mismatches get [`ErrorCode::UnsupportedVersion`],
+    /// model-violating instances get [`ErrorCode::InvalidInstance`], and
+    /// every other shape problem gets [`ErrorCode::BadRequest`]. The server
+    /// answers straight from the returned code; no message inspection.
+    ///
+    /// # Errors
+    /// [`RequestError`] carrying the class and detail.
+    pub fn decode(value: &Value) -> Result<Self, RequestError> {
+        let v = bss_json::int_from::<i128>(
+            bss_json::required(value, "v").map_err(|e| RequestError::bad(&e))?,
+            "protocol version",
+        )
+        .map_err(|e| RequestError::bad(&e))?;
+        if v != PROTOCOL_VERSION {
+            return Err(RequestError {
+                code: ErrorCode::UnsupportedVersion,
+                message: format!(
+                    "unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+                ),
+            });
+        }
+        let id = envelope_id(value).map_err(|e| RequestError::bad(&e))?;
+        let bad = |err: JsonError| RequestError::bad(&err);
+        let kind = bss_json::required(value, "kind")
+            .map_err(bad)?
             .as_str()
-            .ok_or_else(|| JsonError::new("request `kind` must be a string"))?;
+            .ok_or_else(|| bad(JsonError::new("request `kind` must be a string")))?;
         match kind {
             "ping" => Ok(Request::Ping { id }),
             "stats" => Ok(Request::Stats { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             "sleep" => Ok(Request::Sleep {
                 id,
-                ms: bss_json::int_from(bss_json::required(value, "ms")?, "sleep ms")?,
+                ms: bss_json::int_from(bss_json::required(value, "ms").map_err(bad)?, "sleep ms")
+                    .map_err(bad)?,
             }),
             "solve" => {
-                let variant = Variant::from_json_value(bss_json::required(value, "variant")?)?;
+                let variant =
+                    Variant::from_json_value(bss_json::required(value, "variant").map_err(bad)?)
+                        .map_err(bad)?;
                 let algo = algorithm_from_wire(
-                    bss_json::required(value, "algorithm")?
+                    bss_json::required(value, "algorithm")
+                        .map_err(bad)?
                         .as_str()
-                        .ok_or_else(|| JsonError::new("`algorithm` must be a string"))?,
-                )?;
+                        .ok_or_else(|| bad(JsonError::new("`algorithm` must be a string")))?,
+                )
+                .map_err(bad)?;
                 let deadline_ms = match value.field("deadline_ms") {
                     None | Some(Value::Null) => None,
-                    Some(v) => Some(bss_json::int_from(v, "deadline_ms")?),
+                    Some(v) => Some(bss_json::int_from(v, "deadline_ms").map_err(bad)?),
                 };
                 let work_budget = match value.field("work_budget") {
                     None | Some(Value::Null) => None,
-                    Some(v) => Some(bss_json::int_from(v, "work_budget")?),
+                    Some(v) => Some(bss_json::int_from(v, "work_budget").map_err(bad)?),
                 };
                 let want_schedule = match value.field("schedule") {
                     None => false,
                     Some(Value::Bool(b)) => *b,
                     Some(other) => {
-                        return Err(JsonError::new(format!(
+                        return Err(bad(JsonError::new(format!(
                             "`schedule` must be a bool, found {}",
                             other.kind()
-                        )))
+                        ))))
                     }
                 };
-                let instance = Instance::from_json_value(bss_json::required(value, "instance")?)?;
+                let instance = Instance::from_json_value_checked(
+                    bss_json::required(value, "instance").map_err(bad)?,
+                )
+                .map_err(|e| match e {
+                    // Malformed JSON shape inside the instance object.
+                    IoError::Json(err) => RequestError::bad(&err),
+                    // Well-formed but violating the paper's model: its own
+                    // class, decided by the error's *type*, not its text.
+                    IoError::Model(err) => RequestError {
+                        code: ErrorCode::InvalidInstance,
+                        message: format!("invalid instance data: {err}"),
+                    },
+                })?;
                 Ok(Request::Solve(Box::new(SolveRequest {
                     id,
                     instance,
@@ -424,8 +506,16 @@ impl FromJson for Request {
                     want_schedule,
                 })))
             }
-            other => Err(JsonError::new(format!("unknown request kind `{other}`"))),
+            other => Err(bad(JsonError::new(format!(
+                "unknown request kind `{other}`"
+            )))),
         }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Request::decode(value).map_err(|e| JsonError::new(e.message))
     }
 }
 

@@ -523,7 +523,9 @@ fn malformed_and_unsupported_requests_get_typed_errors() {
         "test op: {resp:?}"
     );
 
-    // A model-violating instance (zero machines) gets InvalidInstance.
+    // A model-violating instance (zero machines) gets InvalidInstance —
+    // classified structurally from the decode error's type, so exactly
+    // this code, not a BadRequest fallback.
     let bad_instance = r#"{"v":1,"id":10,"kind":"solve","variant":"NonPreemptive",
         "algorithm":"two-approx",
         "instance":{"machines":0,"setups":[1],"jobs":[{"class":0,"time":1}]}}"#;
@@ -533,16 +535,133 @@ fn malformed_and_unsupported_requests_get_typed_errors() {
             resp,
             Response::Error {
                 id: 10,
-                code: ErrorCode::InvalidInstance | ErrorCode::BadRequest,
+                code: ErrorCode::InvalidInstance,
                 ..
             }
         ),
         "invalid instance: {resp:?}"
     );
 
+    // A malformed *shape* inside the instance object (jobs not an array)
+    // stays BadRequest even though the message mentions the field.
+    let bad_shape = r#"{"v":1,"id":11,"kind":"solve","variant":"NonPreemptive",
+        "algorithm":"two-approx",
+        "instance":{"machines":1,"setups":[1],"jobs":"nope"}}"#;
+    let resp = raw_call(addr, bad_shape);
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                id: 11,
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "malformed instance shape: {resp:?}"
+    );
+
     // The server is still healthy after all the abuse.
     let mut client = Client::connect(addr).unwrap();
     client.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn oversized_response_gets_a_typed_error_and_keeps_the_connection() {
+    use bss_serve::protocol::SolveRequest;
+
+    let instance = bss_gen::uniform(80, 6, 3, 2024);
+    let request = |id: u64, want_schedule: bool| {
+        bss_json::encode_pretty(&bss_serve::Request::Solve(Box::new(SolveRequest {
+            id,
+            instance: instance.clone(),
+            variant: Variant::Splittable,
+            algo: Algorithm::ThreeHalves,
+            deadline_ms: None,
+            work_budget: None,
+            want_schedule,
+        })))
+    };
+    let req_text = request(1, true);
+    // Precondition: the schedule-carrying response really is bigger than
+    // the request, so a frame bound can sit between the two.
+    let local = solve(&instance, Variant::Splittable, Algorithm::ThreeHalves);
+    let resp_text = bss_json::encode_pretty(&Response::Solved {
+        id: 1,
+        cached: false,
+        solution: WireSolution::of(&local, true),
+    });
+    let max_frame_bytes = req_text.len() + 64;
+    assert!(
+        resp_text.len() > max_frame_bytes,
+        "precondition: response ({}) must exceed the frame bound ({})",
+        resp_text.len(),
+        max_frame_bytes
+    );
+
+    let server = test_server(ServeConfig {
+        workers: 1,
+        max_frame_bytes,
+        ..ServeConfig::default()
+    });
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &req_text, 64 << 20).unwrap();
+    let reply = read_frame(&mut stream, 64 << 20).unwrap().unwrap();
+    let resp: Response = bss_json::decode(&reply).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                id: 1,
+                code: ErrorCode::TooLarge,
+                ..
+            }
+        ),
+        "oversized response must come back as a typed error, got {resp:?}"
+    );
+
+    // The oversized payload never hit the wire, so the same connection
+    // stays framed and usable: the schedule-free retry fits and succeeds.
+    write_frame(&mut stream, &request(2, false), 64 << 20).unwrap();
+    let reply = read_frame(&mut stream, 64 << 20).unwrap().unwrap();
+    let resp: Response = bss_json::decode(&reply).unwrap();
+    assert!(
+        matches!(resp, Response::Solved { id: 2, .. }),
+        "connection must survive an oversized response, got {resp:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn solve_after_shutdown_gets_a_typed_error_not_a_hang() {
+    let server = test_server(small_config());
+    let addr = server.addr();
+    // Both connections are accepted *before* shutdown; their detached
+    // connection threads keep serving afterwards.
+    let mut survivor = Client::connect(addr).unwrap();
+    let mut closer = Client::connect(addr).unwrap();
+    closer.shutdown_server().unwrap();
+
+    // The dispatcher has (or soon will have) observed empty-queue+shutdown
+    // and exited. Admission control re-checks the flag under the queue
+    // lock, so this enqueue must be refused with a typed error — never
+    // pushed into a queue nobody drains, which would hang this call.
+    let instance = bss_gen::uniform(10, 2, 2, 3);
+    match survivor.solve(
+        &instance,
+        Variant::Splittable,
+        Algorithm::TwoApprox,
+        SolveOptions::default(),
+    ) {
+        Err(ClientError::Server {
+            code: ErrorCode::Internal,
+            message,
+        }) => assert!(
+            message.contains("shutting down"),
+            "unexpected internal error: {message}"
+        ),
+        other => panic!("expected a typed shutting-down error, got {other:?}"),
+    }
     server.shutdown();
 }
 
