@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use bss_core::SolveBudget;
 use bss_json::frame::{read_frame, write_frame, FrameError};
-use bss_json::{FromJson, ParseLimits};
+use bss_json::ParseLimits;
 use bss_par::{SolveItem, SolvePool};
 
 use crate::cache::SolveCache;
@@ -242,9 +242,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Serves one connection: frames in, frames out. Requests on a connection
-/// are answered in order (responses to pipelined requests are sequenced by
-/// the reply channel).
+/// Serves one connection: frames in, frames out. The loop is strictly
+/// serial — the next frame is read only after the previous request has been
+/// answered — so responses are trivially in request order.
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
@@ -255,7 +255,6 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         max_bytes: shared.config.max_frame_bytes,
         max_depth: shared.config.max_json_depth,
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
 
     loop {
         let payload = match read_frame(&mut reader, shared.config.max_frame_bytes) {
@@ -279,35 +278,38 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Err(_) => break,
         };
 
-        let response_now = match bss_json::parse_with_limits(&payload, &limits) {
-            Err(err) => Some(Response::Error {
+        let handled = match bss_json::parse_with_limits(&payload, &limits) {
+            Err(err) => Handled::Reply(Response::Error {
                 id: 0,
                 code: ErrorCode::of_json(err.kind()),
                 message: err.to_string(),
             }),
             Ok(value) => {
                 let id = peek_id(&value);
-                match Request::from_json_value(&value) {
-                    Err(err) => Some(Response::Error {
+                match Request::decode(&value) {
+                    Err(err) => Handled::Reply(Response::Error {
                         id,
-                        code: classify_decode_error(&value, &err),
-                        message: err.to_string(),
+                        code: err.code,
+                        message: err.message,
                     }),
-                    Ok(request) => handle_request(request, &reply_tx, shared),
+                    Ok(request) => handle_request(request, shared),
                 }
             }
         };
 
-        match response_now {
-            Some(resp) => {
+        match handled {
+            Handled::Reply(resp) => {
                 let bye = matches!(resp, Response::Bye { .. });
                 if !send(&mut writer, &resp, shared.config.max_frame_bytes) || bye {
                     break;
                 }
             }
-            None => {
-                // A solve was enqueued: block until its response arrives
-                // (or the dispatcher is gone), then relay it.
+            Handled::Pending(reply_rx) => {
+                // A job was enqueued: block until its response arrives. The
+                // only sender lives inside the queued job, so if the
+                // dispatcher dies (or the job is otherwise dropped
+                // undelivered) this surfaces as a RecvError and the
+                // connection closes instead of hanging forever.
                 match reply_rx.recv() {
                     Ok(resp) => {
                         if !send(&mut writer, &resp, shared.config.max_frame_bytes) {
@@ -321,55 +323,49 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Maps a [`Request`] decode failure to a typed code: version mismatches
-/// and instance-model violations get their own classes.
-fn classify_decode_error(value: &bss_json::Value, err: &bss_json::JsonError) -> ErrorCode {
-    let msg = err.to_string();
-    if msg.contains("unsupported protocol version") {
-        return ErrorCode::UnsupportedVersion;
-    }
-    if value.field("instance").is_some() && msg.contains("instance") {
-        return ErrorCode::InvalidInstance;
-    }
-    ErrorCode::BadRequest
+/// How one request was handled on the connection thread.
+enum Handled {
+    /// Answer immediately.
+    Reply(Response),
+    /// A job was enqueued; its response arrives on this receiver.
+    Pending(mpsc::Receiver<Response>),
 }
 
-/// Handles one decoded request. Returns `Some(response)` for answers the
-/// connection thread sends itself; `None` when a solve was enqueued and the
-/// response will arrive on the reply channel.
-fn handle_request(
-    request: Request,
-    reply_tx: &mpsc::Sender<Response>,
-    shared: &Arc<Shared>,
-) -> Option<Response> {
+/// Handles one decoded request, answering inline or enqueueing a job whose
+/// response will arrive on the returned receiver.
+fn handle_request(request: Request, shared: &Arc<Shared>) -> Handled {
     match request {
-        Request::Ping { id } => Some(Response::Pong { id }),
-        Request::Stats { id } => Some(Response::Stats {
+        Request::Ping { id } => Handled::Reply(Response::Pong { id }),
+        Request::Stats { id } => Handled::Reply(Response::Stats {
             id,
             stats: shared.stats(),
         }),
         Request::Shutdown { id } => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue_signal.notify_all();
-            Some(Response::Bye { id })
+            Handled::Reply(Response::Bye { id })
         }
         Request::Sleep { id, ms } => {
             if !shared.config.allow_test_ops {
-                return Some(Response::Error {
+                return Handled::Reply(Response::Error {
                     id,
                     code: ErrorCode::BadRequest,
                     message: "sleep is a test op; this server does not allow test ops".into(),
                 });
             }
-            enqueue(
+            let (reply_tx, reply_rx) = mpsc::channel();
+            match enqueue(
                 Work::Sleep {
                     id,
                     ms,
-                    reply: reply_tx.clone(),
+                    reply: reply_tx,
                 },
                 id,
                 shared,
-            )
+            ) {
+                Some(resp) => Handled::Reply(resp),
+                None => Handled::Pending(reply_rx),
+            }
         }
         Request::Solve(req) => {
             let hash = req.instance.content_hash();
@@ -382,29 +378,40 @@ fn handle_request(
                 req.algo,
             );
             if let Some(sol) = hit {
-                return Some(Response::Solved {
+                return Handled::Reply(Response::Solved {
                     id: req.id,
                     cached: true,
                     solution: WireSolution::of(&sol, req.want_schedule),
                 });
             }
             let id = req.id;
-            enqueue(
+            let (reply_tx, reply_rx) = mpsc::channel();
+            match enqueue(
                 Work::Solve(Job {
                     req: *req,
                     hash,
                     enqueued: Instant::now(),
-                    reply: reply_tx.clone(),
+                    reply: reply_tx,
                 }),
                 id,
                 shared,
-            )
+            ) {
+                Some(resp) => Handled::Reply(resp),
+                None => Handled::Pending(reply_rx),
+            }
         }
     }
 }
 
 /// Admission control: enqueue `work`, or answer with a typed shed/error.
 fn enqueue(work: Work, id: u64, shared: &Arc<Shared>) -> Option<Response> {
+    let mut queue = shared.queue.lock().expect("queue lock");
+    // The shutdown flag must be read *while holding the queue lock*: the
+    // dispatcher decides to exit under this lock (empty queue + flag up),
+    // so a push serialized after that decision is guaranteed to observe the
+    // flag and refuse here. Checking before locking would let a job slip
+    // into a queue nobody drains, hanging its connection thread on a reply
+    // that never comes.
     if shared.shutdown.load(Ordering::SeqCst) {
         return Some(Response::Error {
             id,
@@ -412,7 +419,6 @@ fn enqueue(work: Work, id: u64, shared: &Arc<Shared>) -> Option<Response> {
             message: "server is shutting down".into(),
         });
     }
-    let mut queue = shared.queue.lock().expect("queue lock");
     if queue.len() >= shared.config.queue_capacity {
         shared.shed.fetch_add(1, Ordering::Relaxed);
         return Some(Response::Shed {
@@ -499,9 +505,9 @@ fn solve_batch(pool: &mut SolvePool, jobs: Vec<Job>, shared: &Arc<Shared>) {
             Ok(solution) => {
                 shared.solved.fetch_add(1, Ordering::Relaxed);
                 let solution = Arc::new(solution);
-                // Only Full completions are cacheable (the cache refuses
-                // the rest); the insert also re-verifies nothing — keys
-                // were computed from this very instance.
+                // Only Full completions are cacheable, and a key collision
+                // with a different resident instance drops the insert —
+                // both enforced inside the cache.
                 shared.cache.lock().expect("cache lock").insert(
                     job.hash,
                     &job.req.instance,
@@ -530,10 +536,29 @@ fn solve_batch(pool: &mut SolvePool, jobs: Vec<Job>, shared: &Arc<Shared>) {
 
 /// Encodes and frames a response onto the socket; `false` when the peer is
 /// gone.
+///
+/// A response that exceeds `max_len` (e.g. a `want_schedule` reply whose
+/// encoded schedule outgrows the frame bound even though the request fit)
+/// is replaced by a small typed [`ErrorCode::TooLarge`] error carrying the
+/// same request id. `write_frame` checks the length before emitting any
+/// bytes, so the oversized payload never hits the wire and the stream stays
+/// framed — the connection remains usable for further requests.
 fn send(writer: &mut TcpStream, response: &Response, max_len: usize) -> bool {
     let text = bss_json::encode_pretty(response);
-    if write_frame(writer, &text, max_len).is_err() {
-        return false;
+    match write_frame(writer, &text, max_len) {
+        Ok(()) => writer.flush().is_ok(),
+        Err(FrameError::TooLarge { len, max }) => {
+            let error = Response::Error {
+                id: response.id(),
+                code: ErrorCode::TooLarge,
+                message: format!(
+                    "encoded response of {len} bytes exceeds the {max} byte frame limit; \
+                     retry without the schedule or raise the server's max_frame_bytes"
+                ),
+            };
+            write_frame(writer, &bss_json::encode_pretty(&error), max_len).is_ok()
+                && writer.flush().is_ok()
+        }
+        Err(_) => false,
     }
-    writer.flush().is_ok()
 }
