@@ -1,0 +1,10 @@
+//! Study `online`: competitive ratio of the paper's algorithms as
+//! re-solve-on-arrival policies over event-driven workloads, with the
+//! warm-start probe savings. Thin CLI wrapper over [`bss_bench::repro`];
+//! see `repro-all` for the full pipeline.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    bss_bench::repro::cli::study_main("online")
+}

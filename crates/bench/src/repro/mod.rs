@@ -1,7 +1,7 @@
 //! The golden repro pipeline: the paper's figures and tables as a
 //! regression suite.
 //!
-//! Each of the seven studies behind the historical `repro-*` binaries is a
+//! Each of the eight studies behind the historical `repro-*` binaries is a
 //! pure, seeded function [`Study::run`] returning an [`Artifact`]. An
 //! artifact splits its output into
 //!
@@ -34,6 +34,7 @@ pub mod cli;
 mod epsilon;
 mod figures;
 mod jumping;
+mod online;
 mod optgap;
 mod ratios;
 mod scaling;
@@ -238,10 +239,10 @@ pub struct Study {
     pub run: fn(&ReproConfig) -> Artifact,
 }
 
-/// The seven studies, in the order `repro-all` runs and the MANIFEST lists
+/// The eight studies, in the order `repro-all` runs and the MANIFEST lists
 /// them.
 #[must_use]
-pub fn studies() -> [Study; 7] {
+pub fn studies() -> [Study; 8] {
     [
         Study {
             name: "figures",
@@ -277,6 +278,11 @@ pub fn studies() -> [Study; 7] {
             name: "jumping",
             summary: "S3/S4: Class Jumping vs the plain eps-search over the class-count sweep",
             run: jumping::run,
+        },
+        Study {
+            name: "online",
+            summary: "Competitive ratio of re-solve-on-arrival policies vs exact OPT, with warm-start probe savings",
+            run: online::run,
         },
     ]
 }

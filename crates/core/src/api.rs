@@ -17,8 +17,9 @@ use bss_schedule::{CompactSchedule, Schedule};
 
 use crate::problem::{
     solve_problem, solve_problem_budgeted, solve_problem_par, solve_problem_par_budgeted,
-    BssProblem,
+    BssProblem, Problem,
 };
+use crate::search::{epsilon_search_between_warm, WarmStats};
 use crate::workspace::DualWorkspace;
 use crate::Trace;
 
@@ -285,6 +286,136 @@ pub fn solve_traced_with(
     solve_problem(ws, &BssProblem::new(inst, variant), algo, trace)
 }
 
+/// A previous solve's accepted dual bracket, seeding a warm-start re-solve
+/// after an instance delta (see [`solve_warm`]).
+///
+/// Built from the previous [`Solution`] via [`WarmStart::of`] and widened by
+/// the delta's per-machine load shift via [`WarmStart::widen_by_load_shift`].
+/// The hint is purely an acceleration: a wrong or stale bracket costs extra
+/// probes, never a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStart {
+    /// The previous solve's accepted guess — the bracket top.
+    pub accepted: Rational,
+    /// The previous solve's certified lower bound — the bracket floor.
+    pub certificate: Rational,
+    /// Absolute widening applied symmetrically to both ends, covering how
+    /// far the delta may have moved the optimum.
+    pub widen: Rational,
+}
+
+impl WarmStart {
+    /// The bracket a completed solve proved, with no widening yet.
+    #[must_use]
+    pub fn of(sol: &Solution) -> Self {
+        WarmStart {
+            accepted: sol.accepted,
+            certificate: sol.certificate,
+            widen: Rational::ZERO,
+        }
+    }
+
+    /// Widens the bracket by the delta's per-machine load shift
+    /// `|new_load - old_load| / m` — an upper bound on how far adding or
+    /// removing that much work can move `T_min`-anchored optima between two
+    /// consecutive session states. Accumulates across calls, so applying it
+    /// once per delta of a burst keeps the hint sound for the burst's total
+    /// shift.
+    #[must_use]
+    pub fn widen_by_load_shift(self, old_load: u128, new_load: u128, machines: usize) -> Self {
+        let shift = old_load.abs_diff(new_load);
+        debug_assert!(machines > 0);
+        let shift = Rational::new(
+            i128::try_from(shift).expect("load fits the instance cap"),
+            i128::try_from(machines.max(1)).expect("machine count fits i128"),
+        );
+        WarmStart {
+            widen: self.widen + shift,
+            ..self
+        }
+    }
+
+    /// The hint interval `[certificate - widen, accepted + widen]` handed to
+    /// the warm search (clamped into the search window there).
+    #[must_use]
+    pub fn hint(&self) -> (Rational, Rational) {
+        (self.certificate - self.widen, self.accepted + self.widen)
+    }
+}
+
+/// [`solve`] seeded with a previous solve's dual bracket: the warm-start
+/// re-solve for incremental workloads.
+///
+/// For [`Algorithm::EpsilonSearch`] the epsilon search replays its exact
+/// cold bisection through a monotonicity memo seeded at the hint points
+/// (see [`crate::search::epsilon_search_between_warm`]), so the returned
+/// [`Solution`] is **bit-identical** to [`solve`] on the same instance in
+/// every field except [`Solution::probes`], which counts only the dual
+/// tests genuinely evaluated — the probe savings are the point, and the
+/// returned [`WarmStats`] itemizes them. Algorithms without a warm form
+/// ([`Algorithm::TwoApprox`], [`Algorithm::ThreeHalves`],
+/// [`Algorithm::Portfolio`]) delegate to the cold solve unchanged and
+/// report `WarmStats { warmed: false, .. }`.
+#[must_use]
+pub fn solve_warm(
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+    warm: &WarmStart,
+) -> (Solution, WarmStats) {
+    solve_warm_with(&mut DualWorkspace::new(), inst, variant, algo, warm)
+}
+
+/// [`solve_warm`] on a reusable [`DualWorkspace`].
+#[must_use]
+pub fn solve_warm_with(
+    ws: &mut DualWorkspace,
+    inst: &Instance,
+    variant: Variant,
+    algo: Algorithm,
+    warm: &WarmStart,
+) -> (Solution, WarmStats) {
+    let Algorithm::EpsilonSearch { eps_log2 } = algo else {
+        return (solve_with(ws, inst, variant, algo), WarmStats::default());
+    };
+    let problem = BssProblem::new(inst, variant);
+    let t_min = problem.t_min();
+    let eps = Rational::new(1, 1 << eps_log2.min(60));
+    let (hint_lo, hint_hi) = warm.hint();
+    let (out, stats) = epsilon_search_between_warm(
+        t_min,
+        problem.search_hi(),
+        eps * t_min,
+        hint_lo,
+        hint_hi,
+        |t| problem.probe(ws, t),
+    );
+    // Mirror the cold driver's build-at-accepted flow, defensive-rejection
+    // fallback included, so warm and cold schedules cannot diverge.
+    let trace = &mut Trace::disabled();
+    let (accepted, repr) = match problem.build(ws, out.accepted, trace) {
+        Some(r) => (out.accepted, r),
+        None => {
+            let hi = problem.t_safe();
+            (
+                hi,
+                problem
+                    .build(ws, hi, trace)
+                    .expect("t_safe is accepted and builds"),
+            )
+        }
+    };
+    let cert = out.rejected.unwrap_or(t_min).max(t_min);
+    let sol = finish(
+        repr,
+        accepted,
+        problem.dual_ratio() * (eps + 1u64),
+        cert,
+        out.probes,
+    );
+    (sol, stats)
+}
+
 /// [`solve`] under a cooperative [`SolveBudget`]: the anytime entry point.
 ///
 /// On deadline expiry, work-budget exhaustion or cancellation the solve
@@ -519,6 +650,87 @@ mod tests {
                 assert!(validate(p.schedule(), &inst, variant).is_empty());
                 assert_eq!(p.ratio_bound, Rational::new(3, 2));
                 assert!(p.certificate >= a.certificate.max(b.certificate));
+            }
+        }
+    }
+
+    /// Warm-start re-solve after a one-job delta is bit-identical to the
+    /// cold solve on the same materialized instance in every field but
+    /// `probes` — and genuinely cheaper in probes across the matrix.
+    #[test]
+    fn warm_resolve_is_bit_identical_to_cold_with_fewer_probes() {
+        use bss_instance::{Delta, IncrementalInstance};
+
+        let algo = Algorithm::EpsilonSearch { eps_log2: 10 };
+        // (warm, cold) probe counts of the pairs where the cold search
+        // genuinely bisected — immediate-accept solves cost 1 probe cold
+        // and can never be beaten by a 2-seed warm start.
+        let mut searched_pairs = Vec::new();
+        for seed in 0..5 {
+            let base = bss_gen::uniform(200, 8, 5, seed);
+            let mut inc = IncrementalInstance::new(&base);
+            let old_load = u128::from(inc.total_load_once());
+            inc.apply(Delta::AddJob { class: 0, time: 17 }).unwrap();
+            let inst = inc.materialize();
+            for variant in Variant::ALL {
+                let prev = solve(&base, variant, algo);
+                let hint = WarmStart::of(&prev).widen_by_load_shift(
+                    old_load,
+                    u128::from(inc.total_load_once()),
+                    base.machines(),
+                );
+                let cold = solve(&inst, variant, algo);
+                let (warm, stats) = solve_warm(&inst, variant, algo, &hint);
+                assert!(stats.warmed);
+                assert_eq!(warm.makespan, cold.makespan, "{variant}");
+                assert_eq!(warm.accepted, cold.accepted, "{variant}");
+                assert_eq!(warm.ratio_bound, cold.ratio_bound, "{variant}");
+                assert_eq!(warm.certificate, cold.certificate, "{variant}");
+                assert_eq!(warm.completion, cold.completion, "{variant}");
+                assert_eq!(warm.schedule(), cold.schedule(), "{variant}");
+                assert_eq!(warm.probes, stats.probes, "{variant}");
+                assert!(
+                    stats.probes <= cold.probes + 2,
+                    "{variant}: warm ran {} probes, cold {}",
+                    stats.probes,
+                    cold.probes
+                );
+                if cold.probes >= 8 {
+                    searched_pairs.push((stats.probes, cold.probes));
+                }
+            }
+        }
+        assert!(
+            !searched_pairs.is_empty(),
+            "the matrix must exercise at least one genuine bisection"
+        );
+        let warm_total: usize = searched_pairs.iter().map(|&(w, _)| w).sum();
+        let cold_total: usize = searched_pairs.iter().map(|&(_, c)| c).sum();
+        assert!(
+            warm_total * 2 < cold_total,
+            "one-job deltas should re-solve in well under half the cold probes \
+             (warm {warm_total}, cold {cold_total}; pairs {searched_pairs:?})"
+        );
+    }
+
+    /// Algorithms without a warm form delegate to the cold solve unchanged.
+    #[test]
+    fn warm_solve_delegates_cold_for_direct_algorithms() {
+        let inst = bss_gen::uniform(40, 6, 3, 4);
+        let hint = WarmStart {
+            accepted: Rational::from(1_000_000u64),
+            certificate: Rational::ONE,
+            widen: Rational::ZERO,
+        };
+        for algo in [Algorithm::TwoApprox, Algorithm::ThreeHalves] {
+            for variant in Variant::ALL {
+                let cold = solve(&inst, variant, algo);
+                let (warm, stats) = solve_warm(&inst, variant, algo, &hint);
+                assert!(!stats.warmed);
+                assert_eq!(stats, WarmStats::default());
+                assert_eq!(warm.makespan, cold.makespan);
+                assert_eq!(warm.probes, cold.probes);
+                assert_eq!(warm.schedule(), cold.schedule());
             }
         }
     }

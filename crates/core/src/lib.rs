@@ -69,8 +69,9 @@ mod workspace;
 
 pub use api::{
     solve, solve_budgeted, solve_budgeted_with, solve_par, solve_par_budgeted,
-    solve_par_budgeted_with, solve_par_with, solve_traced, solve_traced_with, solve_with,
-    Algorithm, Completion, ScheduleRepr, Solution, SolveError,
+    solve_par_budgeted_with, solve_par_with, solve_traced, solve_traced_with, solve_warm,
+    solve_warm_with, solve_with, Algorithm, Completion, ScheduleRepr, Solution, SolveError,
+    WarmStart,
 };
 pub use bss_budget::{CancelToken, Interrupt, SolveBudget};
 pub use par::{
@@ -82,6 +83,7 @@ pub use problem::{
     solve_problem, solve_problem_budgeted, solve_problem_par, solve_problem_par_budgeted,
     solve_problem_par_with_budget, solve_problem_with_budget, BssProblem, DirectSolve, Problem,
 };
+pub use search::{epsilon_search_between_warm, WarmStats};
 pub use seqdep_bridge::{
     solve_seqdep, solve_seqdep_budgeted, solve_seqdep_budgeted_with, solve_seqdep_par,
     solve_seqdep_par_budgeted, solve_seqdep_with, SeqDepProblem,

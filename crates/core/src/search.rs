@@ -299,6 +299,157 @@ pub fn epsilon_search_between_budgeted(
     }
 }
 
+/// Counters of a warm-started search, in the style of
+/// [`crate::ParSearchStats`]: how much probing the previous solve's bracket
+/// saved. The solution's `probes` field carries `probes` (dual tests
+/// genuinely run); `skipped` is the savings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Dual probes genuinely evaluated (hint seeding plus memo misses).
+    pub probes: usize,
+    /// Bisection queries answered from the monotonicity memo for free — the
+    /// cold search would have probed each of these.
+    pub skipped: usize,
+    /// Of `probes`, how many seeded the memo at the hint points.
+    pub seed_probes: usize,
+    /// Whether the warm path ran at all (`false` when the algorithm has no
+    /// warm form and the solve delegated to the cold path).
+    pub warmed: bool,
+}
+
+/// The monotonicity memo of a warm search: a probed acceptance at `t`
+/// proves acceptance for every `t' >= t`, a probed rejection for every
+/// `t' <= t` — the same monotonicity of the dual tests in `T` that makes
+/// bisection meaningful in the first place. Memo answers are therefore
+/// implied by *actual probe outcomes on this instance*: a wrong hint costs
+/// extra probes, never a wrong answer.
+#[derive(Default)]
+struct WarmMemo {
+    proven_accept: Option<Rational>,
+    proven_reject: Option<Rational>,
+    probes: usize,
+    skipped: usize,
+}
+
+impl WarmMemo {
+    fn resolve(&mut self, t: Rational, accepts: &mut impl FnMut(Rational) -> bool) -> bool {
+        if self.proven_accept.is_some_and(|pa| t >= pa) {
+            self.skipped += 1;
+            return true;
+        }
+        if self.proven_reject.is_some_and(|pr| t <= pr) {
+            self.skipped += 1;
+            return false;
+        }
+        self.probes += 1;
+        let ok = accepts(t);
+        if ok {
+            self.proven_accept = Some(self.proven_accept.map_or(t, |pa| pa.min(t)));
+        } else {
+            self.proven_reject = Some(self.proven_reject.map_or(t, |pr| pr.max(t)));
+        }
+        ok
+    }
+}
+
+/// [`epsilon_search_between`] seeded by a previous solve's accepted bracket:
+/// the warm-start re-solve driver for small instance deltas.
+///
+/// The search replays the **exact** cold bisection, answering each query
+/// from a monotonicity memo when its outcome is already proven and probing
+/// otherwise. The memo is seeded by probing the hint points `hint_hi` and
+/// `hint_lo` (the previous bracket widened by the delta's load change,
+/// clamped into `[t_lo, t_hi]`; a rejection at `hint_hi` certifies
+/// rejection at `hint_lo` for free) — but only once the cold flow's first
+/// query has certified a genuine bisection, so an immediate-accept solve
+/// stays exactly one probe, hint or no hint. Because the replayed control flow is the
+/// cold algorithm and memo answers equal what the probe would return (the
+/// memo exploits the dual test's monotonicity: a probed acceptance at `t`
+/// certifies every `t' >= t`, a rejection every `t' <= t`), the returned
+/// bracket — `accepted`, `rejected`, and hence
+/// the built schedule and certificate — is **bit-identical** to
+/// [`epsilon_search_between`] on the same inputs; only the number of probes
+/// actually evaluated differs. A hint that brackets the new optimum tightly
+/// answers most bisection queries from the two seed probes; a useless hint
+/// degrades to the cold probe count plus at most two seeds.
+///
+/// The returned outcome's `probes` field counts genuinely evaluated probes
+/// (equal to `stats.probes`); `stats.skipped` counts the memo's free
+/// answers — the cold search's probe count is `probes + skipped` whenever
+/// the seeds resolved every hint-side query, and at most that otherwise.
+pub fn epsilon_search_between_warm(
+    t_lo: Rational,
+    t_hi: Rational,
+    gap: Rational,
+    hint_lo: Rational,
+    hint_hi: Rational,
+    mut accepts: impl FnMut(Rational) -> bool,
+) -> (ProbeOutcome<Rational>, WarmStats) {
+    assert!(t_lo.is_positive() && gap.is_positive() && t_lo <= t_hi);
+    let mut memo = WarmMemo::default();
+    // Clamp the hints into the search window and order them.
+    let hint_hi = hint_hi.min(t_hi).max(t_lo);
+    let hint_lo = hint_lo.max(t_lo).min(hint_hi);
+    let mut seed_probes = 0;
+
+    // The cold `epsilon_search_between` control flow, query for query, with
+    // `memo.resolve` in place of the raw probe. The first query (`t_lo`)
+    // runs *before* any hint seeding: an immediate-accept solve must stay
+    // exactly one probe, hint or no hint.
+    let outcome = if memo.resolve(t_lo, &mut accepts) {
+        ProbeOutcome {
+            accepted: t_lo,
+            rejected: None,
+            probes: 0,
+        }
+    } else {
+        // A genuine bisection: seed the memo with real probe outcomes at
+        // the hint points. Probing the top first lets a stale hint (new
+        // OPT above the old bracket) skip the bottom seed entirely —
+        // rejection at `hint_hi` already covers it. Hints that clamp onto
+        // `t_lo` resolve from the memo and cost nothing.
+        let skipped_pre = memo.skipped;
+        let probes_pre = memo.probes;
+        if memo.resolve(hint_hi, &mut accepts) && hint_lo < hint_hi {
+            memo.resolve(hint_lo, &mut accepts);
+        }
+        seed_probes = memo.probes - probes_pre;
+        memo.skipped = skipped_pre; // seed dedup is not a bisection saving
+
+        let mut bracket = Bracket::new(t_lo, t_hi, gap);
+        assert!(
+            memo.resolve(bracket.hi_rational(), &mut accepts),
+            "the search's upper seed must be accepted"
+        );
+        while bracket.is_wide() {
+            let mid = bracket.split();
+            if memo.resolve(mid, &mut accepts) {
+                bracket.accept_mid();
+            } else {
+                bracket.reject_mid();
+            }
+        }
+        ProbeOutcome {
+            accepted: bracket.hi_rational(),
+            rejected: Some(bracket.lo_rational()),
+            probes: 0,
+        }
+    };
+    let stats = WarmStats {
+        probes: memo.probes,
+        skipped: memo.skipped,
+        seed_probes,
+        warmed: true,
+    };
+    (
+        ProbeOutcome {
+            probes: memo.probes,
+            ..outcome
+        },
+        stats,
+    )
+}
+
 /// Exact binary search over integral makespans in `[t_lo, t_hi]` (Theorem 8).
 ///
 /// Preconditions: `OPT` is an integer with `t_lo <= OPT` and `accepts(t_hi)`
@@ -490,6 +641,114 @@ mod tests {
         let fine = epsilon_search(r(1000), Rational::new(1, 4096), fake(r(1999)));
         assert!(coarse.probes < fine.probes);
         assert!(fine.probes <= 16);
+    }
+
+    /// A counting fake dual: accepts T >= threshold, tallying evaluations.
+    fn counting_fake(threshold: Rational, count: &mut usize) -> impl FnMut(Rational) -> bool + '_ {
+        move |t| {
+            *count += 1;
+            t >= threshold
+        }
+    }
+
+    /// The warm search with any hint — tight, loose, stale, inverted —
+    /// returns the cold search's exact bracket.
+    #[test]
+    fn warm_search_bracket_is_bit_identical_to_cold_for_any_hint() {
+        let (t_lo, t_hi, gap) = (r(100), r(200), r(1));
+        for threshold in [101, 137, 150, 199] {
+            let cold = epsilon_search_between(t_lo, t_hi, gap, fake(r(threshold)));
+            for (hint_lo, hint_hi) in [
+                (r(threshold - 1), r(threshold + 1)), // tight and correct
+                (r(100), r(200)),                     // the whole window
+                (r(1), r(5)),                         // stale, below the window
+                (r(500), r(900)),                     // stale, above the window
+                (r(190), r(110)),                     // inverted
+            ] {
+                let (warm, stats) = epsilon_search_between_warm(
+                    t_lo,
+                    t_hi,
+                    gap,
+                    hint_lo,
+                    hint_hi,
+                    fake(r(threshold)),
+                );
+                assert_eq!(warm.accepted, cold.accepted);
+                assert_eq!(warm.rejected, cold.rejected);
+                assert!(stats.warmed);
+                assert_eq!(warm.probes, stats.probes);
+                // A warm solve never probes more than cold + the two seeds.
+                assert!(stats.probes <= cold.probes + 2);
+            }
+        }
+    }
+
+    /// Immediate-accept replays identically too (accepted = t_lo, no
+    /// rejection certificate).
+    #[test]
+    fn warm_search_immediate_accept_matches_cold() {
+        let cold = epsilon_search_between(r(100), r(200), r(1), fake(r(50)));
+        let (warm, _) =
+            epsilon_search_between_warm(r(100), r(200), r(1), r(90), r(110), fake(r(50)));
+        assert_eq!(warm.accepted, cold.accepted);
+        assert_eq!(warm.rejected, cold.rejected);
+        assert_eq!(warm.accepted, r(100));
+        assert_eq!(warm.rejected, None);
+    }
+
+    /// A tight hint answers most bisection queries from the two seed
+    /// probes: the savings the online layer is built on.
+    #[test]
+    fn tight_hint_probes_a_fraction_of_cold() {
+        let threshold = r(137);
+        let gap = Rational::new(1, 1 << 20); // deep search: many cold probes
+        let mut cold_evals = 0;
+        let cold = epsilon_search_between(
+            r(100),
+            r(200),
+            gap,
+            counting_fake(threshold, &mut cold_evals),
+        );
+        let mut warm_evals = 0;
+        let (warm, stats) = epsilon_search_between_warm(
+            r(100),
+            r(200),
+            gap,
+            cold.rejected.unwrap(),
+            cold.accepted,
+            counting_fake(threshold, &mut warm_evals),
+        );
+        assert_eq!(warm.accepted, cold.accepted);
+        assert_eq!(warm.rejected, cold.rejected);
+        // The previous bracket is gap-narrow, so the replayed bisection
+        // resolves every query from the memo until it re-enters the hint
+        // interval: only the two seeds plus O(1) boundary probes run.
+        assert_eq!(warm_evals, stats.probes);
+        assert_eq!(stats.seed_probes, 2);
+        assert!(
+            stats.probes <= 4,
+            "expected nearly free replay, ran {} probes",
+            stats.probes
+        );
+        assert!(stats.skipped >= cold.probes - stats.probes);
+        assert!(cold_evals == cold.probes);
+    }
+
+    /// A wrong hint degrades probe count, never the answer, and is bounded
+    /// by cold + seeds.
+    #[test]
+    fn useless_hint_costs_at_most_the_two_seeds() {
+        let threshold = r(137);
+        let cold = epsilon_search_between(r(100), r(200), r(1), fake(threshold));
+        let (warm, stats) =
+            epsilon_search_between_warm(r(100), r(200), r(1), r(1), r(2), fake(threshold));
+        assert_eq!(warm.accepted, cold.accepted);
+        assert_eq!(warm.rejected, cold.rejected);
+        // Both hints clamp to t_lo = 100, whose rejection the replay's own
+        // first query already proved: the seeds resolve from the memo for
+        // free and the warm search degrades to exactly the cold one.
+        assert_eq!(stats.seed_probes, 0);
+        assert_eq!(stats.probes, cold.probes);
     }
 
     #[test]

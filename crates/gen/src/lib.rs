@@ -21,6 +21,7 @@
 //!
 //! All generators are deterministic in their seed.
 
+pub mod online;
 pub mod paper;
 pub mod seqdep;
 

@@ -71,6 +71,33 @@ impl Default for ContentHasher {
     }
 }
 
+/// Hasher state after absorbing the canonical prefix `(version, m, c,
+/// s_0..s_{c-1})` — everything an [`crate::IncrementalInstance`]'s deltas
+/// can never change. Sharing the two halves between the plain and the
+/// incremental digest keeps the encodings from drifting apart.
+pub(crate) fn setup_section_hasher(machines: usize, setups: &[u64]) -> ContentHasher {
+    let mut h = ContentHasher::new();
+    h.write_u64(ENCODING_VERSION);
+    h.write_usize(machines);
+    h.write_usize(setups.len());
+    for &s in setups {
+        h.write_u64(s);
+    }
+    h
+}
+
+/// Finishes a digest from a setup-section `prefix`: absorbs `n` and the job
+/// stream, the delta-variable suffix of the canonical encoding.
+pub(crate) fn job_section_hash(prefix: &ContentHasher, jobs: &[Job]) -> u64 {
+    let mut h = prefix.clone();
+    h.write_usize(jobs.len());
+    for &Job { class, time } in jobs {
+        h.write_usize(class);
+        h.write_u64(time);
+    }
+    h.finish()
+}
+
 impl Instance {
     /// A deterministic 64-bit digest of the instance content.
     ///
@@ -86,19 +113,10 @@ impl Instance {
     /// confirm instance equality on a hash hit before trusting it.
     #[must_use]
     pub fn content_hash(&self) -> u64 {
-        let mut h = ContentHasher::new();
-        h.write_u64(ENCODING_VERSION);
-        h.write_usize(self.machines());
-        h.write_usize(self.num_classes());
-        for &s in self.setups() {
-            h.write_u64(s);
-        }
-        h.write_usize(self.num_jobs());
-        for &Job { class, time } in self.jobs() {
-            h.write_usize(class);
-            h.write_u64(time);
-        }
-        h.finish()
+        job_section_hash(
+            &setup_section_hasher(self.machines(), self.setups()),
+            self.jobs(),
+        )
     }
 }
 

@@ -21,11 +21,13 @@
 
 mod bounds;
 mod hash;
+mod incremental;
 mod io;
 mod model;
 
 pub use bounds::{tmin, LowerBounds};
 pub use hash::ContentHasher;
+pub use incremental::{Delta, DeltaError, IncrementalInstance};
 pub use io::IoError;
 pub use model::{
     ClassId, Instance, InstanceBuilder, InstanceError, Job, JobId, MAX_MACHINES, MAX_TOTAL_LOAD,

@@ -70,6 +70,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to honor the size bound.
     pub evictions: u64,
+    /// Inserts dropped because the key was occupied by a *different*
+    /// `(instance, variant, algo)` — a real FNV collision on the insert
+    /// path. The collider is served correctly but never cached, so a
+    /// nonzero rate here explains an otherwise-mysterious miss plateau.
+    pub collisions: u64,
     /// Current entry count.
     pub len: u64,
 }
@@ -84,6 +89,7 @@ pub struct SolveCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    collisions: u64,
 }
 
 impl SolveCache {
@@ -98,6 +104,7 @@ impl SolveCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            collisions: 0,
         }
     }
 
@@ -152,6 +159,10 @@ impl SolveCache {
                 let entry = occupied.get_mut();
                 if entry.variant == variant && entry.algo == algo && entry.instance == *instance {
                     entry.solution = Arc::clone(solution);
+                } else {
+                    // The silent-drop invariant holds; the counter makes the
+                    // drop observable in the `stats` op and loadgen output.
+                    self.collisions += 1;
                 }
             }
             Entry::Vacant(vacant) => {
@@ -181,6 +192,7 @@ impl SolveCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            collisions: self.collisions,
             len: self.map.len() as u64,
         }
     }
@@ -281,10 +293,14 @@ mod tests {
             Arc::ptr_eq(&hit, &sol_a),
             "colliding insert replaced the resident solution"
         );
-        // The collider itself is simply not cached.
+        // The collider itself is simply not cached, and the drop is counted.
         assert!(cache
             .lookup(h, &b, Variant::Splittable, Algorithm::ThreeHalves)
             .is_none());
+        assert_eq!(cache.stats().collisions, 1);
+        // An in-place refresh of the resident entry is NOT a collision.
+        cache.insert(h, &a, Variant::Splittable, Algorithm::ThreeHalves, &sol_a);
+        assert_eq!(cache.stats().collisions, 1);
     }
 
     #[test]

@@ -8,12 +8,13 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use bss_core::Algorithm;
-use bss_instance::{Instance, Variant};
+use bss_instance::{Delta, Instance, Variant};
 use bss_json::frame::{read_frame, write_frame, FrameError};
 use bss_json::JsonError;
 
 use crate::protocol::{
-    ErrorCode, Request, Response, ServerStats, SolveRequest, WireSolution, PROTOCOL_VERSION,
+    ErrorCode, Request, Response, ServerStats, SessionRequest, SolveRequest, WireSolution,
+    PROTOCOL_VERSION,
 };
 
 /// Client-side failure modes.
@@ -101,6 +102,18 @@ pub enum SolveOutcome {
         /// Configured queue capacity.
         capacity: u64,
     },
+}
+
+/// The acknowledged state of a server-side session, returned by
+/// [`Client::session`] and [`Client::delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionAck {
+    /// Jobs currently in the session's instance.
+    pub jobs: u64,
+    /// The state's content hash (equals the materialized instance's
+    /// [`Instance::content_hash`]) — lets the client verify the server
+    /// tracked its deltas without shipping the instance back.
+    pub content_hash: u64,
 }
 
 /// A connected protocol client.
@@ -272,6 +285,82 @@ impl Client {
             Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Mismatch(format!(
                 "unexpected response to sleep: {other:?}"
+            ))),
+        }
+    }
+
+    /// Opens (or replaces) this connection's incremental session on the
+    /// server, installing `instance` as the base state.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn session(
+        &mut self,
+        instance: &Instance,
+        variant: Variant,
+        algo: Algorithm,
+    ) -> Result<SessionAck, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request::Session(Box::new(SessionRequest {
+            id,
+            instance: instance.clone(),
+            variant,
+            algo,
+        }));
+        self.session_call(&request, id)
+    }
+
+    /// Applies one delta to the server-side session.
+    ///
+    /// # Errors
+    /// Any [`ClientError`]; a delta the model rejects (unknown job, emptied
+    /// class) comes back as [`ClientError::Server`] with
+    /// [`ErrorCode::InvalidInstance`] and leaves the session unchanged.
+    pub fn delta(&mut self, delta: Delta) -> Result<SessionAck, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.session_call(&Request::Delta { id, delta }, id)
+    }
+
+    fn session_call(&mut self, request: &Request, id: u64) -> Result<SessionAck, ClientError> {
+        match self.call(request)? {
+            Response::Session {
+                id: rid,
+                jobs,
+                content_hash,
+            } => {
+                self.check_id(rid, id)?;
+                Ok(SessionAck { jobs, content_hash })
+            }
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Mismatch(format!(
+                "unexpected response to session/delta: {other:?}"
+            ))),
+        }
+    }
+
+    /// Solves the session's current state through the server's warm-start
+    /// path; `cached` in the result marks a solve-cache hit.
+    ///
+    /// # Errors
+    /// Any [`ClientError`]; resolving without a session is a
+    /// [`ClientError::Server`] with [`ErrorCode::BadRequest`].
+    pub fn resolve(&mut self, want_schedule: bool) -> Result<SolveOutcome, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.call(&Request::Resolve { id, want_schedule })? {
+            Response::Solved {
+                id: rid,
+                cached,
+                solution,
+            } => {
+                self.check_id(rid, id)?;
+                Ok(SolveOutcome::Solved { cached, solution })
+            }
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Mismatch(format!(
+                "unexpected response to resolve: {other:?}"
             ))),
         }
     }

@@ -28,6 +28,14 @@
 //! Per-request [`bss_core::SolveBudget`] deadlines are measured from
 //! arrival at the server, so queueing delay counts against them and
 //! overloaded servers answer `degraded` honestly instead of late.
+//!
+//! Online workloads are first-class: a `session` request installs a
+//! per-connection [`bss_instance::IncrementalInstance`], `delta` requests
+//! mutate it, and `resolve` requests solve the current state — through the
+//! shared cache first, then the warm-start re-solve path
+//! ([`bss_core::solve_warm`]) seeded with the previous resolve's dual
+//! bracket, so an arrival-by-arrival client pays a fraction of the cold
+//! probe count per event.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,7 +47,9 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, SolveCache};
-pub use client::{Client, ClientError, SolveOptions, SolveOutcome};
+pub use client::{Client, ClientError, SessionAck, SolveOptions, SolveOutcome};
 pub use loadgen::{LatencyHistogram, LoadMode, LoadReport, LoadgenConfig};
-pub use protocol::{ErrorCode, Request, RequestError, Response, ServerStats, WireSolution};
+pub use protocol::{
+    ErrorCode, Request, RequestError, Response, ServerStats, SessionRequest, WireSolution,
+};
 pub use server::{spawn, ServeConfig, ServerHandle};

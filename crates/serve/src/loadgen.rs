@@ -8,6 +8,7 @@
 //! accumulates queueing delay into the reported latencies instead of
 //! silently slowing the generator (the coordinated-omission trap).
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -16,6 +17,7 @@ use bss_core::Algorithm;
 use bss_instance::{Instance, Variant};
 
 use crate::client::{Client, ClientError, SolveOptions, SolveOutcome};
+use crate::protocol::ServerStats;
 
 /// How the generator paces requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,9 +84,16 @@ impl Default for LoadgenConfig {
 }
 
 /// An exact-sample latency recorder (nanosecond resolution).
+///
+/// Percentile queries sort lazily and cache the sorted order, so a report
+/// that renders several percentiles (mean, p50, p90, p99, …) pays for one
+/// sort instead of one per call; any mutation invalidates the cache.
 #[derive(Debug, Default)]
 pub struct LatencyHistogram {
     samples_ns: Vec<u64>,
+    /// Lazily computed sorted copy of `samples_ns`; `None` until the first
+    /// percentile query after a mutation.
+    sorted: RefCell<Option<Vec<u64>>>,
 }
 
 impl LatencyHistogram {
@@ -98,11 +107,13 @@ impl LatencyHistogram {
     pub fn record(&mut self, latency: Duration) {
         self.samples_ns
             .push(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+        *self.sorted.get_mut() = None;
     }
 
     /// Absorbs another histogram's samples.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         self.samples_ns.extend_from_slice(&other.samples_ns);
+        *self.sorted.get_mut() = None;
     }
 
     /// Sample count.
@@ -118,13 +129,18 @@ impl LatencyHistogram {
     }
 
     /// The `p`-th percentile (0–100, nearest-rank), `None` when empty.
+    /// `p = 0` is the minimum sample, `p = 100` the maximum.
     #[must_use]
     pub fn percentile(&self, p: f64) -> Option<Duration> {
         if self.samples_ns.is_empty() {
             return None;
         }
-        let mut sorted = self.samples_ns.clone();
-        sorted.sort_unstable();
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut v = self.samples_ns.clone();
+            v.sort_unstable();
+            v
+        });
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
         let idx = rank.clamp(1, sorted.len()) - 1;
         Some(Duration::from_nanos(sorted[idx]))
@@ -158,6 +174,10 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Latency of every solved request.
     pub latency: LatencyHistogram,
+    /// The server's counter snapshot taken right after the run (best
+    /// effort; `None` when the stats request itself failed). Surfaces the
+    /// cache's hit/miss/collision counters next to the client-side numbers.
+    pub server: Option<ServerStats>,
 }
 
 impl LoadReport {
@@ -185,7 +205,7 @@ impl LoadReport {
             || "n/a".into(),
             |d| format!("{:.3} ms", d.as_secs_f64() * 1e3),
         );
-        format!(
+        let mut out = format!(
             "solved {} ({} cached), shed {}, errors {} in {:.3} s\n\
              throughput: {:.1} solves/s\n\
              latency: mean {}  p50 {}  p90 {}  p99 {}",
@@ -199,7 +219,18 @@ impl LoadReport {
             pct(50.0),
             pct(90.0),
             pct(99.0),
-        )
+        );
+        if let Some(stats) = &self.server {
+            out.push_str(&format!(
+                "\nserver cache: {} hits, {} misses, {} evictions, {} collisions, {} resident",
+                stats.cache.hits,
+                stats.cache.misses,
+                stats.cache.evictions,
+                stats.cache.collisions,
+                stats.cache.len,
+            ));
+        }
+        out
     }
 }
 
@@ -226,7 +257,8 @@ pub fn request_pool(config: &LoadgenConfig) -> Vec<Instance> {
 pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
     let pool = request_pool(config);
     // Fail fast (and typed) if the server is unreachable, before spawning.
-    Client::connect(&config.addr)?.ping()?;
+    let mut probe = Client::connect(&config.addr)?;
+    probe.ping()?;
 
     let next = AtomicUsize::new(0);
     let solved = AtomicU64::new(0);
@@ -309,6 +341,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         errors: errors.load(Ordering::Relaxed),
         elapsed: started.elapsed(),
         latency: latency.into_inner().expect("latency lock"),
+        server: probe.stats().ok(),
     })
 }
 
@@ -322,12 +355,33 @@ mod tests {
         for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
             h.record(Duration::from_millis(ms));
         }
+        assert_eq!(h.percentile(0.0), Some(Duration::from_millis(1)));
         assert_eq!(h.percentile(50.0), Some(Duration::from_millis(5)));
         assert_eq!(h.percentile(90.0), Some(Duration::from_millis(9)));
         assert_eq!(h.percentile(99.0), Some(Duration::from_millis(10)));
         assert_eq!(h.percentile(100.0), Some(Duration::from_millis(10)));
         assert_eq!(h.mean(), Some(Duration::from_micros(5500)));
         assert!(LatencyHistogram::new().percentile(50.0).is_none());
+        assert!(LatencyHistogram::new().percentile(0.0).is_none());
+    }
+
+    #[test]
+    fn percentile_cache_is_invalidated_by_record_and_merge() {
+        // Samples arrive unsorted so a stale cache would be observable.
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_millis(50));
+        h.record(Duration::from_millis(10));
+        assert_eq!(h.percentile(0.0), Some(Duration::from_millis(10)));
+        assert_eq!(h.percentile(100.0), Some(Duration::from_millis(50)));
+        // A new minimum after the cache was built must be visible.
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.percentile(0.0), Some(Duration::from_millis(1)));
+        // And so must merged-in samples.
+        let mut other = LatencyHistogram::new();
+        other.record(Duration::from_millis(100));
+        h.merge(&other);
+        assert_eq!(h.percentile(100.0), Some(Duration::from_millis(100)));
+        assert_eq!(h.len(), 4);
     }
 
     #[test]

@@ -16,14 +16,29 @@
 //! {"v":1, "id":11, "kind":"sleep", "ms":100}        // test ops only
 //! ```
 //!
+//! Online sessions (`bss-instance` incremental workloads): a `"session"`
+//! request installs a per-connection base instance, `"delta"` mutates it
+//! (`"op"` selects `add-job` / `remove-job` / `retime`), and `"resolve"`
+//! solves the current state through the warm-start path:
+//!
+//! ```text
+//! {"v":1, "id":12, "kind":"session", "variant":"NonPreemptive",
+//!  "algorithm":"eps:6", "instance":{...}}
+//! {"v":1, "id":13, "kind":"delta", "op":"add-job", "class":0, "time":17}
+//! {"v":1, "id":14, "kind":"delta", "op":"remove-job", "job":3}
+//! {"v":1, "id":15, "kind":"delta", "op":"retime", "job":2, "time":9}
+//! {"v":1, "id":16, "kind":"resolve", "schedule":false}
+//! ```
+//!
 //! Responses (`"status"` selects): `"ok"` (a solved request, with `"cached"`
 //! marking a cache hit and the solution payload), `"shed"` (admission
 //! control refused the request — the typed overload reply), `"error"` (a
-//! typed [`ErrorCode`] + message), `"pong"`, `"stats"`, and `"bye"`
-//! (shutdown acknowledged).
+//! typed [`ErrorCode`] + message), `"pong"`, `"stats"`, `"session"` (the
+//! session/delta acknowledgement carrying the state's job count and content
+//! hash), and `"bye"` (shutdown acknowledged).
 
 use bss_core::{Algorithm, Completion, Solution};
-use bss_instance::{Instance, IoError, Variant};
+use bss_instance::{Delta, Instance, IoError, Variant};
 use bss_json::{FromJson, JsonError, JsonErrorKind, ToJson, Value};
 use bss_rational::Rational;
 use bss_schedule::Schedule;
@@ -63,6 +78,37 @@ pub enum Request {
         /// How long the worker path stalls.
         ms: u64,
     },
+    /// Open (or replace) this connection's incremental session.
+    Session(Box<SessionRequest>),
+    /// Apply one instance delta to the connection's session.
+    Delta {
+        /// Echoed request id.
+        id: u64,
+        /// The delta to apply.
+        delta: Delta,
+    },
+    /// Solve the session's current state (cache first, then the warm-start
+    /// re-solve seeded by the previous resolve's dual bracket).
+    Resolve {
+        /// Echoed request id.
+        id: u64,
+        /// Whether the response should carry the full explicit schedule.
+        want_schedule: bool,
+    },
+}
+
+/// The payload of a `"kind":"session"` request: the base instance plus the
+/// fixed solve parameters every later `resolve` on this connection uses.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// The (already validated) base instance.
+    pub instance: Instance,
+    /// Which problem variant the session solves.
+    pub variant: Variant,
+    /// Which algorithm the session runs.
+    pub algo: Algorithm,
 }
 
 /// The payload of a `"kind":"solve"` request.
@@ -273,6 +319,16 @@ pub enum Response {
         /// The counters.
         stats: ServerStats,
     },
+    /// Session or delta acknowledged: the connection's incremental state.
+    Session {
+        /// Echoed request id.
+        id: u64,
+        /// Jobs currently in the session's instance.
+        jobs: u64,
+        /// The state's content hash (equals the materialized instance's
+        /// [`bss_instance::Instance::content_hash`]).
+        content_hash: u64,
+    },
     /// Shutdown acknowledged; the server drains and stops.
     Bye {
         /// Echoed request id.
@@ -290,6 +346,7 @@ impl Response {
             | Response::Error { id, .. }
             | Response::Pong { id }
             | Response::Stats { id, .. }
+            | Response::Session { id, .. }
             | Response::Bye { id } => *id,
         }
     }
@@ -321,6 +378,50 @@ pub fn algorithm_from_wire(s: &str) -> Result<Algorithm, JsonError> {
             .and_then(|e| e.parse().ok())
             .map(|eps_log2| Algorithm::EpsilonSearch { eps_log2 })
             .ok_or_else(|| JsonError::new(format!("unknown algorithm `{s}`"))),
+    }
+}
+
+/// Wire fields of a [`Delta`] (`"op"` plus its operands).
+fn delta_fields(delta: Delta) -> Vec<(String, Value)> {
+    match delta {
+        Delta::AddJob { class, time } => vec![
+            ("op".into(), Value::Str("add-job".into())),
+            ("class".into(), Value::Int(class as i128)),
+            ("time".into(), Value::Int(time.into())),
+        ],
+        Delta::RemoveJob { job } => vec![
+            ("op".into(), Value::Str("remove-job".into())),
+            ("job".into(), Value::Int(job as i128)),
+        ],
+        Delta::Retime { job, time } => vec![
+            ("op".into(), Value::Str("retime".into())),
+            ("job".into(), Value::Int(job as i128)),
+            ("time".into(), Value::Int(time.into())),
+        ],
+    }
+}
+
+/// Parses the `"op"` + operand fields of a delta request.
+fn delta_from_value(value: &Value) -> Result<Delta, JsonError> {
+    let op = bss_json::required(value, "op")?
+        .as_str()
+        .ok_or_else(|| JsonError::new("delta `op` must be a string"))?;
+    let int = |k: &str| -> Result<u64, JsonError> {
+        bss_json::int_from(bss_json::required(value, k)?, k)
+    };
+    match op {
+        "add-job" => Ok(Delta::AddJob {
+            class: int("class")? as usize,
+            time: int("time")?,
+        }),
+        "remove-job" => Ok(Delta::RemoveJob {
+            job: int("job")? as usize,
+        }),
+        "retime" => Ok(Delta::Retime {
+            job: int("job")? as usize,
+            time: int("time")?,
+        }),
+        other => Err(JsonError::new(format!("unknown delta op `{other}`"))),
     }
 }
 
@@ -391,6 +492,27 @@ impl ToJson for Request {
                     ("ms".into(), Value::Int((*ms).into())),
                 ],
             ),
+            Request::Session(req) => envelope(
+                req.id,
+                vec![
+                    ("kind".into(), Value::Str("session".into())),
+                    ("variant".into(), req.variant.to_json_value()),
+                    ("algorithm".into(), Value::Str(algorithm_to_wire(req.algo))),
+                    ("instance".into(), req.instance.to_json_value()),
+                ],
+            ),
+            Request::Delta { id, delta } => {
+                let mut fields = vec![("kind".into(), Value::Str("delta".into()))];
+                fields.extend(delta_fields(*delta));
+                envelope(*id, fields)
+            }
+            Request::Resolve { id, want_schedule } => envelope(
+                *id,
+                vec![
+                    ("kind".into(), Value::Str("resolve".into())),
+                    ("schedule".into(), Value::Bool(*want_schedule)),
+                ],
+            ),
         }
     }
 }
@@ -455,16 +577,7 @@ impl Request {
                     .map_err(bad)?,
             }),
             "solve" => {
-                let variant =
-                    Variant::from_json_value(bss_json::required(value, "variant").map_err(bad)?)
-                        .map_err(bad)?;
-                let algo = algorithm_from_wire(
-                    bss_json::required(value, "algorithm")
-                        .map_err(bad)?
-                        .as_str()
-                        .ok_or_else(|| bad(JsonError::new("`algorithm` must be a string")))?,
-                )
-                .map_err(bad)?;
+                let (variant, algo) = decode_params(value)?;
                 let deadline_ms = match value.field("deadline_ms") {
                     None | Some(Value::Null) => None,
                     Some(v) => Some(bss_json::int_from(v, "deadline_ms").map_err(bad)?),
@@ -473,29 +586,8 @@ impl Request {
                     None | Some(Value::Null) => None,
                     Some(v) => Some(bss_json::int_from(v, "work_budget").map_err(bad)?),
                 };
-                let want_schedule = match value.field("schedule") {
-                    None => false,
-                    Some(Value::Bool(b)) => *b,
-                    Some(other) => {
-                        return Err(bad(JsonError::new(format!(
-                            "`schedule` must be a bool, found {}",
-                            other.kind()
-                        ))))
-                    }
-                };
-                let instance = Instance::from_json_value_checked(
-                    bss_json::required(value, "instance").map_err(bad)?,
-                )
-                .map_err(|e| match e {
-                    // Malformed JSON shape inside the instance object.
-                    IoError::Json(err) => RequestError::bad(&err),
-                    // Well-formed but violating the paper's model: its own
-                    // class, decided by the error's *type*, not its text.
-                    IoError::Model(err) => RequestError {
-                        code: ErrorCode::InvalidInstance,
-                        message: format!("invalid instance data: {err}"),
-                    },
-                })?;
+                let want_schedule = decode_want_schedule(value)?;
+                let instance = decode_instance(value)?;
                 Ok(Request::Solve(Box::new(SolveRequest {
                     id,
                     instance,
@@ -506,11 +598,74 @@ impl Request {
                     want_schedule,
                 })))
             }
+            "session" => {
+                let (variant, algo) = decode_params(value)?;
+                let instance = decode_instance(value)?;
+                Ok(Request::Session(Box::new(SessionRequest {
+                    id,
+                    instance,
+                    variant,
+                    algo,
+                })))
+            }
+            "delta" => Ok(Request::Delta {
+                id,
+                delta: delta_from_value(value).map_err(bad)?,
+            }),
+            "resolve" => Ok(Request::Resolve {
+                id,
+                want_schedule: decode_want_schedule(value)?,
+            }),
             other => Err(bad(JsonError::new(format!(
                 "unknown request kind `{other}`"
             )))),
         }
     }
+}
+
+/// Decodes the shared `"variant"` + `"algorithm"` fields of solve-shaped
+/// requests.
+fn decode_params(value: &Value) -> Result<(Variant, Algorithm), RequestError> {
+    let bad = |err: JsonError| RequestError::bad(&err);
+    let variant = Variant::from_json_value(bss_json::required(value, "variant").map_err(bad)?)
+        .map_err(bad)?;
+    let algo = algorithm_from_wire(
+        bss_json::required(value, "algorithm")
+            .map_err(bad)?
+            .as_str()
+            .ok_or_else(|| bad(JsonError::new("`algorithm` must be a string")))?,
+    )
+    .map_err(bad)?;
+    Ok((variant, algo))
+}
+
+/// Decodes the optional `"schedule"` bool (absent means `false`).
+fn decode_want_schedule(value: &Value) -> Result<bool, RequestError> {
+    match value.field("schedule") {
+        None => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(other) => Err(RequestError::bad(&JsonError::new(format!(
+            "`schedule` must be a bool, found {}",
+            other.kind()
+        )))),
+    }
+}
+
+/// Decodes the `"instance"` object with the typed error-class split:
+/// malformed JSON shape is [`ErrorCode::BadRequest`], well-formed data
+/// violating the paper's model is [`ErrorCode::InvalidInstance`] — decided
+/// by the error's *type*, not its text.
+fn decode_instance(value: &Value) -> Result<Instance, RequestError> {
+    Instance::from_json_value_checked(
+        bss_json::required(value, "instance").map_err(|e| RequestError::bad(&e))?,
+    )
+    .map_err(|e| match e {
+        IoError::Json(err) => RequestError::bad(&err),
+        IoError::Model(err) => RequestError {
+            code: ErrorCode::InvalidInstance,
+            message: format!("invalid instance data: {err}"),
+        },
+    })
 }
 
 impl FromJson for Request {
@@ -572,6 +727,10 @@ impl ToJson for ServerStats {
                 "cache_evictions".into(),
                 Value::Int(self.cache.evictions.into()),
             ),
+            (
+                "cache_collisions".into(),
+                Value::Int(self.cache.collisions.into()),
+            ),
             ("cache_len".into(), Value::Int(self.cache.len.into())),
             ("workers".into(), Value::Int(self.workers.into())),
         ])
@@ -591,6 +750,7 @@ impl FromJson for ServerStats {
                 hits: int("cache_hits")?,
                 misses: int("cache_misses")?,
                 evictions: int("cache_evictions")?,
+                collisions: int("cache_collisions")?,
                 len: int("cache_len")?,
             },
             workers: int("workers")?,
@@ -643,6 +803,18 @@ impl ToJson for Response {
                     ("stats".into(), stats.to_json_value()),
                 ],
             ),
+            Response::Session {
+                id,
+                jobs,
+                content_hash,
+            } => envelope(
+                *id,
+                vec![
+                    ("status".into(), Value::Str("session".into())),
+                    ("jobs".into(), Value::Int((*jobs).into())),
+                    ("content_hash".into(), Value::Int((*content_hash).into())),
+                ],
+            ),
             Response::Bye { id } => {
                 envelope(*id, vec![("status".into(), Value::Str("bye".into()))])
             }
@@ -684,6 +856,14 @@ impl FromJson for Response {
                 id,
                 stats: ServerStats::from_json_value(bss_json::required(value, "stats")?)?,
             }),
+            "session" => Ok(Response::Session {
+                id,
+                jobs: bss_json::int_from(bss_json::required(value, "jobs")?, "jobs")?,
+                content_hash: bss_json::int_from(
+                    bss_json::required(value, "content_hash")?,
+                    "content_hash",
+                )?,
+            }),
             "bye" => Ok(Response::Bye { id }),
             other => Err(JsonError::new(format!("unknown response status `{other}`"))),
         }
@@ -717,6 +897,28 @@ mod tests {
             Request::Stats { id: 2 },
             Request::Shutdown { id: 3 },
             Request::Sleep { id: 4, ms: 25 },
+            Request::Session(Box::new(SessionRequest {
+                id: 11,
+                instance: tiny_instance(),
+                variant: Variant::NonPreemptive,
+                algo: Algorithm::EpsilonSearch { eps_log2: 6 },
+            })),
+            Request::Delta {
+                id: 12,
+                delta: Delta::AddJob { class: 1, time: 9 },
+            },
+            Request::Delta {
+                id: 13,
+                delta: Delta::RemoveJob { job: 2 },
+            },
+            Request::Delta {
+                id: 14,
+                delta: Delta::Retime { job: 0, time: 3 },
+            },
+            Request::Resolve {
+                id: 15,
+                want_schedule: true,
+            },
         ];
         for req in reqs {
             let text = bss_json::encode_pretty(&req);
@@ -739,6 +941,25 @@ mod tests {
                 (Request::Sleep { id: a, ms: am }, Request::Sleep { id: b, ms: bm }) => {
                     assert_eq!((a, am), (b, bm));
                 }
+                (Request::Session(a), Request::Session(b)) => {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(a.instance, b.instance);
+                    assert_eq!(a.variant, b.variant);
+                    assert_eq!(a.algo, b.algo);
+                }
+                (Request::Delta { id: a, delta: ad }, Request::Delta { id: b, delta: bd }) => {
+                    assert_eq!((a, ad), (b, bd))
+                }
+                (
+                    Request::Resolve {
+                        id: a,
+                        want_schedule: aw,
+                    },
+                    Request::Resolve {
+                        id: b,
+                        want_schedule: bw,
+                    },
+                ) => assert_eq!((a, aw), (b, bw)),
                 other => panic!("kind changed in roundtrip: {other:?}"),
             }
         }
@@ -783,10 +1004,16 @@ mod tests {
                         hits: 5,
                         misses: 5,
                         evictions: 2,
+                        collisions: 1,
                         len: 3,
                     },
                     workers: 4,
                 },
+            },
+            Response::Session {
+                id: 4,
+                jobs: 13,
+                content_hash: u64::MAX,
             },
             Response::Bye { id: 3 },
         ];
@@ -847,6 +1074,18 @@ mod tests {
                 ) => {
                     assert_eq!((a, astats), (b, bstats));
                 }
+                (
+                    Response::Session {
+                        id: a,
+                        jobs: aj,
+                        content_hash: ah,
+                    },
+                    Response::Session {
+                        id: b,
+                        jobs: bj,
+                        content_hash: bh,
+                    },
+                ) => assert_eq!((a, aj, ah), (b, bj, bh)),
                 other => panic!("status changed in roundtrip: {other:?}"),
             }
         }

@@ -30,18 +30,19 @@ use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bss_core::SolveBudget;
+use bss_core::{solve, solve_warm, Algorithm, SolveBudget, WarmStart};
+use bss_instance::{IncrementalInstance, Variant};
 use bss_json::frame::{read_frame, write_frame, FrameError};
 use bss_json::ParseLimits;
 use bss_par::{SolveItem, SolvePool};
 
 use crate::cache::SolveCache;
 use crate::protocol::{
-    peek_id, ErrorCode, Request, Response, ServerStats, SolveRequest, WireSolution,
+    peek_id, ErrorCode, Request, Response, ServerStats, SessionRequest, SolveRequest, WireSolution,
 };
 
 /// Configuration of a server ([`spawn`]). The defaults serve production traffic;
@@ -119,12 +120,24 @@ struct Shared {
 }
 
 impl Shared {
+    /// Locks the solve cache, recovering from lock poisoning. The cache's
+    /// own methods never leave it mid-mutation at a panic point (the
+    /// map/order structures are updated atomically from the caller's view),
+    /// so a thread that panicked while *holding* the guard — e.g. a solve
+    /// isolation failure on the dispatcher — must not turn every later
+    /// cache access into a `.expect` crash that takes the whole service
+    /// down. A poisoned lock degrades to "keep serving with the cache as
+    /// it was", never to an outage.
+    fn cache(&self) -> MutexGuard<'_, SolveCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn stats(&self) -> ServerStats {
         ServerStats {
             solved: self.solved.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
-            cache: self.cache.lock().expect("cache lock").stats(),
+            cache: self.cache().stats(),
             workers: self.pool_threads as u64,
         }
     }
@@ -170,6 +183,20 @@ impl ServerHandle {
         if let Some(t) = self.dispatch_thread.take() {
             let _ = t.join();
         }
+    }
+
+    /// Test instrumentation: poisons the solve-cache mutex by panicking on
+    /// a throwaway thread while holding it. Lets the regression suite prove
+    /// the server keeps serving through a poisoned lock; useless (and
+    /// hidden) outside tests.
+    #[doc(hidden)]
+    pub fn poison_cache_for_tests(&self) {
+        let shared = Arc::clone(&self.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.cache.lock().expect("not yet poisoned");
+            panic!("deliberate poison");
+        })
+        .join();
     }
 
     fn signal_shutdown(&self) {
@@ -242,15 +269,29 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// The connection's incremental-solve session: the live instance plus the
+/// previous resolve's dual bracket, from which the next resolve warm-starts.
+struct SessionState {
+    inc: IncrementalInstance,
+    variant: Variant,
+    algo: Algorithm,
+    /// The last resolve's warm hint and the total load it was taken at
+    /// (the load delta since then drives the bracket widening).
+    prev: Option<(WarmStart, u64)>,
+}
+
 /// Serves one connection: frames in, frames out. The loop is strictly
 /// serial — the next frame is read only after the previous request has been
-/// answered — so responses are trivially in request order.
+/// answered — so responses are trivially in request order. Session state
+/// (the incremental instance and its warm-start bracket) lives here, owned
+/// by the connection thread, and dies with the connection.
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
         Err(_) => return,
     };
     let mut writer = stream;
+    let mut session: Option<SessionState> = None;
     let limits = ParseLimits {
         max_bytes: shared.config.max_frame_bytes,
         max_depth: shared.config.max_json_depth,
@@ -292,7 +333,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                         code: err.code,
                         message: err.message,
                     }),
-                    Ok(request) => handle_request(request, shared),
+                    Ok(request) => handle_request(request, &mut session, shared),
                 }
             }
         };
@@ -332,8 +373,15 @@ enum Handled {
 }
 
 /// Handles one decoded request, answering inline or enqueueing a job whose
-/// response will arrive on the returned receiver.
-fn handle_request(request: Request, shared: &Arc<Shared>) -> Handled {
+/// response will arrive on the returned receiver. Session requests mutate
+/// the connection-local `session` and are answered inline: resolves are
+/// latency-bound single solves on a warm bracket, so they skip the batch
+/// queue and run right here on the connection thread.
+fn handle_request(
+    request: Request,
+    session: &mut Option<SessionState>,
+    shared: &Arc<Shared>,
+) -> Handled {
     match request {
         Request::Ping { id } => Handled::Reply(Response::Pong { id }),
         Request::Stats { id } => Handled::Reply(Response::Stats {
@@ -371,12 +419,9 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Handled {
             let hash = req.instance.content_hash();
             // Cache fast path: answered on the connection thread without
             // touching the queue, so hits stay cheap under load.
-            let hit = shared.cache.lock().expect("cache lock").lookup(
-                hash,
-                &req.instance,
-                req.variant,
-                req.algo,
-            );
+            let hit = shared
+                .cache()
+                .lookup(hash, &req.instance, req.variant, req.algo);
             if let Some(sol) = hit {
                 return Handled::Reply(Response::Solved {
                     id: req.id,
@@ -400,6 +445,118 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Handled {
                 None => Handled::Pending(reply_rx),
             }
         }
+        Request::Session(req) => Handled::Reply(open_session(*req, session)),
+        Request::Delta { id, delta } => Handled::Reply(apply_delta(id, delta, session)),
+        Request::Resolve { id, want_schedule } => {
+            Handled::Reply(resolve_session(id, want_schedule, session, shared))
+        }
+    }
+}
+
+/// Installs (or replaces) the connection's session.
+fn open_session(req: SessionRequest, session: &mut Option<SessionState>) -> Response {
+    let inc = IncrementalInstance::new(&req.instance);
+    let resp = Response::Session {
+        id: req.id,
+        jobs: inc.num_jobs() as u64,
+        content_hash: inc.content_hash(),
+    };
+    *session = Some(SessionState {
+        inc,
+        variant: req.variant,
+        algo: req.algo,
+        prev: None,
+    });
+    resp
+}
+
+/// Applies one delta to the connection's session. A rejected delta (unknown
+/// job, emptied class, load overflow) leaves the session state untouched —
+/// `IncrementalInstance::apply` is atomic on error — and answers with
+/// [`ErrorCode::InvalidInstance`], mirroring the solve path's model-error
+/// class.
+fn apply_delta(
+    id: u64,
+    delta: bss_instance::Delta,
+    session: &mut Option<SessionState>,
+) -> Response {
+    let Some(state) = session else {
+        return no_session(id);
+    };
+    match state.inc.apply(delta) {
+        Ok(()) => Response::Session {
+            id,
+            jobs: state.inc.num_jobs() as u64,
+            content_hash: state.inc.content_hash(),
+        },
+        Err(err) => Response::Error {
+            id,
+            code: ErrorCode::InvalidInstance,
+            message: format!("delta rejected: {err}"),
+        },
+    }
+}
+
+/// Solves the session's current state: the shared cache first (a session
+/// revisiting a state — or another client solving the same instance — hits
+/// it), then a warm-start re-solve seeded with the previous resolve's dual
+/// bracket, widened by the load shift the deltas since then caused. Cold
+/// solves only happen on a session's first resolve.
+fn resolve_session(
+    id: u64,
+    want_schedule: bool,
+    session: &mut Option<SessionState>,
+    shared: &Arc<Shared>,
+) -> Response {
+    let Some(state) = session else {
+        return no_session(id);
+    };
+    let hash = state.inc.content_hash();
+    let load = state.inc.total_load_once();
+    let instance = state.inc.materialize();
+    if let Some(sol) = shared
+        .cache()
+        .lookup(hash, &instance, state.variant, state.algo)
+    {
+        // A hit still refreshes the warm bracket: the cached solution's
+        // accepted/certificate window seeds the next resolve.
+        state.prev = Some((WarmStart::of(&sol), load));
+        return Response::Solved {
+            id,
+            cached: true,
+            solution: WireSolution::of(&sol, want_schedule),
+        };
+    }
+    let sol = match state.prev.take() {
+        Some((hint, prev_load)) => {
+            let hint = hint.widen_by_load_shift(
+                u128::from(prev_load),
+                u128::from(load),
+                instance.machines(),
+            );
+            solve_warm(&instance, state.variant, state.algo, &hint).0
+        }
+        None => solve(&instance, state.variant, state.algo),
+    };
+    shared.solved.fetch_add(1, Ordering::Relaxed);
+    let sol = Arc::new(sol);
+    shared
+        .cache()
+        .insert(hash, &instance, state.variant, state.algo, &sol);
+    state.prev = Some((WarmStart::of(&sol), load));
+    Response::Solved {
+        id,
+        cached: false,
+        solution: WireSolution::of(&sol, want_schedule),
+    }
+}
+
+/// The typed reply to a delta/resolve with no open session.
+fn no_session(id: u64) -> Response {
+    Response::Error {
+        id,
+        code: ErrorCode::BadRequest,
+        message: "no session on this connection; send a `session` request first".into(),
     }
 }
 
@@ -508,7 +665,7 @@ fn solve_batch(pool: &mut SolvePool, jobs: Vec<Job>, shared: &Arc<Shared>) {
                 // Only Full completions are cacheable, and a key collision
                 // with a different resident instance drops the insert —
                 // both enforced inside the cache.
-                shared.cache.lock().expect("cache lock").insert(
+                shared.cache().insert(
                     job.hash,
                     &job.req.instance,
                     job.req.variant,

@@ -412,6 +412,208 @@ fn cache_roundtrip_survives_solution_reencoding() {
 }
 
 // ---------------------------------------------------------------------------
+// Incremental sessions (online workloads)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_resolves_are_bit_identical_to_local_cold_solves() {
+    use bss_instance::{Delta, IncrementalInstance};
+
+    let server = test_server(small_config());
+    let deltas = [
+        Delta::AddJob { class: 0, time: 17 },
+        Delta::AddJob { class: 3, time: 5 },
+        Delta::Retime { job: 2, time: 40 },
+        Delta::RemoveJob { job: 7 },
+        Delta::AddJob { class: 1, time: 23 },
+    ];
+    for (variant, algo) in [
+        (
+            Variant::NonPreemptive,
+            Algorithm::EpsilonSearch { eps_log2: 6 },
+        ),
+        (
+            Variant::Splittable,
+            Algorithm::EpsilonSearch { eps_log2: 6 },
+        ),
+        (Variant::Preemptive, Algorithm::TwoApprox),
+    ] {
+        let mut client = Client::connect(server.addr()).unwrap();
+        let base = bss_gen::uniform(40, 5, 3, 4242);
+        let mut mirror = IncrementalInstance::new(&base);
+
+        let ack = client.session(&base, variant, algo).unwrap();
+        assert_eq!(ack.jobs, 40);
+        assert_eq!(ack.content_hash, base.content_hash());
+
+        // The base resolve plus one after every delta: each must be
+        // bit-identical to a local cold solve of the mirrored state —
+        // the server's warm-start path must be invisible in the payload.
+        for (step, delta) in std::iter::once(None)
+            .chain(deltas.iter().map(Some))
+            .enumerate()
+        {
+            if let Some(&d) = delta {
+                let ack = client.delta(d).unwrap();
+                mirror.apply(d).unwrap();
+                assert_eq!(ack.jobs, mirror.num_jobs() as u64, "step {step}");
+                assert_eq!(ack.content_hash, mirror.content_hash(), "step {step}");
+            }
+            let outcome = client.resolve(true).unwrap();
+            let SolveOutcome::Solved { solution, .. } = outcome else {
+                panic!("resolve shed: {outcome:?}");
+            };
+            let local = solve(&mirror.materialize(), variant, algo);
+            assert_eq!(
+                solution.makespan, local.makespan,
+                "step {step} {variant:?}/{algo:?}: makespan"
+            );
+            assert_eq!(solution.accepted, local.accepted, "step {step}: accepted");
+            assert_eq!(
+                solution.certificate, local.certificate,
+                "step {step}: certificate"
+            );
+            assert_eq!(
+                solution.ratio_bound, local.ratio_bound,
+                "step {step}: ratio_bound"
+            );
+            assert_eq!(solution.completion, local.completion, "step {step}");
+            assert_eq!(
+                solution.schedule.as_ref(),
+                Some(local.schedule()),
+                "step {step}: schedule"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn session_resolve_of_an_unchanged_state_hits_the_cache() {
+    let server = test_server(small_config());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let base = bss_gen::uniform(30, 4, 3, 99);
+    client
+        .session(&base, Variant::Splittable, Algorithm::ThreeHalves)
+        .unwrap();
+    let first = client.resolve(false).unwrap();
+    let SolveOutcome::Solved { cached: false, .. } = first else {
+        panic!("first resolve must be cold: {first:?}");
+    };
+    let second = client.resolve(false).unwrap();
+    let SolveOutcome::Solved { cached: true, .. } = second else {
+        panic!("repeat resolve of the same state must hit the cache: {second:?}");
+    };
+    // A plain solve of the same instance from another connection also hits:
+    // session solves share the server-global cache.
+    let mut other = Client::connect(server.addr()).unwrap();
+    let outcome = other
+        .solve(
+            &base,
+            Variant::Splittable,
+            Algorithm::ThreeHalves,
+            SolveOptions::default(),
+        )
+        .unwrap();
+    let SolveOutcome::Solved { cached: true, .. } = outcome else {
+        panic!("cross-connection lookup of a session solve missed: {outcome:?}");
+    };
+    server.shutdown();
+}
+
+#[test]
+fn session_misuse_gets_typed_errors_and_the_session_survives_bad_deltas() {
+    use bss_instance::Delta;
+
+    let server = test_server(small_config());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Delta/resolve before any session: BadRequest, connection stays up.
+    for result in [
+        client.delta(Delta::AddJob { class: 0, time: 1 }).err(),
+        client.resolve(false).err(),
+    ] {
+        match result {
+            Some(ClientError::Server {
+                code: ErrorCode::BadRequest,
+                message,
+            }) => assert!(message.contains("no session"), "message: {message}"),
+            other => panic!("expected a typed no-session error, got {other:?}"),
+        }
+    }
+
+    let base = bss_gen::uniform(20, 3, 2, 7);
+    let ack = client
+        .session(&base, Variant::NonPreemptive, Algorithm::ThreeHalves)
+        .unwrap();
+
+    // A model-violating delta is InvalidInstance and leaves the state as
+    // it was (same content hash), still resolvable.
+    match client.delta(Delta::AddJob { class: 99, time: 1 }) {
+        Err(ClientError::Server {
+            code: ErrorCode::InvalidInstance,
+            ..
+        }) => {}
+        other => panic!("expected InvalidInstance, got {other:?}"),
+    }
+    let after = client.delta(Delta::Retime { job: 0, time: 9 }).unwrap();
+    assert_ne!(after.content_hash, ack.content_hash);
+    assert!(matches!(
+        client.resolve(false).unwrap(),
+        SolveOutcome::Solved { .. }
+    ));
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Lock-poisoning recovery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn server_keeps_serving_after_the_cache_lock_is_poisoned() {
+    let server = test_server(small_config());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let instance = bss_gen::uniform(25, 4, 2, 1234);
+
+    // Seed the cache, then poison its mutex (a thread panics holding it).
+    client
+        .solve(
+            &instance,
+            Variant::Splittable,
+            Algorithm::ThreeHalves,
+            SolveOptions::default(),
+        )
+        .unwrap();
+    server.poison_cache_for_tests();
+
+    // Every cache-touching path must keep working: stats, the lookup fast
+    // path (which still hits the pre-poison entry), and fresh inserts.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache.len, 1);
+    let hit = client
+        .solve(
+            &instance,
+            Variant::Splittable,
+            Algorithm::ThreeHalves,
+            SolveOptions::default(),
+        )
+        .unwrap();
+    assert!(matches!(hit, SolveOutcome::Solved { cached: true, .. }));
+    let other = bss_gen::uniform(25, 4, 2, 5678);
+    let cold = client
+        .solve(
+            &other,
+            Variant::Splittable,
+            Algorithm::ThreeHalves,
+            SolveOptions::default(),
+        )
+        .unwrap();
+    assert!(matches!(cold, SolveOutcome::Solved { cached: false, .. }));
+    assert_eq!(client.stats().unwrap().cache.len, 2);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
 // Protocol abuse over a raw socket
 // ---------------------------------------------------------------------------
 
